@@ -1,0 +1,93 @@
+// Ablation (§VII-A practicality): full-trace footprint profiling vs
+// bursty sampling (after Wang et al.'s ABF). The paper uses full traces
+// "to have reproducible results" but argues sampling makes the analysis
+// deployable (~0.09 s/program). This bench sweeps the sampling fraction
+// and reports footprint and MRC error plus profiling speedup.
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "locality/hotl.hpp"
+#include "locality/sampling.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+int main() {
+  Suite suite = load_suite();
+  const std::size_t capacity = suite.options.capacity;
+
+  struct Config {
+    const char* label;
+    std::size_t burst, gap;
+  };
+  const Config configs[] = {
+      {"1/2 sampled", 20000, 20000},
+      {"1/5 sampled", 20000, 80000},
+      {"1/10 sampled", 10000, 90000},
+      {"1/20 sampled", 10000, 190000},
+  };
+
+  std::cout << "=== Ablation: full-trace vs bursty-sampled footprints ("
+            << suite.models.size() << " programs) ===\n\n";
+  TextTable t({"schedule", "sampling fraction", "avg fp err (blocks)",
+               "avg mrc err", "max mrc err", "profiling speedup"});
+
+  for (const auto& config : configs) {
+    double fp_err = 0.0, mrc_err_sum = 0.0, mrc_err_max = 0.0;
+    double frac = 0.0;
+    double full_time = 0.0, sampled_time = 0.0;
+    for (std::size_t p = 0; p < suite.models.size(); ++p) {
+      Trace trace = suite_trace(suite, p);
+
+      auto t0 = std::chrono::steady_clock::now();
+      FootprintCurve full = compute_footprint(trace);
+      auto t1 = std::chrono::steady_clock::now();
+      SamplingConfig sc;
+      sc.burst_length = config.burst;
+      sc.gap_length = config.gap;
+      sc.jitter_seed = 1 + p;
+      SampledFootprint sampled = sampled_footprint(trace, sc);
+      auto t2 = std::chrono::steady_clock::now();
+      full_time += std::chrono::duration<double>(t1 - t0).count();
+      sampled_time += std::chrono::duration<double>(t2 - t1).count();
+
+      fp_err += footprint_max_error(full, sampled.footprint);
+      frac += sampled.sampling_fraction;
+
+      // MRC error on the window range the sample can see. The sampled
+      // footprint saturates at the per-burst distinct count, so compare
+      // only below that size.
+      MissRatioCurve full_mrc = hotl_mrc(full, capacity);
+      MissRatioCurve samp_mrc = hotl_mrc(sampled.footprint, capacity);
+      std::size_t cap_seen = std::min<std::size_t>(
+          capacity,
+          static_cast<std::size_t>(sampled.footprint.fp.back() * 0.9));
+      double worst = 0.0, sum = 0.0;
+      std::size_t counted = 0;
+      for (std::size_t c = 1; c <= cap_seen; ++c) {
+        double e = std::abs(full_mrc.ratio(c) - samp_mrc.ratio(c));
+        worst = std::max(worst, e);
+        sum += e;
+        ++counted;
+      }
+      if (counted > 0) mrc_err_sum += sum / static_cast<double>(counted);
+      mrc_err_max = std::max(mrc_err_max, worst);
+    }
+    double n = static_cast<double>(suite.models.size());
+    t.add_row({config.label, TextTable::pct(frac / n, 1),
+               TextTable::num(fp_err / n, 2),
+               TextTable::num(mrc_err_sum / n, 4),
+               TextTable::num(mrc_err_max, 4),
+               TextTable::num(full_time / std::max(sampled_time, 1e-9), 1) +
+                   "x"});
+  }
+  emit_table(t, "ablation_sampling");
+
+  std::cout << "\nExpected: error grows slowly as the sampling fraction "
+               "drops; phased programs (mcf, soplex, wrf) dominate the max "
+               "error because a burst can land inside one phase. This is "
+               "the accuracy/cost trade-off behind ABF profiling.\n";
+  return 0;
+}

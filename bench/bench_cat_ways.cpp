@@ -1,0 +1,117 @@
+// Deployment bench: way-partitioning (Intel CAT). The paper's optimizer
+// produces unit-grain allocations; hardware enforces partitions as way
+// quotas of a set-associative cache (e.g. 16 ways). This bench takes the
+// DP-optimal allocation for sampled co-run groups, rounds it to way
+// quotas, and simulates: how much of the idealized benefit survives the
+// 16-way granularity and set-associativity?
+#include <iostream>
+
+#include "cachesim/corun.hpp"
+#include "cachesim/way_partitioned.hpp"
+#include "combinatorics/enumerate.hpp"
+#include "common.hpp"
+#include "core/baselines.hpp"
+#include "core/dp_partition.hpp"
+#include "trace/interleave.hpp"
+#include "util/config.hpp"
+#include "util/stats.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+int main() {
+  Suite suite = load_suite();
+  const std::size_t capacity = suite.options.capacity;
+  const std::size_t ways = 16;
+  const std::size_t num_sets = capacity / ways;  // 64 sets x 16 ways = C
+  const std::size_t mix_len = static_cast<std::size_t>(
+      env_int("OCPS_SIM_LENGTH", 400000));
+
+  auto unit_costs = precompute_unit_costs(suite.models, capacity);
+  auto groups =
+      all_subsets(static_cast<std::uint32_t>(suite.models.size()), 4);
+  std::size_t count =
+      static_cast<std::size_t>(env_int("OCPS_CAT_GROUPS", 10));
+  std::size_t stride = std::max<std::size_t>(1, groups.size() / count);
+
+  std::cout << "=== Deployment: unit-grain optimal partition -> " << ways
+            << "-way CAT quotas (" << num_sets << " sets x " << ways
+            << " ways) ===\n\n";
+  TextTable t({"group", "shared (sim)", "equal ways (sim)",
+               "optimal units (sim)", "optimal->rounded ways (sim)",
+               "way-grain DP (sim)"});
+
+  std::vector<double> losses;
+  for (std::size_t gi = 0; gi < groups.size(); gi += stride) {
+    const auto& members = groups[gi];
+    std::vector<Trace> traces;
+    std::vector<double> rates;
+    std::vector<std::vector<double>> cost;
+    std::string label;
+    for (auto m : members) {
+      traces.push_back(suite_trace(suite, m));
+      rates.push_back(suite.models[m].access_rate);
+      cost.push_back(unit_costs[m]);
+      if (!label.empty()) label += "+";
+      label += suite.models[m].name;
+    }
+    InterleavedTrace mix = interleave_proportional(traces, rates, mix_len);
+    const std::size_t warmup = mix_len / 4;
+
+    DpResult dp = optimize_partition(cost, capacity);
+    auto quotas = ways_from_alloc(dp.alloc, capacity, ways);
+
+    // The deployable optimum: run the DP directly at way granularity
+    // (cost of w ways = miss ratio at w * blocks-per-way), instead of
+    // rounding the unit-grain answer — rounding a cliff-sized allocation
+    // down by half a way re-triggers the whole cliff.
+    const std::size_t blocks_per_way = capacity / ways;
+    std::vector<std::vector<double>> way_cost(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      way_cost[k].resize(ways + 1);
+      for (std::size_t w = 0; w <= ways; ++w)
+        way_cost[k][w] =
+            suite.models[members[k]].access_rate *
+            suite.models[members[k]].mrc.ratio(w * blocks_per_way);
+    }
+    DpResult way_dp = optimize_partition(way_cost, ways);
+
+    CoRunResult shared = simulate_shared(mix, capacity, {warmup, 0});
+    CoRunResult unit_part =
+        simulate_partitioned(mix, dp.alloc, {warmup, 0});
+    auto equal_ways =
+        ways_from_alloc(equal_partition(4, capacity), capacity, ways);
+    WayPartitionResult equal_cat =
+        simulate_way_partitioned(mix, num_sets, ways, equal_ways, warmup);
+    WayPartitionResult opt_cat =
+        simulate_way_partitioned(mix, num_sets, ways, quotas, warmup);
+    WayPartitionResult waydp_cat = simulate_way_partitioned(
+        mix, num_sets, ways, way_dp.alloc, warmup);
+
+    double loss = waydp_cat.group_mr - unit_part.group_miss_ratio();
+    losses.push_back(loss);
+    t.add_row({label, TextTable::num(shared.group_miss_ratio(), 4),
+               TextTable::num(equal_cat.group_mr, 4),
+               TextTable::num(unit_part.group_miss_ratio(), 4),
+               TextTable::num(opt_cat.group_mr, 4),
+               TextTable::num(waydp_cat.group_mr, 4)});
+  }
+  emit_table(t, "cat_ways");
+
+  Summary s = summarize(losses);
+  std::cout << "\nfidelity loss (way-grain DP sim minus unit-grain sim): "
+            << "mean " << TextTable::num(s.mean, 4) << ", max "
+            << TextTable::num(s.max, 4) << "\n";
+  std::cout << "\nReading: smooth-MRC groups (e.g. the last row) lose "
+               "little. Cliff workloads sized near their working set are "
+               "fragile under way partitioning for TWO reasons: (1) "
+               "rounding an allocation half a way below the cliff "
+               "re-triggers the whole scan, and (2) even with enough "
+               "total lines, hashing a near-capacity scan across sets is "
+               "imbalanced — overloaded sets thrash cyclically. Deploying "
+               "the paper's partitions on CAT-class hardware therefore "
+               "needs slack above each cliff (or victim/overflow "
+               "structures), a set-associativity effect the theory "
+               "abstracts away (§VIII) and this harness quantifies.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 1: the motivating 4-core example where partition-sharing beats both
+// free-for-all sharing and pure partitioning. Cores 1-2 run streaming
+// programs (pure pollution); cores 3-4 alternate large and small working
+// sets in antiphase, so a shared partition lets each use the space when
+// the other does not. We simulate the paper's literal 12-access toy trace
+// at cache size 6 and a scaled-up version, reporting capacity misses per
+// scheme.
+#include <iostream>
+
+#include "cachesim/corun.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+
+namespace {
+
+void report(const std::string& title,
+            const std::vector<std::pair<std::string, CoRunResult>>& rows) {
+  std::cout << title << "\n";
+  TextTable t({"scheme", "total misses", "group miss ratio", "per-core mr"});
+  for (const auto& [name, r] : rows) {
+    std::string per;
+    for (std::size_t i = 0; i < r.accesses.size(); ++i) {
+      if (!per.empty()) per += " / ";
+      per += TextTable::num(r.miss_ratio(i), 3);
+    }
+    t.add_row({name, std::to_string(r.total_misses()),
+               TextTable::num(r.group_miss_ratio(), 4), per});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 1: partition-sharing motivating example ===\n\n";
+
+  // --- The paper's literal traces (Fig. 1), cache size 6. ---
+  // Core 1, 2: streams. Core 3: a b c a b c a a a a a a.
+  // Core 4: x x x x x x x y z x y z.
+  Trace c1 = parse_token_trace("A B C D E F G H I J K L");
+  Trace c2 = parse_token_trace("O P Q R S T U V W X Y Z");
+  Trace c3 = parse_token_trace("a b c a b c a a a a a a");
+  Trace c4 = parse_token_trace("x x x x x x x y z x y z");
+  InterleavedTrace toy =
+      interleave_proportional({c1, c2, c3, c4}, {1, 1, 1, 1}, 48);
+
+  report("Toy trace (cache = 6 blocks, 48 interleaved accesses):",
+         {{"free-for-all sharing", simulate_shared(toy, 6)},
+          {"partitioning {1,1,2,2}",
+           simulate_partitioned(toy, {1, 1, 2, 2})},
+          {"partitioning {1,1,3,1}",
+           simulate_partitioned(toy, {1, 1, 3, 1})},
+          {"partition-sharing {1}{1}{3+4: 4}",
+           simulate_partition_sharing(toy, {0, 1, 2, 2}, {1, 1, 4})}});
+
+  // --- Scaled-up version with strong antiphase behaviour. ---
+  const std::size_t phase = 400, reps = 40;
+  std::vector<Phase> big_small = {{phase, 48, 0, false},
+                                  {phase, 4, 0, false}};
+  std::vector<Phase> small_big = {{phase, 4, 0, false},
+                                  {phase, 48, 0, false}};
+  Trace s3 = make_phased(big_small, reps);
+  Trace s4 = make_phased(small_big, reps);
+  Trace s1 = make_stream(phase * reps * 2);
+  Trace s2 = make_stream(phase * reps * 2);
+  InterleavedTrace mix = interleave_proportional(
+      {s1, s2, s3, s4}, {1, 1, 1, 1}, phase * reps * 8);
+
+  const std::size_t C = 64;
+  report(
+      "Scaled trace (cache = 64 blocks, antiphase working sets 48/4):",
+      {{"free-for-all sharing", simulate_shared(mix, C)},
+       {"equal partitioning {16,16,16,16}",
+        simulate_partitioned(mix, {16, 16, 16, 16})},
+       {"best static partitioning {4,4,28,28}",
+        simulate_partitioned(mix, {4, 4, 28, 28})},
+       {"partition-sharing {1}{2}{3+4 share 56}",
+        simulate_partition_sharing(mix, {0, 1, 2, 2}, {4, 4, 56})}});
+
+  std::cout << "Expected (paper Fig. 1): streams must be fenced off, and "
+               "cores 3+4 sharing one partition beat any static split of "
+               "the same space — the one case where partition-sharing wins "
+               "is synchronized antiphase behaviour (§VIII).\n";
+  return 0;
+}

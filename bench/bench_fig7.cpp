@@ -1,0 +1,129 @@
+// Fig. 7: STTW vs Optimal group miss ratio over all co-run groups (sorted
+// by Optimal), plus the §VII-B statistics: in how many groups STTW is at
+// least 10% / 20% worse than Optimal, and where STTW loses to plain
+// free-for-all sharing (Natural) because of non-convex MRCs.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "common.hpp"
+#include "core/sttw.hpp"
+#include "core/suh.hpp"
+#include "util/stats.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+int main() {
+  Evaluation eval = load_evaluation();
+
+  std::vector<std::size_t> order(eval.sweep.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return eval.sweep[a].of(Method::kOptimal).group_mr <
+           eval.sweep[b].of(Method::kOptimal).group_mr;
+  });
+
+  std::cout << "=== Fig. 7: group miss ratio, STTW vs Optimal (sorted by "
+               "Optimal) ===\n\n";
+  TextTable t({"rank", "group", "STTW", "Optimal", "STTW/Optimal"});
+  std::size_t step = std::max<std::size_t>(1, order.size() / 40);
+  for (std::size_t r = 0; r < order.size();
+       r += (r + step < order.size() ? step : 1)) {
+    const auto& g = eval.sweep[order[r]];
+    std::string members;
+    for (auto m : g.members) {
+      if (!members.empty()) members += "+";
+      members += eval.suite.models[m].name;
+    }
+    double sttw = g.of(Method::kSttw).group_mr;
+    double opt = g.of(Method::kOptimal).group_mr;
+    t.add_row({std::to_string(r), members, TextTable::num(sttw, 5),
+               TextTable::num(opt, 5),
+               opt > 0 ? TextTable::num(sttw / opt, 3) : "-"});
+    if (r + 1 == order.size()) break;
+  }
+  emit_table(t, "fig7_decimated");
+
+  TextTable full({"rank", "STTW", "Optimal"});
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    const auto& g = eval.sweep[order[r]];
+    full.add_row({std::to_string(r),
+                  TextTable::num(g.of(Method::kSttw).group_mr, 6),
+                  TextTable::num(g.of(Method::kOptimal).group_mr, 6)});
+  }
+  emit_csv_only(full, "fig7_full");
+
+  // §VII-B statistics.
+  std::size_t worse10 = 0, worse20 = 0, worse_than_natural = 0;
+  std::vector<double> gaps;
+  for (const auto& g : eval.sweep) {
+    double sttw = g.of(Method::kSttw).group_mr;
+    double opt = g.of(Method::kOptimal).group_mr;
+    double natural = g.of(Method::kNatural).group_mr;
+    double gap = opt > 0 ? (sttw - opt) / opt : 0.0;
+    gaps.push_back(gap);
+    if (gap >= 0.10) ++worse10;
+    if (gap >= 0.20) ++worse20;
+    if (sttw > natural + 1e-12) ++worse_than_natural;
+  }
+  Summary s = summarize(gaps);
+  double n = static_cast<double>(eval.sweep.size());
+
+  std::cout << "\nSTTW vs Optimal gap: mean " << TextTable::pct(s.mean, 2)
+            << ", median " << TextTable::pct(s.median, 2) << ", max "
+            << TextTable::pct(s.max, 2) << "\n";
+  std::cout << "groups where STTW >= 10% worse than Optimal: "
+            << TextTable::pct(static_cast<double>(worse10) / n, 2) << "\n";
+  std::cout << "groups where STTW >= 20% worse than Optimal: "
+            << TextTable::pct(static_cast<double>(worse20) / n, 2) << "\n";
+  std::cout << "groups where STTW is worse than free-for-all sharing "
+               "(Natural): "
+            << TextTable::pct(static_cast<double>(worse_than_natural) / n, 2)
+            << "\n";
+
+  // Ablation: the faithful local-derivative STTW (used above) vs the
+  // charitable convex-hull strengthening.
+  {
+    auto unit_costs =
+        precompute_unit_costs(eval.suite.models, eval.capacity);
+    double classic_gap = 0.0, hull_gap = 0.0, suh_gap = 0.0;
+    for (const auto& g : eval.sweep) {
+      std::vector<std::vector<double>> cost;
+      double rate_sum = 0.0;
+      for (auto m : g.members) {
+        cost.push_back(unit_costs[m]);
+        rate_sum += eval.suite.models[m].access_rate;
+      }
+      double opt = g.of(Method::kOptimal).group_mr;
+      if (opt <= 0.0) continue;
+      SttwResult hull =
+          sttw_partition(cost, eval.capacity, SttwVariant::kConvexHull);
+      SttwResult classic = sttw_partition(cost, eval.capacity,
+                                          SttwVariant::kLocalDerivative);
+      SttwResult suh = suh_partition(cost, eval.capacity);
+      classic_gap += (classic.objective_value / rate_sum - opt) / opt;
+      hull_gap += (hull.objective_value / rate_sum - opt) / opt;
+      suh_gap += (suh.objective_value / rate_sum - opt) / opt;
+    }
+    double n_groups = static_cast<double>(eval.sweep.size());
+    std::cout << "\nGreedy-variant ablation (mean gap to Optimal): classic "
+                 "STTW local-derivative "
+              << TextTable::pct(classic_gap / n_groups, 2)
+              << ", convex-hull strengthening "
+              << TextTable::pct(hull_gap / n_groups, 2)
+              << ", Suh segmented greedy "
+              << TextTable::pct(suh_gap / n_groups, 2)
+              << " — the convexity assumption, not greediness itself, is "
+                 "what breaks. Both repairs (hull chords, Suh's atomic "
+                 "segments, §IX) close most of classic STTW's gap without "
+                 "the DP; only the DP is exact.\n";
+  }
+
+  std::cout << "\nPaper (§VII-B): STTW at least 10% worse in 34% of "
+               "groups, mostly at least 20% worse there; on average the "
+               "Optimal improvement over STTW (33.68%) exceeds the one "
+               "over Natural (26.35%) because non-convex MRCs break the "
+               "convexity assumption.\n";
+  return 0;
+}

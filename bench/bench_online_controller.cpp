@@ -1,0 +1,114 @@
+// Extension bench: the closed-loop online controller (SHARDS sampling +
+// per-epoch DP + resizable partitions) vs the offline alternatives. Two
+// scenarios:
+//  (a) stationary co-run of four suite programs — the controller should
+//      converge to the offline-oracle static DP partition;
+//  (b) a mid-run behaviour shift (two programs swap working sets) — no
+//      static partition can serve both halves, only the controller (and
+//      free-for-all sharing) can follow.
+#include <iostream>
+
+#include "cachesim/corun.hpp"
+#include "common.hpp"
+#include "core/baselines.hpp"
+#include "core/dp_partition.hpp"
+#include "locality/footprint.hpp"
+#include "runtime/controller.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+namespace {
+
+struct Row {
+  std::string scenario;
+  double shared, equal, oracle, online;
+  double sampled_fraction;
+};
+
+Row run_scenario(const std::string& name, const std::vector<Trace>& traces,
+                 std::size_t capacity) {
+  const std::size_t total = traces[0].length() * traces.size();
+  std::vector<double> rates(traces.size(), 1.0);
+  InterleavedTrace mix = interleave_proportional(traces, rates, total);
+
+  CoRunResult shared = simulate_shared(mix, capacity);
+  CoRunResult equal = simulate_partitioned(
+      mix, equal_partition(traces.size(), capacity));
+
+  // Offline oracle: whole-trace models -> static DP.
+  std::vector<std::vector<double>> cost(traces.size());
+  for (std::size_t p = 0; p < traces.size(); ++p) {
+    ProgramModel m = make_program_model(
+        "p" + std::to_string(p), 1.0, compute_footprint(traces[p]), capacity);
+    cost[p].resize(capacity + 1);
+    for (std::size_t c = 0; c <= capacity; ++c) cost[p][c] = m.mrc.ratio(c);
+  }
+  DpResult oracle = optimize_partition(cost, capacity);
+  CoRunResult oracle_sim = simulate_partitioned(mix, oracle.alloc);
+
+  ControllerConfig config;
+  config.capacity = capacity;
+  config.epoch_length = std::max<std::size_t>(20000, total / 24);
+  config.sampling_rate = 0.1;
+  ControllerResult online = run_online_controller(
+      mix, traces.size(), config);
+
+  return Row{name, shared.group_miss_ratio(), equal.group_miss_ratio(),
+             oracle_sim.group_miss_ratio(), online.sim.group_miss_ratio(),
+             online.sampled_fraction};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t capacity = 512;
+  const std::size_t n_each = 240000;
+
+  std::cout << "=== Extension: online repartitioning controller (C="
+            << capacity << ", 10% SHARDS sampling) ===\n\n";
+  TextTable t({"scenario", "free-for-all", "equal", "offline-oracle DP",
+               "online controller", "profiling cost"});
+
+  // (a) Stationary: four fixed-behaviour programs.
+  {
+    std::vector<Trace> traces = {
+        make_zipf(n_each, 700, 0.9, 201),
+        make_cyclic(n_each, 300),
+        make_hot_cold(n_each, 40, 900, 0.8, 202),
+        make_sawtooth(n_each, 60),
+    };
+    Row r = run_scenario("stationary quad", traces, capacity);
+    t.add_row({r.scenario, TextTable::num(r.shared, 4),
+               TextTable::num(r.equal, 4), TextTable::num(r.oracle, 4),
+               TextTable::num(r.online, 4),
+               TextTable::pct(r.sampled_fraction, 1)});
+  }
+
+  // (b) Behaviour shift: two programs swap hungry/small roles mid-run.
+  {
+    Trace a = make_cyclic(n_each / 2, 350);
+    a.append(make_sawtooth(n_each / 2, 40).relabeled(5000));
+    Trace b = make_sawtooth(n_each / 2, 40);
+    b.append(make_cyclic(n_each / 2, 350).relabeled(6000));
+    std::vector<Trace> traces = {a, b,
+                                 make_zipf(n_each, 500, 1.0, 203),
+                                 make_hot_cold(n_each, 30, 600, 0.85, 204)};
+    Row r = run_scenario("mid-run swap", traces, capacity);
+    t.add_row({r.scenario, TextTable::num(r.shared, 4),
+               TextTable::num(r.equal, 4), TextTable::num(r.oracle, 4),
+               TextTable::num(r.online, 4),
+               TextTable::pct(r.sampled_fraction, 1)});
+  }
+  emit_table(t, "online_controller");
+
+  std::cout << "\nExpected: stationary — the controller lands within a few "
+               "percent of the offline oracle at ~10% profiling cost; "
+               "mid-run swap — the static oracle (one partition for the "
+               "whole run) degrades while the controller re-optimizes "
+               "after the shift and beats it.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Performance-domain view of the evaluation (§VIII locality-performance
+// correlation): applying the linear latency model to the six cache-sharing
+// solutions gives per-method ANTT (average slowdown) and STP (system
+// throughput), and optimizing the slowdown objective directly shows that
+// the miss-ratio optimum and the performance optimum nearly coincide —
+// the correlation the paper relies on.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/dp_partition.hpp"
+#include "core/performance.hpp"
+#include "util/stats.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+int main() {
+  Evaluation eval = load_evaluation();
+  const auto& models = eval.suite.models;
+  const std::size_t capacity = eval.capacity;
+  LatencyModel latency;  // hit 1, miss 20
+
+  const std::vector<Method> methods = {
+      Method::kEqual, Method::kNatural, Method::kEqualBaseline,
+      Method::kNaturalBaseline, Method::kOptimal, Method::kSttw};
+
+  std::vector<std::vector<double>> antt(methods.size() + 1);
+  std::vector<std::vector<double>> stp(methods.size() + 1);
+  std::vector<double> mr_optimal, antt_optimal;
+
+  std::size_t stride = std::max<std::size_t>(1, eval.sweep.size() / 300);
+  for (std::size_t gi = 0; gi < eval.sweep.size(); gi += stride) {
+    const auto& g = eval.sweep[gi];
+    std::vector<const ProgramModel*> ptrs;
+    for (auto m : g.members) ptrs.push_back(&models[m]);
+    CoRunGroup group(ptrs);
+
+    for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+      const auto& out = g.of(methods[mi]);
+      PerfMetrics perf =
+          performance_metrics(group, out.per_program_mr, capacity, latency);
+      antt[mi].push_back(perf.antt);
+      stp[mi].push_back(perf.stp);
+      if (methods[mi] == Method::kOptimal) {
+        mr_optimal.push_back(out.group_mr);
+        antt_optimal.push_back(perf.antt);
+      }
+    }
+
+    // Direct ANTT optimization via slowdown cost curves.
+    auto cost = slowdown_cost_curves(group, capacity, latency);
+    DpResult dp = optimize_partition(cost, capacity);
+    std::vector<double> mr(ptrs.size());
+    for (std::size_t k = 0; k < ptrs.size(); ++k)
+      mr[k] = ptrs[k]->mrc.ratio(dp.alloc[k]);
+    PerfMetrics perf = performance_metrics(group, mr, capacity, latency);
+    antt.back().push_back(perf.antt);
+    stp.back().push_back(perf.stp);
+  }
+
+  std::cout << "=== Performance metrics per method (latency model: hit 1, "
+               "miss 20; "
+            << antt[0].size() << " groups) ===\n\n";
+  TextTable t({"method", "avg ANTT (lower better)", "avg STP (of 4)"});
+  for (std::size_t mi = 0; mi < methods.size(); ++mi)
+    t.add_row({method_name(methods[mi]),
+               TextTable::num(mean_of(antt[mi]), 4),
+               TextTable::num(mean_of(stp[mi]), 4)});
+  t.add_row({"ANTT-optimal (slowdown DP)",
+             TextTable::num(mean_of(antt.back()), 4),
+             TextTable::num(mean_of(stp.back()), 4)});
+  emit_table(t, "performance");
+
+  std::cout << "\ncorrelation between Optimal's group miss ratio and its "
+               "modeled ANTT across groups: "
+            << TextTable::num(pearson(mr_optimal, antt_optimal), 4) << "\n";
+  std::cout << "\nExpected (§VIII): the miss-ratio optimum is nearly "
+               "ANTT-optimal (the dedicated slowdown DP recovers only a "
+               "sliver more), and miss ratio correlates strongly with "
+               "modeled time — the paper's 0.938 correlation argument.\n";
+  return 0;
+}

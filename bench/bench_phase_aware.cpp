@@ -1,0 +1,94 @@
+// Extension bench: phase-aware dynamic repartitioning recovers the Fig. 1
+// partition-sharing advantage within a partitioning framework. We sweep
+// phase alignments and epoch granularities and compare: free-for-all
+// sharing, the best static partition (per-run DP on whole-trace models),
+// and the per-epoch DP plan executed with resizable partitions.
+#include <iostream>
+
+#include "cachesim/corun.hpp"
+#include "common.hpp"
+#include "core/dp_partition.hpp"
+#include "core/phase_aware.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+namespace {
+
+Trace antiphase(std::size_t phase, std::size_t reps, std::size_t big,
+                std::size_t small, bool flipped) {
+  std::vector<Phase> phases;
+  if (!flipped) {
+    phases = {{phase, big, 0, false}, {phase, small, 0, false}};
+  } else {
+    phases = {{phase, small, 0, false}, {phase, big, 0, false}};
+  }
+  return make_phased(phases, reps);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t phase = 5000, reps = 12;
+  const std::size_t C = 96;
+  const std::size_t n_each = phase * 2 * reps;
+
+  std::cout << "=== Extension: phase-aware repartitioning vs sharing vs "
+               "static partitioning (C=" << C << ") ===\n\n";
+
+  TextTable t({"scenario", "epochs", "free-for-all", "best static",
+               "dynamic DP", "dynamic vs static"});
+
+  for (bool aligned : {true, false}) {
+    std::vector<Trace> traces = {
+        antiphase(phase, reps, 80, 8, false),
+        antiphase(phase, reps, 80, 8, aligned ? true : false)};
+    InterleavedTrace mix =
+        interleave_proportional(traces, {1.0, 1.0}, n_each * 2);
+
+    CoRunResult shared = simulate_shared(mix, C);
+
+    // Static optimum from whole-trace models via the DP.
+    std::vector<ProgramModel> models;
+    for (std::size_t p = 0; p < traces.size(); ++p)
+      models.push_back(make_program_model("p" + std::to_string(p), 1.0,
+                                          compute_footprint(traces[p]), C));
+    std::vector<std::vector<double>> cost(models.size());
+    for (std::size_t p = 0; p < models.size(); ++p) {
+      cost[p].resize(C + 1);
+      for (std::size_t c = 0; c <= C; ++c) cost[p][c] = models[p].mrc.ratio(c);
+    }
+    DpResult statics = optimize_partition(cost, C);
+    CoRunResult static_sim = simulate_partitioned(mix, statics.alloc);
+
+    for (std::size_t epochs : {2 * reps, std::size_t{4}}) {
+      EpochProfile prof = profile_epochs(traces, {1.0, 1.0}, epochs, C);
+      PhaseAwarePlan plan = phase_aware_optimize(prof, C);
+      CoRunResult dynamic = simulate_dynamic_partitioned(mix, plan);
+      double improvement =
+          (static_sim.group_miss_ratio() - dynamic.group_miss_ratio()) /
+          std::max(static_sim.group_miss_ratio(), 1e-9);
+      t.add_row({aligned ? "antiphase" : "in-phase",
+                 std::to_string(epochs),
+                 TextTable::num(shared.group_miss_ratio(), 4),
+                 TextTable::num(static_sim.group_miss_ratio(), 4),
+                 TextTable::num(dynamic.group_miss_ratio(), 4),
+                 TextTable::pct(improvement, 1)});
+    }
+  }
+  emit_table(t, "phase_aware");
+
+  std::cout << "\nExpected: on antiphase programs, per-phase epochs let "
+               "the dynamic plan flip the split each phase and beat every "
+               "static partition (recovering what Fig. 1 credits to "
+               "partition-sharing, and matching free-for-all). In-phase, "
+               "repartitioning still helps by serializing the peaks — the "
+               "DP gives the whole cache to one contender per epoch "
+               "instead of letting both thrash. With epochs coarser than "
+               "the phases the advantage disappears: repartitioning only "
+               "pays where the natural-partition assumption fails.\n";
+  return 0;
+}

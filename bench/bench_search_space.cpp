@@ -1,0 +1,67 @@
+// §II search-space accounting: reproduces the paper's partition-sharing
+// problem sizes (Eq. 1-3) including the headline numbers
+// S2 = 375,368,690,761,743 and S3 = 375,317,149,057,025 for 4 programs on
+// an 8MB cache in 64B units, and the ~180 million partitionings per
+// 4-program group at the 8KB evaluation granularity.
+#include <iostream>
+
+#include "combinatorics/counting.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+
+namespace {
+
+std::string fmt(const std::optional<unsigned __int128>& v) {
+  return v ? to_string_u128(*v) : std::string("overflow");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== §II Partition-sharing search spaces ===\n\n";
+
+  // Scenario 1 (Eq. 1): sharing only, multiple caches.
+  {
+    TextTable t({"programs", "caches", "S1 = Stirling2(npr, nc)"});
+    for (std::uint64_t npr : {4, 8, 16})
+      for (std::uint64_t nc : {2, 4})
+        t.add_row({std::to_string(npr), std::to_string(nc),
+                   fmt(search_space_sharing(npr, nc))});
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // Scenarios 2 and 3 (Eq. 2-3): one cache, partition-sharing vs
+  // partitioning only.
+  {
+    TextTable t({"programs", "cache units", "S2 (partition-sharing)",
+                 "S3 (partitioning)", "S3/S2 coverage"});
+    struct Case {
+      std::uint64_t npr, units;
+      const char* note;
+    };
+    for (const Case& c :
+         {Case{4, 131072, "paper: 8MB / 64B blocks"},
+          Case{4, 1024, "paper: 8MB / 8KB units (evaluation grain)"},
+          Case{4, 64, ""}, Case{8, 1024, ""}}) {
+      auto s2 = search_space_partition_sharing(c.npr, c.units);
+      auto s3 = search_space_partitioning(c.npr, c.units);
+      std::string coverage = "-";
+      if (s2 && s3)
+        coverage = TextTable::pct(
+            static_cast<double>(*s3) / static_cast<double>(*s2), 4);
+      t.add_row({std::to_string(c.npr), std::to_string(c.units), fmt(s2),
+                 fmt(s3), coverage});
+      (void)c.note;
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nPaper check: S2 = 375,368,690,761,743 and S3 = "
+               "375,317,149,057,025 for npr=4, C=131072;\n"
+               "partitioning-only covers 99.99% of the partition-sharing "
+               "space, and the 8KB grain leaves ~1.8e8 partitionings per "
+               "4-program group.\n";
+  return 0;
+}

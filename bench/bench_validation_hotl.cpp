@@ -1,0 +1,107 @@
+// §VII-C validation: HOTL co-run prediction vs measurement. The paper
+// leans on Xiang et al.'s 190-pair hardware-counter validation (Fig. 9 of
+// [16]); our measurement substrate is the exact shared-cache LRU simulator
+// over interleaved traces. For every program pair we compare the predicted
+// per-program shared-cache miss ratio (Eq. 11 via natural occupancies)
+// against simulation, and report the error distribution and correlation
+// (paper cites a locality-performance correlation of 0.938).
+#include <iostream>
+
+#include "cachesim/corun.hpp"
+#include "combinatorics/enumerate.hpp"
+#include "common.hpp"
+#include "trace/interleave.hpp"
+#include "util/config.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+int main() {
+  Suite suite = load_suite();
+  const std::size_t capacity = suite.options.capacity;
+  const std::size_t sim_len = static_cast<std::size_t>(
+      env_int("OCPS_SIM_LENGTH", 600000));
+  const std::size_t warmup = sim_len / 4;
+
+  auto pairs = all_subsets(
+      static_cast<std::uint32_t>(suite.models.size()), 2);
+  std::int64_t limit =
+      env_int("OCPS_PAIR_LIMIT", static_cast<std::int64_t>(pairs.size()));
+  if (limit > 0 && static_cast<std::size_t>(limit) < pairs.size())
+    pairs.resize(static_cast<std::size_t>(limit));
+
+  std::cout << "=== §VII-C validation: predicted vs simulated shared-cache "
+               "miss ratios, "
+            << pairs.size() << " pairs, C=" << capacity << " ===\n\n";
+
+  struct Row {
+    std::string name;
+    double predicted[2];
+    double simulated[2];
+  };
+  std::vector<Row> rows(pairs.size());
+
+  parallel_for(0, pairs.size(), [&](std::size_t i) {
+    const auto& pr = pairs[i];
+    const ProgramModel& a = suite.models[pr[0]];
+    const ProgramModel& b = suite.models[pr[1]];
+    CoRunGroup group({&a, &b});
+    auto predicted =
+        predict_shared_miss_ratios(group, static_cast<double>(capacity));
+
+    Trace ta = suite_trace(suite, pr[0]);
+    Trace tb = suite_trace(suite, pr[1]);
+    InterleavedTrace mix = interleave_proportional(
+        {ta, tb}, {a.access_rate, b.access_rate}, sim_len);
+    CoRunOptions opt;
+    opt.warmup = warmup;
+    CoRunResult sim = simulate_shared(mix, capacity, opt);
+
+    rows[i] = Row{a.name + "+" + b.name,
+                  {predicted[0], predicted[1]},
+                  {sim.miss_ratio(0), sim.miss_ratio(1)}};
+  });
+
+  std::vector<double> pred_all, sim_all, abs_err;
+  for (const auto& r : rows) {
+    for (int k = 0; k < 2; ++k) {
+      pred_all.push_back(r.predicted[k]);
+      sim_all.push_back(r.simulated[k]);
+      abs_err.push_back(std::abs(r.predicted[k] - r.simulated[k]));
+    }
+  }
+  Summary err = summarize(abs_err);
+
+  TextTable t({"pair", "pred_0", "sim_0", "pred_1", "sim_1"});
+  std::size_t step = std::max<std::size_t>(1, rows.size() / 24);
+  for (std::size_t i = 0; i < rows.size(); i += step)
+    t.add_row({rows[i].name, TextTable::num(rows[i].predicted[0], 4),
+               TextTable::num(rows[i].simulated[0], 4),
+               TextTable::num(rows[i].predicted[1], 4),
+               TextTable::num(rows[i].simulated[1], 4)});
+  emit_table(t, "validation_hotl_sample");
+
+  TextTable full({"pair", "program", "predicted", "simulated"});
+  for (const auto& r : rows)
+    for (int k = 0; k < 2; ++k)
+      full.add_row({r.name, std::to_string(k),
+                    TextTable::num(r.predicted[k], 6),
+                    TextTable::num(r.simulated[k], 6)});
+  emit_csv_only(full, "validation_hotl_full");
+
+  std::cout << "\n" << 2 * rows.size() << " per-program miss ratios:\n";
+  std::cout << "  mean abs error:   " << TextTable::num(err.mean, 5) << "\n";
+  std::cout << "  median abs error: " << TextTable::num(err.median, 5)
+            << "\n";
+  std::cout << "  max abs error:    " << TextTable::num(err.max, 5) << "\n";
+  std::cout << "  pred-vs-sim correlation: "
+            << TextTable::num(pearson(pred_all, sim_all), 4) << "\n";
+  std::cout << "\nPaper: prediction 'accurate or nearly accurate for all "
+               "but two' of 380 measured miss ratios; correlation with "
+               "performance 0.938. A high correlation (>0.9) and small "
+               "median error validate the Natural Partition Assumption "
+               "here.\n";
+  return 0;
+}

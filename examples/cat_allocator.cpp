@@ -1,0 +1,100 @@
+// Example: allocating a real LLC with way quotas (Intel CAT style).
+//
+// A 16-way, 2MB-slice LLC must be split among four programs. We profile
+// them, run the DP directly at way granularity (optimize at the
+// deployment grain — rounding a unit-grain answer can re-trigger a
+// working-set cliff), and validate the chosen quotas on the
+// way-partitioned set-associative simulator against equal quotas and
+// free-for-all sharing.
+#include <iostream>
+
+#include "cachesim/corun.hpp"
+#include "cachesim/way_partitioned.hpp"
+#include "core/dp_partition.hpp"
+#include "core/program_model.hpp"
+#include "locality/footprint.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+
+int main() {
+  const std::size_t ways = 16;
+  const std::size_t num_sets = 512;  // a realistic LLC slice
+  const std::size_t capacity = ways * num_sets;  // 8192 blocks
+  const std::size_t blocks_per_way = capacity / ways;
+  const std::size_t n = 400000;
+
+  struct App {
+    const char* name;
+    double rate;
+    Trace trace;
+  };
+  std::vector<App> apps;
+  apps.push_back({"database", 2.0, make_zipf(n, 6000, 0.9, 41)});
+  apps.push_back({"analytics-scan", 1.5,
+                  make_scan_mix(n, 400, 0.8, {{2600, 0.08}}, 42)});
+  apps.push_back({"web", 1.0, make_hot_cold(n, 300, 3500, 0.85, 43)});
+  // A polluting stream: touches fresh data continuously (the paper's
+  // motivation for fences — under free-for-all it evicts everyone else).
+  apps.push_back({"backup-stream", 1.5, make_stream(n)});
+
+  // Profile and build way-granularity cost curves.
+  std::vector<ProgramModel> models;
+  std::vector<std::vector<double>> way_cost(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    models.push_back(make_program_model(
+        apps[i].name, apps[i].rate, compute_footprint(apps[i].trace),
+        capacity));
+    way_cost[i].resize(ways + 1);
+    for (std::size_t w = 0; w <= ways; ++w)
+      way_cost[i][w] =
+          apps[i].rate * models[i].mrc.ratio(w * blocks_per_way);
+  }
+  DpResult dp = optimize_partition(way_cost, ways);
+
+  std::cout << "=== CAT way allocation (16 ways, 64 sets) ===\n\n";
+  TextTable plan({"app", "ways", "blocks", "predicted miss ratio"});
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    plan.add_row({apps[i].name, std::to_string(dp.alloc[i]),
+                  std::to_string(dp.alloc[i] * blocks_per_way),
+                  TextTable::num(
+                      models[i].mrc.ratio(dp.alloc[i] * blocks_per_way),
+                      4)});
+  plan.print(std::cout);
+
+  // Validate on the set-associative simulator.
+  std::vector<Trace> traces;
+  std::vector<double> rates;
+  for (auto& a : apps) {
+    traces.push_back(a.trace);
+    rates.push_back(a.rate);
+  }
+  InterleavedTrace mix = interleave_proportional(traces, rates, n * 4);
+  const std::size_t warmup = n;
+
+  WayPartitionResult optimal = simulate_way_partitioned(
+      mix, num_sets, ways, dp.alloc, warmup);
+  WayPartitionResult equal = simulate_way_partitioned(
+      mix, num_sets, ways, {4, 4, 4, 4}, warmup);
+  CoRunResult shared = simulate_shared(mix, capacity, {warmup, 0});
+
+  std::cout << "\nsimulated group miss ratio:\n";
+  TextTable r({"scheme", "group mr"});
+  r.add_row({"free-for-all sharing (FA-LRU)",
+             TextTable::num(shared.group_miss_ratio(), 4)});
+  r.add_row({"equal quotas {4,4,4,4}", TextTable::num(equal.group_mr, 4)});
+  std::string quota_str;
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    quota_str += (i ? "," : "") + std::to_string(dp.alloc[i]);
+  r.add_row({"DP quotas {" + quota_str + "}",
+             TextTable::num(optimal.group_mr, 4)});
+  r.print(std::cout);
+
+  std::cout << "\nThe stream is fenced off entirely (zero ways — its MRC is flat, so caching it is pure waste); the "
+               "database keeps most of the cache. Free-for-all sharing "
+               "lets the stream evict everyone — the Robert Frost fence, "
+               "deployed at hardware granularity.\n";
+  return 0;
+}

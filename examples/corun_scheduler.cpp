@@ -1,0 +1,74 @@
+// Example: co-run scheduling onto multiple caches (§II scenario 1 — the
+// "program symbiosis" problem). Eight programs from the SPEC-like suite
+// must be placed on two sockets, each with its own shared cache. The
+// composition theory predicts every grouping's miss ratio from per-program
+// profiles alone, so the scheduler needs 8 profiles, not C(8,4) co-run
+// measurements.
+#include <iostream>
+
+#include "combinatorics/counting.hpp"
+#include "sched/symbiosis.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+using namespace ocps;
+
+int main() {
+  SuiteOptions options = suite_options_from_env();
+  options.trace_length = std::min<std::size_t>(options.trace_length, 200000);
+  Suite suite = build_spec2006_suite(options);
+
+  const std::vector<std::string> chosen = {"lbm",   "mcf",    "omnetpp",
+                                           "namd",  "povray", "sphinx3",
+                                           "sjeng", "hmmer"};
+  std::vector<const ProgramModel*> programs;
+  for (const auto& name : chosen) programs.push_back(&suite.by_name(name));
+
+  const std::size_t caches = 2;
+  const std::size_t capacity = options.capacity;
+
+  auto s1 = search_space_sharing(chosen.size(), caches);
+  std::cout << "Scheduling " << chosen.size() << " programs on " << caches
+            << " caches of " << capacity << " units ("
+            << (s1 ? to_string_u128(*s1) : std::string("?"))
+            << " non-empty groupings, Eq. 1).\n\n";
+
+  Schedule best = best_schedule_exhaustive(programs, caches, capacity);
+  Schedule greedy = best_schedule_greedy(programs, caches, capacity);
+  Schedule partitioned = best_schedule_partitioned(programs, caches, capacity);
+
+  // A deliberately bad schedule for contrast: all heavy programs together.
+  std::vector<std::uint32_t> naive = {0, 0, 0, 1, 1, 0, 1, 1};
+  Schedule bad = evaluate_schedule(programs, naive, caches, capacity);
+
+  TextTable t({"schedule", "overall mr", "cache 0", "cache 1"});
+  auto describe = [&](const Schedule& s) {
+    std::string by_cache[2];
+    for (std::size_t i = 0; i < chosen.size(); ++i) {
+      auto& slot = by_cache[s.cache_of[i]];
+      if (!slot.empty()) slot += "+";
+      slot += chosen[i];
+    }
+    return std::pair{by_cache[0], by_cache[1]};
+  };
+  auto add = [&](const std::string& name, const Schedule& s) {
+    auto [c0, c1] = describe(s);
+    t.add_row({name, TextTable::num(s.overall_mr, 5), c0, c1});
+  };
+  add("exhaustive optimum (shared caches)", best);
+  add("greedy heuristic (shared caches)", greedy);
+  add("exhaustive + per-cache DP partitions", partitioned);
+  add("naive (heavy together)", bad);
+  t.print(std::cout);
+
+  std::cout << "\nPer-program predicted miss ratios (optimum):\n";
+  for (std::size_t i = 0; i < chosen.size(); ++i)
+    std::cout << "  " << chosen[i] << " -> cache " << best.cache_of[i]
+              << ", mr " << TextTable::num(best.per_program_mr[i], 4)
+              << "\n";
+  std::cout << "\nThe optimum separates the cache-hungry programs (lbm, "
+               "sphinx3, mcf, omnetpp) across sockets and pairs them with "
+               "small-footprint programs — the symbiosis the paper's "
+               "composition theory makes computable.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Example: LAMA-style memory allocation for a key-value cache (Hu et al.,
+// USENIX ATC'15 — cited in §IX as an independent application of the same
+// footprint theory). A memcached-like server divides memory among slab
+// classes; each class serves its own key population. Treating each class
+// as a "program" and memory as the "cache", the identical pipeline —
+// footprint -> MRC -> DP — computes the optimal per-class memory split,
+// and the natural partition predicts what memcached's default
+// (demand-driven, free-for-all) allocation converges to.
+#include <iostream>
+
+#include "core/composition.hpp"
+#include "core/dp_partition.hpp"
+#include "locality/footprint.hpp"
+#include "trace/generators.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+
+int main() {
+  // Memory in 1MB pages; each slab class stores objects of one size, so a
+  // page holds a class-specific number of objects. We model each class's
+  // *object-granularity* footprint and convert pages -> objects.
+  const std::size_t kPagesTotal = 512;
+
+  struct SlabClass {
+    std::string name;
+    std::size_t objects_per_page;
+    double request_rate;   // requests/second share
+    Trace trace;           // key-access trace (object granularity)
+  };
+  // Key populations sized so that full residency would need ~3x the
+  // available memory (234 + 312 + 500 + 625 pages) — real contention.
+  std::vector<SlabClass> classes;
+  classes.push_back(
+      {"64B-values", 512, 6.0, make_zipf(400000, 120000, 1.05, 11)});
+  classes.push_back(
+      {"1KB-values", 64, 3.0, make_zipf(400000, 20000, 0.95, 12)});
+  classes.push_back(
+      {"16KB-values", 16, 1.0, make_hot_cold(400000, 500, 7500, 0.85, 13)});
+  classes.push_back(
+      {"128KB-values", 4, 0.3, make_uniform(400000, 2500, 14)});
+
+  // Profile each class and express its MRC in *pages* by sampling the
+  // object-granularity miss ratio at c_pages * objects_per_page.
+  std::vector<ProgramModel> models;
+  std::vector<std::vector<double>> cost(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& sc = classes[i];
+    // The dense MRC only needs to reach the class's data size — beyond it
+    // the curve is flat at the cold-miss ratio (ratio_at clamps there).
+    FootprintCurve fp = compute_footprint(sc.trace);
+    std::size_t mrc_cap = std::min<std::size_t>(
+        kPagesTotal * sc.objects_per_page,
+        static_cast<std::size_t>(fp.distinct) + 1);
+    ProgramModel object_model =
+        make_program_model(sc.name, sc.request_rate, fp, mrc_cap);
+    cost[i].resize(kPagesTotal + 1);
+    for (std::size_t pages = 0; pages <= kPagesTotal; ++pages) {
+      double objects = static_cast<double>(pages) *
+                       static_cast<double>(sc.objects_per_page);
+      cost[i][pages] = sc.request_rate * object_model.mrc.ratio_at(objects);
+    }
+    models.push_back(std::move(object_model));
+  }
+
+  double rate_sum = 0.0;
+  for (const auto& sc : classes) rate_sum += sc.request_rate;
+
+  // Default memcached behaviour ~ proportional to demand (request rate).
+  std::vector<std::size_t> demand_split(classes.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    demand_split[i] = static_cast<std::size_t>(
+        static_cast<double>(kPagesTotal) * classes[i].request_rate /
+        rate_sum);
+    assigned += demand_split[i];
+  }
+  demand_split[0] += kPagesTotal - assigned;
+
+  // LAMA: the DP optimal split over the composed miss-ratio curves.
+  DpResult lama = optimize_partition(cost, kPagesTotal);
+
+  TextTable t({"slab class", "demand-prop pages", "LAMA pages",
+               "demand-prop miss", "LAMA miss"});
+  double demand_mr = 0.0, lama_mr = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    double d = cost[i][demand_split[i]] / classes[i].request_rate;
+    double l = cost[i][lama.alloc[i]] / classes[i].request_rate;
+    demand_mr += classes[i].request_rate / rate_sum * d;
+    lama_mr += classes[i].request_rate / rate_sum * l;
+    t.add_row({classes[i].name, std::to_string(demand_split[i]),
+               std::to_string(lama.alloc[i]), TextTable::num(d, 4),
+               TextTable::num(l, 4)});
+  }
+  std::cout << "=== LAMA-style slab memory allocation (" << kPagesTotal
+            << " pages) ===\n\n";
+  t.print(std::cout);
+  std::cout << "\noverall miss ratio: demand-proportional "
+            << TextTable::num(demand_mr, 4) << " vs LAMA/DP "
+            << TextTable::num(lama_mr, 4) << " ("
+            << TextTable::pct((demand_mr - lama_mr) / std::max(lama_mr, 1e-9),
+                              1)
+            << " improvement)\n";
+  std::cout << "\nSame theory, different resource: the paper's cache-"
+               "partitioning DP is LAMA's memory allocator (§IX).\n";
+  return 0;
+}

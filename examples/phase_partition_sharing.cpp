@@ -1,0 +1,132 @@
+// Example: when is partition-sharing actually better? (Fig. 1 and §VIII.)
+//
+// The reduction theorem says partitioning is optimal whenever phases
+// interact randomly — but *synchronized antiphase* programs are the
+// exception. This example builds two programs whose working sets alternate
+// in antiphase, simulates every scheme class (sharing / partitioning /
+// partition-sharing with two polluting streams fenced off), and then shows
+// that as the phase alignment is randomized, the partition-sharing
+// advantage disappears — Robert Frost's fence goes back up.
+#include <iostream>
+
+#include "cachesim/corun.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+
+namespace {
+
+// Phased trace with per-phase working sets taken from `pattern`, starting
+// at phase `offset` — offset 1 with a two-entry pattern is exact antiphase.
+Trace phased_from(const std::vector<std::size_t>& pattern,
+                  std::size_t phase_len, std::size_t reps,
+                  std::size_t offset) {
+  std::vector<Phase> phases;
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    Phase p;
+    p.length = phase_len;
+    p.wss = pattern[(k + offset) % pattern.size()];
+    phases.push_back(p);
+  }
+  return make_phased(phases, reps);
+}
+
+// Randomly jittered phases: each phase picks its working set at random —
+// the paper's "random phase interaction" assumption (§VIII).
+Trace phased_random(const std::vector<std::size_t>& pattern,
+                    std::size_t phase_len, std::size_t count,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Phase> phases;
+  for (std::size_t k = 0; k < count; ++k) {
+    Phase p;
+    p.length = phase_len;
+    p.wss = pattern[rng.below(pattern.size())];
+    phases.push_back(p);
+  }
+  return make_phased(phases, 1);
+}
+
+struct Outcome {
+  double shared, partitioned, partition_sharing;
+};
+
+Outcome run(const Trace& a, const Trace& b, std::size_t total_len) {
+  Trace s1 = make_stream(total_len / 4);
+  Trace s2 = make_stream(total_len / 4);
+  InterleavedTrace mix =
+      interleave_proportional({s1, s2, a, b}, {1, 1, 1, 1}, total_len);
+  const std::size_t C = 64;
+  Outcome o;
+  o.shared = simulate_shared(mix, C).group_miss_ratio();
+  o.partitioned =
+      simulate_partitioned(mix, {4, 4, 28, 28}).group_miss_ratio();
+  o.partition_sharing =
+      simulate_partition_sharing(mix, {0, 1, 2, 2}, {4, 4, 56})
+          .group_miss_ratio();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> pattern = {48, 4};
+  const std::size_t phase_len = 400, reps = 40;
+  const std::size_t total = phase_len * pattern.size() * reps * 4;
+
+  std::cout << "=== When partition-sharing wins: phase alignment ===\n\n";
+  TextTable t({"phase interaction", "free-for-all", "partitioning",
+               "partition-sharing", "best"});
+
+  auto add = [&](const std::string& name, const Outcome& o) {
+    std::string best = "partition-sharing";
+    if (o.partitioned <= o.shared && o.partitioned <= o.partition_sharing)
+      best = "partitioning";
+    else if (o.shared < o.partition_sharing)
+      best = "free-for-all";
+    t.add_row({name, TextTable::num(o.shared, 4),
+               TextTable::num(o.partitioned, 4),
+               TextTable::num(o.partition_sharing, 4), best});
+  };
+
+  // Synchronized antiphase: working sets dovetail perfectly.
+  add("antiphase (synchronized)",
+      run(phased_from(pattern, phase_len, reps, 0),
+          phased_from(pattern, phase_len, reps, 1), total));
+
+  // Synchronized in-phase: both need the big set at once — nothing helps.
+  add("in-phase (synchronized)",
+      run(phased_from(pattern, phase_len, reps, 0),
+          phased_from(pattern, phase_len, reps, 0), total));
+
+  // Random phases: statistical multiplexing still helps, but less than
+  // perfect antiphase.
+  for (std::uint64_t seed : {21, 22, 23})
+    add("random alignment #" + std::to_string(seed - 20),
+        run(phased_random(pattern, phase_len, reps * 2, seed),
+            phased_random(pattern, phase_len, reps * 2, seed + 100),
+            total));
+
+  // Phase-free control: stationary programs with the same working-set
+  // size. Sharing a partition gives each the same effective space as a
+  // static split — the advantage vanishes, which is the NPA regime where
+  // the paper's reduction makes partitioning optimal.
+  add("phase-free (stationary)",
+      run(make_uniform(total / 4, 48, 31), make_uniform(total / 4, 48, 32),
+          total));
+
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: with synchronized antiphase working sets the shared "
+         "partition serves both peaks and partition-sharing wins — the "
+         "Fig. 1 scenario. Programs with strong phase behaviour keep part "
+         "of that advantage even when unsynchronized (this is exactly the "
+         "NPA caveat of §VIII). For stationary, phase-free programs the "
+         "advantage vanishes and the paper's reduction applies: leave the "
+         "fences up and partition.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Example: profile the 16-program SPEC-like suite and print each program's
+// locality portrait — distinct data size, footprint growth, miss ratio at
+// key cache sizes (including the equal share C/4), convexity of the MRC,
+// and the gainer/loser prediction for sharing.
+//
+// This is the tool you run first when adapting the library to your own
+// workloads: it shows at a glance which programs are streaming, cliffed,
+// or cache-friendly, and therefore how they will behave under the
+// optimizers.
+#include <iostream>
+
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+using namespace ocps;
+
+int main() {
+  SuiteOptions options = suite_options_from_env();
+  std::cout << "Profiling " << spec2006_suite().size() << " programs, "
+            << options.trace_length << " accesses each, capacity "
+            << options.capacity << " units...\n\n";
+  Suite suite = build_spec2006_suite(options);
+
+  const std::size_t C = options.capacity;
+  const std::size_t equal = C / 4;
+
+  TextTable t({"program", "rate", "m (blocks)", "mr(C/8)", "mr(C/4)",
+               "mr(C/2)", "mr(C)", "convex?", "fp(1k)", "fp(100k)"});
+  for (const auto& m : suite.models) {
+    t.add_row({m.name, TextTable::num(m.access_rate, 1),
+               std::to_string(m.distinct),
+               TextTable::num(m.mrc.ratio(C / 8), 5),
+               TextTable::num(m.mrc.ratio(equal), 5),
+               TextTable::num(m.mrc.ratio(C / 2), 5),
+               TextTable::num(m.mrc.ratio(C), 5),
+               m.mrc.is_convex(1e-4) ? "yes" : "no",
+               TextTable::num(m.fp(1000.0), 0),
+               TextTable::num(m.fp(100000.0), 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nmr(C/4) is each program's miss ratio under the Equal "
+               "partition of a 4-program co-run (the paper's baseline). "
+               "Non-convex MRCs are the ones that defeat STTW.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "cachesim/belady.hpp"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+BeladyResult simulate_belady(const Trace& trace, std::size_t capacity) {
+  const std::size_t n = trace.length();
+  BeladyResult result;
+  result.accesses = n;
+  if (n == 0) return result;
+  if (capacity == 0) {
+    result.misses = n;
+    return result;
+  }
+
+  // next_use[t] = position of the next access to the same block, or n
+  // (never again). Computed backwards.
+  constexpr std::size_t kNever = ~static_cast<std::size_t>(0);
+  std::vector<std::size_t> next_use(n);
+  {
+    std::unordered_map<Block, std::size_t> upcoming;
+    upcoming.reserve(n / 4 + 16);
+    for (std::size_t t = n; t-- > 0;) {
+      auto [it, inserted] = upcoming.try_emplace(trace.accesses[t], kNever);
+      next_use[t] = inserted ? kNever : it->second;
+      it->second = t;
+    }
+  }
+
+  // Resident set ordered by next use (largest first = eviction victim).
+  // resident maps block -> its current next-use key in the set.
+  std::set<std::pair<std::size_t, Block>, std::greater<>> by_next_use;
+  std::unordered_map<Block, std::size_t> resident;
+  resident.reserve(capacity * 2 + 16);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    Block b = trace.accesses[t];
+    auto it = resident.find(b);
+    if (it != resident.end()) {
+      // Hit: reschedule the block at its new next use.
+      by_next_use.erase({it->second, b});
+      it->second = next_use[t];
+      by_next_use.emplace(next_use[t], b);
+      continue;
+    }
+    ++result.misses;
+    if (next_use[t] == kNever) continue;  // dead block: never cache it
+    if (resident.size() >= capacity) {
+      auto victim = by_next_use.begin();  // farthest next use
+      // OPT refinement: if the incoming block's next use is farther than
+      // every resident's, bypass instead of evicting.
+      if (victim->first <= next_use[t]) continue;
+      resident.erase(victim->second);
+      by_next_use.erase(victim);
+    }
+    resident.emplace(b, next_use[t]);
+    by_next_use.emplace(next_use[t], b);
+  }
+  return result;
+}
+
+}  // namespace ocps

@@ -1,0 +1,34 @@
+// Belady's optimal offline replacement (OPT / MIN).
+//
+// OPT evicts the block whose next use is farthest in the future; no
+// online policy can miss less. It is the universal lower bound we report
+// next to LRU/CLOCK/FIFO/Random in the assumptions ablation: the distance
+// from LRU to OPT bounds how much any replacement-policy cleverness —
+// which the paper's theory deliberately abstracts away — could possibly
+// recover.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace ocps {
+
+/// Result of an OPT simulation.
+struct BeladyResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+
+  double miss_ratio() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+/// Simulates a fully-associative cache of `capacity` blocks under OPT.
+/// Two passes: next-use precomputation, then a sweep with an ordered set
+/// keyed by next-use time — O(n log C).
+BeladyResult simulate_belady(const Trace& trace, std::size_t capacity);
+
+}  // namespace ocps

@@ -1,0 +1,136 @@
+#include "combinatorics/enumerate.hpp"
+
+#include "combinatorics/counting.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+
+namespace {
+
+// Restricted-growth-string recursion: element i joins one of the existing
+// groups or opens a new one. The growth-string canonical form guarantees
+// each set partition is produced exactly once, groups ordered by smallest
+// element.
+bool rgs_recurse(std::uint32_t i, std::uint32_t n, std::uint32_t max_groups,
+                 SetPartition& groups,
+                 const std::function<bool(const SetPartition&)>& visit) {
+  if (i == n) return visit(groups);
+  // Index-based loop: recursion pushes/pops groups, which can reallocate
+  // the vector, so element references must be re-taken each time.
+  const std::size_t existing = groups.size();
+  for (std::size_t gi = 0; gi < existing; ++gi) {
+    groups[gi].push_back(i);
+    bool keep = rgs_recurse(i + 1, n, max_groups, groups, visit);
+    groups[gi].pop_back();
+    if (!keep) return false;
+  }
+  if (max_groups == 0 || groups.size() < max_groups) {
+    groups.push_back({i});
+    bool keep = rgs_recurse(i + 1, n, max_groups, groups, visit);
+    groups.pop_back();
+    if (!keep) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void for_each_set_partition(
+    std::uint32_t n, std::uint32_t max_groups,
+    const std::function<bool(const SetPartition&)>& visit) {
+  OCPS_CHECK(n >= 1, "set partition of an empty set is not useful here");
+  SetPartition groups;
+  rgs_recurse(0, n, max_groups, groups, visit);
+}
+
+std::uint64_t count_set_partitions(std::uint32_t n, std::uint32_t max_groups) {
+  std::uint32_t hi = (max_groups == 0) ? n : std::min(max_groups, n);
+  std::uint64_t total = 0;
+  for (std::uint32_t k = 1; k <= hi; ++k) {
+    auto s = stirling2_128(n, k);
+    OCPS_CHECK(s.has_value(), "Stirling overflow for n=" << n);
+    total += static_cast<std::uint64_t>(*s);
+  }
+  return total;
+}
+
+namespace {
+
+bool comp_recurse(
+    std::uint32_t part, std::uint32_t k, std::uint32_t remaining,
+    std::uint32_t minimum, std::vector<std::uint32_t>& current,
+    const std::function<bool(const std::vector<std::uint32_t>&)>& visit) {
+  if (part + 1 == k) {
+    if (remaining < minimum) return true;  // infeasible leaf, skip
+    current[part] = remaining;
+    return visit(current);
+  }
+  // Reserve minimum units for each remaining part.
+  std::uint32_t reserve = minimum * (k - part - 1);
+  if (remaining < minimum + reserve) return true;
+  for (std::uint32_t c = minimum; c + reserve <= remaining; ++c) {
+    current[part] = c;
+    if (!comp_recurse(part + 1, k, remaining - c, minimum, current, visit))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void for_each_composition(
+    std::uint32_t k, std::uint32_t total, std::uint32_t minimum,
+    const std::function<bool(const std::vector<std::uint32_t>&)>& visit) {
+  OCPS_CHECK(k >= 1, "composition needs at least one part");
+  std::vector<std::uint32_t> current(k, 0);
+  comp_recurse(0, k, total, minimum, current, visit);
+}
+
+std::uint64_t count_compositions(std::uint32_t k, std::uint32_t total,
+                                 std::uint32_t minimum) {
+  // Shift each part down by `minimum`: weak compositions of
+  // total - k*minimum into k parts = C(total - k*minimum + k - 1, k - 1).
+  std::uint64_t need = static_cast<std::uint64_t>(k) * minimum;
+  if (total < need) return 0;
+  auto c = binomial128(total - need + k - 1, k - 1);
+  OCPS_CHECK(c.has_value(), "composition count overflow");
+  return static_cast<std::uint64_t>(*c);
+}
+
+void for_each_subset(
+    std::uint32_t n, std::uint32_t k,
+    const std::function<bool(const std::vector<std::uint32_t>&)>& visit) {
+  OCPS_CHECK(k <= n, "subset size exceeds ground set");
+  if (k == 0) {
+    std::vector<std::uint32_t> empty;
+    visit(empty);
+    return;
+  }
+  std::vector<std::uint32_t> idx(k);
+  for (std::uint32_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    if (!visit(idx)) return;
+    // Advance to the next combination in lexicographic order.
+    std::int64_t pos = static_cast<std::int64_t>(k) - 1;
+    while (pos >= 0 && idx[static_cast<std::size_t>(pos)] ==
+                           n - k + static_cast<std::uint32_t>(pos)) {
+      --pos;
+    }
+    if (pos < 0) return;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (std::size_t j = static_cast<std::size_t>(pos) + 1; j < k; ++j)
+      idx[j] = idx[j - 1] + 1;
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> all_subsets(std::uint32_t n,
+                                                    std::uint32_t k) {
+  std::vector<std::vector<std::uint32_t>> result;
+  for_each_subset(n, k, [&](const std::vector<std::uint32_t>& s) {
+    result.push_back(s);
+    return true;
+  });
+  return result;
+}
+
+}  // namespace ocps

@@ -1,0 +1,52 @@
+// Enumeration of the partition-sharing configuration space (§II, Fig. 2).
+//
+// A partition-sharing scheme is (a) a set partition of the programs into
+// groups and (b) an assignment of cache units to each group. These
+// enumerators drive the exhaustive small-scale searches that validate the
+// reduction theorem (optimal partitioning == optimal partition-sharing
+// under the natural partition assumption) and the DP optimizer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ocps {
+
+/// A set partition of {0..n-1} represented as a list of groups, each group a
+/// sorted list of element indices. Groups appear in order of their smallest
+/// element (canonical restricted-growth order).
+using SetPartition = std::vector<std::vector<std::uint32_t>>;
+
+/// Calls visit for every set partition of {0..n-1}. When max_groups > 0 only
+/// partitions with at most max_groups groups are visited. The visit callback
+/// may return false to stop enumeration early.
+void for_each_set_partition(
+    std::uint32_t n, std::uint32_t max_groups,
+    const std::function<bool(const SetPartition&)>& visit);
+
+/// Number of set partitions that would be visited (Bell number, or the sum
+/// of Stirling numbers up to max_groups).
+std::uint64_t count_set_partitions(std::uint32_t n, std::uint32_t max_groups);
+
+/// Calls visit for every weak composition (c_0..c_{k-1}) with Σ c_i = total
+/// and c_i >= minimum. The visit callback may return false to stop early.
+void for_each_composition(
+    std::uint32_t k, std::uint32_t total, std::uint32_t minimum,
+    const std::function<bool(const std::vector<std::uint32_t>&)>& visit);
+
+/// Number of weak compositions of `total` into k parts each >= minimum.
+std::uint64_t count_compositions(std::uint32_t k, std::uint32_t total,
+                                 std::uint32_t minimum);
+
+/// Calls visit for every k-element subset of {0..n-1} in lexicographic
+/// order. Used to enumerate the 1820 4-program co-run groups.
+void for_each_subset(
+    std::uint32_t n, std::uint32_t k,
+    const std::function<bool(const std::vector<std::uint32_t>&)>& visit);
+
+/// Collects all k-element subsets of {0..n-1}.
+std::vector<std::vector<std::uint32_t>> all_subsets(std::uint32_t n,
+                                                    std::uint32_t k);
+
+}  // namespace ocps

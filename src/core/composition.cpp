@@ -1,0 +1,152 @@
+#include "core/composition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+CoRunGroup::CoRunGroup(std::vector<const ProgramModel*> m)
+    : members(std::move(m)) {
+  OCPS_CHECK(!members.empty(), "co-run group must be non-empty");
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    OCPS_CHECK(members[i] != nullptr, "null member at index " << i);
+    OCPS_CHECK(members[i]->access_rate > 0.0,
+               "member " << i << " has non-positive access rate");
+  }
+}
+
+std::vector<double> CoRunGroup::rate_shares() const {
+  double total = 0.0;
+  for (const auto* m : members) total += m->access_rate;
+  std::vector<double> shares(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i)
+    shares[i] = members[i]->access_rate / total;
+  return shares;
+}
+
+double CoRunGroup::footprint(double w) const {
+  auto shares = rate_shares();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < members.size(); ++i)
+    sum += members[i]->fp(w * shares[i]);
+  return sum;
+}
+
+double CoRunGroup::window_for_footprint(double target) const {
+  // Singleton group: the piecewise-linear inverse is exact — no bisection.
+  if (members.size() == 1) return members[0]->footprint.inverse(target);
+
+  // The group footprint is non-decreasing in w; bracket then bisect.
+  // Upper bracket: the window at which every member has seen its whole
+  // trace (group footprint saturated).
+  auto shares = rate_shares();
+  double w_hi = 1.0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    double member_max = members[i]->footprint.x_max() / shares[i];
+    w_hi = std::max(w_hi, member_max);
+  }
+  if (footprint(w_hi) <= target) return w_hi;  // saturated below target
+  double lo = 0.0, hi = w_hi;
+  // Bisect to absolute sub-access precision; occupancies feed miss-ratio
+  // interpolation, where window error translates to ratio error near
+  // cliffs, so this is deliberately tight.
+  for (int iter = 0; iter < 200 && hi - lo > 1e-9; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (footprint(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<double> natural_partition(const CoRunGroup& group,
+                                      double cache_size) {
+  OCPS_CHECK(cache_size >= 0.0, "negative cache size");
+  auto shares = group.rate_shares();
+  double w = group.window_for_footprint(cache_size);
+  std::vector<double> occupancy(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i)
+    occupancy[i] = group[i].fp(w * shares[i]);
+  return occupancy;
+}
+
+std::vector<std::size_t> integerize_partition(const std::vector<double>& c,
+                                              std::size_t capacity) {
+  OCPS_CHECK(!c.empty(), "empty partition");
+  double total = std::accumulate(c.begin(), c.end(), 0.0);
+  std::vector<std::size_t> alloc(c.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders(c.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    OCPS_CHECK(c[i] >= -1e-9, "negative occupancy at " << i);
+    double v = std::max(c[i], 0.0);
+    // Scale up only if the fractional sum exceeds the capacity (it can by
+    // rounding); otherwise keep the natural sizes.
+    if (total > static_cast<double>(capacity) && total > 0.0)
+      v *= static_cast<double>(capacity) / total;
+    alloc[i] = static_cast<std::size_t>(v);
+    remainders[i] = {v - static_cast<double>(alloc[i]), i};
+    assigned += alloc[i];
+  }
+  OCPS_CHECK(assigned <= capacity, "rounded allocation exceeds capacity");
+  // Hand out leftover units by largest remainder, then (if the fractional
+  // sum was short of capacity) pile the rest on the largest occupant.
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t leftover = capacity - assigned;
+  for (std::size_t k = 0; k < remainders.size() && leftover > 0; ++k) {
+    if (remainders[k].first <= 0.0) break;
+    ++alloc[remainders[k].second];
+    --leftover;
+  }
+  if (leftover > 0) {
+    std::size_t biggest =
+        static_cast<std::size_t>(std::max_element(c.begin(), c.end()) -
+                                 c.begin());
+    alloc[biggest] += leftover;
+  }
+  return alloc;
+}
+
+std::vector<double> predict_shared_miss_ratios(const CoRunGroup& group,
+                                               double cache_size) {
+  auto occupancy = natural_partition(group, cache_size);
+  std::vector<double> mr(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i)
+    mr[i] = group[i].mrc.ratio_at(occupancy[i]);
+  return mr;
+}
+
+double group_miss_ratio(const CoRunGroup& group,
+                        const std::vector<double>& per_program_mr) {
+  OCPS_CHECK(per_program_mr.size() == group.size(), "size mismatch");
+  auto shares = group.rate_shares();
+  double mr = 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    mr += shares[i] * per_program_mr[i];
+  return mr;
+}
+
+double predict_group_miss_ratio_direct(const CoRunGroup& group,
+                                       double cache_size) {
+  double combined = 0.0;
+  double cold_weighted = 0.0;
+  auto shares = group.rate_shares();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    combined += static_cast<double>(group[i].distinct);
+    cold_weighted += shares[i] * static_cast<double>(group[i].distinct) /
+                     static_cast<double>(group[i].trace_length);
+  }
+  if (cache_size >= combined) return cold_weighted;
+  double w = group.window_for_footprint(cache_size);
+  double mr = group.footprint(w + 1.0) - cache_size;
+  mr = std::clamp(mr, 0.0, 1.0);
+  return std::max(mr, cold_weighted);
+}
+
+}  // namespace ocps

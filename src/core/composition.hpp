@@ -1,0 +1,72 @@
+// Miss-ratio composition (§IV) and the Natural Cache Partition (§V-A).
+//
+// When programs interleave, each program's footprint is horizontally
+// stretched by its share of the access stream (Eq. 9):
+//
+//   fp_group(w) = Σ_i fp_i(w · r_i / Σr).
+//
+// The Natural Cache Partition is the vector of steady-state occupancies:
+// pick the window length w* at which the group footprint equals the cache
+// size C; program i's occupancy is its stretched footprint there
+// (Fig. 4). Under the Natural Partition Assumption each program's miss
+// ratio in the shared cache equals its solo miss ratio at its natural
+// occupancy, which reduces partition-sharing to partitioning (§V).
+#pragma once
+
+#include <vector>
+
+#include "core/program_model.hpp"
+
+namespace ocps {
+
+/// A co-run group: non-owning view over program models.
+struct CoRunGroup {
+  std::vector<const ProgramModel*> members;
+
+  explicit CoRunGroup(std::vector<const ProgramModel*> m);
+
+  std::size_t size() const { return members.size(); }
+  const ProgramModel& operator[](std::size_t i) const { return *members[i]; }
+
+  /// Access-rate share f_i = r_i / Σr of each member.
+  std::vector<double> rate_shares() const;
+
+  /// Group footprint at interleaved window length w (Eq. 9).
+  double footprint(double w) const;
+
+  /// Smallest interleaved window length with group footprint >= target;
+  /// saturates at the longest stretched window when the target exceeds the
+  /// combined data size.
+  double window_for_footprint(double target) const;
+};
+
+/// The natural partition: per-member fractional occupancies c_i at the
+/// window where the group footprint equals cache_size. Occupancies sum to
+/// min(cache_size, Σ m_i): a cache bigger than the combined data is not
+/// fully occupied, in which case every program holds all its data.
+std::vector<double> natural_partition(const CoRunGroup& group,
+                                      double cache_size);
+
+/// Rounds fractional occupancies to integers summing to `capacity` units
+/// (largest-remainder apportionment), e.g. to drive the partitioned-cache
+/// simulator. When the fractional sum is below capacity the leftover units
+/// are given to the largest occupant (they are unused anyway).
+std::vector<std::size_t> integerize_partition(const std::vector<double>& c,
+                                              std::size_t capacity);
+
+/// Per-program shared-cache miss ratios under the Natural Partition
+/// Assumption: mr_i(c_i^natural) from each solo MRC.
+std::vector<double> predict_shared_miss_ratios(const CoRunGroup& group,
+                                               double cache_size);
+
+/// Group (access-weighted) miss ratio from per-program ratios.
+double group_miss_ratio(const CoRunGroup& group,
+                        const std::vector<double>& per_program_mr);
+
+/// Direct Eq. 11 group miss ratio: fp_group(w*+1) - C at fp_group(w*) = C,
+/// floored at the group cold-miss ratio. Agrees with the occupancy route
+/// up to interpolation error; exposed for validation.
+double predict_group_miss_ratio_direct(const CoRunGroup& group,
+                                       double cache_size);
+
+}  // namespace ocps

@@ -1,0 +1,172 @@
+#include "core/dp_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "combinatorics/enumerate.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Bounds {
+  std::vector<std::size_t> lo;
+  std::vector<std::size_t> hi;
+};
+
+Bounds resolve_bounds(std::size_t programs, std::size_t capacity,
+                      const DpOptions& options) {
+  Bounds b;
+  b.lo.assign(programs, 0);
+  b.hi.assign(programs, capacity);
+  if (!options.min_alloc.empty()) {
+    OCPS_CHECK(options.min_alloc.size() == programs,
+               "min_alloc size mismatch");
+    b.lo = options.min_alloc;
+  }
+  if (!options.max_alloc.empty()) {
+    OCPS_CHECK(options.max_alloc.size() == programs,
+               "max_alloc size mismatch");
+    b.hi = options.max_alloc;
+  }
+  // Infeasible bounds (lo > hi, or Σlo > capacity) are reported by the
+  // optimizers via feasible == false rather than rejected here.
+  for (std::size_t i = 0; i < programs; ++i)
+    b.hi[i] = std::min(b.hi[i], capacity);
+  return b;
+}
+
+double combine(DpObjective obj, double a, double b) {
+  return obj == DpObjective::kSumCost ? a + b : std::max(a, b);
+}
+
+}  // namespace
+
+DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
+                            std::size_t capacity, const DpOptions& options) {
+  const std::size_t p = cost.size();
+  OCPS_CHECK(p >= 1, "need at least one program");
+  for (std::size_t i = 0; i < p; ++i) {
+    OCPS_CHECK(cost[i].size() >= capacity + 1,
+               "cost curve " << i << " shorter than capacity+1");
+    // NaN/inf in a cost curve would silently corrupt the min-reduction;
+    // fail loudly instead.
+    for (std::size_t c = 0; c <= capacity; ++c)
+      OCPS_CHECK(std::isfinite(cost[i][c]),
+                 "non-finite cost at program " << i << ", c=" << c);
+  }
+  Bounds bounds = resolve_bounds(p, capacity, options);
+
+  // best[k] = optimal objective over the first i programs using exactly k
+  // units; choice[i][k] = units given to program i in that optimum.
+  std::vector<double> best(capacity + 1, kInf);
+  std::vector<double> next(capacity + 1, kInf);
+  // choice is (p × capacity+1); uint32 keeps it compact (4·P·C bytes).
+  std::vector<std::vector<std::uint32_t>> choice(
+      p, std::vector<std::uint32_t>(capacity + 1, 0));
+
+  // Base: zero programs consume zero units at zero cost (identity of both
+  // objectives: 0 for sum; -inf would be the true identity for max but 0
+  // works because costs are non-negative).
+  best.assign(capacity + 1, kInf);
+  best[0] = 0.0;
+
+  for (std::size_t i = 0; i < p; ++i) {
+    std::fill(next.begin(), next.end(), kInf);
+    const std::size_t lo = bounds.lo[i];
+    const std::size_t hi = bounds.hi[i];
+    if (lo > capacity || lo > hi) {
+      return DpResult{};  // infeasible bounds
+    }
+    for (std::size_t k = lo; k <= capacity; ++k) {
+      const std::size_t c_max = std::min(hi, k);
+      double best_val = kInf;
+      std::uint32_t best_c = 0;
+      for (std::size_t c = lo; c <= c_max; ++c) {
+        double prev = best[k - c];
+        if (prev == kInf) continue;
+        double val = combine(options.objective, prev, cost[i][c]);
+        if (val < best_val) {
+          best_val = val;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      next[k] = best_val;
+      choice[i][k] = best_c;
+    }
+    best.swap(next);
+  }
+
+  if (best[capacity] == kInf) return DpResult{};
+
+  DpResult result;
+  result.feasible = true;
+  result.objective_value = best[capacity];
+  result.alloc.assign(p, 0);
+  std::size_t k = capacity;
+  for (std::size_t i = p; i-- > 0;) {
+    std::size_t c = choice[i][k];
+    result.alloc[i] = c;
+    OCPS_CHECK(c <= k, "backtrack inconsistency");
+    k -= c;
+  }
+  OCPS_CHECK(k == 0, "allocation does not sum to capacity");
+  return result;
+}
+
+DpResult optimize_partition_exhaustive(
+    const std::vector<std::vector<double>>& cost, std::size_t capacity,
+    const DpOptions& options) {
+  const std::size_t p = cost.size();
+  OCPS_CHECK(p >= 1, "need at least one program");
+  Bounds bounds = resolve_bounds(p, capacity, options);
+
+  DpResult best;
+  best.objective_value = kInf;
+  for_each_composition(
+      static_cast<std::uint32_t>(p), static_cast<std::uint32_t>(capacity), 0,
+      [&](const std::vector<std::uint32_t>& alloc) {
+        double value = (options.objective == DpObjective::kSumCost) ? 0.0
+                                                                    : -kInf;
+        bool ok = true;
+        for (std::size_t i = 0; i < p; ++i) {
+          std::size_t c = alloc[i];
+          if (c < bounds.lo[i] || c > bounds.hi[i]) {
+            ok = false;
+            break;
+          }
+          value = (options.objective == DpObjective::kSumCost)
+                      ? value + cost[i][c]
+                      : std::max(value, cost[i][c]);
+        }
+        if (ok && value < best.objective_value) {
+          best.feasible = true;
+          best.objective_value = value;
+          best.alloc.assign(alloc.begin(), alloc.end());
+        }
+        return true;
+      });
+  if (!best.feasible) best.objective_value = 0.0;
+  return best;
+}
+
+std::vector<std::vector<double>> weighted_cost_curves(
+    const std::vector<const MissRatioCurve*>& mrcs,
+    const std::vector<double>& weights, std::size_t capacity) {
+  OCPS_CHECK(mrcs.size() == weights.size(), "weights must parallel curves");
+  std::vector<std::vector<double>> cost(mrcs.size());
+  for (std::size_t i = 0; i < mrcs.size(); ++i) {
+    OCPS_CHECK(mrcs[i] != nullptr, "null curve at " << i);
+    OCPS_CHECK(weights[i] >= 0.0, "negative weight at " << i);
+    cost[i].resize(capacity + 1);
+    for (std::size_t c = 0; c <= capacity; ++c)
+      cost[i][c] = weights[i] * mrcs[i]->ratio(c);
+  }
+  return cost;
+}
+
+}  // namespace ocps

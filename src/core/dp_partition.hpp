@@ -1,0 +1,65 @@
+// Optimal cache partitioning by dynamic programming (§V-B, Eq. 15-16).
+//
+// Given per-program cost curves cost_i(c) over integer allocations
+// c = 0..C, find the allocation (c_1..c_P) with Σ c_i = C minimizing the
+// objective. Unlike STTW, no convexity is assumed: the DP examines the
+// entire solution space in O(P·C²) time and O(P·C) space.
+//
+// Two objectives are built in, both associative-monotone so the same table
+// recurrence applies:
+//   * kSumCost     — Σ_i cost_i(c_i)      (throughput: total miss count)
+//   * kMaxCost     — max_i cost_i(c_i)    (QoS: worst member)
+//
+// Per-program allocation bounds [min_alloc_i, max_alloc_i] express the
+// baseline-fairness constraints of §VI (see baselines.hpp) and any QoS
+// floor a caller wants.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "locality/mrc.hpp"
+
+namespace ocps {
+
+/// Objective combined across programs.
+enum class DpObjective {
+  kSumCost,  ///< minimize Σ cost_i(c_i)
+  kMaxCost,  ///< minimize max_i cost_i(c_i)
+};
+
+/// Optimizer knobs. Empty bound vectors mean 0 / C for every program.
+struct DpOptions {
+  DpObjective objective = DpObjective::kSumCost;
+  std::vector<std::size_t> min_alloc;  ///< per-program lower bounds
+  std::vector<std::size_t> max_alloc;  ///< per-program upper bounds
+};
+
+/// Result of an optimization.
+struct DpResult {
+  bool feasible = false;
+  std::vector<std::size_t> alloc;  ///< c_i per program, Σ = capacity
+  double objective_value = 0.0;
+};
+
+/// Runs the DP. cost[i] must have size >= capacity+1; cost[i][c] is the
+/// cost of giving program i exactly c units. Throws CheckError on malformed
+/// input; returns feasible == false when the bounds admit no allocation.
+DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
+                            std::size_t capacity,
+                            const DpOptions& options = {});
+
+/// Exhaustive reference optimizer (enumerates every composition); used as
+/// the test oracle for the DP. Exponential — small instances only.
+DpResult optimize_partition_exhaustive(
+    const std::vector<std::vector<double>>& cost, std::size_t capacity,
+    const DpOptions& options = {});
+
+/// Convenience: builds cost curves cost_i(c) = weight_i * mr_i(c) from
+/// miss-ratio curves. With weight_i = access-rate share this makes Σ cost
+/// the group miss ratio (Eq. 14's f_i weighting).
+std::vector<std::vector<double>> weighted_cost_curves(
+    const std::vector<const MissRatioCurve*>& mrcs,
+    const std::vector<double>& weights, std::size_t capacity);
+
+}  // namespace ocps

@@ -1,0 +1,55 @@
+#include "core/elastic.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+ElasticResult optimize_elastic(const CoRunGroup& group,
+                               const std::vector<std::vector<double>>& cost,
+                               std::size_t capacity,
+                               const std::vector<ElasticDemand>& demands) {
+  OCPS_CHECK(demands.size() == group.size(),
+             "need one demand per group member");
+  OCPS_CHECK(cost.size() == group.size(), "cost curves must match group");
+
+  ElasticResult out;
+  out.reserved.resize(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    std::size_t floor_units = demands[i].min_units;
+    if (demands[i].max_miss_ratio) {
+      double ceiling = *demands[i].max_miss_ratio;
+      OCPS_CHECK(ceiling >= 0.0 && ceiling <= 1.0,
+                 "miss-ratio ceiling out of [0,1]");
+      std::size_t need = group[i].mrc.min_size_for_ratio(ceiling);
+      if (group[i].mrc.ratio(need) > ceiling + 1e-12) {
+        // Unattainable even with the whole cache.
+        return out;
+      }
+      floor_units = std::max(floor_units, need);
+    }
+    out.reserved[i] = floor_units;
+  }
+  std::size_t total_reserved = std::accumulate(
+      out.reserved.begin(), out.reserved.end(), static_cast<std::size_t>(0));
+  if (total_reserved > capacity) return out;  // infeasible contracts
+  out.elastic_units = capacity - total_reserved;
+
+  DpOptions options;
+  options.min_alloc = out.reserved;
+  DpResult dp = optimize_partition(cost, capacity, options);
+  if (!dp.feasible) return out;
+
+  out.feasible = true;
+  out.alloc = dp.alloc;
+  double rate_sum = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    rate_sum += group[i].access_rate;
+    weighted += group[i].access_rate * group[i].mrc.ratio(dp.alloc[i]);
+  }
+  out.group_mr = rate_sum > 0.0 ? weighted / rate_sum : 0.0;
+  return out;
+}
+
+}  // namespace ocps

@@ -1,0 +1,47 @@
+// Elastic cache utility allocation (RECU — Ye, Brock, Ding, Jin, NPC'15,
+// the paper's citation [18] and its stated motivation for supporting
+// "optimization with constraints").
+//
+// Each program declares a *reserved* minimum (its QoS floor, expressed as
+// a miss-ratio ceiling or directly in units) and the rest of the cache is
+// *elastic*: the optimizer hands it out for group throughput. This is the
+// DP with per-program lower bounds, plus the policy layer that derives
+// sound bounds and reports how much elasticity was available.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/composition.hpp"
+#include "core/dp_partition.hpp"
+
+namespace ocps {
+
+/// Per-program elasticity contract.
+struct ElasticDemand {
+  /// Miss-ratio ceiling the program must not exceed (QoS guarantee);
+  /// unset means no guarantee.
+  std::optional<double> max_miss_ratio;
+  /// Hard minimum units, independent of the miss-ratio ceiling.
+  std::size_t min_units = 0;
+};
+
+/// Outcome of an elastic allocation.
+struct ElasticResult {
+  bool feasible = false;
+  std::vector<std::size_t> alloc;
+  std::vector<std::size_t> reserved;  ///< per-program bound actually used
+  std::size_t elastic_units = 0;      ///< capacity - Σ reserved
+  double group_mr = 0.0;
+};
+
+/// Computes the reserved floor per program (max of min_units and the
+/// units needed to meet the miss-ratio ceiling), then optimizes the group
+/// miss ratio over the elastic remainder. Infeasible when reserves exceed
+/// the capacity.
+ElasticResult optimize_elastic(const CoRunGroup& group,
+                               const std::vector<std::vector<double>>& cost,
+                               std::size_t capacity,
+                               const std::vector<ElasticDemand>& demands);
+
+}  // namespace ocps

@@ -1,0 +1,161 @@
+#include "core/group_sweep.hpp"
+
+#include <algorithm>
+
+#include "core/baselines.hpp"
+#include "core/dp_partition.hpp"
+#include "core/sttw.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+
+namespace ocps {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kEqual: return "Equal";
+    case Method::kNatural: return "Natural";
+    case Method::kEqualBaseline: return "Equal baseline";
+    case Method::kNaturalBaseline: return "Natural baseline";
+    case Method::kOptimal: return "Optimal";
+    case Method::kSttw: return "STTW";
+  }
+  return "?";
+}
+
+std::vector<std::vector<double>> precompute_unit_costs(
+    const std::vector<ProgramModel>& programs, std::size_t capacity) {
+  std::vector<std::vector<double>> cost(programs.size());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    cost[i].resize(capacity + 1);
+    for (std::size_t c = 0; c <= capacity; ++c)
+      cost[i][c] = programs[i].access_rate * programs[i].mrc.ratio(c);
+  }
+  return cost;
+}
+
+namespace {
+
+// Fills a MethodOutcome from an integer allocation using the solo MRCs.
+MethodOutcome outcome_from_alloc(const CoRunGroup& group,
+                                 const std::vector<std::size_t>& alloc) {
+  MethodOutcome out;
+  out.alloc.assign(alloc.begin(), alloc.end());
+  out.per_program_mr.resize(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i)
+    out.per_program_mr[i] = group[i].mrc.ratio(alloc[i]);
+  out.group_mr = group_miss_ratio(group, out.per_program_mr);
+  return out;
+}
+
+}  // namespace
+
+GroupEvaluation evaluate_group(
+    const std::vector<ProgramModel>& programs,
+    const std::vector<std::vector<double>>& unit_costs,
+    const std::vector<std::uint32_t>& members, const SweepOptions& options) {
+  OCPS_CHECK(!members.empty(), "empty group");
+  const std::size_t capacity = options.capacity;
+
+  std::vector<const ProgramModel*> models;
+  std::vector<std::vector<double>> cost;
+  models.reserve(members.size());
+  cost.reserve(members.size());
+  for (std::uint32_t idx : members) {
+    OCPS_CHECK(idx < programs.size(), "program index out of range: " << idx);
+    OCPS_CHECK(unit_costs[idx].size() >= capacity + 1,
+               "unit cost row " << idx << " shorter than capacity+1");
+    models.push_back(&programs[idx]);
+    cost.push_back(unit_costs[idx]);  // copy: DP reads it densely
+  }
+  CoRunGroup group(std::move(models));
+
+  GroupEvaluation eval;
+  eval.members = members;
+
+  // Equal.
+  auto equal = equal_partition(group.size(), capacity);
+  eval.methods[static_cast<std::size_t>(Method::kEqual)] =
+      outcome_from_alloc(group, equal);
+
+  // Natural (free-for-all sharing): fractional occupancies.
+  {
+    MethodOutcome out;
+    out.alloc = natural_partition(group, static_cast<double>(capacity));
+    out.per_program_mr =
+        predict_shared_miss_ratios(group, static_cast<double>(capacity));
+    out.group_mr = group_miss_ratio(group, out.per_program_mr);
+    eval.methods[static_cast<std::size_t>(Method::kNatural)] = std::move(out);
+  }
+
+  // Equal baseline.
+  {
+    DpResult dp = optimize_equal_baseline(group, cost, capacity);
+    eval.methods[static_cast<std::size_t>(Method::kEqualBaseline)] =
+        outcome_from_alloc(group, dp.alloc);
+  }
+
+  // Natural baseline.
+  {
+    DpResult dp = optimize_natural_baseline(group, cost, capacity);
+    eval.methods[static_cast<std::size_t>(Method::kNaturalBaseline)] =
+        outcome_from_alloc(group, dp.alloc);
+  }
+
+  // Optimal (unconstrained DP).
+  {
+    DpResult dp = optimize_partition(cost, capacity);
+    OCPS_CHECK(dp.feasible, "unconstrained DP must be feasible");
+    eval.methods[static_cast<std::size_t>(Method::kOptimal)] =
+        outcome_from_alloc(group, dp.alloc);
+  }
+
+  // STTW.
+  {
+    SttwResult sttw = sttw_partition(cost, capacity);
+    eval.methods[static_cast<std::size_t>(Method::kSttw)] =
+        outcome_from_alloc(group, sttw.alloc);
+  }
+
+  return eval;
+}
+
+std::vector<GroupEvaluation> sweep_groups(
+    const std::vector<ProgramModel>& programs,
+    const std::vector<std::vector<std::uint32_t>>& groups,
+    const SweepOptions& options) {
+  auto unit_costs = precompute_unit_costs(programs, options.capacity);
+  std::vector<GroupEvaluation> out(groups.size());
+  auto run = [&](std::size_t g) {
+    out[g] = evaluate_group(programs, unit_costs, groups[g], options);
+  };
+  if (options.parallel) {
+    parallel_for(0, groups.size(), run);
+  } else {
+    for (std::size_t g = 0; g < groups.size(); ++g) run(g);
+  }
+  return out;
+}
+
+ImprovementStats improvement_over(const std::vector<GroupEvaluation>& sweep,
+                                  Method baseline) {
+  std::vector<double> improvements;
+  improvements.reserve(sweep.size());
+  for (const auto& g : sweep) {
+    double opt = g.of(Method::kOptimal).group_mr;
+    double base = g.of(baseline).group_mr;
+    // Degenerate all-hit groups contribute zero improvement.
+    double imp = (opt > 0.0) ? (base - opt) / opt : 0.0;
+    improvements.push_back(imp);
+  }
+  Summary s = summarize(improvements);
+  ImprovementStats stats;
+  stats.max = s.max;
+  stats.avg = s.mean;
+  stats.median = s.median;
+  stats.frac_ge_10 = fraction_at_least(improvements, 0.10);
+  stats.frac_ge_20 = fraction_at_least(improvements, 0.20);
+  return stats;
+}
+
+}  // namespace ocps

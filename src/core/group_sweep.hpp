@@ -1,0 +1,90 @@
+// The evaluation engine behind §VII: for every co-run group, model all six
+// cache-sharing solutions the paper compares —
+//
+//   Equal            2MB-each partitioning (socialist),
+//   Natural          free-for-all sharing == natural partition (capitalist),
+//   Equal baseline   group-optimal, no one worse than Equal,
+//   Natural baseline group-optimal, no one worse than Natural,
+//   Optimal          unconstrained DP optimum,
+//   STTW             classic convex greedy,
+//
+// and summarize improvements in Table I's format. Groups are independent,
+// so the sweep is parallel over groups.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/composition.hpp"
+
+namespace ocps {
+
+/// The six solutions compared in §VII-A.
+enum class Method : std::size_t {
+  kEqual = 0,
+  kNatural = 1,
+  kEqualBaseline = 2,
+  kNaturalBaseline = 3,
+  kOptimal = 4,
+  kSttw = 5,
+};
+inline constexpr std::size_t kNumMethods = 6;
+const char* method_name(Method m);
+
+/// Outcome of one method on one group.
+struct MethodOutcome {
+  std::vector<double> alloc;           ///< units per member (occupancies
+                                       ///  for Natural; partitions otherwise)
+  std::vector<double> per_program_mr;  ///< solo-MRC miss ratio per member
+  double group_mr = 0.0;               ///< access-weighted group miss ratio
+};
+
+/// All six methods on one group.
+struct GroupEvaluation {
+  std::vector<std::uint32_t> members;  ///< indices into the program table
+  std::array<MethodOutcome, kNumMethods> methods;
+
+  const MethodOutcome& of(Method m) const {
+    return methods[static_cast<std::size_t>(m)];
+  }
+};
+
+/// Sweep knobs.
+struct SweepOptions {
+  std::size_t capacity = 1024;  ///< shared cache size in units
+  bool parallel = true;         ///< parallelize across groups
+};
+
+/// Evaluates every method on one group. `unit_costs[i][c]` must hold
+/// access_rate_i * mr_i(c) for every program i in the table (precompute
+/// once with precompute_unit_costs).
+GroupEvaluation evaluate_group(
+    const std::vector<ProgramModel>& programs,
+    const std::vector<std::vector<double>>& unit_costs,
+    const std::vector<std::uint32_t>& members, const SweepOptions& options);
+
+/// Rate-weighted miss-count cost curves for all programs.
+std::vector<std::vector<double>> precompute_unit_costs(
+    const std::vector<ProgramModel>& programs, std::size_t capacity);
+
+/// Runs evaluate_group over every listed group (parallel across groups).
+std::vector<GroupEvaluation> sweep_groups(
+    const std::vector<ProgramModel>& programs,
+    const std::vector<std::vector<std::uint32_t>>& groups,
+    const SweepOptions& options);
+
+/// Table I row: improvement of Optimal over `baseline` across groups.
+/// Improvement per group = (mr_baseline - mr_optimal) / mr_optimal.
+struct ImprovementStats {
+  double max = 0.0;
+  double avg = 0.0;
+  double median = 0.0;
+  double frac_ge_10 = 0.0;  ///< fraction of groups improved >= 10%
+  double frac_ge_20 = 0.0;  ///< fraction of groups improved >= 20%
+};
+ImprovementStats improvement_over(const std::vector<GroupEvaluation>& sweep,
+                                  Method baseline);
+
+}  // namespace ocps

@@ -1,0 +1,68 @@
+#include "core/objectives.hpp"
+
+#include "core/baselines.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+
+DpResult optimize_minimax(const CoRunGroup& group, std::size_t capacity) {
+  std::vector<std::vector<double>> cost(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    cost[i].resize(capacity + 1);
+    for (std::size_t c = 0; c <= capacity; ++c)
+      cost[i][c] = group[i].mrc.ratio(c);
+  }
+  DpOptions options;
+  options.objective = DpObjective::kMaxCost;
+  return optimize_partition(cost, capacity, options);
+}
+
+DpResult optimize_with_qos(const CoRunGroup& group,
+                           const std::vector<std::vector<double>>& cost,
+                           std::size_t capacity,
+                           const std::vector<double>& qos_ceiling) {
+  OCPS_CHECK(qos_ceiling.size() == group.size(),
+             "need one QoS ceiling per member");
+  DpOptions options;
+  options.min_alloc.resize(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    std::size_t need = group[i].mrc.min_size_for_ratio(qos_ceiling[i]);
+    if (group[i].mrc.ratio(need) > qos_ceiling[i] + 1e-12)
+      return DpResult{};  // ceiling unattainable even with the whole cache
+    options.min_alloc[i] = need;
+  }
+  return optimize_partition(cost, capacity, options);
+}
+
+double jain_fairness_vs_equal(const CoRunGroup& group,
+                              const std::vector<double>& per_program_mr,
+                              std::size_t capacity) {
+  OCPS_CHECK(per_program_mr.size() == group.size(), "size mismatch");
+  auto equal = equal_partition(group.size(), capacity);
+  double sum = 0.0, sum_sq = 0.0;
+  const std::size_t p = group.size();
+  for (std::size_t i = 0; i < p; ++i) {
+    double equal_mr = group[i].mrc.ratio(equal[i]);
+    // Speedup proxy: how the member's misses compare to its equal-partition
+    // misses. Guard the all-hit case.
+    double x = (per_program_mr[i] > 0.0)
+                   ? equal_mr / per_program_mr[i]
+                   : (equal_mr > 0.0 ? 10.0 : 1.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(p) * sum_sq);
+}
+
+std::size_t count_losers(const std::vector<double>& per_program_mr,
+                         const std::vector<double>& baseline_mr,
+                         double eps) {
+  OCPS_CHECK(per_program_mr.size() == baseline_mr.size(), "size mismatch");
+  std::size_t losers = 0;
+  for (std::size_t i = 0; i < per_program_mr.size(); ++i)
+    if (per_program_mr[i] > baseline_mr[i] + eps) ++losers;
+  return losers;
+}
+
+}  // namespace ocps

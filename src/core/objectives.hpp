@@ -1,0 +1,42 @@
+// Fairness / QoS objectives beyond total miss count (§V-B "it can optimize
+// for any objective function", §VI).
+//
+// The DP accepts arbitrary per-program cost curves plus a sum or max
+// combiner; these helpers build the common alternatives and score the
+// fairness of a resulting allocation, powering the optimal-vs-fair
+// trade-off ablation.
+#pragma once
+
+#include <vector>
+
+#include "core/composition.hpp"
+#include "core/dp_partition.hpp"
+
+namespace ocps {
+
+/// Minimizes the worst member miss ratio (egalitarian / QoS objective):
+/// DP with the kMaxCost combiner over unweighted miss ratios.
+DpResult optimize_minimax(const CoRunGroup& group, std::size_t capacity);
+
+/// Minimizes Σ rate_i · mr_i(c_i) subject to mr_i(c_i) <= qos_ceiling_i for
+/// every member (per-program QoS guarantees as allocation lower bounds).
+/// Returns feasible == false when a ceiling is unattainable within C.
+DpResult optimize_with_qos(const CoRunGroup& group,
+                           const std::vector<std::vector<double>>& cost,
+                           std::size_t capacity,
+                           const std::vector<double>& qos_ceiling);
+
+/// Jain's fairness index of per-program speedups relative to the equal
+/// partition: x_i = mr_i(equal_i) / mr_i(alloc_i) (>1 means better than
+/// equal). Index 1 = perfectly fair, 1/P = maximally unfair.
+double jain_fairness_vs_equal(const CoRunGroup& group,
+                              const std::vector<double>& per_program_mr,
+                              std::size_t capacity);
+
+/// Number of members whose miss ratio exceeds the baseline's by more than
+/// eps (the paper's "losers" under an optimization).
+std::size_t count_losers(const std::vector<double>& per_program_mr,
+                         const std::vector<double>& baseline_mr,
+                         double eps = 1e-12);
+
+}  // namespace ocps

@@ -1,0 +1,86 @@
+#include "core/partition_sharing.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+SchemeOutcome evaluate_scheme(const CoRunGroup& corun,
+                              const SharingScheme& scheme) {
+  OCPS_CHECK(scheme.groups.size() == scheme.group_sizes.size(),
+             "every group needs a partition size");
+  const std::size_t p = corun.size();
+  SchemeOutcome out;
+  out.per_program_mr.assign(p, -1.0);
+
+  for (std::size_t g = 0; g < scheme.groups.size(); ++g) {
+    const auto& members = scheme.groups[g];
+    OCPS_CHECK(!members.empty(), "empty group " << g);
+    std::vector<const ProgramModel*> models;
+    models.reserve(members.size());
+    for (std::uint32_t idx : members) {
+      OCPS_CHECK(idx < p, "member index out of range: " << idx);
+      models.push_back(corun.members[idx]);
+    }
+    CoRunGroup subgroup(std::move(models));
+    auto mrs = predict_shared_miss_ratios(
+        subgroup, static_cast<double>(scheme.group_sizes[g]));
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      OCPS_CHECK(out.per_program_mr[members[k]] < 0.0,
+                 "program " << members[k] << " in two groups");
+      out.per_program_mr[members[k]] = mrs[k];
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i)
+    OCPS_CHECK(out.per_program_mr[i] >= 0.0,
+               "program " << i << " not covered by any group");
+  out.group_mr = group_miss_ratio(corun, out.per_program_mr);
+  return out;
+}
+
+namespace {
+
+BestSchemeResult search_schemes(const CoRunGroup& corun, std::size_t capacity,
+                                bool singletons_only) {
+  const std::size_t p = corun.size();
+  BestSchemeResult best;
+  best.outcome.group_mr = std::numeric_limits<double>::infinity();
+
+  for_each_set_partition(
+      static_cast<std::uint32_t>(p), 0, [&](const SetPartition& groups) {
+        if (singletons_only && groups.size() != p) return true;
+        for_each_composition(
+            static_cast<std::uint32_t>(groups.size()),
+            static_cast<std::uint32_t>(capacity), 0,
+            [&](const std::vector<std::uint32_t>& sizes) {
+              SharingScheme scheme;
+              scheme.groups = groups;
+              scheme.group_sizes.assign(sizes.begin(), sizes.end());
+              SchemeOutcome outcome = evaluate_scheme(corun, scheme);
+              ++best.schemes_examined;
+              if (outcome.group_mr < best.outcome.group_mr) {
+                best.scheme = std::move(scheme);
+                best.outcome = std::move(outcome);
+              }
+              return true;
+            });
+        return true;
+      });
+  OCPS_CHECK(best.schemes_examined > 0, "no scheme examined");
+  return best;
+}
+
+}  // namespace
+
+BestSchemeResult best_partition_sharing(const CoRunGroup& corun,
+                                        std::size_t capacity) {
+  return search_schemes(corun, capacity, /*singletons_only=*/false);
+}
+
+BestSchemeResult best_partitioning_only(const CoRunGroup& corun,
+                                        std::size_t capacity) {
+  return search_schemes(corun, capacity, /*singletons_only=*/true);
+}
+
+}  // namespace ocps

@@ -1,0 +1,40 @@
+#include "core/performance.hpp"
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+PerfMetrics performance_metrics(const CoRunGroup& group,
+                                const std::vector<double>& per_program_mr,
+                                std::size_t capacity,
+                                const LatencyModel& model) {
+  OCPS_CHECK(per_program_mr.size() == group.size(), "size mismatch");
+  OCPS_CHECK(model.hit_cost > 0.0, "hit cost must be positive");
+  PerfMetrics out;
+  out.slowdown.resize(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    double solo = model.cpa(group[i].mrc.ratio(capacity));
+    double now = model.cpa(per_program_mr[i]);
+    out.slowdown[i] = now / solo;
+    out.antt += out.slowdown[i];
+    out.stp += solo / now;
+  }
+  out.antt /= static_cast<double>(group.size());
+  out.weighted_speedup = out.stp / static_cast<double>(group.size());
+  return out;
+}
+
+std::vector<std::vector<double>> slowdown_cost_curves(
+    const CoRunGroup& group, std::size_t capacity,
+    const LatencyModel& model) {
+  std::vector<std::vector<double>> cost(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    double solo = model.cpa(group[i].mrc.ratio(capacity));
+    cost[i].resize(capacity + 1);
+    for (std::size_t c = 0; c <= capacity; ++c)
+      cost[i][c] = model.cpa(group[i].mrc.ratio(c)) / solo;
+  }
+  return cost;
+}
+
+}  // namespace ocps

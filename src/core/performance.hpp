@@ -1,0 +1,60 @@
+// Miss ratio -> execution time (§VIII "Locality-performance Correlation").
+//
+// Wang et al. measured a 0.938 linear correlation between the HOTL miss
+// ratio and co-run execution time, which is what licenses optimizing the
+// miss ratio as a proxy for performance. This module makes the proxy
+// explicit with a simple latency model
+//
+//   cycles per access = hit_cost + mr * miss_penalty
+//   time  = accesses / rate * cycles-per-access           (relative units)
+//
+// and derives the standard multiprogram metrics from it: per-program
+// slowdown vs solo run with the full cache, average normalized turnaround
+// time (ANTT, lower better) and system throughput (STP, higher better).
+// These become alternative objectives for the DP (weighted-slowdown cost
+// curves), demonstrating the paper's claim that the optimizer "can use
+// any cost function".
+#pragma once
+
+#include <vector>
+
+#include "core/composition.hpp"
+#include "core/dp_partition.hpp"
+
+namespace ocps {
+
+/// Latency model parameters (relative units; defaults approximate an LLC:
+/// a hit costs 1, a miss 20x more).
+struct LatencyModel {
+  double hit_cost = 1.0;
+  double miss_penalty = 20.0;
+
+  /// Cycles per access at a given miss ratio.
+  double cpa(double miss_ratio) const {
+    return hit_cost + miss_ratio * miss_penalty;
+  }
+};
+
+/// Per-program and system metrics for one allocation outcome.
+struct PerfMetrics {
+  std::vector<double> slowdown;  ///< vs solo run with the whole cache
+  double antt = 0.0;             ///< mean slowdown (lower is better)
+  double stp = 0.0;              ///< Σ 1/slowdown (higher is better)
+  double weighted_speedup = 0.0; ///< same as stp / P
+};
+
+/// Computes metrics from per-program miss ratios. The solo baseline gives
+/// each program the entire cache to itself.
+PerfMetrics performance_metrics(const CoRunGroup& group,
+                                const std::vector<double>& per_program_mr,
+                                std::size_t capacity,
+                                const LatencyModel& model = {});
+
+/// Cost curves whose sum is proportional to ANTT: cost_i(c) =
+/// cpa(mr_i(c)) / cpa(mr_i(C)). Feed to optimize_partition to minimize
+/// average slowdown instead of the group miss ratio.
+std::vector<std::vector<double>> slowdown_cost_curves(
+    const CoRunGroup& group, std::size_t capacity,
+    const LatencyModel& model = {});
+
+}  // namespace ocps

@@ -1,0 +1,89 @@
+// Phase-aware (dynamic) repartitioning — the extension the paper's Fig. 1
+// points to.
+//
+// The one case where partition-sharing beats every static partition is
+// synchronized phase behaviour: programs whose working sets alternate so
+// a shared partition serves each peak in turn (§II, §VIII). A static
+// partitioner cannot express that — but a *dynamic* one can: profile each
+// program per epoch, run the same DP per epoch, and resize the partitions
+// at epoch boundaries. This module implements that pipeline and a
+// simulator hook (simulate_dynamic_partitioned) so the recovered benefit
+// can be measured against free-for-all sharing and the best static
+// partition (bench_phase_aware).
+#pragma once
+
+#include <vector>
+
+#include "cachesim/corun.hpp"
+#include "core/program_model.hpp"
+
+namespace ocps {
+
+/// Per-epoch, per-program models. epoch_models[e][p] is program p's model
+/// profiled over epoch e of its trace.
+struct EpochProfile {
+  std::size_t epoch_length = 0;  ///< accesses per program per epoch
+  std::vector<std::vector<ProgramModel>> epoch_models;
+
+  std::size_t num_epochs() const { return epoch_models.size(); }
+};
+
+/// Splits each trace into `epochs` equal slices and profiles every slice.
+/// All traces must have the same length.
+EpochProfile profile_epochs(const std::vector<Trace>& traces,
+                            const std::vector<double>& rates,
+                            std::size_t epochs, std::size_t capacity);
+
+/// Variable-length epochs: boundaries[k] is the first access index of
+/// epoch k+1 (0 and the trace length are implicit). Typically produced by
+/// merging the programs' detected phase boundaries (locality/phases).
+/// The returned profile records per-epoch lengths in epoch_starts.
+struct VariableEpochProfile {
+  std::vector<std::size_t> epoch_starts;  ///< starts, incl. 0; size = epochs
+  std::vector<std::vector<ProgramModel>> epoch_models;
+
+  std::size_t num_epochs() const { return epoch_models.size(); }
+};
+VariableEpochProfile profile_epochs_at(const std::vector<Trace>& traces,
+                                       const std::vector<double>& rates,
+                                       const std::vector<std::size_t>& boundaries,
+                                       std::size_t capacity);
+
+/// Per-epoch DP over a variable-epoch profile. The plan's epoch k applies
+/// from epoch_starts[k] (per-program access index).
+struct VariablePhasePlan {
+  std::vector<std::size_t> epoch_starts;
+  std::vector<std::vector<std::size_t>> alloc_per_epoch;
+};
+VariablePhasePlan phase_aware_optimize_at(const VariableEpochProfile& profile,
+                                          std::size_t capacity);
+
+/// Simulates resizable per-program partitions switching at the
+/// *interleaved-trace* positions corresponding to the per-program epoch
+/// starts (start * num_programs, under proportional interleave of
+/// equal-length traces).
+CoRunResult simulate_variable_partitioned(const InterleavedTrace& trace,
+                                          const VariablePhasePlan& plan,
+                                          std::size_t num_programs,
+                                          const CoRunOptions& options = {});
+
+/// A dynamic partitioning plan: one allocation per epoch.
+struct PhaseAwarePlan {
+  std::vector<std::vector<std::size_t>> alloc_per_epoch;
+  double predicted_group_mr = 0.0;  ///< model-predicted, averaged over epochs
+};
+
+/// Runs the DP independently per epoch (each epoch's cost curves come from
+/// that epoch's models).
+PhaseAwarePlan phase_aware_optimize(const EpochProfile& profile,
+                                    std::size_t capacity);
+
+/// Simulates per-program LRU partitions that are resized (LRU-evicting on
+/// shrink) at the interleaved-trace positions corresponding to epoch
+/// boundaries. plan.alloc_per_epoch[e][p] is program p's partition in
+/// epoch e; epochs divide the interleaved trace evenly.
+CoRunResult simulate_dynamic_partitioned(const InterleavedTrace& trace,
+                                         const PhaseAwarePlan& plan,
+                                         const CoRunOptions& options = {});
+
+}  // namespace ocps

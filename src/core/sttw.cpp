@@ -1,0 +1,105 @@
+#include "core/sttw.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+namespace {
+
+// Greatest convex non-increasing minorant of a cost vector (monotone-chain
+// lower hull over (c, cost)). Mirrors MissRatioCurve::convex_minorant but
+// works on raw cost arrays so STTW composes with any objective weights.
+std::vector<double> convex_minorant(const std::vector<double>& cost) {
+  const std::size_t n = cost.size();
+  if (n <= 2) return cost;
+  std::vector<std::size_t> hull;
+  for (std::size_t c = 0; c < n; ++c) {
+    while (hull.size() >= 2) {
+      std::size_t a = hull[hull.size() - 2];
+      std::size_t b = hull[hull.size() - 1];
+      double lhs = (cost[b] - cost[a]) * static_cast<double>(c - a);
+      double rhs = (cost[c] - cost[a]) * static_cast<double>(b - a);
+      if (lhs >= rhs) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull.push_back(c);
+  }
+  std::vector<double> out(n);
+  for (std::size_t seg = 0; seg + 1 < hull.size(); ++seg) {
+    std::size_t a = hull[seg], b = hull[seg + 1];
+    for (std::size_t c = a; c <= b; ++c) {
+      double t = (b == a)
+                     ? 0.0
+                     : static_cast<double>(c - a) / static_cast<double>(b - a);
+      out[c] = cost[a] + t * (cost[b] - cost[a]);
+    }
+  }
+  if (hull.size() == 1) out[hull[0]] = cost[hull[0]];
+  return out;
+}
+
+}  // namespace
+
+SttwResult sttw_partition(const std::vector<std::vector<double>>& cost,
+                          std::size_t capacity, SttwVariant variant) {
+  const std::size_t p = cost.size();
+  OCPS_CHECK(p >= 1, "need at least one program");
+  for (std::size_t i = 0; i < p; ++i)
+    OCPS_CHECK(cost[i].size() >= capacity + 1,
+               "cost curve " << i << " shorter than capacity+1");
+
+  // The curve the greedy believes in: raw (faithful Stone et al.) or the
+  // convex minorant (charitable variant).
+  std::vector<std::vector<double>> believed(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    std::vector<double> window(cost[i].begin(),
+                               cost[i].begin() + capacity + 1);
+    believed[i] = (variant == SttwVariant::kConvexHull)
+                      ? convex_minorant(window)
+                      : std::move(window);
+  }
+
+  // Max-heap of (marginal gain of the next unit, program). For convex
+  // believed-curves marginals are non-increasing per program, so the
+  // greedy is exact on them; for raw non-convex curves this IS the classic
+  // algorithm's blind spot: a plateau yields zero marginal and the cliff
+  // behind it is never discovered.
+  struct Entry {
+    double gain;
+    std::size_t program;
+    bool operator<(const Entry& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<Entry> heap;
+  std::vector<std::size_t> alloc(p, 0);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (capacity >= 1) heap.push({believed[i][0] - believed[i][1], i});
+  }
+  std::size_t remaining = capacity;
+  while (remaining > 0 && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    std::size_t i = top.program;
+    ++alloc[i];
+    --remaining;
+    std::size_t c = alloc[i];
+    if (c + 1 <= capacity) heap.push({believed[i][c] - believed[i][c + 1], i});
+  }
+  // All marginals exhausted (heap empty) with units left: park the rest on
+  // program 0 — the believed costs are flat there.
+  alloc[0] += remaining;
+
+  SttwResult result;
+  result.alloc = std::move(alloc);
+  for (std::size_t i = 0; i < p; ++i) {
+    result.objective_value += cost[i][result.alloc[i]];
+    result.believed_objective_value += believed[i][result.alloc[i]];
+  }
+  return result;
+}
+
+}  // namespace ocps

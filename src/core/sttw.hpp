@@ -1,0 +1,49 @@
+// Stone-Thiebaut-Turek-Wolf cache partitioning (§V-B, Eq. 12-14).
+//
+// The classic 1992 algorithm allocates the cache greedily: give the next
+// unit to the program with the steepest miss-count decrease, equalizing
+// the (rate-weighted) miss-ratio derivatives (Eq. 14). It is optimal when
+// every curve is convex and can fail badly otherwise — the paper's Fig. 7 /
+// Table I comparison.
+//
+// Two variants are provided:
+//  * kLocalDerivative — the faithful Stone et al. rule: the marginal gain
+//    is the raw curve's next-unit decrease. On a non-convex plateau the
+//    local derivative is ~zero, so the greedy never "sees" a cliff behind
+//    it and starves cliff programs entirely; this is the failure mode the
+//    paper measures (STTW sometimes worse than free-for-all sharing).
+//  * kConvexHull — a charitable strengthening used by later work (cf. Suh
+//    et al.): run the greedy on each curve's greatest convex minorant,
+//    then charge true costs. It can still straddle a cliff when the cache
+//    runs out mid-chord, but never ignores one.
+#pragma once
+
+#include <vector>
+
+#include "core/dp_partition.hpp"
+
+namespace ocps {
+
+/// Which marginal the greedy consumes.
+enum class SttwVariant {
+  kLocalDerivative,  ///< faithful Stone et al. (default)
+  kConvexHull,       ///< hull-smoothed marginals
+};
+
+/// Result of the STTW allocation.
+struct SttwResult {
+  std::vector<std::size_t> alloc;  ///< per-program units, Σ = capacity
+  double objective_value = 0.0;    ///< true Σ cost_i(alloc_i)
+  /// Σ of the curve the greedy believed in (hull for kConvexHull, raw for
+  /// kLocalDerivative); a lower bound on objective_value.
+  double believed_objective_value = 0.0;
+};
+
+/// Runs STTW on cost curves (same convention as optimize_partition:
+/// cost[i][c] for c = 0..capacity; lower is better; typically the
+/// rate-weighted miss ratio).
+SttwResult sttw_partition(const std::vector<std::vector<double>>& cost,
+                          std::size_t capacity,
+                          SttwVariant variant = SttwVariant::kLocalDerivative);
+
+}  // namespace ocps

@@ -1,0 +1,106 @@
+#include "core/suh.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+namespace {
+
+// Hull vertex indices of a cost curve (monotone chain over (c, cost)).
+// Consecutive vertices delimit the convex segments the greedy allocates
+// atomically; within a hull segment the true curve lies on or above the
+// chord, so taking the whole segment realizes at least the chord's gain
+// at its endpoint.
+std::vector<std::size_t> hull_vertices(const std::vector<double>& cost) {
+  std::vector<std::size_t> hull;
+  for (std::size_t c = 0; c < cost.size(); ++c) {
+    while (hull.size() >= 2) {
+      std::size_t a = hull[hull.size() - 2];
+      std::size_t b = hull[hull.size() - 1];
+      double lhs = (cost[b] - cost[a]) * static_cast<double>(c - a);
+      double rhs = (cost[c] - cost[a]) * static_cast<double>(b - a);
+      if (lhs >= rhs) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull.push_back(c);
+  }
+  return hull;
+}
+
+}  // namespace
+
+SttwResult suh_partition(const std::vector<std::vector<double>>& cost,
+                         std::size_t capacity) {
+  const std::size_t p = cost.size();
+  OCPS_CHECK(p >= 1, "need at least one program");
+  for (std::size_t i = 0; i < p; ++i)
+    OCPS_CHECK(cost[i].size() >= capacity + 1,
+               "cost curve " << i << " shorter than capacity+1");
+
+  // Per-program hull segments.
+  std::vector<std::vector<std::size_t>> segments(p);
+  std::vector<std::size_t> next_seg(p, 1);  // index of the next vertex
+  for (std::size_t i = 0; i < p; ++i) {
+    segments[i] = hull_vertices(
+        std::vector<double>(cost[i].begin(), cost[i].begin() + capacity + 1));
+  }
+
+  struct Entry {
+    double utility;      // cost drop per unit over the segment
+    std::size_t program;
+    std::size_t to;      // segment end (absolute allocation)
+    bool operator<(const Entry& other) const {
+      return utility < other.utility;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  std::vector<std::size_t> alloc(p, 0);
+
+  auto push_next = [&](std::size_t i) {
+    std::size_t k = next_seg[i];
+    if (k >= segments[i].size()) return;
+    std::size_t from = segments[i][k - 1];
+    std::size_t to = segments[i][k];
+    double drop = cost[i][from] - cost[i][to];
+    double units = static_cast<double>(to - from);
+    heap.push({drop / units, i, to});
+  };
+  for (std::size_t i = 0; i < p; ++i) push_next(i);
+
+  std::size_t remaining = capacity;
+  while (remaining > 0 && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    std::size_t i = top.program;
+    std::size_t need = top.to - alloc[i];
+    if (need > remaining) {
+      // Segment does not fit: taking part of a segment can end mid-cliff
+      // and waste every unit, so skip it entirely and let other programs'
+      // smaller segments compete for the remainder — the knapsack-style
+      // choice that distinguishes this from the hull greedy.
+      continue;
+    }
+    alloc[i] = top.to;
+    remaining -= need;
+    ++next_seg[i];
+    push_next(i);
+  }
+  // Leftover units (all segments taken): park on program 0; curves are
+  // flat past their last hull vertex.
+  alloc[0] += remaining;
+
+  SttwResult result;
+  result.alloc = std::move(alloc);
+  for (std::size_t i = 0; i < p; ++i) {
+    result.objective_value += cost[i][result.alloc[i]];
+    result.believed_objective_value += cost[i][result.alloc[i]];
+  }
+  return result;
+}
+
+}  // namespace ocps

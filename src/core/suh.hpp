@@ -1,0 +1,25 @@
+// Suh-Rudolph-Devadas style segmented greedy partitioning (§IX related
+// work: "Suh et al. gave a solution which divides MRC between non-convex
+// points but concluded that the solution may be too expensive").
+//
+// The idea: split each program's miss-ratio curve at its non-convex
+// points into convex segments; the greedy then allocates whole *segments*
+// (not single units) by marginal utility — miss-count reduction per unit
+// — so a cliff is either taken in full or not at all, fixing the classic
+// STTW blindness without the DP's full O(P·C²) sweep. It is still a
+// greedy (a knapsack heuristic), so the DP can beat it; the fig. 7
+// variant ablation quantifies where each lands.
+#pragma once
+
+#include <vector>
+
+#include "core/sttw.hpp"
+
+namespace ocps {
+
+/// Runs the segmented greedy on cost curves (same convention as
+/// optimize_partition / sttw_partition).
+SttwResult suh_partition(const std::vector<std::vector<double>>& cost,
+                         std::size_t capacity);
+
+}  // namespace ocps

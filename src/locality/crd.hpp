@@ -1,0 +1,47 @@
+// Concurrent reuse distance (CRD) analysis (§IX related work: Jiang et
+// al., Schuff et al., Wu & Yeung).
+//
+// CRD profiles the *interleaved* trace of a co-run group: one stack-
+// distance pass yields, for every cache size simultaneously, the exact
+// shared-cache miss count of every member. It is the precise but
+// per-group-priced alternative to the paper's composition theory: CRD must
+// be re-measured for every group (and every interleaving ratio), while
+// footprint composition predicts any group from per-program profiles.
+// The library provides both so the trade-off can be quantified
+// (bench_crd_vs_composition).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locality/mrc.hpp"
+#include "trace/interleave.hpp"
+
+namespace ocps {
+
+/// Per-program and group stack-distance statistics of an interleaved
+/// trace.
+struct CrdProfile {
+  /// hist[p][d] = accesses of program p with concurrent stack distance d.
+  std::vector<std::vector<std::uint64_t>> hist;
+  std::vector<std::uint64_t> cold;      ///< per-program cold misses
+  std::vector<std::uint64_t> accesses;  ///< per-program access counts
+  std::uint64_t trace_length = 0;
+
+  std::size_t num_programs() const { return hist.size(); }
+
+  /// Shared-cache misses of program p at cache size c.
+  std::uint64_t misses_at(std::size_t program, std::size_t c) const;
+
+  /// Program p's shared-cache miss-ratio curve for sizes 0..capacity.
+  MissRatioCurve program_mrc(std::size_t program,
+                             std::size_t capacity) const;
+
+  /// Group (all-access) miss-ratio curve for sizes 0..capacity.
+  MissRatioCurve group_mrc(std::size_t capacity) const;
+};
+
+/// One O(n log n) pass over the interleaved trace.
+CrdProfile concurrent_reuse_distances(const InterleavedTrace& trace);
+
+}  // namespace ocps

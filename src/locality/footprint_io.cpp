@@ -1,0 +1,79 @@
+#include "locality/footprint_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+void save_footprint_file(const FootprintFile& data, const std::string& path,
+                         std::size_t max_knots) {
+  std::ofstream os(path, std::ios::trunc);
+  OCPS_CHECK(os.good(), "cannot open " << path << " for writing");
+  PiecewiseLinear curve = data.footprint;
+  if (max_knots > 0 && curve.size() > max_knots)
+    curve = curve.simplify_to(0.005, max_knots);
+  os << "ocps-footprint 1\n";
+  os << "name " << data.name << '\n';
+  os << "access_rate " << std::setprecision(17) << data.access_rate << '\n';
+  os << "trace_length " << data.trace_length << '\n';
+  os << "distinct " << data.distinct << '\n';
+  os << "knots " << curve.size() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    os << curve.xs()[i] << ' ' << curve.ys()[i] << '\n';
+  OCPS_CHECK(os.good(), "write failed for " << path);
+}
+
+FootprintFile load_footprint_file(const std::string& path) {
+  std::ifstream is(path);
+  OCPS_CHECK(is.good(), "cannot open " << path << " for reading");
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  OCPS_CHECK(magic == "ocps-footprint" && version == 1,
+             "bad footprint file header in " << path);
+  FootprintFile out;
+  std::string key;
+  std::size_t knots = 0;
+  while (is >> key) {
+    if (key == "name") {
+      is >> out.name;
+    } else if (key == "access_rate") {
+      is >> out.access_rate;
+    } else if (key == "trace_length") {
+      is >> out.trace_length;
+    } else if (key == "distinct") {
+      is >> out.distinct;
+    } else if (key == "knots") {
+      is >> knots;
+      break;
+    } else {
+      OCPS_CHECK(false, "unknown footprint file key '" << key << "'");
+    }
+  }
+  OCPS_CHECK(knots >= 1, "footprint file has no knots: " << path);
+  std::vector<double> xs(knots), ys(knots);
+  for (std::size_t i = 0; i < knots; ++i) {
+    is >> xs[i] >> ys[i];
+    OCPS_CHECK(is.good() || (i + 1 == knots && is.eof()),
+               "truncated footprint file " << path);
+  }
+  out.footprint = PiecewiseLinear(std::move(xs), std::move(ys));
+  return out;
+}
+
+FootprintFile make_footprint_file(const std::string& name, double access_rate,
+                                  const FootprintCurve& fp,
+                                  std::size_t max_knots) {
+  FootprintFile out;
+  out.name = name;
+  out.access_rate = access_rate;
+  out.trace_length = fp.trace_length;
+  out.distinct = fp.distinct;
+  out.footprint = fp.to_curve(max_knots);
+  return out;
+}
+
+}  // namespace ocps

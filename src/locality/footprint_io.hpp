@@ -1,0 +1,40 @@
+// ASCII footprint files.
+//
+// The paper's optimizer "reads 4 footprints from 4 files. There are 16
+// footprint files for the 16 programs" (§VII-A), stored in ASCII. We mirror
+// that: one file per program holding the program's name, access rate,
+// trace length, distinct-block count, and (window, footprint) knots —
+// downsampled, which is why the paper's files are a few hundred KB rather
+// than the full trace length.
+#pragma once
+
+#include <string>
+
+#include "locality/footprint.hpp"
+#include "util/curve.hpp"
+
+namespace ocps {
+
+/// Everything the composition/optimization pipeline needs about a program.
+struct FootprintFile {
+  std::string name;
+  double access_rate = 1.0;        ///< accesses per unit time (§IV)
+  std::uint64_t trace_length = 0;  ///< n
+  std::uint64_t distinct = 0;      ///< m
+  PiecewiseLinear footprint;       ///< fp(w) knots
+};
+
+/// Writes the footprint file. `max_knots` downsamples the curve (0 keeps
+/// every knot). Throws CheckError on IO failure.
+void save_footprint_file(const FootprintFile& data, const std::string& path,
+                         std::size_t max_knots = 4096);
+
+/// Reads a file written by save_footprint_file.
+FootprintFile load_footprint_file(const std::string& path);
+
+/// Builds the in-memory record from a profiled curve.
+FootprintFile make_footprint_file(const std::string& name, double access_rate,
+                                  const FootprintCurve& fp,
+                                  std::size_t max_knots = 4096);
+
+}  // namespace ocps

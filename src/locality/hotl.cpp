@@ -1,0 +1,41 @@
+#include "locality/hotl.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+double fill_time(const FootprintCurve& fp, double c) {
+  return fp.inverse(c);
+}
+
+double inter_miss_time(const FootprintCurve& fp, double c) {
+  return fill_time(fp, c + 1.0) - fill_time(fp, c);
+}
+
+double hotl_miss_ratio(const FootprintCurve& fp, double cache_size) {
+  OCPS_CHECK(cache_size >= 0.0, "negative cache size");
+  const double n = static_cast<double>(fp.trace_length);
+  const double m = static_cast<double>(fp.distinct);
+  if (fp.trace_length == 0) return 0.0;
+  const double cold = m / n;
+  if (cache_size <= 0.0) return 1.0;
+  if (cache_size >= m) return cold;  // everything fits: compulsory only
+  double w = fp.inverse(cache_size);
+  double mr = fp(w + 1.0) - cache_size;
+  mr = std::clamp(mr, 0.0, 1.0);
+  return std::max(mr, cold);
+}
+
+MissRatioCurve hotl_mrc(const FootprintCurve& fp, std::size_t capacity) {
+  std::vector<double> ratios(capacity + 1, 0.0);
+  for (std::size_t c = 0; c <= capacity; ++c)
+    ratios[c] = hotl_miss_ratio(fp, static_cast<double>(c));
+  // The HOTL estimate is non-increasing in exact arithmetic; repair any
+  // interpolation noise so downstream code can rely on LRU inclusion.
+  MissRatioCurve mrc(std::move(ratios), fp.trace_length);
+  return mrc.monotone_repaired();
+}
+
+}  // namespace ocps

@@ -1,0 +1,34 @@
+// HOTL conversions (§III Eq. 6-8, Eq. 10): footprint → fill time →
+// inter-miss time → miss ratio.
+//
+// The key derived quantity is the miss-ratio curve: for a fully-associative
+// LRU cache of size c, choose the window length w with fp(w) = c; then
+//
+//   mr(c) = fp(w + 1) - c                                   (Eq. 10)
+//
+// i.e. the expected number of *new* blocks brought in by extending the
+// average window by one access, which is exactly the probability that the
+// next access misses. The result is floored at the cold-miss ratio m/n
+// (compulsory misses never go away) and clamped into [0, 1].
+#pragma once
+
+#include "locality/footprint.hpp"
+#include "locality/mrc.hpp"
+
+namespace ocps {
+
+/// Fill time ft(c): expected number of accesses to touch c distinct blocks
+/// (the inverse footprint, Eq. 6). c may be fractional.
+double fill_time(const FootprintCurve& fp, double c);
+
+/// Inter-miss time im(c) = ft(c+1) - ft(c) (Eq. 7).
+double inter_miss_time(const FootprintCurve& fp, double c);
+
+/// Miss ratio at a single (possibly fractional) cache size via Eq. 10.
+double hotl_miss_ratio(const FootprintCurve& fp, double cache_size);
+
+/// Dense miss-ratio curve for cache sizes 0..capacity units.
+/// `accesses` defaults to the profiled trace length.
+MissRatioCurve hotl_mrc(const FootprintCurve& fp, std::size_t capacity);
+
+}  // namespace ocps

@@ -1,0 +1,104 @@
+#include "locality/mrc.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+MissRatioCurve::MissRatioCurve(std::vector<double> ratios,
+                               std::uint64_t accesses)
+    : ratios_(std::move(ratios)), accesses_(accesses) {
+  OCPS_CHECK(!ratios_.empty(), "miss-ratio curve needs at least size 0");
+  for (std::size_t c = 0; c < ratios_.size(); ++c) {
+    OCPS_CHECK(ratios_[c] >= -1e-9 && ratios_[c] <= 1.0 + 1e-9,
+               "miss ratio out of [0,1] at c=" << c << ": " << ratios_[c]);
+    ratios_[c] = std::clamp(ratios_[c], 0.0, 1.0);
+  }
+}
+
+double MissRatioCurve::ratio(std::size_t c) const {
+  OCPS_CHECK(!ratios_.empty(), "empty curve");
+  if (c >= ratios_.size()) return ratios_.back();
+  return ratios_[c];
+}
+
+double MissRatioCurve::ratio_at(double c) const {
+  OCPS_CHECK(!ratios_.empty(), "empty curve");
+  if (c <= 0.0) return ratios_.front();
+  if (c >= static_cast<double>(ratios_.size() - 1)) return ratios_.back();
+  std::size_t lo = static_cast<std::size_t>(c);
+  double t = c - static_cast<double>(lo);
+  return ratios_[lo] + t * (ratios_[lo + 1] - ratios_[lo]);
+}
+
+double MissRatioCurve::miss_count(std::size_t c) const {
+  return ratio(c) * static_cast<double>(accesses_);
+}
+
+bool MissRatioCurve::is_non_increasing(double eps) const {
+  for (std::size_t c = 1; c < ratios_.size(); ++c)
+    if (ratios_[c] > ratios_[c - 1] + eps) return false;
+  return true;
+}
+
+bool MissRatioCurve::is_convex(double eps) const {
+  // Discrete convexity: second difference >= -eps everywhere.
+  for (std::size_t c = 2; c < ratios_.size(); ++c) {
+    double second = ratios_[c] - 2.0 * ratios_[c - 1] + ratios_[c - 2];
+    if (second < -eps) return false;
+  }
+  return true;
+}
+
+MissRatioCurve MissRatioCurve::monotone_repaired() const {
+  std::vector<double> out(ratios_);
+  for (std::size_t c = 1; c < out.size(); ++c)
+    out[c] = std::min(out[c], out[c - 1]);
+  return MissRatioCurve(std::move(out), accesses_);
+}
+
+MissRatioCurve MissRatioCurve::convex_minorant() const {
+  // Lower convex hull over the points (c, ratio(c)) via monotone-chain,
+  // then linear interpolation between hull vertices.
+  const std::size_t n = ratios_.size();
+  OCPS_CHECK(n >= 1, "empty curve");
+  if (n <= 2) return *this;
+  std::vector<std::size_t> hull;
+  for (std::size_t c = 0; c < n; ++c) {
+    while (hull.size() >= 2) {
+      std::size_t a = hull[hull.size() - 2];
+      std::size_t b = hull[hull.size() - 1];
+      // Pop b if it lies on or above segment (a, c): cross product test.
+      double lhs = (ratios_[b] - ratios_[a]) * static_cast<double>(c - a);
+      double rhs = (ratios_[c] - ratios_[a]) * static_cast<double>(b - a);
+      if (lhs >= rhs) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull.push_back(c);
+  }
+  std::vector<double> out(n);
+  for (std::size_t seg = 0; seg + 1 < hull.size(); ++seg) {
+    std::size_t a = hull[seg], b = hull[seg + 1];
+    for (std::size_t c = a; c <= b; ++c) {
+      double t = (b == a) ? 0.0
+                          : static_cast<double>(c - a) /
+                                static_cast<double>(b - a);
+      out[c] = ratios_[a] + t * (ratios_[b] - ratios_[a]);
+    }
+  }
+  if (hull.size() == 1) out[hull[0]] = ratios_[hull[0]];
+  return MissRatioCurve(std::move(out), accesses_);
+}
+
+std::size_t MissRatioCurve::min_size_for_ratio(double target,
+                                               double eps) const {
+  for (std::size_t c = 0; c < ratios_.size(); ++c)
+    if (ratios_[c] <= target + eps) return c;
+  return capacity();
+}
+
+}  // namespace ocps

@@ -1,0 +1,70 @@
+// Miss-ratio curves.
+//
+// A MissRatioCurve stores the miss ratio of one program at every integer
+// cache size 0..capacity (in allocation units / blocks), together with the
+// program's access count so that miss *counts* — the DP's additive cost —
+// can be derived. Utilities include the convexity test and convex minorant
+// that the STTW comparator depends on (§V-B), and monotone repair (the LRU
+// inclusion property guarantees non-increasing miss ratios; estimates are
+// clamped to respect it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ocps {
+
+/// Miss ratio as a function of cache size in allocation units.
+class MissRatioCurve {
+ public:
+  MissRatioCurve() = default;
+
+  /// ratios[c] is the miss ratio at cache size c; accesses is the number of
+  /// memory accesses the ratios refer to (per unit time or per run).
+  MissRatioCurve(std::vector<double> ratios, std::uint64_t accesses);
+
+  /// Largest cache size represented.
+  std::size_t capacity() const { return ratios_.empty() ? 0 : ratios_.size() - 1; }
+  std::uint64_t accesses() const { return accesses_; }
+  bool empty() const { return ratios_.empty(); }
+
+  /// Miss ratio at integer cache size c; sizes beyond capacity clamp to the
+  /// last value (the curve has flattened by construction).
+  double ratio(std::size_t c) const;
+
+  /// Miss ratio at a fractional cache size (linear interpolation between
+  /// integer sizes; clamped at the ends). Natural-partition occupancies are
+  /// fractional, so shared-cache evaluation uses this form.
+  double ratio_at(double c) const;
+
+  /// Expected miss count at cache size c (ratio * accesses).
+  double miss_count(std::size_t c) const;
+
+  const std::vector<double>& ratios() const { return ratios_; }
+
+  /// True iff the curve is non-increasing within tolerance eps.
+  bool is_non_increasing(double eps = 1e-12) const;
+
+  /// True iff the curve is convex within tolerance eps (the STTW
+  /// assumption; cyclic/phased workloads violate it).
+  bool is_convex(double eps = 1e-9) const;
+
+  /// Returns a new curve clamped to be non-increasing (running minimum).
+  MissRatioCurve monotone_repaired() const;
+
+  /// Greatest convex non-increasing minorant (lower convex hull of the
+  /// points (c, ratio(c))). This is the curve STTW effectively optimizes.
+  MissRatioCurve convex_minorant() const;
+
+  /// Smallest cache size whose miss ratio is <= target + eps; returns
+  /// capacity() when the target is unattainable. Requires a non-increasing
+  /// curve (callers repair first). Baseline constraints (§VI) reduce to
+  /// this query thanks to LRU inclusion.
+  std::size_t min_size_for_ratio(double target, double eps = 1e-12) const;
+
+ private:
+  std::vector<double> ratios_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace ocps

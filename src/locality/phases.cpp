@@ -1,0 +1,95 @@
+#include "locality/phases.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+std::vector<double> windowed_wss(const Trace& trace, std::size_t window) {
+  OCPS_CHECK(window >= 1, "window must be non-empty");
+  std::vector<double> wss;
+  const std::size_t n = trace.length();
+  std::unordered_set<Block> seen;
+  seen.reserve(window);
+  for (std::size_t start = 0; start < n; start += window) {
+    std::size_t stop = std::min(n, start + window);
+    seen.clear();
+    for (std::size_t i = start; i < stop; ++i) seen.insert(trace.accesses[i]);
+    // Scale a short trailing window up to the full-window equivalent so
+    // its WSS is comparable (approximately) to the others.
+    double value = static_cast<double>(seen.size());
+    if (stop - start < window && stop - start > 0)
+      value *= static_cast<double>(window) /
+               static_cast<double>(stop - start);
+    wss.push_back(value);
+  }
+  return wss;
+}
+
+std::vector<PhaseSegment> detect_phases(const Trace& trace,
+                                        const PhaseDetectorConfig& config) {
+  OCPS_CHECK(!trace.empty(), "empty trace");
+  OCPS_CHECK(config.threshold > 0.0, "threshold must be positive");
+  std::vector<double> wss = windowed_wss(trace, config.window);
+
+  // Boundary wherever the relative WSS change exceeds the threshold.
+  std::vector<std::size_t> starts = {0};  // in window units
+  std::size_t run_start = 0;
+  for (std::size_t k = 1; k < wss.size(); ++k) {
+    double prev = wss[k - 1];
+    double rel = std::abs(wss[k] - prev) / std::max(prev, 1.0);
+    if (rel > config.threshold &&
+        k - run_start >= config.min_phase_windows) {
+      starts.push_back(k);
+      run_start = k;
+    }
+  }
+
+  std::vector<PhaseSegment> segments;
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    PhaseSegment seg;
+    std::size_t first_window = starts[s];
+    std::size_t last_window =
+        (s + 1 < starts.size()) ? starts[s + 1] : wss.size();
+    seg.begin = first_window * config.window;
+    seg.end = std::min(trace.length(), last_window * config.window);
+    double sum = 0.0;
+    for (std::size_t k = first_window; k < last_window; ++k) sum += wss[k];
+    seg.mean_wss =
+        sum / static_cast<double>(std::max<std::size_t>(
+                  1, last_window - first_window));
+    segments.push_back(seg);
+  }
+  // Guarantee full coverage even for degenerate inputs.
+  if (segments.empty())
+    segments.push_back({0, trace.length(),
+                        wss.empty() ? 0.0 : wss.front()});
+  segments.back().end = trace.length();
+  return segments;
+}
+
+std::size_t recommend_epoch_count(const std::vector<Trace>& traces,
+                                  const PhaseDetectorConfig& config,
+                                  std::size_t max_epochs) {
+  OCPS_CHECK(!traces.empty(), "no traces");
+  OCPS_CHECK(max_epochs >= 1, "need at least one epoch");
+  std::size_t n = traces[0].length();
+  std::size_t shortest = n;
+  bool any_phased = false;
+  for (const auto& t : traces) {
+    OCPS_CHECK(t.length() == n, "traces must have equal length");
+    auto phases = detect_phases(t, config);
+    if (phases.size() > 1) any_phased = true;
+    for (const auto& p : phases)
+      shortest = std::min(shortest, std::max<std::size_t>(
+                                        p.end - p.begin, config.window));
+  }
+  if (!any_phased) return 1;
+  std::size_t epochs = std::max<std::size_t>(1, n / shortest);
+  return std::min(epochs, max_epochs);
+}
+
+}  // namespace ocps

@@ -1,0 +1,49 @@
+// Phase detection from windowed working-set sizes.
+//
+// The phase-aware repartitioner (core/phase_aware) and the Fig. 1
+// discussion need epoch boundaries aligned with program phases. Rather
+// than guessing an epoch count, this detector slides a window over the
+// trace, records the working-set size per window, and reports boundaries
+// where consecutive windows' WSS changes by more than a relative
+// threshold — the classic WSS-delta phase heuristic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ocps {
+
+/// Detector knobs.
+struct PhaseDetectorConfig {
+  std::size_t window = 2000;      ///< accesses per WSS sample
+  double threshold = 0.30;        ///< relative WSS change that opens a phase
+  std::size_t min_phase_windows = 2;  ///< suppress shorter phases
+};
+
+/// One detected phase.
+struct PhaseSegment {
+  std::size_t begin = 0;   ///< first access index (inclusive)
+  std::size_t end = 0;     ///< last access index (exclusive)
+  double mean_wss = 0.0;   ///< average windowed WSS inside the phase
+};
+
+/// Windowed working-set sizes: wss[k] = distinct blocks in accesses
+/// [k*window, (k+1)*window).
+std::vector<double> windowed_wss(const Trace& trace, std::size_t window);
+
+/// Segments the trace into phases. Always returns at least one segment
+/// covering the whole trace.
+std::vector<PhaseSegment> detect_phases(const Trace& trace,
+                                        const PhaseDetectorConfig& config = {});
+
+/// Recommends a uniform epoch count for phase-aware repartitioning
+/// (core/phase_aware): enough epochs that every detected phase of every
+/// program spans at least one epoch, capped at max_epochs. Returns 1 when
+/// all traces are single-phase.
+std::size_t recommend_epoch_count(const std::vector<Trace>& traces,
+                                  const PhaseDetectorConfig& config = {},
+                                  std::size_t max_epochs = 64);
+
+}  // namespace ocps

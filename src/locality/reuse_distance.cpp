@@ -1,0 +1,76 @@
+#include "locality/reuse_distance.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/fenwick.hpp"
+
+namespace ocps {
+
+std::uint64_t StackDistanceHistogram::misses_at(std::size_t c) const {
+  std::uint64_t misses = cold_misses;
+  for (std::size_t d = c + 1; d < hist.size(); ++d) misses += hist[d];
+  return misses;
+}
+
+StackDistanceHistogram stack_distances(const Trace& trace) {
+  const std::size_t n = trace.length();
+  StackDistanceHistogram out;
+  out.trace_length = n;
+  out.hist.assign(n + 1, 0);
+  if (n == 0) return out;
+
+  // marks[t] == 1 iff position t is the *most recent* access of its block.
+  // The count of marks strictly between the previous access p and the
+  // current access t is the number of distinct other blocks in between;
+  // depth = that + 1.
+  Fenwick marks(n);
+  std::unordered_map<Block, std::size_t> last;  // block -> 0-indexed position
+  last.reserve(n / 4 + 16);
+  for (std::size_t t = 0; t < n; ++t) {
+    Block b = trace.accesses[t];
+    auto it = last.find(b);
+    if (it == last.end()) {
+      ++out.cold_misses;
+      last.emplace(b, t);
+    } else {
+      std::size_t p = it->second;
+      std::int64_t between = marks.range(p + 1, t == 0 ? 0 : t - 1);
+      std::size_t depth = static_cast<std::size_t>(between) + 1;
+      OCPS_CHECK(depth <= n, "impossible stack depth " << depth);
+      ++out.hist[depth];
+      marks.add(p, -1);
+      it->second = t;
+    }
+    marks.add(t, +1);
+  }
+  return out;
+}
+
+MissRatioCurve exact_lru_mrc(const StackDistanceHistogram& hist,
+                             std::size_t capacity) {
+  OCPS_CHECK(hist.trace_length > 0, "empty trace");
+  // Misses at size c = cold + Σ_{d > c} hist[d]: compute as a suffix sum
+  // so the whole curve costs O(n + capacity).
+  std::vector<double> ratios(capacity + 1, 0.0);
+  const double n = static_cast<double>(hist.trace_length);
+
+  std::uint64_t tail = 0;  // Σ_{d > capacity} hist[d]
+  for (std::size_t d = capacity + 1; d < hist.hist.size(); ++d)
+    tail += hist.hist[d];
+  // Walk c from capacity down to 0, growing the suffix.
+  std::uint64_t misses = hist.cold_misses + tail;
+  for (std::size_t c = capacity + 1; c-- > 0;) {
+    ratios[c] = static_cast<double>(misses) / n;
+    if (c < hist.hist.size() && c >= 1) misses += hist.hist[c];
+  }
+  // c = 0: every access misses by definition.
+  ratios[0] = 1.0;
+  return MissRatioCurve(std::move(ratios), hist.trace_length);
+}
+
+MissRatioCurve exact_lru_mrc(const Trace& trace, std::size_t capacity) {
+  return exact_lru_mrc(stack_distances(trace), capacity);
+}
+
+}  // namespace ocps

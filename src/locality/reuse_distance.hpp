@@ -1,0 +1,43 @@
+// Exact LRU stack distances (reuse distances) and the exact LRU miss-ratio
+// curve.
+//
+// The stack distance of an access is its depth in the LRU stack: the number
+// of distinct blocks touched since the previous access to the same block,
+// counting the block itself. A fully-associative LRU cache of size c hits
+// exactly the accesses with stack distance <= c, so one O(n log n) pass
+// (Fenwick tree over last-access positions — the Olken/Bennett-Kruskal
+// algorithm) yields the miss count for *every* cache size simultaneously.
+// This is the library's ground truth for validating the HOTL estimate and
+// the shared-cache simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locality/mrc.hpp"
+#include "trace/trace.hpp"
+
+namespace ocps {
+
+/// Stack-distance histogram of a trace.
+struct StackDistanceHistogram {
+  /// hist[d] = number of accesses with stack distance d (d >= 1).
+  std::vector<std::uint64_t> hist;
+  std::uint64_t cold_misses = 0;   ///< first-touch accesses (infinite sd)
+  std::uint64_t trace_length = 0;
+
+  /// Misses of a fully-associative LRU cache of size c.
+  std::uint64_t misses_at(std::size_t c) const;
+};
+
+/// Computes the exact stack-distance histogram in O(n log n).
+StackDistanceHistogram stack_distances(const Trace& trace);
+
+/// Exact fully-associative LRU miss-ratio curve for sizes 0..capacity.
+MissRatioCurve exact_lru_mrc(const Trace& trace, std::size_t capacity);
+
+/// Exact MRC from a precomputed histogram (avoids reprofiling).
+MissRatioCurve exact_lru_mrc(const StackDistanceHistogram& hist,
+                             std::size_t capacity);
+
+}  // namespace ocps

@@ -1,0 +1,52 @@
+// Bursty footprint sampling, after Wang et al.'s adaptive bursty footprint
+// (ABF) profiling (§VII-A: full-trace profiling costs ~23x slowdown; ABF
+// takes ~0.09s per program).
+//
+// Instead of profiling the whole trace, the sampler alternates bursts
+// (windows it profiles) with gaps (windows it skips). Each burst yields an
+// independent reuse/footprint estimate; averaging the per-burst footprint
+// curves estimates the full-trace footprint at a fraction of the cost.
+// The estimate is exact for stationary workloads as burst length grows;
+// the bench (bench_ablation_sampling) quantifies the accuracy/cost
+// trade-off that justifies the paper's use of full traces only "to have
+// reproducible results".
+#pragma once
+
+#include <cstdint>
+
+#include "locality/footprint.hpp"
+#include "trace/trace.hpp"
+
+namespace ocps {
+
+/// Burst/gap schedule.
+struct SamplingConfig {
+  std::size_t burst_length = 20000;  ///< accesses profiled per burst
+  std::size_t gap_length = 80000;    ///< accesses skipped between bursts
+  /// Jitter the gap lengths (uniform in [0.5, 1.5] * gap_length) to avoid
+  /// aliasing with periodic program phases; 0 disables.
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Result of a sampled profile.
+struct SampledFootprint {
+  FootprintCurve footprint;       ///< averaged over bursts; window range
+                                  ///  limited to the burst length
+  std::size_t bursts = 0;         ///< bursts taken
+  std::size_t profiled_accesses = 0;  ///< total accesses actually profiled
+  double sampling_fraction = 0.0;     ///< profiled / trace length
+};
+
+/// Profiles the trace under the burst schedule. The returned footprint is
+/// defined for windows up to the burst length (longer windows cannot be
+/// observed inside a burst). Throws CheckError on a degenerate schedule.
+SampledFootprint sampled_footprint(const Trace& trace,
+                                   const SamplingConfig& config);
+
+/// Convenience: maximum absolute footprint error vs a reference curve,
+/// evaluated on the sampled curve's window range. Used by tests and the
+/// ablation bench.
+double footprint_max_error(const FootprintCurve& reference,
+                           const FootprintCurve& sampled);
+
+}  // namespace ocps

@@ -1,0 +1,106 @@
+#include "locality/shards.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+namespace {
+// splitmix64 finalizer as the sampling hash: uniform over blocks,
+// independent of block-id structure (sequential ids, region offsets).
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+ShardsProfiler::ShardsProfiler(double rate, std::uint64_t seed)
+    : rate_(rate), salt_(seed) {
+  OCPS_CHECK(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+  // threshold = rate * 2^64, saturating.
+  long double scaled = static_cast<long double>(rate) * 18446744073709551616.0L;
+  threshold_ = (scaled >= 18446744073709551615.0L)
+                   ? ~0ULL
+                   : static_cast<std::uint64_t>(scaled);
+}
+
+bool ShardsProfiler::sampled(Block b) const {
+  if (rate_ >= 1.0) return true;
+  return mix(b ^ salt_) < threshold_;
+}
+
+void ShardsProfiler::observe(Block b) {
+  ++accesses_;
+  distinct_.insert(b);
+  if (sampled(b)) sampled_trace_.push_back(b);
+}
+
+double ShardsProfiler::effective_rate() const {
+  if (distinct_.empty()) return rate_;
+  const StackDistanceHistogram& h = histogram();
+  double sampled_distinct = static_cast<double>(h.cold_misses);
+  if (sampled_distinct <= 0.0) return rate_;
+  return sampled_distinct / static_cast<double>(distinct_.size());
+}
+
+const StackDistanceHistogram& ShardsProfiler::histogram() const {
+  if (hist_valid_for_ != sampled_trace_.size()) {
+    Trace t;
+    t.accesses = sampled_trace_;
+    hist_ = stack_distances(t);
+    hist_valid_for_ = sampled_trace_.size();
+  }
+  return hist_;
+}
+
+MissRatioCurve ShardsProfiler::estimate_mrc(std::size_t capacity) const {
+  if (sampled_trace_.empty()) {
+    // Nothing observed: conservatively predict all-miss.
+    return MissRatioCurve(std::vector<double>(capacity + 1, 1.0),
+                          std::max<std::uint64_t>(accesses_, 1));
+  }
+  const StackDistanceHistogram& h = histogram();
+  const double n = static_cast<double>(sampled_trace_.size());
+  const double eff = effective_rate();
+
+  // Cumulative sampled-domain misses: misses_at in suffix-sum form.
+  const std::size_t max_d = h.hist.size();
+  std::vector<double> suffix(max_d + 1, 0.0);
+  for (std::size_t d = max_d; d-- > 1;)
+    suffix[d] = suffix[d + 1] + static_cast<double>(h.hist[d]);
+
+  std::vector<double> ratios(capacity + 1, 0.0);
+  for (std::size_t c = 0; c <= capacity; ++c) {
+    // A true cache of c blocks holds ~c * f sampled blocks, with f the
+    // measured per-block sampling fraction.
+    double scaled = static_cast<double>(c) * eff;
+    std::size_t d0 = static_cast<std::size_t>(std::floor(scaled)) + 1;
+    double tail = (d0 < suffix.size()) ? suffix[d0] : 0.0;
+    double miss = (static_cast<double>(h.cold_misses) + tail) / n;
+    ratios[c] = std::clamp(miss, 0.0, 1.0);
+  }
+  ratios[0] = 1.0;
+  MissRatioCurve mrc(std::move(ratios),
+                     std::max<std::uint64_t>(accesses_, 1));
+  return mrc.monotone_repaired();
+}
+
+void ShardsProfiler::reset() {
+  accesses_ = 0;
+  sampled_trace_.clear();
+  distinct_.clear();
+  hist_ = StackDistanceHistogram{};
+  hist_valid_for_ = 0;
+}
+
+MissRatioCurve shards_mrc(const Trace& trace, double rate,
+                          std::size_t capacity, std::uint64_t seed) {
+  ShardsProfiler profiler(rate, seed);
+  for (Block b : trace.accesses) profiler.observe(b);
+  return profiler.estimate_mrc(capacity);
+}
+
+}  // namespace ocps

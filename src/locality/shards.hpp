@@ -1,0 +1,81 @@
+// Spatially-sampled stack distances (the SHARDS technique: sampled
+// hash-based reuse distance analysis).
+//
+// Full stack-distance profiling touches every access. Spatial sampling
+// instead tracks only the blocks whose hash falls under a threshold
+// (sampling rate R): references to sampled blocks are an R-fraction of
+// all references in expectation, and the sampled stack holds ~R times the
+// true distinct count, so a sampled depth d estimates a true depth d / R.
+// Miss ratios follow without knowing R's normalization:
+//
+//   mr(c) ~= (sampled cold + #{sampled accesses with depth > c*R})
+//            / (# sampled accesses).
+//
+// This is the tunable-cost online MRC estimator behind the paper's
+// "we assume the data can be collected in real time" (§VIII Practicality)
+// and the estimator the online repartitioning controller uses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "locality/mrc.hpp"
+#include "locality/reuse_distance.hpp"
+#include "trace/trace.hpp"
+
+namespace ocps {
+
+/// Streaming sampled stack-distance profiler. Feed accesses with
+/// observe(); read an MRC estimate at any time (lazy O(s log s) over the
+/// s sampled accesses, amortized by caching).
+class ShardsProfiler {
+ public:
+  /// rate in (0, 1]: the fraction of blocks tracked. rate == 1 reproduces
+  /// exact stack distances.
+  explicit ShardsProfiler(double rate, std::uint64_t seed = 0xCAFE);
+
+  /// Processes one access (cheap: one hash; a push if sampled).
+  void observe(Block b);
+
+  /// Number of accesses observed so far (sampled or not).
+  std::uint64_t accesses() const { return accesses_; }
+  /// Accesses that hit the sample set (cost proxy).
+  std::uint64_t sampled_accesses() const { return sampled_trace_.size(); }
+  double rate() const { return rate_; }
+  /// Measured per-block sampling fraction (falls back to the nominal rate
+  /// before anything distinct is seen).
+  double effective_rate() const;
+
+  /// Estimated miss-ratio curve for cache sizes 0..capacity (true-block
+  /// units). Returns an all-miss curve when nothing was sampled yet.
+  MissRatioCurve estimate_mrc(std::size_t capacity) const;
+
+  /// Resets all state (e.g. at an epoch boundary).
+  void reset();
+
+ private:
+  bool sampled(Block b) const;
+  const StackDistanceHistogram& histogram() const;
+
+  double rate_;
+  std::uint64_t threshold_;
+  std::uint64_t salt_;
+  std::uint64_t accesses_ = 0;
+  std::vector<Block> sampled_trace_;
+  // Exact distinct-block tracking: the estimator scales sampled depths by
+  // the *measured* per-block sampling fraction (sampled distinct / total
+  // distinct) rather than the nominal rate, which removes the bias the
+  // nominal rate has when the block population is small.
+  std::unordered_set<Block> distinct_;
+
+  // Lazy histogram cache.
+  mutable StackDistanceHistogram hist_;
+  mutable std::size_t hist_valid_for_ = 0;
+};
+
+/// One-shot convenience: sampled MRC of a whole trace.
+MissRatioCurve shards_mrc(const Trace& trace, double rate,
+                          std::size_t capacity, std::uint64_t seed = 0xCAFE);
+
+}  // namespace ocps

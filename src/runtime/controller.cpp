@@ -1,0 +1,107 @@
+#include "runtime/controller.hpp"
+
+#include <algorithm>
+
+#include "cachesim/lru.hpp"
+#include "core/baselines.hpp"
+#include "core/dp_partition.hpp"
+#include "locality/shards.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+
+ControllerResult run_online_controller(const InterleavedTrace& trace,
+                                       std::size_t num_programs,
+                                       const ControllerConfig& config) {
+  OCPS_CHECK(num_programs >= 1, "need at least one program");
+  OCPS_CHECK(config.capacity >= num_programs,
+             "capacity too small for one unit per program");
+  OCPS_CHECK(config.epoch_length >= 1, "epoch must be non-empty");
+  OCPS_CHECK(config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+             "ewma_alpha must be in (0, 1]");
+  OCPS_CHECK(config.min_units * num_programs <= config.capacity,
+             "per-program floors exceed capacity");
+  for (auto o : trace.owners)
+    OCPS_CHECK(o < num_programs, "owner id out of range");
+
+  const std::size_t p = num_programs;
+
+  // Start from the equal partition: the controller knows nothing yet.
+  std::vector<std::size_t> alloc = equal_partition(p, config.capacity);
+  std::vector<LruCache> partitions;
+  partitions.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) partitions.emplace_back(alloc[i]);
+
+  // One sampled profiler per program; reset every epoch so the estimate
+  // tracks the current phase. The EWMA blends successive epoch estimates.
+  std::vector<ShardsProfiler> profilers;
+  profilers.reserve(p);
+  for (std::size_t i = 0; i < p; ++i)
+    profilers.emplace_back(config.sampling_rate,
+                           config.sampling_seed + i * 1315423911ULL);
+
+  std::vector<std::vector<double>> ewma_cost(
+      p, std::vector<double>(config.capacity + 1, 0.0));
+  bool have_estimate = false;
+
+  ControllerResult out;
+  out.sim.accesses.assign(p, 0);
+  out.sim.misses.assign(p, 0);
+  out.alloc_history.push_back(alloc);
+
+  std::vector<std::uint64_t> epoch_accesses(p, 0);
+  std::uint64_t sampled_total = 0;
+
+  auto end_epoch = [&]() {
+    ++out.epochs;
+    // Fresh per-epoch cost curves: observed access count x estimated MRC.
+    for (std::size_t i = 0; i < p; ++i) {
+      MissRatioCurve mrc = profilers[i].estimate_mrc(config.capacity);
+      double weight = static_cast<double>(epoch_accesses[i]);
+      for (std::size_t c = 0; c <= config.capacity; ++c) {
+        double fresh = weight * mrc.ratio(c);
+        ewma_cost[i][c] = have_estimate
+                              ? config.ewma_alpha * fresh +
+                                    (1.0 - config.ewma_alpha) *
+                                        ewma_cost[i][c]
+                              : fresh;
+      }
+      sampled_total += profilers[i].sampled_accesses();
+      profilers[i].reset();
+      epoch_accesses[i] = 0;
+    }
+    have_estimate = true;
+
+    DpOptions options;
+    if (config.min_units > 0)
+      options.min_alloc.assign(p, config.min_units);
+    DpResult dp = optimize_partition(ewma_cost, config.capacity, options);
+    OCPS_CHECK(dp.feasible, "controller DP must be feasible");
+    alloc = dp.alloc;
+    for (std::size_t i = 0; i < p; ++i)
+      partitions[i].set_capacity(alloc[i]);
+    out.alloc_history.push_back(alloc);
+  };
+
+  for (std::size_t t = 0; t < trace.length(); ++t) {
+    if (t > 0 && (t % config.epoch_length) == 0) end_epoch();
+    std::uint32_t who = trace.owners[t];
+    Block b = trace.blocks[t];
+    profilers[who].observe(b);
+    ++epoch_accesses[who];
+    bool hit = partitions[who].access(b);
+    ++out.sim.accesses[who];
+    if (!hit) ++out.sim.misses[who];
+  }
+  // Account for the (partial) final epoch's sampling too.
+  for (const auto& profiler : profilers)
+    sampled_total += profiler.sampled_accesses();
+  out.sampled_fraction =
+      trace.length() == 0
+          ? 0.0
+          : static_cast<double>(sampled_total) /
+                static_cast<double>(trace.length());
+  return out;
+}
+
+}  // namespace ocps

@@ -1,0 +1,52 @@
+// Online repartitioning controller.
+//
+// The paper assumes "the data can be collected in real time" (§VIII
+// Practicality) but evaluates offline. This module closes the loop as a
+// runtime system would: each program is watched by a cheap sampled
+// profiler (SHARDS); at every epoch boundary the controller estimates
+// fresh miss-ratio curves from the *last* epoch's observations, runs the
+// DP, and resizes the per-program LRU partitions in place. The first
+// epoch runs under an equal partition (nothing is known yet).
+//
+// The bench (bench_online_controller) compares the controller against
+// the offline-oracle static DP (whole-trace profiles), equal
+// partitioning, and free-for-all sharing — including on workloads whose
+// behaviour shifts mid-run, where only the controller can follow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/corun.hpp"
+#include "trace/interleave.hpp"
+
+namespace ocps {
+
+/// Controller knobs.
+struct ControllerConfig {
+  std::size_t capacity = 1024;       ///< total cache units
+  std::size_t epoch_length = 50000;  ///< interleaved accesses per epoch
+  double sampling_rate = 0.05;       ///< SHARDS rate per program
+  std::uint64_t sampling_seed = 0x0C5;
+  /// Blend factor for the MRC estimate: weight of the newest epoch vs the
+  /// running estimate (1.0 = use only the latest epoch).
+  double ewma_alpha = 0.6;
+  /// Optional per-program floor (QoS units) enforced every epoch.
+  std::size_t min_units = 0;
+};
+
+/// Outcome of a controller run.
+struct ControllerResult {
+  CoRunResult sim;  ///< realized per-program accesses/misses
+  std::vector<std::vector<std::size_t>> alloc_history;  ///< per epoch
+  double sampled_fraction = 0.0;  ///< profiling cost proxy
+  std::size_t epochs = 0;
+};
+
+/// Runs the closed loop over an interleaved trace with `num_programs`
+/// programs. Throws CheckError on malformed input.
+ControllerResult run_online_controller(const InterleavedTrace& trace,
+                                       std::size_t num_programs,
+                                       const ControllerConfig& config);
+
+}  // namespace ocps

@@ -1,0 +1,169 @@
+#include "sched/symbiosis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/composition.hpp"
+#include "core/dp_partition.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+
+Schedule evaluate_schedule(const std::vector<const ProgramModel*>& programs,
+                           const std::vector<std::uint32_t>& cache_of,
+                           std::size_t num_caches, std::size_t capacity) {
+  OCPS_CHECK(cache_of.size() == programs.size(),
+             "assignment must cover every program");
+  const std::size_t p = programs.size();
+  Schedule out;
+  out.cache_of = cache_of;
+  out.per_program_mr.assign(p, 0.0);
+
+  for (std::size_t cache = 0; cache < num_caches; ++cache) {
+    std::vector<const ProgramModel*> residents;
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < p; ++i) {
+      OCPS_CHECK(cache_of[i] < num_caches,
+                 "program " << i << " assigned to missing cache");
+      if (cache_of[i] == cache) {
+        residents.push_back(programs[i]);
+        indices.push_back(i);
+      }
+    }
+    if (residents.empty()) continue;
+    CoRunGroup group(std::move(residents));
+    auto mrs =
+        predict_shared_miss_ratios(group, static_cast<double>(capacity));
+    for (std::size_t k = 0; k < indices.size(); ++k)
+      out.per_program_mr[indices[k]] = mrs[k];
+  }
+
+  double rate_total = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    rate_total += programs[i]->access_rate;
+    weighted += programs[i]->access_rate * out.per_program_mr[i];
+  }
+  out.overall_mr = rate_total > 0.0 ? weighted / rate_total : 0.0;
+  return out;
+}
+
+Schedule best_schedule_exhaustive(
+    const std::vector<const ProgramModel*>& programs, std::size_t num_caches,
+    std::size_t capacity) {
+  OCPS_CHECK(!programs.empty(), "no programs to schedule");
+  OCPS_CHECK(num_caches >= 1, "need at least one cache");
+  Schedule best;
+  best.overall_mr = std::numeric_limits<double>::infinity();
+
+  for_each_set_partition(
+      static_cast<std::uint32_t>(programs.size()),
+      static_cast<std::uint32_t>(num_caches),
+      [&](const SetPartition& groups) {
+        std::vector<std::uint32_t> cache_of(programs.size());
+        for (std::size_t g = 0; g < groups.size(); ++g)
+          for (std::uint32_t member : groups[g])
+            cache_of[member] = static_cast<std::uint32_t>(g);
+        Schedule s =
+            evaluate_schedule(programs, cache_of, num_caches, capacity);
+        if (s.overall_mr < best.overall_mr) best = std::move(s);
+        return true;
+      });
+  OCPS_CHECK(best.overall_mr !=
+                 std::numeric_limits<double>::infinity(),
+             "no schedule examined");
+  return best;
+}
+
+Schedule best_schedule_partitioned(
+    const std::vector<const ProgramModel*>& programs, std::size_t num_caches,
+    std::size_t capacity) {
+  OCPS_CHECK(!programs.empty(), "no programs to schedule");
+  OCPS_CHECK(num_caches >= 1, "need at least one cache");
+  const std::size_t p = programs.size();
+
+  Schedule best;
+  best.overall_mr = std::numeric_limits<double>::infinity();
+
+  for_each_set_partition(
+      static_cast<std::uint32_t>(p), static_cast<std::uint32_t>(num_caches),
+      [&](const SetPartition& groups) {
+        Schedule s;
+        s.cache_of.assign(p, 0);
+        s.per_program_mr.assign(p, 0.0);
+        double weighted = 0.0, rate_total = 0.0;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          // Optimal intra-cache partition for this cache's residents.
+          std::vector<std::vector<double>> cost;
+          cost.reserve(groups[g].size());
+          for (std::uint32_t member : groups[g]) {
+            s.cache_of[member] = static_cast<std::uint32_t>(g);
+            std::vector<double> row(capacity + 1);
+            for (std::size_t c = 0; c <= capacity; ++c)
+              row[c] = programs[member]->access_rate *
+                       programs[member]->mrc.ratio(c);
+            cost.push_back(std::move(row));
+          }
+          DpResult dp = optimize_partition(cost, capacity);
+          OCPS_CHECK(dp.feasible, "intra-cache DP must be feasible");
+          for (std::size_t k = 0; k < groups[g].size(); ++k) {
+            std::uint32_t member = groups[g][k];
+            double mr = programs[member]->mrc.ratio(dp.alloc[k]);
+            s.per_program_mr[member] = mr;
+            weighted += programs[member]->access_rate * mr;
+            rate_total += programs[member]->access_rate;
+          }
+        }
+        s.overall_mr = rate_total > 0.0 ? weighted / rate_total : 0.0;
+        if (s.overall_mr < best.overall_mr) best = std::move(s);
+        return true;
+      });
+  OCPS_CHECK(best.overall_mr != std::numeric_limits<double>::infinity(),
+             "no schedule examined");
+  return best;
+}
+
+Schedule best_schedule_greedy(const std::vector<const ProgramModel*>& programs,
+                              std::size_t num_caches, std::size_t capacity) {
+  OCPS_CHECK(!programs.empty(), "no programs to schedule");
+  OCPS_CHECK(num_caches >= 1, "need at least one cache");
+  const std::size_t p = programs.size();
+
+  // Place heavy-traffic programs first: they perturb peers the most, so
+  // early placement gives later, lighter programs room to avoid them.
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return programs[a]->access_rate > programs[b]->access_rate;
+  });
+
+  constexpr std::uint32_t kUnassigned = ~0u;
+  std::vector<std::uint32_t> cache_of(p, kUnassigned);
+  for (std::size_t step = 0; step < p; ++step) {
+    std::size_t i = order[step];
+    double best_mr = std::numeric_limits<double>::infinity();
+    std::uint32_t best_cache = 0;
+    for (std::uint32_t cache = 0; cache < num_caches; ++cache) {
+      // Evaluate the partial schedule with i tentatively on `cache`;
+      // unassigned programs are excluded from the trial.
+      std::vector<const ProgramModel*> placed;
+      std::vector<std::uint32_t> placed_cache;
+      for (std::size_t j = 0; j < p; ++j) {
+        std::uint32_t cj = (j == i) ? cache : cache_of[j];
+        if (cj == kUnassigned) continue;
+        placed.push_back(programs[j]);
+        placed_cache.push_back(cj);
+      }
+      Schedule trial =
+          evaluate_schedule(placed, placed_cache, num_caches, capacity);
+      if (trial.overall_mr < best_mr) {
+        best_mr = trial.overall_mr;
+        best_cache = cache;
+      }
+    }
+    cache_of[i] = best_cache;
+  }
+  return evaluate_schedule(programs, cache_of, num_caches, capacity);
+}
+
+}  // namespace ocps

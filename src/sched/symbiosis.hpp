@@ -1,0 +1,56 @@
+// Co-run scheduling onto multiple shared caches (§II scenario 1; the
+// "optimal program symbiosis" problem of Wang et al. that the paper builds
+// on).
+//
+// Given npr programs and nc identical caches of C units each, assign every
+// program to a cache so that the overall (access-weighted) miss ratio is
+// minimized. Each cache's performance is modelled by the composition
+// theory: its resident programs share it free-for-all, i.e. the natural
+// partition. The search space is the Stirling-number grouping space of
+// Eq. 1; we provide an exhaustive optimizer for small npr and a greedy
+// heuristic for larger instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "combinatorics/enumerate.hpp"
+#include "core/program_model.hpp"
+
+namespace ocps {
+
+/// An assignment of programs to caches.
+struct Schedule {
+  /// cache_of[i] = cache index of program i (0..num_caches-1).
+  std::vector<std::uint32_t> cache_of;
+  double overall_mr = 0.0;             ///< access-weighted across programs
+  std::vector<double> per_program_mr;
+};
+
+/// Predicted outcome of a fixed assignment.
+Schedule evaluate_schedule(const std::vector<const ProgramModel*>& programs,
+                           const std::vector<std::uint32_t>& cache_of,
+                           std::size_t num_caches, std::size_t capacity);
+
+/// Exhaustive optimizer over all ways to split the programs across at most
+/// num_caches caches (empty caches allowed when programs < caches).
+/// Exponential in the number of programs; fine for <= ~12.
+Schedule best_schedule_exhaustive(
+    const std::vector<const ProgramModel*>& programs, std::size_t num_caches,
+    std::size_t capacity);
+
+/// Greedy heuristic: programs in decreasing access-rate order, each placed
+/// on the cache whose predicted overall miss ratio increases least.
+Schedule best_schedule_greedy(const std::vector<const ProgramModel*>& programs,
+                              std::size_t num_caches, std::size_t capacity);
+
+/// The full §II problem: multiple caches, each *partitioned* among its
+/// residents by the DP (rather than shared free-for-all). Exhaustively
+/// searches groupings; within each cache runs optimize_partition. By the
+/// reduction theorem this upper-bounds every sharing/partition-sharing
+/// configuration of the same machine.
+Schedule best_schedule_partitioned(
+    const std::vector<const ProgramModel*>& programs, std::size_t num_caches,
+    std::size_t capacity);
+
+}  // namespace ocps

@@ -1,0 +1,99 @@
+// Synthetic trace generators.
+//
+// The paper's results are functions of per-program miss-ratio-curve shapes,
+// so the generators here are chosen to produce the locality classes seen in
+// SPEC CPU2006:
+//
+//  * streaming / cyclic scans   -> flat-high or single-cliff MRCs (the LRU
+//                                  pathological case; non-convex),
+//  * sawtooth scans             -> LRU-friendly, near-linear MRCs,
+//  * Zipfian / hot-cold mixes   -> smooth convex MRCs,
+//  * phased compositions        -> multi-cliff non-convex MRCs,
+//  * stack-distance driven      -> any target MRC sculpted directly.
+//
+// All generators are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ocps {
+
+/// Cyclic sequential scan over `wss` blocks: 0,1,...,wss-1,0,1,...
+/// Under LRU this is the classic thrash pattern: miss ratio 1 below the
+/// working-set size, ~0 above it (a cliff).
+Trace make_cyclic(std::size_t length, std::size_t wss);
+
+/// Pure stream: every access touches a fresh block (no reuse; compulsory
+/// misses only). Models `lbm`-like behaviour where no realistic cache helps.
+Trace make_stream(std::size_t length);
+
+/// Forward-then-backward scan over `wss` blocks (0..wss-1, wss-2..0, ...).
+/// LRU-friendly: the miss ratio decreases roughly smoothly with cache size.
+Trace make_sawtooth(std::size_t length, std::size_t wss);
+
+/// Zipfian accesses over `blocks` blocks with exponent alpha > 0.
+/// Produces smooth convex MRCs typical of pointer-chasing integer codes.
+Trace make_zipf(std::size_t length, std::size_t blocks, double alpha,
+                std::uint64_t seed);
+
+/// Uniform random accesses over `blocks` blocks.
+Trace make_uniform(std::size_t length, std::size_t blocks, std::uint64_t seed);
+
+/// Mixture: with probability hot_fraction access one of `hot_blocks` blocks
+/// (uniformly), otherwise one of `cold_blocks` blocks. Two-regime convex MRC.
+Trace make_hot_cold(std::size_t length, std::size_t hot_blocks,
+                    std::size_t cold_blocks, double hot_fraction,
+                    std::uint64_t seed);
+
+/// A background scan component of a scan-mix workload.
+struct ScanComponent {
+  std::size_t wss = 0;      ///< blocks in the scanned region
+  double fraction = 0.0;    ///< share of accesses that hit this scan
+};
+
+/// SPEC-like composite: a Zipfian hot set plus one or more cyclic
+/// background scans over disjoint regions. The hot set keeps the base miss
+/// ratio low; each scan adds a miss-ratio plateau of height ~`fraction`
+/// that drops off (a cliff) once the cache covers wss + hot_blocks — the
+/// non-convex MRC shape of mcf/soplex-style programs, at realistic
+/// (few-percent) miss-ratio magnitudes. alpha == 0 selects a uniform hot
+/// set.
+Trace make_scan_mix(std::size_t length, std::size_t hot_blocks, double alpha,
+                    const std::vector<ScanComponent>& scans,
+                    std::uint64_t seed);
+
+/// One phase of a phased workload.
+struct Phase {
+  std::size_t length = 0;    ///< accesses in this phase
+  std::size_t wss = 1;       ///< working-set size of the phase
+  Block block_offset = 0;    ///< block-id offset (phases may overlap or not)
+  bool sawtooth = false;     ///< sawtooth (true) or cyclic (false) scan
+};
+
+/// Concatenates phases and repeats the whole phase sequence `repeats` times.
+/// Distinct per-phase working sets yield multi-cliff, non-convex MRCs and
+/// the strong phase behaviour of Fig. 1.
+Trace make_phased(const std::vector<Phase>& phases, std::size_t repeats);
+
+/// Stack-distance-driven generator: at every step draws a reuse (stack)
+/// depth d >= 1 from `depth_sampler`; accesses the d-th most-recently-used
+/// block, or a brand-new block when d exceeds the current stack. Because an
+/// LRU cache of size c misses exactly the accesses with stack distance > c,
+/// this sculpts the miss-ratio curve directly: mr(c) ~= P(d > c).
+Trace make_sd_driven(std::size_t length,
+                     const std::function<std::size_t(Rng&)>& depth_sampler,
+                     std::uint64_t seed);
+
+/// Convenience wrapper over make_sd_driven: draws stack depths from the
+/// discrete distribution {depth[i] with weight weight[i]}; a depth of
+/// SIZE_MAX means "new block".
+Trace make_sd_mixture(std::size_t length,
+                      const std::vector<std::size_t>& depths,
+                      const std::vector<double>& weights, std::uint64_t seed);
+
+}  // namespace ocps

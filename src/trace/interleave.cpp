@@ -1,0 +1,96 @@
+#include "trace/interleave.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ocps {
+
+namespace {
+
+// Gives each program a disjoint block-id region: program i's blocks are
+// offset into [i * kRegion, ...). Region width must exceed any program's
+// distinct block count; 2^40 is beyond anything we generate.
+constexpr Block kRegion = Block{1} << 40;
+
+void validate(const std::vector<Trace>& traces,
+              const std::vector<double>& rates) {
+  OCPS_CHECK(!traces.empty(), "need at least one trace");
+  OCPS_CHECK(traces.size() == rates.size(), "rates must parallel traces");
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    OCPS_CHECK(!traces[i].empty(), "trace " << i << " is empty");
+    OCPS_CHECK(rates[i] > 0.0, "rate " << i << " must be positive");
+  }
+}
+
+}  // namespace
+
+InterleavedTrace interleave_proportional(const std::vector<Trace>& traces,
+                                         const std::vector<double>& rates,
+                                         std::size_t total_length) {
+  validate(traces, rates);
+  const std::size_t p = traces.size();
+  double rate_sum = 0.0;
+  for (double r : rates) rate_sum += r;
+
+  InterleavedTrace out;
+  out.blocks.reserve(total_length);
+  out.owners.reserve(total_length);
+
+  // Largest-remainder scheduling: at each step pick the program whose
+  // emitted share lags its target share the most. credit[i] accumulates
+  // r_i/Σr per step and is decremented by 1 when i is chosen.
+  std::vector<double> credit(p, 0.0);
+  std::vector<std::size_t> cursor(p, 0);
+  for (std::size_t k = 0; k < total_length; ++k) {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      credit[i] += rates[i] / rate_sum;
+      if (credit[i] > credit[best]) best = i;
+    }
+    credit[best] -= 1.0;
+    const Trace& t = traces[best];
+    out.blocks.push_back(t.accesses[cursor[best]] +
+                         static_cast<Block>(best) * kRegion);
+    out.owners.push_back(static_cast<std::uint32_t>(best));
+    cursor[best] = (cursor[best] + 1) % t.length();
+  }
+  return out;
+}
+
+InterleavedTrace interleave_stochastic(const std::vector<Trace>& traces,
+                                       const std::vector<double>& rates,
+                                       std::size_t total_length,
+                                       std::uint64_t seed) {
+  validate(traces, rates);
+  const std::size_t p = traces.size();
+  double rate_sum = 0.0;
+  for (double r : rates) rate_sum += r;
+  std::vector<double> cdf(p);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    acc += rates[i] / rate_sum;
+    cdf[i] = acc;
+  }
+
+  Rng rng(seed);
+  InterleavedTrace out;
+  out.blocks.reserve(total_length);
+  out.owners.reserve(total_length);
+  std::vector<std::size_t> cursor(p, 0);
+  for (std::size_t k = 0; k < total_length; ++k) {
+    double u = rng.uniform();
+    std::size_t i = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    i = std::min(i, p - 1);
+    const Trace& t = traces[i];
+    out.blocks.push_back(t.accesses[cursor[i]] +
+                         static_cast<Block>(i) * kRegion);
+    out.owners.push_back(static_cast<std::uint32_t>(i));
+    cursor[i] = (cursor[i] + 1) % t.length();
+  }
+  return out;
+}
+
+}  // namespace ocps

@@ -1,0 +1,50 @@
+#include "trace/trace.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+std::size_t Trace::distinct_blocks() const {
+  std::unordered_set<Block> seen;
+  seen.reserve(accesses.size() / 4 + 16);
+  for (Block b : accesses) seen.insert(b);
+  return seen.size();
+}
+
+Trace Trace::relabeled(Block base) const {
+  Trace out;
+  out.accesses.reserve(accesses.size());
+  std::unordered_map<Block, Block> remap;
+  remap.reserve(accesses.size() / 4 + 16);
+  Block next = base;
+  for (Block b : accesses) {
+    auto [it, inserted] = remap.try_emplace(b, next);
+    if (inserted) ++next;
+    out.accesses.push_back(it->second);
+  }
+  return out;
+}
+
+void Trace::append(const Trace& other) {
+  accesses.insert(accesses.end(), other.accesses.begin(),
+                  other.accesses.end());
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  s.length = trace.length();
+  if (trace.empty()) return s;
+  s.distinct = trace.distinct_blocks();
+  s.min_block = trace.accesses.front();
+  s.max_block = trace.accesses.front();
+  for (Block b : trace.accesses) {
+    s.min_block = std::min(s.min_block, b);
+    s.max_block = std::max(s.max_block, b);
+  }
+  return s;
+}
+
+}  // namespace ocps

@@ -1,0 +1,47 @@
+// Memory access traces.
+//
+// A trace is a sequence of block identifiers (one "datum" per cache block /
+// allocation unit, matching the paper's unit system). Everything downstream
+// — reuse times, footprints, miss-ratio curves, simulators — consumes this
+// type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocps {
+
+/// Identifier of a cache-block-sized datum.
+using Block = std::uint64_t;
+
+/// A memory access trace: the sequence of blocks touched by one program.
+struct Trace {
+  std::vector<Block> accesses;
+
+  std::size_t length() const { return accesses.size(); }
+  bool empty() const { return accesses.empty(); }
+
+  /// Number of distinct blocks in the trace (the paper's m).
+  std::size_t distinct_blocks() const;
+
+  /// Remaps block ids to a dense range [base, base + distinct). Preserves
+  /// first-appearance order. Used to give co-run programs disjoint address
+  /// spaces before interleaving (the paper's programs share no data).
+  Trace relabeled(Block base) const;
+
+  /// Appends another trace's accesses (no relabeling).
+  void append(const Trace& other);
+};
+
+/// Per-trace statistics useful in tests and reports.
+struct TraceStats {
+  std::size_t length = 0;
+  std::size_t distinct = 0;
+  Block min_block = 0;
+  Block max_block = 0;
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace ocps

@@ -1,0 +1,107 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+namespace {
+constexpr char kMagic[8] = {'O', 'C', 'P', 'S', 'T', 'R', 'C', '1'};
+}
+
+void save_trace_binary(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  OCPS_CHECK(os.good(), "cannot open " << path << " for writing");
+  os.write(kMagic, sizeof(kMagic));
+  std::uint64_t n = trace.accesses.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(trace.accesses.data()),
+           static_cast<std::streamsize>(n * sizeof(Block)));
+  OCPS_CHECK(os.good(), "write failed for " << path);
+}
+
+Trace load_trace_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  OCPS_CHECK(is.good(), "cannot open " << path << " for reading");
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  OCPS_CHECK(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+             "bad trace file header in " << path);
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  OCPS_CHECK(is.good(), "truncated trace file " << path);
+  Trace t;
+  t.accesses.resize(n);
+  is.read(reinterpret_cast<char*>(t.accesses.data()),
+          static_cast<std::streamsize>(n * sizeof(Block)));
+  OCPS_CHECK(is.good(), "truncated trace payload in " << path);
+  return t;
+}
+
+namespace {
+
+Trace parse_address_stream(std::istream& is, std::uint64_t block_bytes) {
+  OCPS_CHECK(block_bytes >= 1, "block size must be positive");
+  Trace t;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first, second;
+    if (!(ls >> first)) continue;
+    // Optional access-type prefix (R/W/I, case-insensitive).
+    std::string addr_token = first;
+    if (first.size() == 1 &&
+        (first == "R" || first == "W" || first == "I" || first == "r" ||
+         first == "w" || first == "i")) {
+      OCPS_CHECK(static_cast<bool>(ls >> second),
+                 "missing address after access type on line " << lineno);
+      addr_token = second;
+    }
+    char* end = nullptr;
+    std::uint64_t addr = std::strtoull(addr_token.c_str(), &end, 0);
+    OCPS_CHECK(end && *end == '\0' && end != addr_token.c_str(),
+               "bad address '" << addr_token << "' on line " << lineno);
+    t.accesses.push_back(addr / block_bytes);
+  }
+  return t;
+}
+
+}  // namespace
+
+Trace parse_address_trace(const std::string& text,
+                          std::uint64_t block_bytes) {
+  std::istringstream is(text);
+  return parse_address_stream(is, block_bytes);
+}
+
+Trace load_address_trace(const std::string& path,
+                         std::uint64_t block_bytes) {
+  std::ifstream is(path);
+  OCPS_CHECK(is.good(), "cannot open " << path << " for reading");
+  return parse_address_stream(is, block_bytes);
+}
+
+Trace parse_token_trace(const std::string& text) {
+  std::istringstream is(text);
+  std::unordered_map<std::string, Block> ids;
+  Trace t;
+  std::string token;
+  while (is >> token) {
+    auto [it, inserted] = ids.try_emplace(token, static_cast<Block>(ids.size()));
+    (void)inserted;
+    t.accesses.push_back(it->second);
+  }
+  return t;
+}
+
+}  // namespace ocps

@@ -1,0 +1,34 @@
+// Trace persistence: a simple binary format plus a line-oriented text
+// format for hand-written fixtures (the Fig. 1 and Fig. 3 example traces
+// live in tests as text).
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace ocps {
+
+/// Writes the trace as little-endian u64 block ids with a small header.
+/// Throws CheckError on IO failure.
+void save_trace_binary(const Trace& trace, const std::string& path);
+
+/// Reads a trace written by save_trace_binary.
+Trace load_trace_binary(const std::string& path);
+
+/// Parses a whitespace-separated token trace, mapping each distinct token
+/// to a dense block id in first-appearance order. Letters, words, and
+/// numbers all work: "a a x b b y" gives blocks 0 0 1 2 2 3.
+Trace parse_token_trace(const std::string& text);
+
+/// Parses a line-oriented address trace: one memory address per line
+/// (decimal or 0x-hex; an optional leading R/W/I token is ignored; blank
+/// lines and lines starting with '#' are skipped). Addresses are mapped to
+/// block ids by dividing by block_bytes — the format produced by simple
+/// Pin/Valgrind tools.
+Trace parse_address_trace(const std::string& text, std::uint64_t block_bytes);
+
+/// Reads an address-trace file (same format) from disk.
+Trace load_address_trace(const std::string& path, std::uint64_t block_bytes);
+
+}  // namespace ocps

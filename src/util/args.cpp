@@ -1,0 +1,85 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     const std::vector<std::string>& flags) {
+  bool options_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (options_done || token.empty() || token[0] != '-' || token == "-") {
+      positional_.push_back(token);
+      continue;
+    }
+    if (token == "--") {
+      options_done = true;
+      continue;
+    }
+    std::string name = token;
+    while (!name.empty() && name[0] == '-') name.erase(name.begin());
+    // --key=value form.
+    auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      options_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    bool is_flag =
+        std::find(flags.begin(), flags.end(), name) != flags.end();
+    if (is_flag || i + 1 >= argc) {
+      options_[name] = "";
+    } else {
+      options_[name] = argv[++i];
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  OCPS_CHECK(end && *end == '\0' && end != it->second.c_str(),
+             "option --" << name << " expects an integer, got '"
+                         << it->second << "'");
+  return static_cast<std::int64_t>(v);
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  OCPS_CHECK(end && *end == '\0' && end != it->second.c_str(),
+             "option --" << name << " expects a number, got '" << it->second
+                         << "'");
+  return v;
+}
+
+std::vector<std::string> ArgParser::unknown_options(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) == known.end())
+      out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace ocps

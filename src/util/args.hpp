@@ -1,0 +1,44 @@
+// Minimal command-line argument parsing for the ocps CLI tool.
+//
+// Grammar: positionals and --key value / --flag options, in any order.
+// "--" ends option parsing. Unknown options are collected and can be
+// rejected by the caller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ocps {
+
+/// Parsed argv.
+class ArgParser {
+ public:
+  /// `flags` lists option names that take no value (booleans); everything
+  /// else given as --name consumes the following token as its value.
+  ArgParser(int argc, const char* const* argv,
+            const std::vector<std::string>& flags = {});
+
+  const std::vector<std::string>& positionals() const { return positional_; }
+
+  bool has(const std::string& name) const;
+
+  /// Value accessors with defaults; throw CheckError when the stored value
+  /// does not parse.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Options that were passed but are not in `known`; callers use this to
+  /// reject typos.
+  std::vector<std::string> unknown_options(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;  // flag -> "" for booleans
+};
+
+}  // namespace ocps

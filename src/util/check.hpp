@@ -1,0 +1,43 @@
+// Checked assertions used across the ocps library.
+//
+// OCPS_CHECK is always on (including release builds): the library is a
+// research instrument and silent corruption of a result is worse than an
+// abort. Failures throw ocps::CheckError carrying file/line and a formatted
+// message, so tests can assert on them and harness binaries can report them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ocps {
+
+/// Error thrown when an OCPS_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OCPS_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace ocps
+
+/// Always-on invariant check. Usage: OCPS_CHECK(x > 0, "x=" << x);
+#define OCPS_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream ocps_check_os_;                                   \
+      ocps_check_os_ << "" __VA_ARGS__;                                    \
+      ::ocps::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                   ocps_check_os_.str());                  \
+    }                                                                      \
+  } while (0)

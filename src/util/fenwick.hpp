@@ -1,0 +1,48 @@
+// Fenwick (binary indexed) tree over integer positions, used by the exact
+// stack-distance profiler: marking last-access positions and counting marks
+// in a range gives the number of distinct blocks touched between two
+// accesses in O(log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+/// Fenwick tree of int64 counters over positions [0, size).
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t size) : tree_(size + 1, 0) {}
+
+  std::size_t size() const { return tree_.size() - 1; }
+
+  /// Adds delta at position i.
+  void add(std::size_t i, std::int64_t delta) {
+    OCPS_CHECK(i < size(), "Fenwick add out of range: " << i);
+    for (std::size_t x = i + 1; x < tree_.size(); x += x & (~x + 1))
+      tree_[x] += delta;
+  }
+
+  /// Sum of positions [0, i] inclusive.
+  std::int64_t prefix(std::size_t i) const {
+    OCPS_CHECK(i < size(), "Fenwick prefix out of range: " << i);
+    std::int64_t s = 0;
+    for (std::size_t x = i + 1; x > 0; x -= x & (~x + 1)) s += tree_[x];
+    return s;
+  }
+
+  /// Sum of positions [lo, hi] inclusive; zero when lo > hi.
+  std::int64_t range(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return 0;
+    std::int64_t s = prefix(hi);
+    if (lo > 0) s -= prefix(lo - 1);
+    return s;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace ocps

@@ -1,0 +1,60 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/config.hpp"
+
+namespace ocps {
+
+std::size_t parallel_thread_count() {
+  std::int64_t forced = env_int("OCPS_THREADS", 0);
+  if (forced > 0) return static_cast<std::size_t>(forced);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads = std::min(parallel_thread_count(), n);
+  if (threads <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic scheduling: workers claim chunks from a shared counter so that
+  // uneven per-item cost (e.g. DP with different bounds) balances out.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) return;
+      std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ocps

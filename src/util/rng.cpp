@@ -1,0 +1,69 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro must not be seeded with an all-zero state; splitmix64 of any
+  // seed (including 0) yields a non-degenerate state.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  OCPS_CHECK(bound > 0, "Rng::below requires a positive bound");
+  // Lemire's method: unbiased without a modulo in the common case.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  OCPS_CHECK(lo <= hi, "Rng::range requires lo <= hi");
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+}  // namespace ocps

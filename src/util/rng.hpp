@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (trace generators, stochastic
+// interleaving) is seeded explicitly so that the whole evaluation is
+// reproducible bit-for-bit. We use xoshiro256** seeded via splitmix64 —
+// fast, high quality, and independent of the standard library's
+// implementation-defined engines.
+#pragma once
+
+#include <cstdint>
+
+namespace ocps {
+
+/// splitmix64 step; used for seeding and cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ocps

@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  const std::size_t n = xs.size();
+  s.median = (n % 2 == 1) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = (n > 1) ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  OCPS_CHECK(!xs.empty(), "percentile of empty sample");
+  OCPS_CHECK(p >= 0.0 && p <= 100.0, "p out of range: " << p);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double t = rank - static_cast<double>(lo);
+  return xs[lo] + t * (xs[hi] - xs[lo]);
+}
+
+double fraction_at_least(const std::vector<double>& xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t k = 0;
+  for (double x : xs)
+    if (x >= threshold) ++k;
+  return static_cast<double>(k) / static_cast<double>(xs.size());
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  OCPS_CHECK(xs.size() == ys.size(), "pearson: length mismatch");
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  double mx = mean_of(xs), my = mean_of(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ocps

@@ -1,0 +1,38 @@
+// Summary statistics used by the evaluation harness (Table I reports Max /
+// Avg / Median improvements and the fraction of groups improved by at least
+// a threshold).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ocps {
+
+/// Summary of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes min/max/mean/median/stddev of xs. Empty input yields a
+/// zero-initialized Summary with count == 0.
+Summary summarize(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty xs.
+double percentile(std::vector<double> xs, double p);
+
+/// Fraction of xs (in [0,1]) that are >= threshold. Zero for empty input.
+double fraction_at_least(const std::vector<double>& xs, double threshold);
+
+/// Arithmetic mean; zero for empty input.
+double mean_of(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample has zero variance.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace ocps

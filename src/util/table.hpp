@@ -1,0 +1,41 @@
+// Fixed-width text tables and CSV output for the benchmark harness.
+//
+// Every bench binary prints the paper's table/figure data both as an
+// aligned human-readable table (stdout) and, when asked, as CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ocps {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+  /// Formats a ratio as a percentage string, e.g. 0.264 -> "26.40%".
+  static std::string pct(double v, int precision = 2);
+
+  /// Writes the aligned table to os.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV to os.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ocps

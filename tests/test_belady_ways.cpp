@@ -1,0 +1,127 @@
+// Tests for Belady/OPT and the way-partitioned (CAT-style) cache.
+#include <gtest/gtest.h>
+
+#include "cachesim/belady.hpp"
+#include "cachesim/lru.hpp"
+#include "cachesim/way_partitioned.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+namespace {
+
+TEST(Belady, ClassicExample) {
+  // a b c a b c, C=2. OPT: a(miss) b(miss) c(miss, bypassed — its next
+  // use is farther than both residents') a(hit) b(hit) c(miss).
+  Trace t;
+  t.accesses = {0, 1, 2, 0, 1, 2};
+  BeladyResult r = simulate_belady(t, 2);
+  EXPECT_EQ(r.misses, 4u);
+}
+
+TEST(Belady, ZeroCapacityMissesAll) {
+  Trace t = make_cyclic(100, 5);
+  BeladyResult r = simulate_belady(t, 0);
+  EXPECT_EQ(r.misses, 100u);
+}
+
+TEST(Belady, PerfectWhenEverythingFits) {
+  Trace t = make_cyclic(1000, 10);
+  BeladyResult r = simulate_belady(t, 10);
+  EXPECT_EQ(r.misses, 10u);  // compulsory only
+}
+
+TEST(Belady, CyclicScanHalfCacheHitRatio) {
+  // Cyclic over W blocks with capacity c: OPT retains c-1 loop blocks,
+  // hit ratio ~ (c-1)/W in steady state (vs LRU's zero).
+  const std::size_t W = 100, c = 50;
+  Trace t = make_cyclic(100000, W);
+  BeladyResult opt = simulate_belady(t, c);
+  LruCache lru(c);
+  for (Block b : t.accesses) lru.access(b);
+  EXPECT_GT(lru.miss_ratio(), 0.99);
+  EXPECT_NEAR(opt.miss_ratio(), 1.0 - (static_cast<double>(c - 1) / W),
+              0.02);
+}
+
+// Property: OPT never misses more than LRU (it is the offline optimum).
+class BeladyDominates : public ::testing::TestWithParam<int> {};
+
+TEST_P(BeladyDominates, NeverWorseThanLru) {
+  Trace t;
+  switch (GetParam()) {
+    case 0: t = make_zipf(30000, 300, 0.9, 101); break;
+    case 1: t = make_uniform(30000, 250, 102); break;
+    case 2: t = make_cyclic(30000, 200); break;
+    case 3: t = make_hot_cold(30000, 20, 300, 0.7, 103); break;
+    case 4: t = make_sawtooth(30000, 180); break;
+    default: FAIL();
+  }
+  for (std::size_t c : {16u, 64u, 150u}) {
+    BeladyResult opt = simulate_belady(t, c);
+    LruCache lru(c);
+    for (Block b : t.accesses) lru.access(b);
+    EXPECT_LE(opt.misses, lru.misses()) << "c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BeladyDominates, ::testing::Range(0, 5));
+
+TEST(WayPartitioned, QuotaLimitsOccupancy) {
+  // Program 0 with quota 1 of 4 ways cannot keep 2 blocks that collide in
+  // one set; with a 1-set cache every block collides.
+  WayPartitionedCache cache(1, 4, {1, 3});
+  cache.access(10, 0);
+  cache.access(20, 0);  // evicts 10 (own quota 1)
+  EXPECT_FALSE(cache.access(10, 0));
+  // Program 1 can hold 3.
+  cache.access(1, 1);
+  cache.access(2, 1);
+  cache.access(3, 1);
+  EXPECT_TRUE(cache.access(1, 1));
+  EXPECT_TRUE(cache.access(2, 1));
+  EXPECT_TRUE(cache.access(3, 1));
+}
+
+TEST(WayPartitioned, ZeroQuotaBypasses) {
+  WayPartitionedCache cache(1, 2, {0, 2});
+  EXPECT_FALSE(cache.access(5, 0));
+  EXPECT_FALSE(cache.access(5, 0));  // never cached
+  EXPECT_EQ(cache.misses(0), 2u);
+}
+
+TEST(WayPartitioned, RejectsOvercommittedQuotas) {
+  EXPECT_THROW(WayPartitionedCache(4, 4, {3, 3}), CheckError);
+  EXPECT_THROW(WayPartitionedCache(3, 4, {2, 2}), CheckError);  // not pow2
+}
+
+TEST(WayPartitioned, IsolatesPrograms) {
+  // A thrashing neighbour cannot evict a quota-protected program's data.
+  Trace small = make_cyclic(4000, 8);
+  Trace thrash = make_stream(4000);
+  InterleavedTrace mix =
+      interleave_proportional({small, thrash}, {1.0, 1.0}, 8000);
+  WayPartitionResult r =
+      simulate_way_partitioned(mix, 16, 8, {4, 4}, /*warmup=*/1000);
+  // 16 sets x 4 ways = 64 lines for program 0 >> its 8 blocks.
+  EXPECT_LT(r.per_program_mr[0], 0.02);
+  EXPECT_GT(r.per_program_mr[1], 0.98);
+}
+
+TEST(WaysFromAlloc, LargestRemainderAndFloors) {
+  auto ways = ways_from_alloc({512, 256, 256, 0}, 1024, 16);
+  EXPECT_EQ(ways[0], 8u);
+  EXPECT_EQ(ways[1], 4u);
+  EXPECT_EQ(ways[2], 4u);
+  EXPECT_EQ(ways[3], 0u);
+  // A tiny but nonzero allocation still gets one way.
+  auto ways2 = ways_from_alloc({1000, 20, 4}, 1024, 16);
+  std::size_t total = ways2[0] + ways2[1] + ways2[2];
+  EXPECT_LE(total, 16u);
+  EXPECT_GE(ways2[1], 1u);
+  EXPECT_GE(ways2[2], 1u);
+}
+
+}  // namespace
+}  // namespace ocps

@@ -1,0 +1,259 @@
+// Tests for src/cachesim: LRU, set-associative, shared / partitioned /
+// partition-sharing co-run simulation.
+#include <gtest/gtest.h>
+
+#include "cachesim/corun.hpp"
+#include "cachesim/lru.hpp"
+#include "cachesim/set_assoc.hpp"
+#include "locality/reuse_distance.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+namespace {
+
+TEST(Lru, BasicHitMissSequence) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.access(1));  // miss
+  EXPECT_FALSE(cache.access(2));  // miss
+  EXPECT_TRUE(cache.access(1));   // hit
+  EXPECT_FALSE(cache.access(3));  // miss, evicts 2 (LRU)
+  EXPECT_FALSE(cache.access(2));  // miss
+  EXPECT_TRUE(cache.access(3));   // hit
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache cache(3);
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);
+  cache.access(1);        // 2 is now LRU
+  cache.access(4);        // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  Block victim = 0;
+  EXPECT_TRUE(cache.last_eviction(&victim));
+  EXPECT_EQ(victim, 2u);
+}
+
+TEST(Lru, ZeroCapacityAlwaysMisses) {
+  LruCache cache(0);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Lru, SizeNeverExceedsCapacity) {
+  LruCache cache(5);
+  for (Block b = 0; b < 100; ++b) cache.access(b % 17);
+  EXPECT_LE(cache.size(), 5u);
+}
+
+TEST(Lru, ResetClearsEverything) {
+  LruCache cache(4);
+  cache.access(1);
+  cache.access(2);
+  cache.reset();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Lru, InclusionProperty) {
+  // Misses must be non-increasing in capacity (stack property of LRU).
+  Trace t = make_zipf(20000, 300, 0.8, 21);
+  std::uint64_t prev = ~0ull;
+  for (std::size_t c : {1, 5, 20, 60, 120, 250, 400}) {
+    LruCache cache(c);
+    for (Block b : t.accesses) cache.access(b);
+    EXPECT_LE(cache.misses(), prev) << "c=" << c;
+    prev = cache.misses();
+  }
+}
+
+TEST(SetAssoc, FullyAssociativeEquivalence) {
+  // 1 set of k ways is exactly a k-entry fully-associative LRU.
+  Trace t = make_zipf(5000, 60, 1.0, 22);
+  SetAssociativeCache sa(1, 16);
+  LruCache fa(16);
+  for (Block b : t.accesses) {
+    bool h1 = sa.access(b);
+    bool h2 = fa.access(b);
+    ASSERT_EQ(h1, h2);
+  }
+  EXPECT_EQ(sa.misses(), fa.misses());
+}
+
+TEST(SetAssoc, RejectsNonPowerOfTwoSets) {
+  EXPECT_THROW(SetAssociativeCache(3, 4), CheckError);
+  EXPECT_THROW(SetAssociativeCache(4, 0), CheckError);
+}
+
+TEST(SetAssoc, HigherAssociativityApproachesFullyAssociative) {
+  Trace t = make_zipf(40000, 500, 0.9, 23);
+  LruCache fa(256);
+  for (Block b : t.accesses) fa.access(b);
+  double fa_mr = fa.miss_ratio();
+
+  SetAssociativeCache low(64, 4);    // 256 blocks, 4-way
+  SetAssociativeCache high(16, 16);  // 256 blocks, 16-way
+  for (Block b : t.accesses) {
+    low.access(b);
+    high.access(b);
+  }
+  double err_low = std::abs(low.miss_ratio() - fa_mr);
+  double err_high = std::abs(high.miss_ratio() - fa_mr);
+  EXPECT_LE(err_high, err_low + 0.01);
+  EXPECT_LT(err_high, 0.05);
+}
+
+TEST(SetAssoc, CapacityIsSetsTimesWays) {
+  SetAssociativeCache sa(8, 4);
+  EXPECT_EQ(sa.capacity(), 32u);
+}
+
+InterleavedTrace two_program_mix(std::size_t len = 20000) {
+  Trace a = make_zipf(5000, 80, 1.0, 24);
+  Trace b = make_cyclic(5000, 50);
+  return interleave_proportional({a, b}, {1.0, 1.0}, len);
+}
+
+TEST(CoRun, SharedAttributesAllAccesses) {
+  InterleavedTrace mix = two_program_mix();
+  CoRunResult r = simulate_shared(mix, 100);
+  EXPECT_EQ(r.total_accesses(), mix.length());
+  EXPECT_EQ(r.accesses.size(), 2u);
+  EXPECT_GT(r.accesses[0], 0u);
+  EXPECT_GT(r.accesses[1], 0u);
+}
+
+TEST(CoRun, SharedOccupancySumsToCapacityWhenWarm) {
+  InterleavedTrace mix = two_program_mix(40000);
+  CoRunOptions opt;
+  opt.warmup = 5000;
+  opt.occupancy_period = 16;
+  CoRunResult r = simulate_shared(mix, 100, opt);
+  ASSERT_EQ(r.mean_occupancy.size(), 2u);
+  double total = r.mean_occupancy[0] + r.mean_occupancy[1];
+  EXPECT_NEAR(total, 100.0, 1e-6);  // warm cache stays full
+}
+
+TEST(CoRun, SharedEqualsSingleCacheOnWholeTrace) {
+  InterleavedTrace mix = two_program_mix();
+  CoRunResult r = simulate_shared(mix, 64);
+  LruCache cache(64);
+  std::uint64_t misses = 0;
+  for (Block b : mix.blocks)
+    if (!cache.access(b)) ++misses;
+  EXPECT_EQ(r.total_misses(), misses);
+}
+
+TEST(CoRun, PartitionedMatchesIndependentRuns) {
+  Trace a = make_zipf(5000, 80, 1.0, 25);
+  Trace b = make_cyclic(5000, 50);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 10000);
+  CoRunResult r = simulate_partitioned(mix, {60, 40});
+
+  // Each program alone in its partition: replay the same per-program
+  // sub-streams into private caches.
+  LruCache ca(60), cb(40);
+  std::uint64_t miss_a = 0, miss_b = 0;
+  for (std::size_t i = 0; i < mix.length(); ++i) {
+    if (mix.owners[i] == 0) {
+      if (!ca.access(mix.blocks[i])) ++miss_a;
+    } else {
+      if (!cb.access(mix.blocks[i])) ++miss_b;
+    }
+  }
+  EXPECT_EQ(r.misses[0], miss_a);
+  EXPECT_EQ(r.misses[1], miss_b);
+}
+
+TEST(CoRun, PartitionSharingOneGroupEqualsShared) {
+  InterleavedTrace mix = two_program_mix();
+  CoRunResult shared = simulate_shared(mix, 80);
+  CoRunResult one_group =
+      simulate_partition_sharing(mix, {0, 0}, {80});
+  EXPECT_EQ(shared.total_misses(), one_group.total_misses());
+  EXPECT_EQ(shared.misses[0], one_group.misses[0]);
+  EXPECT_EQ(shared.misses[1], one_group.misses[1]);
+}
+
+TEST(CoRun, PartitionSharingSingletonsEqualsPartitioned) {
+  InterleavedTrace mix = two_program_mix();
+  CoRunResult a = simulate_partitioned(mix, {50, 30});
+  CoRunResult b = simulate_partition_sharing(mix, {0, 1}, {50, 30});
+  EXPECT_EQ(a.misses[0], b.misses[0]);
+  EXPECT_EQ(a.misses[1], b.misses[1]);
+}
+
+TEST(CoRun, WarmupExcludedFromStats) {
+  InterleavedTrace mix = two_program_mix(10000);
+  CoRunOptions opt;
+  opt.warmup = 4000;
+  CoRunResult r = simulate_shared(mix, 64, opt);
+  EXPECT_EQ(r.total_accesses(), 6000u);
+}
+
+TEST(CoRun, RejectsIncompleteGroupMap) {
+  InterleavedTrace mix = two_program_mix();
+  EXPECT_THROW(simulate_partition_sharing(mix, {0}, {64}), CheckError);
+  EXPECT_THROW(simulate_partition_sharing(mix, {0, 3}, {64}), CheckError);
+}
+
+TEST(CoRun, SharedMissRatiosBracketPartitioning) {
+  // Sanity: a cache big enough for everything gives only cold misses in
+  // all schemes.
+  Trace a = make_cyclic(4000, 30);
+  Trace b = make_cyclic(4000, 40);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 8000);
+  CoRunResult shared = simulate_shared(mix, 100);
+  CoRunResult part = simulate_partitioned(mix, {50, 50});
+  EXPECT_EQ(shared.total_misses(), 70u);
+  EXPECT_EQ(part.total_misses(), 70u);
+}
+
+TEST(CoRun, Fig1PartitionSharingBeatsBothExtremes) {
+  // The paper's Fig. 1 scenario, scaled up: cores 1-2 stream (polluters),
+  // cores 3-4 alternate large/small working sets in antiphase. Sharing a
+  // partition lets 3 and 4 use the space alternately; full sharing lets
+  // the streams pollute; full partitioning starves the peaks.
+  const std::size_t phase = 400;
+  const std::size_t reps = 30;
+  // Antiphase phased programs over the same region sizes.
+  std::vector<Phase> big_small = {{phase, 48, 0, false},
+                                  {phase, 4, 0, false}};
+  std::vector<Phase> small_big = {{phase, 4, 0, false},
+                                  {phase, 48, 0, false}};
+  Trace c3 = make_phased(big_small, reps);
+  Trace c4 = make_phased(small_big, reps);
+  Trace c1 = make_stream(phase * reps * 2);
+  Trace c2 = make_stream(phase * reps * 2);
+
+  std::vector<Trace> traces = {c1, c2, c3, c4};
+  std::vector<double> rates = {1.0, 1.0, 1.0, 1.0};
+  InterleavedTrace mix =
+      interleave_proportional(traces, rates, phase * reps * 8);
+
+  const std::size_t C = 64;
+  CoRunResult shared = simulate_shared(mix, C);
+  // Best static partitioning must give both 3 and 4 enough for their large
+  // phase simultaneously: impossible within C once streams get anything.
+  CoRunResult partitioned = simulate_partitioned(mix, {4, 4, 28, 28});
+  // Partition-sharing: wall off one unit for each stream, let 3 and 4
+  // share the rest (56 units >= 48 + 4 in any phase combination).
+  CoRunResult sharing_scheme =
+      simulate_partition_sharing(mix, {0, 1, 2, 2}, {4, 4, 56});
+
+  EXPECT_LT(sharing_scheme.group_miss_ratio(),
+            partitioned.group_miss_ratio());
+  EXPECT_LT(sharing_scheme.group_miss_ratio(), shared.group_miss_ratio());
+}
+
+}  // namespace
+}  // namespace ocps

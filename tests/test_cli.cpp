@@ -1,0 +1,86 @@
+// Tests for the CLI plumbing: argument parsing and address-trace formats.
+#include <gtest/gtest.h>
+
+#include "trace/trace_io.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+namespace {
+
+ArgParser parse(std::vector<const char*> argv,
+                const std::vector<std::string>& flags = {}) {
+  argv.insert(argv.begin(), "prog");
+  return ArgParser(static_cast<int>(argv.size()), argv.data(), flags);
+}
+
+TEST(Args, PositionalsAndOptions) {
+  ArgParser a = parse({"optimize", "a.fp", "b.fp", "--capacity", "512"});
+  ASSERT_EQ(a.positionals().size(), 3u);
+  EXPECT_EQ(a.positionals()[0], "optimize");
+  EXPECT_EQ(a.get_int("capacity", 0), 512);
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+}
+
+TEST(Args, EqualsSyntax) {
+  ArgParser a = parse({"--capacity=64", "--rate=2.5"});
+  EXPECT_EQ(a.get_int("capacity", 0), 64);
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Args, BooleanFlagsDontConsumeValues) {
+  ArgParser a = parse({"--binary", "trace.bin"}, {"binary"});
+  EXPECT_TRUE(a.has("binary"));
+  ASSERT_EQ(a.positionals().size(), 1u);
+  EXPECT_EQ(a.positionals()[0], "trace.bin");
+}
+
+TEST(Args, DoubleDashEndsOptions) {
+  ArgParser a = parse({"--x", "1", "--", "--not-an-option"});
+  EXPECT_EQ(a.get_int("x", 0), 1);
+  ASSERT_EQ(a.positionals().size(), 1u);
+  EXPECT_EQ(a.positionals()[0], "--not-an-option");
+}
+
+TEST(Args, BadNumberThrows) {
+  ArgParser a = parse({"--capacity", "lots"});
+  EXPECT_THROW(a.get_int("capacity", 0), CheckError);
+}
+
+TEST(Args, UnknownOptionsDetected) {
+  ArgParser a = parse({"--capcity", "512", "--rate", "1"});
+  auto unknown = a.unknown_options({"capacity", "rate"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "capcity");
+}
+
+TEST(AddressTrace, ParsesDecimalAndHex) {
+  Trace t = parse_address_trace("0\n64\n0x80\n64\n", 64);
+  EXPECT_EQ(t.accesses, (std::vector<Block>{0, 1, 2, 1}));
+}
+
+TEST(AddressTrace, SkipsCommentsAndTypePrefixes) {
+  Trace t = parse_address_trace(
+      "# header\n"
+      "R 0x100\n"
+      "W 0x140\n"
+      "\n"
+      "I 0x100  # trailing comment\n",
+      64);
+  EXPECT_EQ(t.accesses, (std::vector<Block>{4, 5, 4}));
+}
+
+TEST(AddressTrace, BlockGranularityMatters) {
+  Trace fine = parse_address_trace("0\n32\n64\n", 32);
+  Trace coarse = parse_address_trace("0\n32\n64\n", 64);
+  EXPECT_EQ(fine.distinct_blocks(), 3u);
+  EXPECT_EQ(coarse.distinct_blocks(), 2u);
+}
+
+TEST(AddressTrace, RejectsGarbage) {
+  EXPECT_THROW(parse_address_trace("not-an-address\n", 64), CheckError);
+  EXPECT_THROW(parse_address_trace("R\n", 64), CheckError);
+}
+
+}  // namespace
+}  // namespace ocps

@@ -1,0 +1,213 @@
+// Unit + property tests for src/combinatorics, including the paper's §II
+// search-space numbers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "combinatorics/counting.hpp"
+#include "combinatorics/enumerate.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+namespace {
+
+std::uint64_t as_u64(std::optional<unsigned __int128> v) {
+  EXPECT_TRUE(v.has_value());
+  return static_cast<std::uint64_t>(*v);
+}
+
+TEST(Counting, BinomialKnownValues) {
+  EXPECT_EQ(as_u64(binomial128(0, 0)), 1u);
+  EXPECT_EQ(as_u64(binomial128(5, 2)), 10u);
+  EXPECT_EQ(as_u64(binomial128(10, 10)), 1u);
+  EXPECT_EQ(as_u64(binomial128(10, 11)), 0u);
+  EXPECT_EQ(as_u64(binomial128(52, 5)), 2598960u);
+}
+
+TEST(Counting, BinomialSymmetry) {
+  for (std::uint64_t n = 1; n <= 30; ++n)
+    for (std::uint64_t k = 0; k <= n; ++k)
+      EXPECT_EQ(as_u64(binomial128(n, k)), as_u64(binomial128(n, n - k)));
+}
+
+TEST(Counting, BinomialPascalRecurrence) {
+  for (std::uint64_t n = 2; n <= 25; ++n)
+    for (std::uint64_t k = 1; k < n; ++k)
+      EXPECT_EQ(as_u64(binomial128(n, k)),
+                as_u64(binomial128(n - 1, k)) +
+                    as_u64(binomial128(n - 1, k - 1)));
+}
+
+TEST(Counting, BinomialDoubleMatchesExact) {
+  EXPECT_DOUBLE_EQ(binomial_double(52, 5), 2598960.0);
+  EXPECT_DOUBLE_EQ(binomial_double(5, 9), 0.0);
+}
+
+TEST(Counting, StirlingKnownValues) {
+  // Triangle rows from OEIS A008277.
+  EXPECT_EQ(as_u64(stirling2_128(0, 0)), 1u);
+  EXPECT_EQ(as_u64(stirling2_128(4, 2)), 7u);
+  EXPECT_EQ(as_u64(stirling2_128(5, 3)), 25u);
+  EXPECT_EQ(as_u64(stirling2_128(7, 3)), 301u);
+  EXPECT_EQ(as_u64(stirling2_128(10, 5)), 42525u);
+  EXPECT_EQ(as_u64(stirling2_128(4, 0)), 0u);
+  EXPECT_EQ(as_u64(stirling2_128(3, 5)), 0u);
+}
+
+TEST(Counting, StirlingRowSumsAreBellNumbers) {
+  // Bell numbers: 1, 1, 2, 5, 15, 52, 203, 877, 4140.
+  const std::uint64_t bell[] = {1, 1, 2, 5, 15, 52, 203, 877, 4140};
+  for (std::uint64_t n = 1; n <= 8; ++n) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t k = 1; k <= n; ++k) sum += as_u64(stirling2_128(n, k));
+    EXPECT_EQ(sum, bell[n]) << "n=" << n;
+  }
+}
+
+TEST(Counting, PaperSectionIINumbers) {
+  // §II: npr = 4, C = 8MB / 64B = 131072.
+  auto s2 = search_space_partition_sharing(4, 131072);
+  auto s3 = search_space_partitioning(4, 131072);
+  ASSERT_TRUE(s2.has_value());
+  ASSERT_TRUE(s3.has_value());
+  EXPECT_EQ(to_string_u128(*s2), "375368690761743");
+  EXPECT_EQ(to_string_u128(*s3), "375317149057025");
+  // "the solution set of partitioning-only covers 99.99% of the solution
+  // set of partition-sharing"
+  double coverage = static_cast<double>(*s3) / static_cast<double>(*s2);
+  EXPECT_GT(coverage, 0.9998);
+  EXPECT_LT(coverage, 1.0);
+}
+
+TEST(Counting, PaperSharingSpaceIsStirling) {
+  // §II Eq. 1 with 4 programs and 2 caches: {4 \atop 2} = 7.
+  EXPECT_EQ(as_u64(search_space_sharing(4, 2)), 7u);
+}
+
+TEST(Counting, Paper8KBGranularitySpace) {
+  // §VII-A: ~180 million partitionings per 4-program group at 1024 units.
+  auto s3 = search_space_partitioning(4, 1024);
+  ASSERT_TRUE(s3.has_value());
+  double v = static_cast<double>(*s3);
+  EXPECT_GT(v, 1.7e8);
+  EXPECT_LT(v, 1.9e8);
+}
+
+TEST(Enumerate, SetPartitionCountsMatchStirlingSums) {
+  for (std::uint32_t n = 1; n <= 8; ++n) {
+    std::uint64_t visited = 0;
+    for_each_set_partition(n, 0, [&](const SetPartition&) {
+      ++visited;
+      return true;
+    });
+    EXPECT_EQ(visited, count_set_partitions(n, 0)) << "n=" << n;
+  }
+}
+
+TEST(Enumerate, SetPartitionWithMaxGroups) {
+  std::uint64_t visited = 0;
+  for_each_set_partition(5, 2, [&](const SetPartition& p) {
+    EXPECT_LE(p.size(), 2u);
+    ++visited;
+    return true;
+  });
+  // {5 1} + {5 2} = 1 + 15 = 16.
+  EXPECT_EQ(visited, 16u);
+}
+
+TEST(Enumerate, SetPartitionsAreDistinctAndComplete) {
+  std::set<std::vector<std::vector<std::uint32_t>>> seen;
+  for_each_set_partition(6, 0, [&](const SetPartition& p) {
+    std::size_t total = 0;
+    for (const auto& g : p) total += g.size();
+    EXPECT_EQ(total, 6u);  // every element in exactly one group
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate partition";
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 203u);  // Bell(6)
+}
+
+TEST(Enumerate, EarlyStopRespected) {
+  std::uint64_t visited = 0;
+  for_each_set_partition(7, 0, [&](const SetPartition&) {
+    return ++visited < 5;
+  });
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(Enumerate, CompositionsCountAndSum) {
+  std::uint64_t visited = 0;
+  for_each_composition(3, 7, 0, [&](const std::vector<std::uint32_t>& c) {
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0] + c[1] + c[2], 7u);
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, count_compositions(3, 7, 0));
+  EXPECT_EQ(visited, 36u);  // C(9, 2)
+}
+
+TEST(Enumerate, CompositionsWithMinimum) {
+  std::uint64_t visited = 0;
+  for_each_composition(3, 7, 2, [&](const std::vector<std::uint32_t>& c) {
+    for (auto v : c) EXPECT_GE(v, 2u);
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, count_compositions(3, 7, 2));
+  EXPECT_EQ(visited, 3u);  // compositions of 1 into 3 parts
+}
+
+TEST(Enumerate, CompositionInfeasibleMinimum) {
+  std::uint64_t visited = 0;
+  for_each_composition(4, 3, 1, [&](const std::vector<std::uint32_t>&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(count_compositions(4, 3, 1), 0u);
+}
+
+TEST(Enumerate, SubsetsLexicographicAndComplete) {
+  std::vector<std::vector<std::uint32_t>> subsets = all_subsets(5, 3);
+  EXPECT_EQ(subsets.size(), 10u);
+  EXPECT_EQ(subsets.front(), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(subsets.back(), (std::vector<std::uint32_t>{2, 3, 4}));
+  for (const auto& s : subsets) {
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  }
+}
+
+TEST(Enumerate, PaperGroupCount) {
+  // §VII-A: all 4-program subsets of 16 programs = 1820 groups.
+  EXPECT_EQ(all_subsets(16, 4).size(), 1820u);
+}
+
+// Property sweep: enumeration count equals the closed-form count.
+class CompositionCountProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CompositionCountProperty, EnumerationMatchesFormula) {
+  auto [k, total, minimum] = GetParam();
+  std::uint64_t visited = 0;
+  for_each_composition(static_cast<std::uint32_t>(k),
+                       static_cast<std::uint32_t>(total),
+                       static_cast<std::uint32_t>(minimum),
+                       [&](const std::vector<std::uint32_t>&) {
+                         ++visited;
+                         return true;
+                       });
+  EXPECT_EQ(visited,
+            count_compositions(static_cast<std::uint32_t>(k),
+                               static_cast<std::uint32_t>(total),
+                               static_cast<std::uint32_t>(minimum)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompositionCountProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0, 1, 5, 9),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace ocps

@@ -1,0 +1,209 @@
+// Tests for the performance model (slowdown / ANTT / STP) and phase-aware
+// dynamic repartitioning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cachesim/corun.hpp"
+#include "core/dp_partition.hpp"
+#include "core/performance.hpp"
+#include "core/phase_aware.hpp"
+#include "locality/phases.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+namespace {
+
+ProgramModel model_of(const std::string& name, const Trace& trace,
+                      double rate, std::size_t capacity) {
+  return make_program_model(name, rate, compute_footprint(trace), capacity);
+}
+
+TEST(Performance, SoloRunHasUnitSlowdown) {
+  ProgramModel m = model_of("solo", make_zipf(20000, 100, 1.0, 81), 1.0, 128);
+  CoRunGroup g({&m});
+  std::vector<double> mr = {m.mrc.ratio(128)};
+  PerfMetrics perf = performance_metrics(g, mr, 128);
+  EXPECT_NEAR(perf.slowdown[0], 1.0, 1e-12);
+  EXPECT_NEAR(perf.antt, 1.0, 1e-12);
+  EXPECT_NEAR(perf.stp, 1.0, 1e-12);
+}
+
+TEST(Performance, HigherMissRatioMeansHigherSlowdown) {
+  ProgramModel a = model_of("a", make_zipf(20000, 150, 0.9, 82), 1.0, 128);
+  ProgramModel b = model_of("b", make_cyclic(20000, 90), 1.0, 128);
+  CoRunGroup g({&a, &b});
+  PerfMetrics tight = performance_metrics(g, {0.30, 0.30}, 128);
+  PerfMetrics loose = performance_metrics(g, {0.05, 0.05}, 128);
+  EXPECT_GT(tight.antt, loose.antt);
+  EXPECT_LT(tight.stp, loose.stp);
+  EXPECT_LE(loose.stp, 2.0 + 1e-12);  // P programs: STP <= P
+}
+
+TEST(Performance, MissPenaltyScalesTheEffect) {
+  ProgramModel m = model_of("m", make_zipf(20000, 150, 0.9, 83), 1.0, 128);
+  CoRunGroup g({&m});
+  LatencyModel cheap{1.0, 2.0};
+  LatencyModel dear{1.0, 200.0};
+  PerfMetrics p_cheap = performance_metrics(g, {0.5}, 128, cheap);
+  PerfMetrics p_dear = performance_metrics(g, {0.5}, 128, dear);
+  EXPECT_GT(p_dear.antt, p_cheap.antt);
+}
+
+TEST(Performance, SlowdownCostCurvesDriveTheDp) {
+  // Minimizing Σ slowdown-costs is a valid DP objective (the paper: "any
+  // cost function"); the result must allocate everything and have cost
+  // >= P (each term is >= 1 at full cache by definition).
+  ProgramModel a = model_of("a", make_zipf(30000, 200, 0.9, 84), 2.0, 200);
+  ProgramModel b = model_of("b", make_cyclic(30000, 120), 1.0, 200);
+  CoRunGroup g({&a, &b});
+  auto cost = slowdown_cost_curves(g, 200);
+  DpResult dp = optimize_partition(cost, 200);
+  ASSERT_TRUE(dp.feasible);
+  EXPECT_EQ(dp.alloc[0] + dp.alloc[1], 200u);
+  EXPECT_GE(dp.objective_value, 2.0 - 1e-9);
+  // Sanity: per-unit costs never below 1 (nothing runs faster than solo
+  // with the full cache — LRU inclusion).
+  for (const auto& row : cost)
+    for (double v : row) EXPECT_GE(v, 1.0 - 1e-9);
+}
+
+TEST(PhaseAware, ProfileSplitsEvenly) {
+  std::vector<Trace> traces = {make_cyclic(12000, 30),
+                               make_cyclic(12000, 50)};
+  EpochProfile prof = profile_epochs(traces, {1.0, 1.0}, 4, 64);
+  EXPECT_EQ(prof.num_epochs(), 4u);
+  EXPECT_EQ(prof.epoch_length, 3000u);
+  for (const auto& epoch : prof.epoch_models) {
+    ASSERT_EQ(epoch.size(), 2u);
+    EXPECT_EQ(epoch[0].distinct, 30u);
+    EXPECT_EQ(epoch[1].distinct, 50u);
+  }
+}
+
+TEST(PhaseAware, RejectsRaggedInput) {
+  std::vector<Trace> traces = {make_cyclic(100, 5), make_cyclic(99, 5)};
+  EXPECT_THROW(profile_epochs(traces, {1.0, 1.0}, 2, 16), CheckError);
+}
+
+TEST(PhaseAware, PlanAdaptsToAntiphaseWorkingSets) {
+  // Program 0: big set then small; program 1: small then big. The
+  // per-epoch optimizer should flip the split between epochs.
+  const std::size_t phase = 6000;
+  std::vector<Phase> big_small = {{phase, 80, 0, false},
+                                  {phase, 8, 0, false}};
+  std::vector<Phase> small_big = {{phase, 8, 0, false},
+                                  {phase, 80, 0, false}};
+  std::vector<Trace> traces = {make_phased(big_small, 1),
+                               make_phased(small_big, 1)};
+  EpochProfile prof = profile_epochs(traces, {1.0, 1.0}, 2, 96);
+  PhaseAwarePlan plan = phase_aware_optimize(prof, 96);
+  ASSERT_EQ(plan.alloc_per_epoch.size(), 2u);
+  EXPECT_GT(plan.alloc_per_epoch[0][0], plan.alloc_per_epoch[0][1]);
+  EXPECT_LT(plan.alloc_per_epoch[1][0], plan.alloc_per_epoch[1][1]);
+}
+
+TEST(PhaseAware, DynamicBeatsStaticOnAntiphase) {
+  const std::size_t phase = 4000, reps = 6;
+  std::vector<Phase> big_small = {{phase, 80, 0, false},
+                                  {phase, 8, 0, false}};
+  std::vector<Phase> small_big = {{phase, 8, 0, false},
+                                  {phase, 80, 0, false}};
+  std::vector<Trace> traces = {make_phased(big_small, reps),
+                               make_phased(small_big, reps)};
+  const std::size_t n_each = phase * 2 * reps;
+  InterleavedTrace mix =
+      interleave_proportional(traces, {1.0, 1.0}, n_each * 2);
+  const std::size_t C = 96;
+
+  // Static best (by symmetry, the even split).
+  CoRunResult statics = simulate_partitioned(mix, {C / 2, C / 2});
+
+  // Phase-aware plan with one epoch per phase.
+  EpochProfile prof = profile_epochs(traces, {1.0, 1.0}, 2 * reps, C);
+  PhaseAwarePlan plan = phase_aware_optimize(prof, C);
+  CoRunResult dynamic = simulate_dynamic_partitioned(mix, plan);
+
+  EXPECT_LT(dynamic.group_miss_ratio(), statics.group_miss_ratio() * 0.8);
+  // And it should be competitive with free-for-all sharing (the Fig. 1
+  // advantage recovered by repartitioning).
+  CoRunResult shared = simulate_shared(mix, C);
+  EXPECT_LT(dynamic.group_miss_ratio(),
+            shared.group_miss_ratio() + 0.02);
+}
+
+TEST(PhaseAware, DynamicMatchesStaticOnStationaryWorkloads) {
+  std::vector<Trace> traces = {make_uniform(24000, 60, 85),
+                               make_uniform(24000, 60, 86)};
+  InterleavedTrace mix = interleave_proportional(traces, {1.0, 1.0}, 48000);
+  const std::size_t C = 80;
+  EpochProfile prof = profile_epochs(traces, {1.0, 1.0}, 6, C);
+  PhaseAwarePlan plan = phase_aware_optimize(prof, C);
+  CoRunResult dynamic = simulate_dynamic_partitioned(mix, plan);
+  CoRunResult statics = simulate_partitioned(mix, {C / 2, C / 2});
+  EXPECT_NEAR(dynamic.group_miss_ratio(), statics.group_miss_ratio(), 0.05);
+}
+
+TEST(PhaseAware, VariableEpochsFromDetectedBoundaries) {
+  // Asymmetric phases (60%/40% of the run): uniform epochs straddle the
+  // switch; boundaries from the phase detector land on it exactly.
+  const std::size_t n = 50000;
+  std::vector<Phase> a_phases = {{30000, 90, 0, false},
+                                 {20000, 8, 0, false}};
+  std::vector<Phase> b_phases = {{30000, 8, 0, false},
+                                 {20000, 90, 0, false}};
+  std::vector<Trace> traces = {make_phased(a_phases, 1),
+                               make_phased(b_phases, 1)};
+  const std::size_t C = 104;
+
+  // Merge detected boundaries from both programs.
+  PhaseDetectorConfig det;
+  det.window = 2000;
+  std::vector<std::size_t> boundaries;
+  for (const auto& t : traces) {
+    for (const auto& seg : detect_phases(t, det))
+      if (seg.begin > 0) boundaries.push_back(seg.begin);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  ASSERT_GE(boundaries.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(boundaries[0]), 30000.0, 2500.0);
+
+  VariableEpochProfile prof =
+      profile_epochs_at(traces, {1.0, 1.0}, boundaries, C);
+  VariablePhasePlan plan = phase_aware_optimize_at(prof, C);
+  ASSERT_EQ(plan.alloc_per_epoch.size(), boundaries.size() + 1);
+  // First epoch favours program 0's 90-block set; last favours program 1.
+  EXPECT_GT(plan.alloc_per_epoch.front()[0],
+            plan.alloc_per_epoch.front()[1]);
+  EXPECT_LT(plan.alloc_per_epoch.back()[0], plan.alloc_per_epoch.back()[1]);
+
+  InterleavedTrace mix =
+      interleave_proportional(traces, {1.0, 1.0}, n * 2);
+  CoRunResult dynamic = simulate_variable_partitioned(mix, plan, 2);
+  CoRunResult statics = simulate_partitioned(mix, {C / 2, C / 2});
+  EXPECT_LT(dynamic.group_miss_ratio(), statics.group_miss_ratio() * 0.8);
+}
+
+TEST(PhaseAware, VariableProfileRejectsBadBoundaries) {
+  std::vector<Trace> traces = {make_cyclic(1000, 5)};
+  EXPECT_THROW(profile_epochs_at(traces, {1.0}, {500, 400}, 16),
+               CheckError);
+  EXPECT_THROW(profile_epochs_at(traces, {1.0}, {1000}, 16), CheckError);
+}
+
+TEST(PhaseAware, SimulatorChecksPlanShape) {
+  InterleavedTrace mix = interleave_proportional(
+      {make_cyclic(100, 5), make_cyclic(100, 5)}, {1.0, 1.0}, 100);
+  PhaseAwarePlan empty;
+  EXPECT_THROW(simulate_dynamic_partitioned(mix, empty), CheckError);
+  PhaseAwarePlan ragged;
+  ragged.alloc_per_epoch = {{10, 10}, {10}};
+  EXPECT_THROW(simulate_dynamic_partitioned(mix, ragged), CheckError);
+}
+
+}  // namespace
+}  // namespace ocps

@@ -1,0 +1,232 @@
+// Tests for partition-sharing schemes, the reduction theorem (§V), and the
+// group-sweep evaluation engine (§VII).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "combinatorics/counting.hpp"
+#include "core/dp_partition.hpp"
+#include "core/group_sweep.hpp"
+#include "core/partition_sharing.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+namespace {
+
+ProgramModel model_of(const std::string& name, const Trace& trace,
+                      double rate, std::size_t capacity) {
+  return make_program_model(name, rate, compute_footprint(trace), capacity);
+}
+
+struct SmallWorld {
+  std::vector<ProgramModel> models;
+  std::size_t capacity = 18;
+
+  SmallWorld() {
+    models.push_back(
+        model_of("zipf", make_zipf(20000, 25, 1.0, 81), 1.0, capacity + 8));
+    models.push_back(
+        model_of("cliff", make_cyclic(20000, 12), 1.6, capacity + 8));
+    models.push_back(model_of("hot", make_hot_cold(20000, 4, 20, 0.75, 82),
+                              0.8, capacity + 8));
+  }
+
+  CoRunGroup group() const {
+    return CoRunGroup({&models[0], &models[1], &models[2]});
+  }
+};
+
+TEST(Scheme, EvaluateCoversEveryProgramOnce) {
+  SmallWorld w;
+  CoRunGroup g = w.group();
+  SharingScheme scheme;
+  scheme.groups = {{0, 2}, {1}};
+  scheme.group_sizes = {10, 8};
+  SchemeOutcome out = evaluate_scheme(g, scheme);
+  EXPECT_EQ(out.per_program_mr.size(), 3u);
+  for (double mr : out.per_program_mr) {
+    EXPECT_GE(mr, 0.0);
+    EXPECT_LE(mr, 1.0);
+  }
+}
+
+TEST(Scheme, SingletonSchemeMatchesSoloMrcs) {
+  SmallWorld w;
+  CoRunGroup g = w.group();
+  SharingScheme scheme;
+  scheme.groups = {{0}, {1}, {2}};
+  scheme.group_sizes = {6, 6, 6};
+  SchemeOutcome out = evaluate_scheme(g, scheme);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(out.per_program_mr[i], g[i].mrc.ratio_at(6.0), 0.02)
+        << "program " << i;
+}
+
+TEST(Scheme, RejectsIncompleteOrOverlappingGroups) {
+  SmallWorld w;
+  CoRunGroup g = w.group();
+  SharingScheme missing;
+  missing.groups = {{0, 1}};
+  missing.group_sizes = {10};
+  EXPECT_THROW(evaluate_scheme(g, missing), CheckError);
+  SharingScheme dup;
+  dup.groups = {{0, 1}, {1, 2}};
+  dup.group_sizes = {9, 9};
+  EXPECT_THROW(evaluate_scheme(g, dup), CheckError);
+}
+
+TEST(Reduction, SchemeCountMatchesSectionIIFormula) {
+  SmallWorld w;
+  CoRunGroup g = w.group();
+  BestSchemeResult best = best_partition_sharing(g, w.capacity);
+  auto expected = search_space_partition_sharing(3, w.capacity);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_EQ(best.schemes_examined,
+            static_cast<std::uint64_t>(*expected));
+}
+
+TEST(Reduction, OptimalPartitioningMatchesOptimalPartitionSharing) {
+  // §V: under the natural-partition model the best partitioning-only
+  // solution equals the best partition-sharing solution.
+  SmallWorld w;
+  CoRunGroup g = w.group();
+  BestSchemeResult sharing = best_partition_sharing(g, w.capacity);
+  BestSchemeResult partitioning = best_partitioning_only(g, w.capacity);
+  EXPECT_NEAR(sharing.outcome.group_mr, partitioning.outcome.group_mr, 1e-6);
+}
+
+TEST(Reduction, ExhaustivePartitioningMatchesDp) {
+  SmallWorld w;
+  CoRunGroup g = w.group();
+  BestSchemeResult partitioning = best_partitioning_only(g, w.capacity);
+
+  std::vector<const MissRatioCurve*> curves;
+  std::vector<double> weights;
+  auto shares = g.rate_shares();
+  for (std::size_t i = 0; i < 3; ++i) {
+    curves.push_back(&g[i].mrc);
+    weights.push_back(shares[i]);
+  }
+  auto cost = weighted_cost_curves(curves, weights, w.capacity);
+  DpResult dp = optimize_partition(cost, w.capacity);
+  ASSERT_TRUE(dp.feasible);
+  // The DP objective is exactly the group miss ratio under the same model.
+  EXPECT_NEAR(dp.objective_value, partitioning.outcome.group_mr, 1e-6);
+}
+
+TEST(Sweep, MethodNamesAreStable) {
+  EXPECT_STREQ(method_name(Method::kEqual), "Equal");
+  EXPECT_STREQ(method_name(Method::kSttw), "STTW");
+}
+
+struct SweepWorld {
+  std::vector<ProgramModel> models;
+  std::size_t capacity = 96;
+
+  SweepWorld() {
+    models.push_back(
+        model_of("p0", make_zipf(30000, 150, 0.9, 91), 2.0, capacity));
+    models.push_back(model_of("p1", make_cyclic(30000, 60), 1.4, capacity));
+    models.push_back(
+        model_of("p2", make_sawtooth(30000, 35), 0.8, capacity));
+    models.push_back(model_of("p3", make_hot_cold(30000, 12, 120, 0.7, 92),
+                              1.1, capacity));
+    models.push_back(
+        model_of("p4", make_uniform(30000, 110, 93), 1.7, capacity));
+  }
+};
+
+TEST(Sweep, EvaluatesAllMethodsOnEveryGroup) {
+  SweepWorld w;
+  SweepOptions opt;
+  opt.capacity = w.capacity;
+  auto groups = all_subsets(5, 3);
+  auto sweep = sweep_groups(w.models, groups, opt);
+  ASSERT_EQ(sweep.size(), 10u);
+  for (const auto& g : sweep) {
+    for (std::size_t m = 0; m < kNumMethods; ++m) {
+      const MethodOutcome& out = g.methods[m];
+      EXPECT_EQ(out.per_program_mr.size(), 3u);
+      EXPECT_GE(out.group_mr, 0.0);
+      EXPECT_LE(out.group_mr, 1.0);
+    }
+  }
+}
+
+TEST(Sweep, OptimalIsBestMethodInEveryGroup) {
+  SweepWorld w;
+  SweepOptions opt;
+  opt.capacity = w.capacity;
+  auto sweep = sweep_groups(w.models, all_subsets(5, 4), opt);
+  for (const auto& g : sweep) {
+    double opt_mr = g.of(Method::kOptimal).group_mr;
+    for (Method m : {Method::kEqual, Method::kNatural, Method::kEqualBaseline,
+                     Method::kNaturalBaseline, Method::kSttw}) {
+      EXPECT_LE(opt_mr, g.of(m).group_mr + 1e-9)
+          << method_name(m) << " beat Optimal";
+    }
+  }
+}
+
+TEST(Sweep, BaselineMethodsRespectTheirBaselines) {
+  SweepWorld w;
+  SweepOptions opt;
+  opt.capacity = w.capacity;
+  auto sweep = sweep_groups(w.models, all_subsets(5, 4), opt);
+  for (const auto& g : sweep) {
+    const auto& eq = g.of(Method::kEqual);
+    const auto& eqb = g.of(Method::kEqualBaseline);
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_LE(eqb.per_program_mr[i], eq.per_program_mr[i] + 1e-9);
+    // Baseline optimization can only improve the group metric.
+    EXPECT_LE(eqb.group_mr, eq.group_mr + 1e-9);
+  }
+}
+
+TEST(Sweep, SerialAndParallelAgree) {
+  SweepWorld w;
+  SweepOptions par, ser;
+  par.capacity = ser.capacity = w.capacity;
+  par.parallel = true;
+  ser.parallel = false;
+  auto groups = all_subsets(5, 3);
+  auto a = sweep_groups(w.models, groups, par);
+  auto b = sweep_groups(w.models, groups, ser);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t g = 0; g < a.size(); ++g)
+    for (std::size_t m = 0; m < kNumMethods; ++m)
+      EXPECT_DOUBLE_EQ(a[g].methods[m].group_mr, b[g].methods[m].group_mr);
+}
+
+TEST(Sweep, ImprovementStatsAreConsistent) {
+  SweepWorld w;
+  SweepOptions opt;
+  opt.capacity = w.capacity;
+  auto sweep = sweep_groups(w.models, all_subsets(5, 4), opt);
+  ImprovementStats s = improvement_over(sweep, Method::kEqual);
+  EXPECT_GE(s.max, s.median);
+  EXPECT_GE(s.max, 0.0);
+  EXPECT_GE(s.frac_ge_10, s.frac_ge_20);
+  EXPECT_GE(s.avg, 0.0);  // Optimal never loses to Equal
+}
+
+TEST(Sweep, AllocationsSumToCapacityForPartitionMethods) {
+  SweepWorld w;
+  SweepOptions opt;
+  opt.capacity = w.capacity;
+  auto sweep = sweep_groups(w.models, all_subsets(5, 4), opt);
+  for (const auto& g : sweep) {
+    for (Method m : {Method::kEqual, Method::kEqualBaseline,
+                     Method::kNaturalBaseline, Method::kOptimal,
+                     Method::kSttw}) {
+      double total = std::accumulate(g.of(m).alloc.begin(),
+                                     g.of(m).alloc.end(), 0.0);
+      EXPECT_NEAR(total, static_cast<double>(w.capacity), 1e-9)
+          << method_name(m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ocps

@@ -1,0 +1,158 @@
+// Tests for the extended locality substrate: concurrent reuse distances
+// (CRD) and bursty footprint sampling.
+#include <gtest/gtest.h>
+
+#include "cachesim/corun.hpp"
+#include "core/composition.hpp"
+#include "locality/crd.hpp"
+#include "locality/hotl.hpp"
+#include "locality/reuse_distance.hpp"
+#include "locality/sampling.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+namespace {
+
+InterleavedTrace mix_two(std::size_t len = 30000) {
+  Trace a = make_zipf(10000, 120, 0.9, 61);
+  Trace b = make_cyclic(10000, 70);
+  return interleave_proportional({a, b}, {2.0, 1.0}, len);
+}
+
+TEST(Crd, AccessCountsMatchInterleave) {
+  InterleavedTrace mix = mix_two();
+  CrdProfile crd = concurrent_reuse_distances(mix);
+  ASSERT_EQ(crd.num_programs(), 2u);
+  EXPECT_EQ(crd.accesses[0] + crd.accesses[1], mix.length());
+  EXPECT_NEAR(static_cast<double>(crd.accesses[0]) /
+                  static_cast<double>(mix.length()),
+              2.0 / 3.0, 0.01);
+}
+
+TEST(Crd, MissesMatchSharedSimulatorAtEverySize) {
+  // CRD is exact: per-program misses at any shared cache size must equal
+  // the owner-tagged shared LRU simulator.
+  InterleavedTrace mix = mix_two();
+  CrdProfile crd = concurrent_reuse_distances(mix);
+  for (std::size_t c : {8u, 32u, 64u, 128u, 200u}) {
+    CoRunResult sim = simulate_shared(mix, c);
+    for (std::size_t p = 0; p < 2; ++p)
+      EXPECT_EQ(crd.misses_at(p, c), sim.misses[p])
+          << "c=" << c << " p=" << p;
+  }
+}
+
+TEST(Crd, SingleProgramReducesToSoloStackDistances) {
+  Trace a = make_zipf(20000, 150, 1.0, 62);
+  InterleavedTrace mix = interleave_proportional({a}, {1.0}, 20000);
+  CrdProfile crd = concurrent_reuse_distances(mix);
+  StackDistanceHistogram solo = stack_distances(a);
+  for (std::size_t c : {5u, 20u, 80u, 149u})
+    EXPECT_EQ(crd.misses_at(0, c), solo.misses_at(c)) << "c=" << c;
+}
+
+TEST(Crd, GroupMrcIsNonIncreasingAndBounded) {
+  CrdProfile crd = concurrent_reuse_distances(mix_two());
+  MissRatioCurve group = crd.group_mrc(256);
+  EXPECT_TRUE(group.is_non_increasing(1e-12));
+  EXPECT_DOUBLE_EQ(group.ratio(0), 1.0);
+  MissRatioCurve p0 = crd.program_mrc(0, 256);
+  EXPECT_TRUE(p0.is_non_increasing(1e-12));
+}
+
+TEST(Crd, AgreesWithCompositionOnStationaryWorkloads) {
+  // The composition theory should approximate the exact CRD group curve
+  // for random-access programs (this is the NPA again, CRD-flavoured).
+  Trace a = make_zipf(60000, 200, 0.9, 63);
+  Trace b = make_uniform(60000, 150, 64);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 240000);
+  CrdProfile crd = concurrent_reuse_distances(mix);
+
+  ProgramModel ma =
+      make_program_model("a", 1.0, compute_footprint(a), 300);
+  ProgramModel mb =
+      make_program_model("b", 1.0, compute_footprint(b), 300);
+  CoRunGroup group({&ma, &mb});
+  for (double c : {120.0, 200.0, 280.0}) {
+    double predicted = group_miss_ratio(
+        group, predict_shared_miss_ratios(group, c));
+    double exact = crd.group_mrc(300).ratio_at(c);
+    EXPECT_NEAR(predicted, exact, 0.03) << "C=" << c;
+  }
+}
+
+TEST(Sampling, FullCoverageEqualsFullProfileOnBurstRange) {
+  // burst = whole trace, no gaps: the sampled curve IS the full curve.
+  Trace t = make_zipf(20000, 100, 1.0, 65);
+  SamplingConfig config;
+  config.burst_length = t.length();
+  config.gap_length = 0;
+  SampledFootprint s = sampled_footprint(t, config);
+  EXPECT_EQ(s.bursts, 1u);
+  EXPECT_DOUBLE_EQ(s.sampling_fraction, 1.0);
+  FootprintCurve full = compute_footprint(t);
+  EXPECT_LT(footprint_max_error(full, s.footprint), 1e-9);
+}
+
+TEST(Sampling, StationaryWorkloadSmallError) {
+  Trace t = make_zipf(200000, 150, 0.9, 66);
+  SamplingConfig config;
+  config.burst_length = 10000;
+  config.gap_length = 30000;
+  SampledFootprint s = sampled_footprint(t, config);
+  EXPECT_LT(s.sampling_fraction, 0.3);
+  EXPECT_GT(s.bursts, 3u);
+  FootprintCurve full = compute_footprint(t);
+  // Error in blocks, relative to 150 distinct: a few blocks at most.
+  EXPECT_LT(footprint_max_error(full, s.footprint), 6.0);
+}
+
+TEST(Sampling, SampledMrcTracksFullMrc) {
+  Trace t = make_uniform(200000, 120, 67);
+  SamplingConfig config;
+  config.burst_length = 20000;
+  config.gap_length = 20000;
+  SampledFootprint s = sampled_footprint(t, config);
+  MissRatioCurve full_mrc = hotl_mrc(compute_footprint(t), 150);
+  MissRatioCurve sampled_mrc = hotl_mrc(s.footprint, 150);
+  double worst = 0.0;
+  for (std::size_t c = 4; c <= 150; ++c)
+    worst = std::max(worst,
+                     std::abs(full_mrc.ratio(c) - sampled_mrc.ratio(c)));
+  EXPECT_LT(worst, 0.05);
+}
+
+TEST(Sampling, JitterChangesScheduleDeterministically) {
+  Trace t = make_zipf(100000, 100, 1.0, 68);
+  SamplingConfig a;
+  a.burst_length = 5000;
+  a.gap_length = 15000;
+  a.jitter_seed = 7;
+  SampledFootprint s1 = sampled_footprint(t, a);
+  SampledFootprint s2 = sampled_footprint(t, a);
+  EXPECT_EQ(s1.profiled_accesses, s2.profiled_accesses);
+  EXPECT_EQ(s1.bursts, s2.bursts);
+}
+
+TEST(Sampling, MonotoneOutput) {
+  Trace t = make_hot_cold(100000, 20, 200, 0.7, 69);
+  SamplingConfig config;
+  config.burst_length = 8000;
+  config.gap_length = 12000;
+  SampledFootprint s = sampled_footprint(t, config);
+  for (std::size_t w = 1; w < s.footprint.fp.size(); ++w)
+    ASSERT_GE(s.footprint.fp[w] + 1e-12, s.footprint.fp[w - 1]);
+}
+
+TEST(Sampling, RejectsDegenerateConfig) {
+  Trace t = make_cyclic(100, 5);
+  SamplingConfig bad;
+  bad.burst_length = 1;
+  EXPECT_THROW(sampled_footprint(t, bad), CheckError);
+  EXPECT_THROW(sampled_footprint(Trace{}, SamplingConfig{}), CheckError);
+}
+
+}  // namespace
+}  // namespace ocps

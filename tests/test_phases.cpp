@@ -1,0 +1,112 @@
+// Tests for WSS-based phase detection.
+#include <gtest/gtest.h>
+
+#include "locality/phases.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+
+namespace ocps {
+namespace {
+
+TEST(WindowedWss, CountsDistinctPerWindow) {
+  Trace t;
+  // Two windows of 4: {0,1,2,0} -> 3 distinct, {5,5,5,5} -> 1 distinct.
+  t.accesses = {0, 1, 2, 0, 5, 5, 5, 5};
+  auto wss = windowed_wss(t, 4);
+  ASSERT_EQ(wss.size(), 2u);
+  EXPECT_DOUBLE_EQ(wss[0], 3.0);
+  EXPECT_DOUBLE_EQ(wss[1], 1.0);
+}
+
+TEST(WindowedWss, ScalesTrailingWindow) {
+  Trace t;
+  t.accesses = {0, 1, 2, 3, 7, 8};  // window 4: full {0..3}, trailing {7,8}
+  auto wss = windowed_wss(t, 4);
+  ASSERT_EQ(wss.size(), 2u);
+  EXPECT_DOUBLE_EQ(wss[0], 4.0);
+  EXPECT_DOUBLE_EQ(wss[1], 4.0);  // 2 distinct in half a window -> 4
+}
+
+TEST(DetectPhases, StationaryTraceIsOnePhase) {
+  Trace t = make_uniform(40000, 100, 501);
+  auto phases = detect_phases(t);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].begin, 0u);
+  EXPECT_EQ(phases[0].end, t.length());
+  EXPECT_NEAR(phases[0].mean_wss, 100.0, 15.0);
+}
+
+TEST(DetectPhases, FindsAlternatingWorkingSets) {
+  // Four phases of 20000 accesses: wss 200, 10, 200, 10.
+  std::vector<Phase> pattern = {{20000, 200, 0, false},
+                                {20000, 10, 0, false}};
+  Trace t = make_phased(pattern, 2);
+  PhaseDetectorConfig config;
+  config.window = 2000;
+  auto phases = detect_phases(t, config);
+  ASSERT_EQ(phases.size(), 4u);
+  // Boundaries land on the true 20000-access phase edges (within one
+  // window).
+  EXPECT_NEAR(static_cast<double>(phases[1].begin), 20000.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(phases[2].begin), 40000.0, 2000.0);
+  // Alternating working-set magnitudes.
+  EXPECT_GT(phases[0].mean_wss, phases[1].mean_wss * 5);
+  EXPECT_GT(phases[2].mean_wss, phases[3].mean_wss * 5);
+}
+
+TEST(DetectPhases, CoversWholeTraceContiguously) {
+  std::vector<Phase> pattern = {{7000, 150, 0, false},
+                                {9000, 12, 0, false},
+                                {5000, 80, 0, false}};
+  Trace t = make_phased(pattern, 2);
+  auto phases = detect_phases(t);
+  EXPECT_EQ(phases.front().begin, 0u);
+  EXPECT_EQ(phases.back().end, t.length());
+  for (std::size_t s = 1; s < phases.size(); ++s)
+    EXPECT_EQ(phases[s].begin, phases[s - 1].end);
+}
+
+TEST(DetectPhases, MinPhaseLengthSuppressesJitter) {
+  // A noisy uniform trace must not fragment into many phases when the
+  // minimum phase length is generous.
+  Trace t = make_zipf(60000, 300, 0.8, 502);
+  PhaseDetectorConfig config;
+  config.window = 1000;
+  config.threshold = 0.15;
+  config.min_phase_windows = 10;
+  auto phases = detect_phases(t, config);
+  EXPECT_LE(phases.size(), 4u);
+}
+
+TEST(RecommendEpochs, OneForStationaryTraces) {
+  std::vector<Trace> traces = {make_uniform(30000, 80, 503),
+                               make_zipf(30000, 120, 1.0, 504)};
+  EXPECT_EQ(recommend_epoch_count(traces), 1u);
+}
+
+TEST(RecommendEpochs, MatchesPhaseGranularity) {
+  // 20000-access phases in a 80000-access trace -> ~4 epochs.
+  std::vector<Phase> pattern = {{20000, 200, 0, false},
+                                {20000, 10, 0, false}};
+  std::vector<Trace> traces = {make_phased(pattern, 2),
+                               make_uniform(80000, 50, 505)};
+  std::size_t epochs = recommend_epoch_count(traces);
+  EXPECT_GE(epochs, 3u);
+  EXPECT_LE(epochs, 8u);
+}
+
+TEST(RecommendEpochs, RespectsCap) {
+  std::vector<Phase> pattern = {{2000, 150, 0, false},
+                                {2000, 8, 0, false}};
+  std::vector<Trace> traces = {make_phased(pattern, 20)};
+  EXPECT_LE(recommend_epoch_count(traces, {}, 16), 16u);
+}
+
+TEST(DetectPhases, RejectsBadInput) {
+  EXPECT_THROW(detect_phases(Trace{}), CheckError);
+  Trace t = make_cyclic(100, 5);
+  EXPECT_THROW(windowed_wss(t, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace ocps

@@ -1,0 +1,191 @@
+// Cross-module property and failure-injection tests: invariants the
+// theory guarantees and robustness of the IO/optimizer layers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "cachesim/belady.hpp"
+#include "cachesim/lru.hpp"
+#include "cachesim/policies.hpp"
+#include "core/dp_partition.hpp"
+#include "core/partition_sharing.hpp"
+#include "locality/footprint.hpp"
+#include "locality/footprint_io.hpp"
+#include "locality/hotl.hpp"
+#include "sched/symbiosis.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ocps {
+namespace {
+
+// ---- Footprint concavity -------------------------------------------------
+// Xiang et al. show the average footprint is concave in the window
+// length; concavity is what makes the derived miss ratio non-increasing
+// and the fill time well-defined. For finite traces the window-boundary
+// terms perturb this by O(m/n) dust, so the property is asserted within a
+// small absolute tolerance rather than exactly.
+class FootprintConcavity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FootprintConcavity, SecondDifferencesNonPositive) {
+  Trace t;
+  switch (GetParam()) {
+    case 0: t = make_zipf(20000, 200, 1.0, 301); break;
+    case 1: t = make_uniform(20000, 150, 302); break;
+    case 2: t = make_cyclic(20000, 120); break;
+    case 3: t = make_sawtooth(20000, 90); break;
+    case 4: t = make_hot_cold(20000, 15, 200, 0.7, 303); break;
+    case 5: t = make_scan_mix(20000, 40, 0.8, {{100, 0.1}}, 304); break;
+    default: FAIL();
+  }
+  FootprintCurve fp = compute_footprint(t);
+  const double tolerance =
+      1e-3 * static_cast<double>(fp.distinct) /
+          static_cast<double>(std::max<std::uint64_t>(fp.trace_length, 1)) +
+      1e-6;
+  for (std::size_t w = 2; w < fp.fp.size(); ++w) {
+    double second = fp.fp[w] - 2.0 * fp.fp[w - 1] + fp.fp[w - 2];
+    ASSERT_LE(second, std::max(tolerance, 5e-5)) << "w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FootprintConcavity, ::testing::Range(0, 6));
+
+// ---- OPT lower-bounds every policy ---------------------------------------
+class OptIsLowerBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptIsLowerBound, BeladyNeverWorseThanAnyPolicy) {
+  Rng rng(400 + static_cast<std::uint64_t>(GetParam()));
+  Trace t;
+  switch (GetParam() % 3) {
+    case 0: t = make_zipf(20000, 250, 0.9, rng.next()); break;
+    case 1: t = make_hot_cold(20000, 20, 250, 0.75, rng.next()); break;
+    default: t = make_uniform(20000, 220, rng.next()); break;
+  }
+  std::size_t c = 32 + rng.below(150);
+  double opt = simulate_belady(t, c).miss_ratio();
+  LruCache lru(c);
+  for (Block b : t.accesses) lru.access(b);
+  EXPECT_LE(opt, lru.miss_ratio() + 1e-12);
+  for (Policy p : {Policy::kFifo, Policy::kRandom, Policy::kClock})
+    EXPECT_LE(opt, policy_miss_ratio(p, t, c) + 1e-12) << policy_name(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptIsLowerBound, ::testing::Range(0, 6));
+
+// ---- Scheduling dominance -------------------------------------------------
+TEST(SchedulingDominance, PartitionedCachesNeverLoseToSharedCaches) {
+  // The reduction theorem, machine-wide: optimally partitioning each
+  // cache upper-bounds free-for-all sharing of each cache, for every
+  // grouping — so the partitioned schedule optimum dominates the shared
+  // schedule optimum.
+  std::vector<ProgramModel> models;
+  models.push_back(make_program_model(
+      "a", 1.0, compute_footprint(make_zipf(20000, 120, 1.0, 311)), 80));
+  models.push_back(make_program_model(
+      "b", 1.5, compute_footprint(make_cyclic(20000, 60)), 80));
+  models.push_back(make_program_model(
+      "c", 0.8, compute_footprint(make_sawtooth(20000, 25)), 80));
+  models.push_back(make_program_model(
+      "d", 1.2, compute_footprint(make_hot_cold(20000, 10, 90, 0.7, 312)),
+      80));
+  std::vector<const ProgramModel*> ptrs;
+  for (const auto& m : models) ptrs.push_back(&m);
+
+  for (std::size_t caches : {1u, 2u}) {
+    Schedule shared = best_schedule_exhaustive(ptrs, caches, 80);
+    Schedule part = best_schedule_partitioned(ptrs, caches, 80);
+    EXPECT_LE(part.overall_mr, shared.overall_mr + 1e-9)
+        << caches << " caches";
+  }
+}
+
+TEST(SchedulingDominance, MoreCachesNeverHurtPartitioned) {
+  std::vector<ProgramModel> models;
+  models.push_back(make_program_model(
+      "a", 1.0, compute_footprint(make_cyclic(15000, 70)), 80));
+  models.push_back(make_program_model(
+      "b", 1.0, compute_footprint(make_cyclic(15000, 70)), 80));
+  models.push_back(make_program_model(
+      "c", 1.0, compute_footprint(make_sawtooth(15000, 12)), 80));
+  std::vector<const ProgramModel*> ptrs;
+  for (const auto& m : models) ptrs.push_back(&m);
+  Schedule one = best_schedule_partitioned(ptrs, 1, 80);
+  Schedule two = best_schedule_partitioned(ptrs, 2, 80);
+  EXPECT_LE(two.overall_mr, one.overall_mr + 1e-9);
+}
+
+// ---- Optimizer hardening ---------------------------------------------------
+TEST(Hardening, DpRejectsNonFiniteCosts) {
+  std::vector<std::vector<double>> cost = {{1.0, 0.5, 0.2}};
+  cost[0][1] = std::nan("");
+  EXPECT_THROW(optimize_partition(cost, 2), CheckError);
+  cost[0][1] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(optimize_partition(cost, 2), CheckError);
+}
+
+TEST(Hardening, FootprintLoaderSurvivesFuzz) {
+  // Random garbage must throw CheckError (or parse), never crash or
+  // silently return a bogus curve with NaNs.
+  std::string dir = std::filesystem::temp_directory_path().string();
+  Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string path = dir + "/ocps_fuzz_" + std::to_string(trial) + ".fp";
+    {
+      std::ofstream os(path);
+      if (rng.chance(0.5)) os << "ocps-footprint 1\n";
+      std::size_t len = rng.below(200);
+      for (std::size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>(32 + rng.below(95));
+        os << (rng.chance(0.2) ? '\n' : c);
+      }
+    }
+    try {
+      FootprintFile f = load_footprint_file(path);
+      // If it parsed, the curve must at least be structurally sound.
+      EXPECT_GE(f.footprint.size(), 1u);
+    } catch (const CheckError&) {
+      // expected for malformed input
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Hardening, SchemeEvaluationRejectsOversizedIndices) {
+  ProgramModel m = make_program_model(
+      "m", 1.0, compute_footprint(make_cyclic(5000, 20)), 40);
+  CoRunGroup g({&m});
+  SharingScheme s;
+  s.groups = {{5}};  // index out of range
+  s.group_sizes = {40};
+  EXPECT_THROW(evaluate_scheme(g, s), CheckError);
+}
+
+// ---- HOTL chain consistency -------------------------------------------------
+TEST(HotlChain, MissRatioIntegratesBackToFillTime) {
+  // im(c) = ft(c+1) - ft(c) and mr = 1/im: summing inter-miss times over
+  // c = m0..m1 must reproduce the fill-time difference.
+  FootprintCurve fp = compute_footprint(make_zipf(40000, 300, 0.9, 321));
+  double acc = 0.0;
+  for (std::size_t c = 50; c < 250; ++c) acc += inter_miss_time(fp, c);
+  EXPECT_NEAR(acc, fill_time(fp, 250.0) - fill_time(fp, 50.0), 1e-6);
+}
+
+TEST(HotlChain, MissRatioIsReciprocalInterMissTime) {
+  FootprintCurve fp = compute_footprint(make_uniform(40000, 200, 322));
+  for (double c : {50.0, 100.0, 150.0}) {
+    double im = inter_miss_time(fp, c);
+    ASSERT_GT(im, 0.0);
+    double mr_from_im = 1.0 / im;
+    double mr_direct = hotl_miss_ratio(fp, c);
+    // Eq. 8 vs Eq. 10: equal up to discretization of the window step.
+    EXPECT_NEAR(mr_from_im, mr_direct, 0.02) << "c=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace ocps

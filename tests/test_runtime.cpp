@@ -1,0 +1,244 @@
+// Tests for the Suh segmented comparator, elastic (RECU-style) allocation,
+// and the online repartitioning controller.
+#include <gtest/gtest.h>
+
+#include "cachesim/corun.hpp"
+#include "core/elastic.hpp"
+#include "core/dp_partition.hpp"
+#include "core/suh.hpp"
+#include "locality/footprint.hpp"
+#include "runtime/controller.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ocps {
+namespace {
+
+ProgramModel model_of(const std::string& name, const Trace& trace,
+                      double rate, std::size_t capacity) {
+  return make_program_model(name, rate, compute_footprint(trace), capacity);
+}
+
+std::vector<double> random_cost_curve(Rng& rng, std::size_t capacity) {
+  std::vector<double> cost(capacity + 1);
+  double v = 1.0;
+  for (std::size_t c = 0; c <= capacity; ++c) {
+    cost[c] = v;
+    double step = rng.uniform() * 0.08;
+    if (rng.chance(0.12)) step += rng.uniform() * 0.35;
+    v = std::max(0.0, v - step);
+  }
+  return cost;
+}
+
+TEST(Suh, SeesCliffsBehindPlateaus) {
+  // The case the classic STTW misses entirely: Suh's segment greedy takes
+  // the whole cliff atomically.
+  std::vector<std::vector<double>> cost = {
+      {1.0, 0.95, 0.91, 0.88, 0.86},
+      {1.0, 1.0, 1.0, 1.0, 0.0},
+  };
+  SttwResult suh = suh_partition(cost, 4);
+  EXPECT_EQ(suh.alloc[1], 4u);
+  DpResult dp = optimize_partition(cost, 4);
+  EXPECT_NEAR(suh.objective_value, dp.objective_value, 1e-12);
+}
+
+TEST(Suh, NeverBeatsDpAndUsuallyBeatsClassicSttw) {
+  Rng rng(911);
+  double suh_total = 0.0, classic_total = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t p = 2 + rng.below(3);
+    std::size_t cap = 6 + rng.below(14);
+    std::vector<std::vector<double>> cost(p);
+    for (auto& row : cost) row = random_cost_curve(rng, cap);
+    DpResult dp = optimize_partition(cost, cap);
+    SttwResult suh = suh_partition(cost, cap);
+    SttwResult classic =
+        sttw_partition(cost, cap, SttwVariant::kLocalDerivative);
+    EXPECT_GE(suh.objective_value + 1e-12, dp.objective_value);
+    suh_total += suh.objective_value;
+    classic_total += classic.objective_value;
+  }
+  EXPECT_LE(suh_total, classic_total + 1e-9);
+}
+
+TEST(Suh, AllocSumsToCapacity) {
+  Rng rng(913);
+  std::vector<std::vector<double>> cost(4);
+  for (auto& row : cost) row = random_cost_curve(rng, 20);
+  SttwResult r = suh_partition(cost, 20);
+  std::size_t total = 0;
+  for (auto c : r.alloc) total += c;
+  EXPECT_EQ(total, 20u);
+}
+
+struct ElasticFixture {
+  std::vector<ProgramModel> models;
+  std::size_t capacity = 120;
+
+  ElasticFixture() {
+    models.push_back(
+        model_of("zipf", make_zipf(30000, 200, 0.9, 121), 2.0, capacity));
+    models.push_back(
+        model_of("cliff", make_cyclic(30000, 70), 1.2, capacity));
+    models.push_back(
+        model_of("small", make_sawtooth(30000, 25), 0.8, capacity));
+  }
+  CoRunGroup group() const {
+    return CoRunGroup({&models[0], &models[1], &models[2]});
+  }
+  std::vector<std::vector<double>> costs() const {
+    std::vector<std::vector<double>> cost(models.size());
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      cost[i].resize(capacity + 1);
+      for (std::size_t c = 0; c <= capacity; ++c)
+        cost[i][c] = models[i].access_rate * models[i].mrc.ratio(c);
+    }
+    return cost;
+  }
+};
+
+TEST(Elastic, NoDemandsEqualsPlainOptimal) {
+  ElasticFixture f;
+  CoRunGroup g = f.group();
+  auto cost = f.costs();
+  ElasticResult elastic = optimize_elastic(
+      g, cost, f.capacity, std::vector<ElasticDemand>(3));
+  DpResult plain = optimize_partition(cost, f.capacity);
+  ASSERT_TRUE(elastic.feasible);
+  EXPECT_EQ(elastic.alloc, plain.alloc);
+  EXPECT_EQ(elastic.elastic_units, f.capacity);
+}
+
+TEST(Elastic, CeilingsBecomeFloorsAndAreMet) {
+  ElasticFixture f;
+  CoRunGroup g = f.group();
+  auto cost = f.costs();
+  std::vector<ElasticDemand> demands(3);
+  demands[2].max_miss_ratio = g[2].mrc.ratio(30);  // small program QoS
+  ElasticResult r = optimize_elastic(g, cost, f.capacity, demands);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.alloc[2], r.reserved[2]);
+  EXPECT_LE(g[2].mrc.ratio(r.alloc[2]), *demands[2].max_miss_ratio + 1e-9);
+}
+
+TEST(Elastic, MinUnitsRespected) {
+  ElasticFixture f;
+  CoRunGroup g = f.group();
+  std::vector<ElasticDemand> demands(3);
+  demands[0].min_units = 50;
+  ElasticResult r = optimize_elastic(g, f.costs(), f.capacity, demands);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.alloc[0], 50u);
+  EXPECT_EQ(r.elastic_units, f.capacity - 50);
+}
+
+TEST(Elastic, InfeasibleContractsReported) {
+  ElasticFixture f;
+  CoRunGroup g = f.group();
+  std::vector<ElasticDemand> demands(3);
+  demands[0].min_units = 80;
+  demands[1].min_units = 80;  // 160 > 120
+  ElasticResult r = optimize_elastic(g, f.costs(), f.capacity, demands);
+  EXPECT_FALSE(r.feasible);
+  std::vector<ElasticDemand> impossible(3);
+  impossible[1].max_miss_ratio = 0.0;  // cyclic program never reaches 0
+  EXPECT_FALSE(
+      optimize_elastic(g, f.costs(), f.capacity, impossible).feasible);
+}
+
+TEST(Controller, RunsAndConservesCapacity) {
+  Trace a = make_zipf(40000, 200, 0.9, 131);
+  Trace b = make_cyclic(40000, 120);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 80000);
+  ControllerConfig config;
+  config.capacity = 256;
+  config.epoch_length = 10000;
+  config.sampling_rate = 0.2;
+  ControllerResult r = run_online_controller(mix, 2, config);
+  EXPECT_EQ(r.sim.total_accesses(), mix.length());
+  EXPECT_GE(r.epochs, 6u);
+  for (const auto& alloc : r.alloc_history) {
+    std::size_t total = 0;
+    for (auto c : alloc) total += c;
+    EXPECT_EQ(total, config.capacity);
+  }
+  EXPECT_GT(r.sampled_fraction, 0.05);
+  EXPECT_LT(r.sampled_fraction, 0.5);
+}
+
+TEST(Controller, BeatsEqualPartitioningOnSkewedPair) {
+  // A cache-hungry loop vs a small program: equal split starves the loop;
+  // the controller should discover the skewed split online.
+  Trace hungry = make_cyclic(60000, 150);
+  Trace small = make_sawtooth(60000, 20);
+  InterleavedTrace mix =
+      interleave_proportional({hungry, small}, {1.0, 1.0}, 120000);
+  const std::size_t C = 200;
+
+  CoRunResult equal = simulate_partitioned(mix, {100, 100});
+  ControllerConfig config;
+  config.capacity = C;
+  config.epoch_length = 12000;
+  config.sampling_rate = 0.5;
+  ControllerResult online = run_online_controller(mix, 2, config);
+
+  EXPECT_LT(online.sim.group_miss_ratio(),
+            equal.group_miss_ratio() * 0.5);
+  // The final allocation strongly favours the loop.
+  const auto& last = online.alloc_history.back();
+  EXPECT_GT(last[0], 150u);
+}
+
+TEST(Controller, TracksAMidRunBehaviourShift) {
+  // Programs swap roles halfway: the controller's allocation must flip.
+  Trace first_half_hungry = make_cyclic(30000, 150);
+  Trace first_half_small = make_sawtooth(30000, 20);
+  Trace a = first_half_hungry;
+  a.append(make_sawtooth(30000, 20));
+  Trace b = first_half_small;
+  b.append(make_cyclic(30000, 150).relabeled(1000));
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 120000);
+
+  ControllerConfig config;
+  config.capacity = 200;
+  config.epoch_length = 10000;
+  config.sampling_rate = 0.5;
+  ControllerResult r = run_online_controller(mix, 2, config);
+  ASSERT_GE(r.alloc_history.size(), 10u);
+  // Early epochs favour program 0; late epochs favour program 1.
+  const auto& early = r.alloc_history[3];
+  const auto& late = r.alloc_history.back();
+  EXPECT_GT(early[0], early[1]);
+  EXPECT_GT(late[1], late[0]);
+}
+
+TEST(Controller, RespectsQosFloors) {
+  Trace a = make_cyclic(30000, 150);
+  Trace b = make_sawtooth(30000, 20);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 60000);
+  ControllerConfig config;
+  config.capacity = 200;
+  config.epoch_length = 10000;
+  config.min_units = 40;
+  ControllerResult r = run_online_controller(mix, 2, config);
+  for (const auto& alloc : r.alloc_history)
+    for (auto units : alloc) EXPECT_GE(units, 40u);
+}
+
+TEST(Controller, RejectsBadConfig) {
+  InterleavedTrace mix = interleave_proportional(
+      {make_cyclic(100, 5)}, {1.0}, 100);
+  ControllerConfig config;
+  config.capacity = 0;
+  EXPECT_THROW(run_online_controller(mix, 1, config), CheckError);
+  config.capacity = 10;
+  config.min_units = 20;
+  EXPECT_THROW(run_online_controller(mix, 1, config), CheckError);
+}
+
+}  // namespace
+}  // namespace ocps

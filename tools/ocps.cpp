@@ -1,0 +1,331 @@
+// ocps — command-line front end to the library.
+//
+// Subcommands (see `ocps help`):
+//   profile   trace file -> ASCII footprint file (the paper's per-program
+//             profile artifact)
+//   mrc       footprint file -> miss-ratio curve (CSV on stdout)
+//   predict   footprint files -> co-run prediction: natural partition,
+//             per-program + group miss ratios under sharing
+//   optimize  footprint files -> partition via the DP, with optional
+//             equal/natural baseline fairness constraints and sum/max
+//             objectives
+//   simulate  address-trace files -> exact shared / equal / optimal
+//             partitioned LRU simulation (ground truth for small inputs)
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cachesim/corun.hpp"
+#include "combinatorics/enumerate.hpp"
+#include "core/baselines.hpp"
+#include "core/composition.hpp"
+#include "core/dp_partition.hpp"
+#include "core/group_sweep.hpp"
+#include "locality/footprint.hpp"
+#include "locality/footprint_io.hpp"
+#include "locality/phases.hpp"
+#include "trace/interleave.hpp"
+#include "trace/trace_io.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+
+namespace {
+
+int usage() {
+  std::cout <<
+      R"(ocps — optimal cache partition-sharing toolkit
+
+usage: ocps <command> [options]
+
+commands:
+  profile <trace>      profile an address trace into a footprint file
+      --block-bytes B  cache block size for address -> block mapping (64)
+      --binary         input is an ocps binary trace, not text addresses
+      --rate R         the program's access rate (1.0)
+      --name NAME      program name stored in the file (file stem)
+      -o FILE          output footprint file (<trace>.fp)
+  mrc <fp-file>        print the miss-ratio curve as CSV
+      --capacity C     cache size in blocks (1024)
+  predict <fp...>      predict a co-run: natural partition + miss ratios
+      --capacity C     shared cache size in blocks (1024)
+  optimize <fp...>     compute a partition with the DP
+      --capacity C     cache size in blocks (1024)
+      --baseline B     none | equal | natural   (none)
+      --objective O    sum | max                (sum)
+  simulate <trace...>  exact LRU co-run simulation of address traces
+      --capacity C     cache size in blocks (1024)
+      --block-bytes B  block size (64)
+      --warmup N       accesses excluded from stats (len/4)
+  sweep <fp...>        evaluate every k-subset co-run with all six methods
+      --capacity C     cache size in blocks (1024)
+      --group-size K   programs per co-run group (min(4, #files))
+  phases <trace>       detect working-set phases of an address trace
+      --block-bytes B  block size (64)
+      --binary         input is an ocps binary trace
+      --window W       accesses per WSS sample (2000)
+      --threshold T    relative WSS change opening a phase (0.30)
+  help                 this message
+)";
+  return 2;
+}
+
+std::string stem_of(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  std::string base =
+      (slash == std::string::npos) ? path : path.substr(slash + 1);
+  auto dot = base.find_last_of('.');
+  return (dot == std::string::npos) ? base : base.substr(0, dot);
+}
+
+int cmd_profile(const ArgParser& args) {
+  OCPS_CHECK(args.positionals().size() == 2, "profile needs one trace file");
+  const std::string& path = args.positionals()[1];
+  std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(args.get_int("block-bytes", 64));
+  Trace trace = args.has("binary")
+                    ? load_trace_binary(path)
+                    : load_address_trace(path, block_bytes);
+  OCPS_CHECK(!trace.empty(), "trace is empty: " << path);
+  FootprintCurve fp = compute_footprint(trace);
+  FootprintFile file = make_footprint_file(
+      args.get_string("name", stem_of(path)), args.get_double("rate", 1.0),
+      fp);
+  std::string out = args.get_string("o", path + ".fp");
+  save_footprint_file(file, out);
+  std::cout << "profiled " << trace.length() << " accesses, "
+            << fp.distinct << " distinct blocks -> " << out << "\n";
+  return 0;
+}
+
+int cmd_mrc(const ArgParser& args) {
+  OCPS_CHECK(args.positionals().size() == 2, "mrc needs one footprint file");
+  std::size_t capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 1024));
+  ProgramModel model = model_from_footprint_file(
+      load_footprint_file(args.positionals()[1]), capacity);
+  std::cout << "cache_blocks,miss_ratio\n";
+  for (std::size_t c = 0; c <= capacity; ++c)
+    std::cout << c << ',' << model.mrc.ratio(c) << '\n';
+  return 0;
+}
+
+std::vector<ProgramModel> load_models(const ArgParser& args,
+                                      std::size_t capacity) {
+  std::vector<ProgramModel> models;
+  for (std::size_t i = 1; i < args.positionals().size(); ++i)
+    models.push_back(model_from_footprint_file(
+        load_footprint_file(args.positionals()[i]), capacity));
+  OCPS_CHECK(!models.empty(), "need at least one footprint file");
+  return models;
+}
+
+int cmd_predict(const ArgParser& args) {
+  std::size_t capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 1024));
+  auto models = load_models(args, capacity);
+  std::vector<const ProgramModel*> ptrs;
+  for (const auto& m : models) ptrs.push_back(&m);
+  CoRunGroup group(ptrs);
+  auto occupancy = natural_partition(group, static_cast<double>(capacity));
+  auto mrs = predict_shared_miss_ratios(group, static_cast<double>(capacity));
+  TextTable t({"program", "rate", "natural occupancy", "shared miss ratio",
+               "solo miss ratio @C"});
+  for (std::size_t i = 0; i < models.size(); ++i)
+    t.add_row({models[i].name, TextTable::num(models[i].access_rate, 2),
+               TextTable::num(occupancy[i], 1), TextTable::num(mrs[i], 5),
+               TextTable::num(models[i].mrc.ratio(capacity), 5)});
+  t.print(std::cout);
+  std::cout << "group miss ratio under sharing: "
+            << TextTable::num(group_miss_ratio(group, mrs), 5) << "\n";
+  return 0;
+}
+
+int cmd_optimize(const ArgParser& args) {
+  std::size_t capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 1024));
+  auto models = load_models(args, capacity);
+  std::vector<const ProgramModel*> ptrs;
+  std::vector<const MissRatioCurve*> curves;
+  std::vector<double> weights;
+  for (const auto& m : models) {
+    ptrs.push_back(&m);
+    curves.push_back(&m.mrc);
+    weights.push_back(m.access_rate);
+  }
+  CoRunGroup group(ptrs);
+  auto cost = weighted_cost_curves(curves, weights, capacity);
+
+  std::string baseline = args.get_string("baseline", "none");
+  std::string objective = args.get_string("objective", "sum");
+  DpResult result;
+  if (baseline == "equal") {
+    result = optimize_equal_baseline(group, cost, capacity);
+  } else if (baseline == "natural") {
+    result = optimize_natural_baseline(group, cost, capacity);
+  } else {
+    OCPS_CHECK(baseline == "none", "unknown baseline '" << baseline << "'");
+    DpOptions options;
+    if (objective == "max") {
+      options.objective = DpObjective::kMaxCost;
+    } else {
+      OCPS_CHECK(objective == "sum",
+                 "unknown objective '" << objective << "'");
+    }
+    result = optimize_partition(cost, capacity, options);
+  }
+  OCPS_CHECK(result.feasible, "optimization infeasible");
+
+  double rate_sum = 0.0;
+  for (double w : weights) rate_sum += w;
+  TextTable t({"program", "blocks", "miss ratio"});
+  double group_mr = 0.0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    double mr = models[i].mrc.ratio(result.alloc[i]);
+    group_mr += weights[i] / rate_sum * mr;
+    t.add_row({models[i].name, std::to_string(result.alloc[i]),
+               TextTable::num(mr, 5)});
+  }
+  t.print(std::cout);
+  std::cout << "group miss ratio: " << TextTable::num(group_mr, 5)
+            << "  (baseline=" << baseline << ", objective=" << objective
+            << ")\n";
+  return 0;
+}
+
+int cmd_simulate(const ArgParser& args) {
+  std::size_t capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 1024));
+  std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(args.get_int("block-bytes", 64));
+  std::vector<Trace> traces;
+  std::vector<double> rates;
+  std::vector<std::string> names;
+  for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+    traces.push_back(
+        load_address_trace(args.positionals()[i], block_bytes));
+    rates.push_back(1.0);
+    names.push_back(stem_of(args.positionals()[i]));
+  }
+  OCPS_CHECK(!traces.empty(), "need at least one trace file");
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.length();
+  InterleavedTrace mix = interleave_proportional(traces, rates, total);
+  CoRunOptions opt;
+  opt.warmup = static_cast<std::size_t>(
+      args.get_int("warmup", static_cast<std::int64_t>(total / 4)));
+
+  CoRunResult shared = simulate_shared(mix, capacity, opt);
+  CoRunResult equal = simulate_partitioned(
+      mix, equal_partition(traces.size(), capacity), opt);
+  TextTable t({"program", "shared mr", "equal-partition mr"});
+  for (std::size_t i = 0; i < traces.size(); ++i)
+    t.add_row({names[i], TextTable::num(shared.miss_ratio(i), 5),
+               TextTable::num(equal.miss_ratio(i), 5)});
+  t.print(std::cout);
+  std::cout << "group: shared "
+            << TextTable::num(shared.group_miss_ratio(), 5) << ", equal "
+            << TextTable::num(equal.group_miss_ratio(), 5) << "\n";
+  return 0;
+}
+
+int cmd_sweep(const ArgParser& args) {
+  std::size_t capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 1024));
+  auto models = load_models(args, capacity);
+  std::size_t k = static_cast<std::size_t>(args.get_int(
+      "group-size",
+      static_cast<std::int64_t>(std::min<std::size_t>(4, models.size()))));
+  OCPS_CHECK(k >= 1 && k <= models.size(),
+             "group size must be in [1, #programs]");
+
+  auto groups = all_subsets(static_cast<std::uint32_t>(models.size()),
+                            static_cast<std::uint32_t>(k));
+  SweepOptions options;
+  options.capacity = capacity;
+  auto sweep = sweep_groups(models, groups, options);
+
+  std::cout << "evaluated " << sweep.size() << " co-run groups of " << k
+            << " programs at C=" << capacity << "\n\n";
+  TextTable t({"Improvement of Optimal over", "Max", "Avg", "Median",
+               ">=10%", ">=20%"});
+  for (Method m : {Method::kEqual, Method::kEqualBaseline, Method::kNatural,
+                   Method::kNaturalBaseline, Method::kSttw}) {
+    ImprovementStats s = improvement_over(sweep, m);
+    t.add_row({method_name(m), TextTable::pct(s.max, 2),
+               TextTable::pct(s.avg, 2), TextTable::pct(s.median, 2),
+               TextTable::pct(s.frac_ge_10, 2),
+               TextTable::pct(s.frac_ge_20, 2)});
+  }
+  t.print(std::cout);
+
+  // Per-group detail for small runs.
+  if (sweep.size() <= 20) {
+    std::cout << "\n";
+    TextTable d({"group", "Equal", "Natural", "Optimal", "STTW"});
+    for (const auto& g : sweep) {
+      std::string label;
+      for (auto m : g.members) {
+        if (!label.empty()) label += "+";
+        label += models[m].name;
+      }
+      d.add_row({label, TextTable::num(g.of(Method::kEqual).group_mr, 5),
+                 TextTable::num(g.of(Method::kNatural).group_mr, 5),
+                 TextTable::num(g.of(Method::kOptimal).group_mr, 5),
+                 TextTable::num(g.of(Method::kSttw).group_mr, 5)});
+    }
+    d.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_phases(const ArgParser& args) {
+  OCPS_CHECK(args.positionals().size() == 2, "phases needs one trace file");
+  const std::string& path = args.positionals()[1];
+  std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(args.get_int("block-bytes", 64));
+  Trace trace = args.has("binary")
+                    ? load_trace_binary(path)
+                    : load_address_trace(path, block_bytes);
+  PhaseDetectorConfig config;
+  config.window = static_cast<std::size_t>(args.get_int("window", 2000));
+  config.threshold = args.get_double("threshold", 0.30);
+  auto phases = detect_phases(trace, config);
+
+  std::cout << trace.length() << " accesses, " << phases.size()
+            << " phase(s) detected (window " << config.window
+            << ", threshold " << config.threshold << "):\n";
+  TextTable t({"phase", "begin", "end", "accesses", "mean windowed WSS"});
+  for (std::size_t i = 0; i < phases.size(); ++i)
+    t.add_row({std::to_string(i), std::to_string(phases[i].begin),
+               std::to_string(phases[i].end),
+               std::to_string(phases[i].end - phases[i].begin),
+               TextTable::num(phases[i].mean_wss, 1)});
+  t.print(std::cout);
+  std::cout << "Use the boundaries with phase-aware repartitioning "
+               "(core/phase_aware) or pick the epoch count they imply.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string command = argv[1];
+  ArgParser args(argc, argv, /*flags=*/{"binary"});
+  try {
+    if (command == "profile") return cmd_profile(args);
+    if (command == "mrc") return cmd_mrc(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "optimize") return cmd_optimize(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "phases") return cmd_phases(args);
+    return usage();
+  } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
