@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cat_ways.dir/bench_cat_ways.cpp.o"
+  "CMakeFiles/bench_cat_ways.dir/bench_cat_ways.cpp.o.d"
+  "bench_cat_ways"
+  "bench_cat_ways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cat_ways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crd_vs_composition.dir/bench_crd_vs_composition.cpp.o"
+  "CMakeFiles/bench_crd_vs_composition.dir/bench_crd_vs_composition.cpp.o.d"
+  "bench_crd_vs_composition"
+  "bench_crd_vs_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crd_vs_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dp_speed.dir/bench_dp_speed.cpp.o"
+  "CMakeFiles/bench_dp_speed.dir/bench_dp_speed.cpp.o.d"
+  "bench_dp_speed"
+  "bench_dp_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dp_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_controller.dir/bench_online_controller.cpp.o"
+  "CMakeFiles/bench_online_controller.dir/bench_online_controller.cpp.o.d"
+  "bench_online_controller"
+  "bench_online_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

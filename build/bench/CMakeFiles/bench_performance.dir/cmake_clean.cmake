@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_performance.dir/bench_performance.cpp.o"
+  "CMakeFiles/bench_performance.dir/bench_performance.cpp.o.d"
+  "bench_performance"
+  "bench_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase_aware.dir/bench_phase_aware.cpp.o"
+  "CMakeFiles/bench_phase_aware.dir/bench_phase_aware.cpp.o.d"
+  "bench_phase_aware"
+  "bench_phase_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

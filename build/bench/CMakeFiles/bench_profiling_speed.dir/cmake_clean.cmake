@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profiling_speed.dir/bench_profiling_speed.cpp.o"
+  "CMakeFiles/bench_profiling_speed.dir/bench_profiling_speed.cpp.o.d"
+  "bench_profiling_speed"
+  "bench_profiling_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profiling_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_hotl.dir/bench_validation_hotl.cpp.o"
+  "CMakeFiles/bench_validation_hotl.dir/bench_validation_hotl.cpp.o.d"
+  "bench_validation_hotl"
+  "bench_validation_hotl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_hotl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_npa.dir/bench_validation_npa.cpp.o"
+  "CMakeFiles/bench_validation_npa.dir/bench_validation_npa.cpp.o.d"
+  "bench_validation_npa"
+  "bench_validation_npa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_npa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_bench_common.dir/common.cpp.o"
+  "CMakeFiles/ocps_bench_common.dir/common.cpp.o.d"
+  "libocps_bench_common.a"
+  "libocps_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cat_allocator.dir/cat_allocator.cpp.o"
+  "CMakeFiles/cat_allocator.dir/cat_allocator.cpp.o.d"
+  "cat_allocator"
+  "cat_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cat_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_scheduler.dir/corun_scheduler.cpp.o"
+  "CMakeFiles/corun_scheduler.dir/corun_scheduler.cpp.o.d"
+  "corun_scheduler"
+  "corun_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

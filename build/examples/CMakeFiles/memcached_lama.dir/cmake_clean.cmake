@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_lama.dir/memcached_lama.cpp.o"
+  "CMakeFiles/memcached_lama.dir/memcached_lama.cpp.o.d"
+  "memcached_lama"
+  "memcached_lama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_lama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for memcached_lama.
+# This may be replaced when dependencies are built.

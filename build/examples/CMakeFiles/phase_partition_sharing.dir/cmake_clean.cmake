@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_partition_sharing.dir/phase_partition_sharing.cpp.o"
+  "CMakeFiles/phase_partition_sharing.dir/phase_partition_sharing.cpp.o.d"
+  "phase_partition_sharing"
+  "phase_partition_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_partition_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_report.dir/suite_report.cpp.o"
+  "CMakeFiles/suite_report.dir/suite_report.cpp.o.d"
+  "suite_report"
+  "suite_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

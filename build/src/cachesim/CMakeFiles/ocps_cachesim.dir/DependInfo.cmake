@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/belady.cpp" "src/cachesim/CMakeFiles/ocps_cachesim.dir/belady.cpp.o" "gcc" "src/cachesim/CMakeFiles/ocps_cachesim.dir/belady.cpp.o.d"
+  "/root/repo/src/cachesim/corun.cpp" "src/cachesim/CMakeFiles/ocps_cachesim.dir/corun.cpp.o" "gcc" "src/cachesim/CMakeFiles/ocps_cachesim.dir/corun.cpp.o.d"
+  "/root/repo/src/cachesim/lru.cpp" "src/cachesim/CMakeFiles/ocps_cachesim.dir/lru.cpp.o" "gcc" "src/cachesim/CMakeFiles/ocps_cachesim.dir/lru.cpp.o.d"
+  "/root/repo/src/cachesim/policies.cpp" "src/cachesim/CMakeFiles/ocps_cachesim.dir/policies.cpp.o" "gcc" "src/cachesim/CMakeFiles/ocps_cachesim.dir/policies.cpp.o.d"
+  "/root/repo/src/cachesim/set_assoc.cpp" "src/cachesim/CMakeFiles/ocps_cachesim.dir/set_assoc.cpp.o" "gcc" "src/cachesim/CMakeFiles/ocps_cachesim.dir/set_assoc.cpp.o.d"
+  "/root/repo/src/cachesim/way_partitioned.cpp" "src/cachesim/CMakeFiles/ocps_cachesim.dir/way_partitioned.cpp.o" "gcc" "src/cachesim/CMakeFiles/ocps_cachesim.dir/way_partitioned.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ocps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ocps_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

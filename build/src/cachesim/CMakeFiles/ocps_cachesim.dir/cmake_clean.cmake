@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_cachesim.dir/belady.cpp.o"
+  "CMakeFiles/ocps_cachesim.dir/belady.cpp.o.d"
+  "CMakeFiles/ocps_cachesim.dir/corun.cpp.o"
+  "CMakeFiles/ocps_cachesim.dir/corun.cpp.o.d"
+  "CMakeFiles/ocps_cachesim.dir/lru.cpp.o"
+  "CMakeFiles/ocps_cachesim.dir/lru.cpp.o.d"
+  "CMakeFiles/ocps_cachesim.dir/policies.cpp.o"
+  "CMakeFiles/ocps_cachesim.dir/policies.cpp.o.d"
+  "CMakeFiles/ocps_cachesim.dir/set_assoc.cpp.o"
+  "CMakeFiles/ocps_cachesim.dir/set_assoc.cpp.o.d"
+  "CMakeFiles/ocps_cachesim.dir/way_partitioned.cpp.o"
+  "CMakeFiles/ocps_cachesim.dir/way_partitioned.cpp.o.d"
+  "libocps_cachesim.a"
+  "libocps_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/combinatorics/counting.cpp" "src/combinatorics/CMakeFiles/ocps_comb.dir/counting.cpp.o" "gcc" "src/combinatorics/CMakeFiles/ocps_comb.dir/counting.cpp.o.d"
+  "/root/repo/src/combinatorics/enumerate.cpp" "src/combinatorics/CMakeFiles/ocps_comb.dir/enumerate.cpp.o" "gcc" "src/combinatorics/CMakeFiles/ocps_comb.dir/enumerate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ocps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_comb.dir/counting.cpp.o"
+  "CMakeFiles/ocps_comb.dir/counting.cpp.o.d"
+  "CMakeFiles/ocps_comb.dir/enumerate.cpp.o"
+  "CMakeFiles/ocps_comb.dir/enumerate.cpp.o.d"
+  "libocps_comb.a"
+  "libocps_comb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_comb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

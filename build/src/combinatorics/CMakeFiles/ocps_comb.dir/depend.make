@@ -1,0 +1,2 @@
+# Empty dependencies file for ocps_comb.
+# This may be replaced when dependencies are built.

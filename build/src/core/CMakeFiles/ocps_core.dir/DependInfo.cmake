@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/ocps_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/composition.cpp" "src/core/CMakeFiles/ocps_core.dir/composition.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/composition.cpp.o.d"
+  "/root/repo/src/core/dp_partition.cpp" "src/core/CMakeFiles/ocps_core.dir/dp_partition.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/dp_partition.cpp.o.d"
+  "/root/repo/src/core/elastic.cpp" "src/core/CMakeFiles/ocps_core.dir/elastic.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/elastic.cpp.o.d"
+  "/root/repo/src/core/group_sweep.cpp" "src/core/CMakeFiles/ocps_core.dir/group_sweep.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/group_sweep.cpp.o.d"
+  "/root/repo/src/core/objectives.cpp" "src/core/CMakeFiles/ocps_core.dir/objectives.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/objectives.cpp.o.d"
+  "/root/repo/src/core/partition_sharing.cpp" "src/core/CMakeFiles/ocps_core.dir/partition_sharing.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/partition_sharing.cpp.o.d"
+  "/root/repo/src/core/performance.cpp" "src/core/CMakeFiles/ocps_core.dir/performance.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/performance.cpp.o.d"
+  "/root/repo/src/core/phase_aware.cpp" "src/core/CMakeFiles/ocps_core.dir/phase_aware.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/phase_aware.cpp.o.d"
+  "/root/repo/src/core/program_model.cpp" "src/core/CMakeFiles/ocps_core.dir/program_model.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/program_model.cpp.o.d"
+  "/root/repo/src/core/sttw.cpp" "src/core/CMakeFiles/ocps_core.dir/sttw.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/sttw.cpp.o.d"
+  "/root/repo/src/core/suh.cpp" "src/core/CMakeFiles/ocps_core.dir/suh.cpp.o" "gcc" "src/core/CMakeFiles/ocps_core.dir/suh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ocps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ocps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/locality/CMakeFiles/ocps_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinatorics/CMakeFiles/ocps_comb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/ocps_cachesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_core.dir/baselines.cpp.o"
+  "CMakeFiles/ocps_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/composition.cpp.o"
+  "CMakeFiles/ocps_core.dir/composition.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/dp_partition.cpp.o"
+  "CMakeFiles/ocps_core.dir/dp_partition.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/elastic.cpp.o"
+  "CMakeFiles/ocps_core.dir/elastic.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/group_sweep.cpp.o"
+  "CMakeFiles/ocps_core.dir/group_sweep.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/objectives.cpp.o"
+  "CMakeFiles/ocps_core.dir/objectives.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/partition_sharing.cpp.o"
+  "CMakeFiles/ocps_core.dir/partition_sharing.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/performance.cpp.o"
+  "CMakeFiles/ocps_core.dir/performance.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/phase_aware.cpp.o"
+  "CMakeFiles/ocps_core.dir/phase_aware.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/program_model.cpp.o"
+  "CMakeFiles/ocps_core.dir/program_model.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/sttw.cpp.o"
+  "CMakeFiles/ocps_core.dir/sttw.cpp.o.d"
+  "CMakeFiles/ocps_core.dir/suh.cpp.o"
+  "CMakeFiles/ocps_core.dir/suh.cpp.o.d"
+  "libocps_core.a"
+  "libocps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

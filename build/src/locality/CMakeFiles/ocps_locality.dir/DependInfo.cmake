@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locality/crd.cpp" "src/locality/CMakeFiles/ocps_locality.dir/crd.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/crd.cpp.o.d"
+  "/root/repo/src/locality/footprint.cpp" "src/locality/CMakeFiles/ocps_locality.dir/footprint.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/footprint.cpp.o.d"
+  "/root/repo/src/locality/footprint_io.cpp" "src/locality/CMakeFiles/ocps_locality.dir/footprint_io.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/footprint_io.cpp.o.d"
+  "/root/repo/src/locality/hotl.cpp" "src/locality/CMakeFiles/ocps_locality.dir/hotl.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/hotl.cpp.o.d"
+  "/root/repo/src/locality/mrc.cpp" "src/locality/CMakeFiles/ocps_locality.dir/mrc.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/mrc.cpp.o.d"
+  "/root/repo/src/locality/phases.cpp" "src/locality/CMakeFiles/ocps_locality.dir/phases.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/phases.cpp.o.d"
+  "/root/repo/src/locality/reuse_distance.cpp" "src/locality/CMakeFiles/ocps_locality.dir/reuse_distance.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/reuse_distance.cpp.o.d"
+  "/root/repo/src/locality/reuse_time.cpp" "src/locality/CMakeFiles/ocps_locality.dir/reuse_time.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/reuse_time.cpp.o.d"
+  "/root/repo/src/locality/sampling.cpp" "src/locality/CMakeFiles/ocps_locality.dir/sampling.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/sampling.cpp.o.d"
+  "/root/repo/src/locality/shards.cpp" "src/locality/CMakeFiles/ocps_locality.dir/shards.cpp.o" "gcc" "src/locality/CMakeFiles/ocps_locality.dir/shards.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ocps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ocps_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_locality.dir/crd.cpp.o"
+  "CMakeFiles/ocps_locality.dir/crd.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/footprint.cpp.o"
+  "CMakeFiles/ocps_locality.dir/footprint.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/footprint_io.cpp.o"
+  "CMakeFiles/ocps_locality.dir/footprint_io.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/hotl.cpp.o"
+  "CMakeFiles/ocps_locality.dir/hotl.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/mrc.cpp.o"
+  "CMakeFiles/ocps_locality.dir/mrc.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/phases.cpp.o"
+  "CMakeFiles/ocps_locality.dir/phases.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/reuse_distance.cpp.o"
+  "CMakeFiles/ocps_locality.dir/reuse_distance.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/reuse_time.cpp.o"
+  "CMakeFiles/ocps_locality.dir/reuse_time.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/sampling.cpp.o"
+  "CMakeFiles/ocps_locality.dir/sampling.cpp.o.d"
+  "CMakeFiles/ocps_locality.dir/shards.cpp.o"
+  "CMakeFiles/ocps_locality.dir/shards.cpp.o.d"
+  "libocps_locality.a"
+  "libocps_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

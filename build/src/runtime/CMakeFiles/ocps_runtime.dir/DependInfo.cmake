@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/controller.cpp" "src/runtime/CMakeFiles/ocps_runtime.dir/controller.cpp.o" "gcc" "src/runtime/CMakeFiles/ocps_runtime.dir/controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ocps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/ocps_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/locality/CMakeFiles/ocps_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ocps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinatorics/CMakeFiles/ocps_comb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

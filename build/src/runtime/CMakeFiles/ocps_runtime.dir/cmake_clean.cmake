@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_runtime.dir/controller.cpp.o"
+  "CMakeFiles/ocps_runtime.dir/controller.cpp.o.d"
+  "libocps_runtime.a"
+  "libocps_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

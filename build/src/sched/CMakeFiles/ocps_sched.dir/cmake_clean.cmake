@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_sched.dir/symbiosis.cpp.o"
+  "CMakeFiles/ocps_sched.dir/symbiosis.cpp.o.d"
+  "libocps_sched.a"
+  "libocps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_trace.dir/generators.cpp.o"
+  "CMakeFiles/ocps_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/ocps_trace.dir/interleave.cpp.o"
+  "CMakeFiles/ocps_trace.dir/interleave.cpp.o.d"
+  "CMakeFiles/ocps_trace.dir/trace.cpp.o"
+  "CMakeFiles/ocps_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/ocps_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ocps_trace.dir/trace_io.cpp.o.d"
+  "libocps_trace.a"
+  "libocps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_util.dir/args.cpp.o"
+  "CMakeFiles/ocps_util.dir/args.cpp.o.d"
+  "CMakeFiles/ocps_util.dir/config.cpp.o"
+  "CMakeFiles/ocps_util.dir/config.cpp.o.d"
+  "CMakeFiles/ocps_util.dir/curve.cpp.o"
+  "CMakeFiles/ocps_util.dir/curve.cpp.o.d"
+  "CMakeFiles/ocps_util.dir/parallel.cpp.o"
+  "CMakeFiles/ocps_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/ocps_util.dir/rng.cpp.o"
+  "CMakeFiles/ocps_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ocps_util.dir/stats.cpp.o"
+  "CMakeFiles/ocps_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ocps_util.dir/table.cpp.o"
+  "CMakeFiles/ocps_util.dir/table.cpp.o.d"
+  "libocps_util.a"
+  "libocps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

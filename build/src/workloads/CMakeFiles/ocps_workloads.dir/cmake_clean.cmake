@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_workloads.dir/spec_like.cpp.o"
+  "CMakeFiles/ocps_workloads.dir/spec_like.cpp.o.d"
+  "CMakeFiles/ocps_workloads.dir/suite.cpp.o"
+  "CMakeFiles/ocps_workloads.dir/suite.cpp.o.d"
+  "libocps_workloads.a"
+  "libocps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_belady_ways.dir/test_belady_ways.cpp.o"
+  "CMakeFiles/test_belady_ways.dir/test_belady_ways.cpp.o.d"
+  "test_belady_ways"
+  "test_belady_ways.pdb"
+  "test_belady_ways[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_belady_ways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

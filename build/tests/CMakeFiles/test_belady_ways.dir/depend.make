@@ -1,0 +1,2 @@
+# Empty dependencies file for test_belady_ways.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachesim_ext.dir/test_cachesim_ext.cpp.o"
+  "CMakeFiles/test_cachesim_ext.dir/test_cachesim_ext.cpp.o.d"
+  "test_cachesim_ext"
+  "test_cachesim_ext.pdb"
+  "test_cachesim_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachesim_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_composition.dir/test_core_composition.cpp.o"
+  "CMakeFiles/test_core_composition.dir/test_core_composition.cpp.o.d"
+  "test_core_composition"
+  "test_core_composition.pdb"
+  "test_core_composition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dp.dir/test_core_dp.cpp.o"
+  "CMakeFiles/test_core_dp.dir/test_core_dp.cpp.o.d"
+  "test_core_dp"
+  "test_core_dp.pdb"
+  "test_core_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

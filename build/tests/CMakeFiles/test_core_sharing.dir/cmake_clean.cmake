@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sharing.dir/test_core_sharing.cpp.o"
+  "CMakeFiles/test_core_sharing.dir/test_core_sharing.cpp.o.d"
+  "test_core_sharing"
+  "test_core_sharing.pdb"
+  "test_core_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

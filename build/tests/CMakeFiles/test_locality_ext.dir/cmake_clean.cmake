@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locality_ext.dir/test_locality_ext.cpp.o"
+  "CMakeFiles/test_locality_ext.dir/test_locality_ext.cpp.o.d"
+  "test_locality_ext"
+  "test_locality_ext.pdb"
+  "test_locality_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locality_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

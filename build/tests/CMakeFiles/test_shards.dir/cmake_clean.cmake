@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shards.dir/test_shards.cpp.o"
+  "CMakeFiles/test_shards.dir/test_shards.cpp.o.d"
+  "test_shards"
+  "test_shards.pdb"
+  "test_shards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_combinatorics[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_locality[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/test_core_dp[1]_include.cmake")
+include("/root/repo/build/tests/test_core_composition[1]_include.cmake")
+include("/root/repo/build/tests/test_core_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_core_sharing[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_locality_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_core_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_shards[1]_include.cmake")
+include("/root/repo/build/tests/test_belady_ways[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_phases[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocps_cli.dir/ocps.cpp.o"
+  "CMakeFiles/ocps_cli.dir/ocps.cpp.o.d"
+  "ocps"
+  "ocps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
