@@ -1,0 +1,127 @@
+// Robustness bench: miss-ratio degradation of the hardened online
+// controller vs a naive restart-on-error baseline under injected faults.
+//
+// Both controllers see *exactly* the same fault schedule (the injector is
+// a pure function of seed/epoch/program) and the same interleaved trace.
+// The hardened controller walks the degradation ladder (sanitize → hold
+// last-good → equal-partition fallback); the baseline does what an
+// unhardened controller wrapped in a supervisor would do: restart from
+// the equal partition and discard everything it learned.
+//
+// Sanity anchors, checked at exit (non-zero exit on violation):
+//  * fault rate 0: the hardened controller's allocations are bit-for-bit
+//    identical to a run with no fault hooks installed at all;
+//  * fault rate 10%: every run completes with no uncaught exception and
+//    the hardened controller's final miss ratio beats the baseline's.
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/fault_injection.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+namespace {
+
+struct Run {
+  ControllerResult result;
+  std::size_t injected = 0;
+};
+
+InterleavedTrace make_workload(std::size_t n_each) {
+  // A mix where the optimal split is strongly skewed: losing the learned
+  // allocation (what the restart baseline keeps doing) is expensive.
+  std::vector<Trace> traces = {
+      make_cyclic(n_each, 300),
+      make_zipf(n_each, 700, 0.9, 501),
+      make_sawtooth(n_each, 60),
+      make_hot_cold(n_each, 40, 900, 0.8, 502),
+  };
+  return interleave_proportional(traces, {1.0, 1.0, 1.0, 1.0},
+                                 n_each * traces.size());
+}
+
+ControllerConfig make_config(FaultPolicy policy) {
+  ControllerConfig config;
+  config.capacity = 512;
+  config.epoch_length = 20000;
+  config.sampling_rate = 0.1;
+  config.max_delta_units = 96;  // hysteresis: damp single-epoch thrash
+  config.fault_policy = policy;
+  return config;
+}
+
+Run run_with_faults(const InterleavedTrace& mix, FaultPolicy policy,
+                    double rate, std::uint64_t seed) {
+  FaultInjector injector(FaultInjectionConfig::uniform(rate, seed));
+  ControllerHooks hooks = injector.hooks();
+  Run r;
+  r.result = run_online_controller(mix, 4, make_config(policy), hooks);
+  r.injected = injector.injected_total();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_each = 120000;
+  const std::uint64_t fault_seed = 0xF417;
+  InterleavedTrace mix = make_workload(n_each);
+
+  std::cout << "=== Robustness: hardened controller vs restart-on-error "
+               "baseline under injected faults ===\n"
+               "(C=512, 4 programs, " << mix.length()
+            << " accesses, identical fault schedules per row)\n\n";
+
+  TextTable t({"fault rate", "injected", "hardened mr", "restart mr",
+               "degraded epochs", "repairs", "fallbacks", "restarts"});
+
+  bool ok = true;
+  for (double rate : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    Run hardened = run_with_faults(mix, FaultPolicy::kGraceful, rate,
+                                   fault_seed);
+    Run baseline = run_with_faults(mix, FaultPolicy::kRestartOnError, rate,
+                                   fault_seed);
+    std::size_t restarts = 0;
+    for (const auto& h : baseline.result.health)
+      if (h.restarted) ++restarts;
+
+    t.add_row({TextTable::pct(rate, 0), std::to_string(hardened.injected),
+               TextTable::num(hardened.result.sim.group_miss_ratio(), 4),
+               TextTable::num(baseline.result.sim.group_miss_ratio(), 4),
+               std::to_string(hardened.result.epochs_degraded),
+               std::to_string(hardened.result.repairs),
+               std::to_string(hardened.result.fallbacks),
+               std::to_string(restarts)});
+
+    if (rate == 0.0) {
+      // Inert injector == no hooks at all, bit for bit.
+      ControllerResult clean =
+          run_online_controller(mix, 4, make_config(FaultPolicy::kGraceful));
+      if (clean.alloc_history != hardened.result.alloc_history) {
+        std::cout << "FAIL: fault rate 0 changed the allocation decisions\n";
+        ok = false;
+      }
+    }
+    if (rate == 0.10 &&
+        !(hardened.result.sim.group_miss_ratio() <
+          baseline.result.sim.group_miss_ratio())) {
+      std::cout << "FAIL: hardened controller not strictly better than the "
+                   "restart baseline at 10% faults\n";
+      ok = false;
+    }
+  }
+  emit_table(t, "fault_tolerance");
+
+  std::cout << "\nExpected: at 0% both columns match the fault-free "
+               "controller; as the fault rate grows the baseline keeps "
+               "resetting to the equal partition and its miss ratio "
+               "climbs, while the hardened controller repairs or holds "
+               "and degrades only mildly.\n";
+  return ok ? 0 : 1;
+}

@@ -118,6 +118,44 @@ DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
   return result;
 }
 
+Result<DpResult> try_optimize_partition(
+    const std::vector<std::vector<double>>& cost, std::size_t capacity,
+    const DpOptions& options) {
+  // Validate up front with error values; anything optimize_partition would
+  // reject via OCPS_CHECK must be caught here first so the online path
+  // never unwinds through the DP.
+  const std::size_t p = cost.size();
+  if (p == 0)
+    return Err(ErrorCode::kInvalidArgument, "no cost curves given");
+  for (std::size_t i = 0; i < p; ++i) {
+    if (cost[i].size() < capacity + 1)
+      return Err(ErrorCode::kInvalidArgument,
+                 "cost curve " + std::to_string(i) +
+                     " shorter than capacity+1");
+    for (std::size_t c = 0; c <= capacity; ++c)
+      if (!std::isfinite(cost[i][c]))
+        return Err(ErrorCode::kCorruptData,
+                   "non-finite cost at program " + std::to_string(i) +
+                       ", c=" + std::to_string(c));
+  }
+  if (!options.min_alloc.empty() && options.min_alloc.size() != p)
+    return Err(ErrorCode::kInvalidArgument, "min_alloc size mismatch");
+  if (!options.max_alloc.empty() && options.max_alloc.size() != p)
+    return Err(ErrorCode::kInvalidArgument, "max_alloc size mismatch");
+
+  DpResult result;
+  try {
+    result = optimize_partition(cost, capacity, options);
+  } catch (const CheckError& e) {
+    return Err(ErrorCode::kInternal, e.what());
+  }
+  if (!result.feasible)
+    return Err(ErrorCode::kInfeasible,
+               "allocation bounds admit no partition of capacity " +
+                   std::to_string(capacity));
+  return Ok(std::move(result));
+}
+
 DpResult optimize_partition_exhaustive(
     const std::vector<std::vector<double>>& cost, std::size_t capacity,
     const DpOptions& options) {

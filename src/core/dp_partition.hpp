@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "locality/mrc.hpp"
+#include "util/result.hpp"
 
 namespace ocps {
 
@@ -48,6 +49,17 @@ struct DpResult {
 DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
                             std::size_t capacity,
                             const DpOptions& options = {});
+
+/// Guarded entry point for the runtime path. Same optimization as
+/// optimize_partition, but every failure mode — malformed cost curves
+/// (wrong sizes, NaN/inf entries), infeasible bounds, or an unexpected
+/// internal CheckError — comes back as an Error value instead of an
+/// exception, so an online caller can hold its last-good allocation and
+/// keep serving. Offline/batch callers should keep using
+/// optimize_partition, where aborting on bad input is the right policy.
+Result<DpResult> try_optimize_partition(
+    const std::vector<std::vector<double>>& cost, std::size_t capacity,
+    const DpOptions& options = {});
 
 /// Exhaustive reference optimizer (enumerates every composition); used as
 /// the test oracle for the DP. Exponential — small instances only.

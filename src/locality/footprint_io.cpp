@@ -1,5 +1,7 @@
 #include "locality/footprint_io.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 
@@ -29,6 +31,9 @@ void save_footprint_file(const FootprintFile& data, const std::string& path,
 FootprintFile load_footprint_file(const std::string& path) {
   std::ifstream is(path);
   OCPS_CHECK(is.good(), "cannot open " << path << " for reading");
+  is.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
   std::string magic;
   int version = 0;
   is >> magic >> version;
@@ -54,11 +59,28 @@ FootprintFile load_footprint_file(const std::string& path) {
     }
   }
   OCPS_CHECK(knots >= 1, "footprint file has no knots: " << path);
+  // Each knot occupies at least 4 bytes on disk ("x y\n"); a knot count
+  // implying more data than the file holds is a corrupt header, and
+  // resizing to it could allocate gigabytes.
+  OCPS_CHECK(knots <= file_size / 4,
+             "footprint header in " << path << " claims " << knots
+                                    << " knots but the file is only "
+                                    << file_size << " bytes");
   std::vector<double> xs(knots), ys(knots);
   for (std::size_t i = 0; i < knots; ++i) {
     is >> xs[i] >> ys[i];
     OCPS_CHECK(is.good() || (i + 1 == knots && is.eof()),
-               "truncated footprint file " << path);
+               "truncated or unparsable knot " << i << " in " << path);
+    OCPS_CHECK(std::isfinite(xs[i]) && std::isfinite(ys[i]),
+               "non-finite coordinate at knot " << i << " in " << path);
+    OCPS_CHECK(xs[i] >= 0.0 && ys[i] >= 0.0,
+               "negative coordinate at knot " << i << " in " << path);
+    OCPS_CHECK(i == 0 || xs[i] > xs[i - 1],
+               "window coordinates not increasing at knot " << i << " in "
+                                                            << path);
+    OCPS_CHECK(i == 0 || ys[i] >= ys[i - 1],
+               "footprint not non-decreasing at knot " << i << " in "
+                                                       << path);
   }
   out.footprint = PiecewiseLinear(std::move(xs), std::move(ys));
   return out;

@@ -1,18 +1,85 @@
 #include "runtime/controller.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <utility>
 
 #include "cachesim/lru.hpp"
 #include "core/baselines.hpp"
 #include "core/dp_partition.hpp"
+#include "locality/sanitize.hpp"
 #include "locality/shards.hpp"
 #include "util/check.hpp"
+#include "util/result.hpp"
 
 namespace ocps {
 
+namespace {
+
+/// Limits how many units change hands between two allocations: returns an
+/// allocation between `from` and `to` component-wise, with the same total,
+/// whose distance from `from` (half the L1 norm) is at most `cap`. The
+/// largest movers win the budget, so the cap preserves the direction of
+/// the DP's decision while damping its magnitude. cap == 0 disables the
+/// limit (bit-identical pass-through of `to`).
+std::vector<std::size_t> cap_allocation_change(
+    const std::vector<std::size_t>& from, const std::vector<std::size_t>& to,
+    std::size_t cap) {
+  if (cap == 0) return to;
+  const std::size_t p = from.size();
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < p; ++i)
+    if (to[i] > from[i]) moved += to[i] - from[i];
+  if (moved <= cap) return to;
+
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    auto delta = [&](std::size_t i) {
+      return to[i] > from[i] ? to[i] - from[i] : from[i] - to[i];
+    };
+    return delta(a) > delta(b);
+  });
+
+  // Growers: proportional floor share of the budget, then one extra unit
+  // each (largest first) until the budget is spent.
+  std::vector<std::size_t> out = from;
+  std::size_t budget = cap;
+  for (std::size_t i : order) {
+    if (to[i] <= from[i]) continue;
+    std::size_t give = (to[i] - from[i]) * cap / moved;
+    out[i] += give;
+    budget -= give;
+  }
+  for (std::size_t i : order) {
+    if (budget == 0) break;
+    if (to[i] > from[i] && out[i] < to[i]) {
+      ++out[i];
+      --budget;
+    }
+  }
+  // Shrinkers give up exactly what the growers received, largest first,
+  // never dropping below their own target.
+  std::size_t need = cap - budget;
+  for (std::size_t i : order) {
+    if (need == 0) break;
+    if (to[i] < from[i]) {
+      std::size_t take = std::min(need, from[i] - to[i]);
+      out[i] -= take;
+      need -= take;
+    }
+  }
+  OCPS_CHECK(need == 0, "hysteresis cap could not balance the transfer");
+  return out;
+}
+
+}  // namespace
+
 ControllerResult run_online_controller(const InterleavedTrace& trace,
                                        std::size_t num_programs,
-                                       const ControllerConfig& config) {
+                                       const ControllerConfig& config,
+                                       const ControllerHooks& hooks) {
   OCPS_CHECK(num_programs >= 1, "need at least one program");
   OCPS_CHECK(config.capacity >= num_programs,
              "capacity too small for one unit per program");
@@ -25,9 +92,10 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
     OCPS_CHECK(o < num_programs, "owner id out of range");
 
   const std::size_t p = num_programs;
+  const std::vector<std::size_t> equal = equal_partition(p, config.capacity);
 
   // Start from the equal partition: the controller knows nothing yet.
-  std::vector<std::size_t> alloc = equal_partition(p, config.capacity);
+  std::vector<std::size_t> alloc = equal;
   std::vector<LruCache> partitions;
   partitions.reserve(p);
   for (std::size_t i = 0; i < p; ++i) partitions.emplace_back(alloc[i]);
@@ -42,7 +110,9 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
 
   std::vector<std::vector<double>> ewma_cost(
       p, std::vector<double>(config.capacity + 1, 0.0));
-  bool have_estimate = false;
+  // A program with no valid estimate yet has a meaningless cost row; the
+  // DP only runs once every program has reported at least once.
+  std::vector<bool> have_estimate(p, false);
 
   ControllerResult out;
   out.sim.accesses.assign(p, 0);
@@ -52,35 +122,105 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
   std::vector<std::uint64_t> epoch_accesses(p, 0);
   std::uint64_t sampled_total = 0;
 
-  auto end_epoch = [&]() {
-    ++out.epochs;
-    // Fresh per-epoch cost curves: observed access count x estimated MRC.
+  auto restart_from_scratch = [&]() {
+    alloc = equal;
     for (std::size_t i = 0; i < p; ++i) {
-      MissRatioCurve mrc = profilers[i].estimate_mrc(config.capacity);
-      double weight = static_cast<double>(epoch_accesses[i]);
-      for (std::size_t c = 0; c <= config.capacity; ++c) {
-        double fresh = weight * mrc.ratio(c);
-        ewma_cost[i][c] = have_estimate
-                              ? config.ewma_alpha * fresh +
-                                    (1.0 - config.ewma_alpha) *
-                                        ewma_cost[i][c]
-                              : fresh;
+      partitions[i].set_capacity(alloc[i]);
+      std::fill(ewma_cost[i].begin(), ewma_cost[i].end(), 0.0);
+      have_estimate[i] = false;
+    }
+  };
+
+  auto end_epoch = [&]() {
+    const std::size_t epoch_index = out.epochs;
+    ++out.epochs;
+    EpochHealth health;
+
+    // Phase 1 — estimate: sanitize every sampled MRC; a program whose
+    // estimate is unusable keeps its previous cost row (hold).
+    for (std::size_t i = 0; i < p; ++i) {
+      const double weight = static_cast<double>(epoch_accesses[i]);
+      bool usable = !(hooks.drop_estimate && hooks.drop_estimate(epoch_index, i));
+      MissRatioCurve mrc;
+      if (usable) {
+        std::vector<double> ratios =
+            profilers[i].estimate_mrc(config.capacity).ratios();
+        if (hooks.corrupt_mrc) hooks.corrupt_mrc(epoch_index, i, ratios);
+        RepairReport report;
+        Result<MissRatioCurve> sanitized =
+            sanitize_mrc(std::move(ratios), profilers[i].accesses(),
+                         config.capacity, &report);
+        health.repairs += report.total();
+        if (sanitized.ok()) {
+          mrc = std::move(sanitized.value());
+        } else {
+          usable = false;
+        }
+      }
+      if (usable) {
+        for (std::size_t c = 0; c <= config.capacity; ++c) {
+          double fresh = weight * mrc.ratio(c);
+          ewma_cost[i][c] = have_estimate[i]
+                                ? config.ewma_alpha * fresh +
+                                      (1.0 - config.ewma_alpha) *
+                                          ewma_cost[i][c]
+                                : fresh;
+        }
+        have_estimate[i] = true;
+      } else {
+        ++health.degraded_programs;
       }
       sampled_total += profilers[i].sampled_accesses();
       profilers[i].reset();
       epoch_accesses[i] = 0;
     }
-    have_estimate = true;
 
-    DpOptions options;
-    if (config.min_units > 0)
-      options.min_alloc.assign(p, config.min_units);
-    DpResult dp = optimize_partition(ewma_cost, config.capacity, options);
-    OCPS_CHECK(dp.feasible, "controller DP must be feasible");
-    alloc = dp.alloc;
-    for (std::size_t i = 0; i < p; ++i)
-      partitions[i].set_capacity(alloc[i]);
+    // Phase 2 — decide. The naive baseline restarts on any fault; the
+    // graceful ladder holds what it has.
+    bool all_have = std::all_of(have_estimate.begin(), have_estimate.end(),
+                                [](bool b) { return b; });
+    if (config.fault_policy == FaultPolicy::kRestartOnError &&
+        health.degraded_programs > 0) {
+      restart_from_scratch();
+      health.restarted = true;
+    } else if (!all_have) {
+      // First-epoch failure: nothing was ever learned for some program,
+      // so there is no basis to run the DP — stay on the current
+      // allocation (the startup equal partition).
+      health.held_allocation = true;
+    } else {
+      Result<DpResult> dp =
+          (hooks.fail_dp && hooks.fail_dp(epoch_index))
+              ? Result<DpResult>(ErrorCode::kInternal, "injected DP fault")
+              : [&] {
+                  DpOptions options;
+                  if (config.min_units > 0)
+                    options.min_alloc.assign(p, config.min_units);
+                  return try_optimize_partition(ewma_cost, config.capacity,
+                                                options);
+                }();
+      if (dp.ok()) {
+        alloc = cap_allocation_change(alloc, dp.value().alloc,
+                                      config.max_delta_units);
+        for (std::size_t i = 0; i < p; ++i)
+          partitions[i].set_capacity(alloc[i]);
+      } else if (config.fault_policy == FaultPolicy::kRestartOnError) {
+        restart_from_scratch();
+        health.dp_failed = true;
+        health.restarted = true;
+      } else {
+        // Hold the last-good allocation; next epoch gets a fresh try.
+        health.dp_failed = true;
+        health.held_allocation = true;
+      }
+    }
     out.alloc_history.push_back(alloc);
+
+    if (health.degraded_programs > 0 || health.dp_failed)
+      ++out.epochs_degraded;
+    if (health.held_allocation || health.restarted) ++out.fallbacks;
+    out.repairs += health.repairs;
+    out.health.push_back(health);
   };
 
   for (std::size_t t = 0; t < trace.length(); ++t) {

@@ -1,0 +1,83 @@
+// Deterministic fault injection for the online controller.
+//
+// Reproducing a production failure ("the profiler sent us garbage at
+// 3am") requires faults that are a pure function of (seed, epoch,
+// program) — not of call order — so a hardened run and a baseline run
+// given the same injector config see *exactly* the same faults. Every
+// decision here hashes (seed, epoch, program, kind) with splitmix64 and
+// compares against the configured rate; no mutable RNG stream exists.
+//
+// Fault kinds mirror what real sampled profilers produce under stress:
+//   * nan       — a run of NaN entries (arithmetic on an empty sample)
+//   * spike     — a burst above 1.0 breaking monotonicity (hash
+//                 collisions on a tiny sample)
+//   * truncate  — the estimate stops early (dropped profiler message)
+//   * drop      — no estimate at all for one (epoch, program)
+//   * dp_fail   — the optimizer itself errors for one epoch
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/controller.hpp"
+
+namespace ocps {
+
+/// Per-kind fault probabilities (each in [0, 1]) and the seed that makes
+/// the injection schedule deterministic.
+struct FaultInjectionConfig {
+  double nan_rate = 0.0;       ///< P[NaN-lace an estimate]
+  double spike_rate = 0.0;     ///< P[spike an estimate above 1]
+  double truncate_rate = 0.0;  ///< P[truncate an estimate]
+  double drop_rate = 0.0;      ///< P[drop an estimate entirely]
+  double dp_fail_rate = 0.0;   ///< P[fail the DP for an epoch]
+  std::uint64_t seed = 0xFA117;
+
+  /// Convenience: every kind at the same rate r.
+  static FaultInjectionConfig uniform(double r, std::uint64_t seed = 0xFA117);
+};
+
+/// Seeded injector producing ControllerHooks. The injector outlives the
+/// controller run (hooks hold a pointer to it); it also tallies what it
+/// injected so benches can report the realized fault load.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectionConfig& config);
+
+  /// Hooks to pass to run_online_controller. The injector must stay
+  /// alive for the duration of the run.
+  ControllerHooks hooks();
+
+  /// Faults injected so far, by kind and in total.
+  std::size_t injected_nan() const { return nan_; }
+  std::size_t injected_spikes() const { return spikes_; }
+  std::size_t injected_truncations() const { return truncations_; }
+  std::size_t injected_drops() const { return drops_; }
+  std::size_t injected_dp_failures() const { return dp_failures_; }
+  std::size_t injected_total() const {
+    return nan_ + spikes_ + truncations_ + drops_ + dp_failures_;
+  }
+
+  /// Resets the tally (the schedule is stateless and unaffected).
+  void reset_counts();
+
+  // Hook bodies (public so tests can drive them directly).
+  void corrupt_mrc(std::size_t epoch, std::size_t program,
+                   std::vector<double>& ratios);
+  bool drop_estimate(std::size_t epoch, std::size_t program);
+  bool fail_dp(std::size_t epoch);
+
+ private:
+  /// Uniform [0,1) draw that is a pure function of the identifiers.
+  double draw(std::uint64_t kind, std::size_t epoch,
+              std::size_t program) const;
+
+  FaultInjectionConfig config_;
+  std::size_t nan_ = 0;
+  std::size_t spikes_ = 0;
+  std::size_t truncations_ = 0;
+  std::size_t drops_ = 0;
+  std::size_t dp_failures_ = 0;
+};
+
+}  // namespace ocps

@@ -28,6 +28,9 @@ void save_trace_binary(const Trace& trace, const std::string& path) {
 Trace load_trace_binary(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   OCPS_CHECK(is.good(), "cannot open " << path << " for reading");
+  is.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
   char magic[8];
   is.read(magic, sizeof(magic));
   OCPS_CHECK(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
@@ -35,6 +38,14 @@ Trace load_trace_binary(const std::string& path) {
   std::uint64_t n = 0;
   is.read(reinterpret_cast<char*>(&n), sizeof(n));
   OCPS_CHECK(is.good(), "truncated trace file " << path);
+  // Validate the header count against the bytes actually present before
+  // resizing: a corrupt header must not trigger a multi-GB allocation.
+  const std::uint64_t header = sizeof(kMagic) + sizeof(n);
+  const std::uint64_t payload = file_size - header;
+  OCPS_CHECK(n <= payload / sizeof(Block),
+             "trace header in " << path << " claims " << n
+                                << " accesses but only " << payload
+                                << " payload bytes are present");
   Trace t;
   t.accesses.resize(n);
   is.read(reinterpret_cast<char*>(t.accesses.data()),

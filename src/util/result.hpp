@@ -1,0 +1,107 @@
+// Recoverable errors as values.
+//
+// OCPS_CHECK (check.hpp) guards true invariants: a failure means the
+// library itself is wrong and the run must abort. The profiling/DP
+// boundary of the *online* path is different — a NaN-laced sampled MRC, a
+// truncated estimate, or an infeasible DP instance are expected runtime
+// weather, and the controller must be able to inspect the failure and
+// degrade gracefully instead of unwinding. Result<T> carries either a
+// value or an ocps::Error (code + message) for exactly those seams.
+//
+// Policy (see docs/fault_tolerance.md): a function returns Result<T> when
+// a caller can meaningfully recover (hold last-good state, fall back,
+// retry with repaired input); it throws CheckError when the condition can
+// only arise from a bug in the calling code.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+/// Machine-inspectable failure categories for recoverable errors.
+enum class ErrorCode {
+  kInvalidArgument,    ///< malformed input (wrong sizes, bad values)
+  kDegenerateProfile,  ///< a profile carries no usable signal
+  kInfeasible,         ///< constraints admit no solution
+  kCorruptData,        ///< data failed validation (NaN, out of range)
+  kIoError,            ///< file could not be read/written
+  kInternal,           ///< wrapped unexpected failure (e.g. CheckError)
+};
+
+/// Human-readable name of an error code (stable, for logs and tests).
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kDegenerateProfile: return "degenerate_profile";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kCorruptData: return "corrupt_data";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A recoverable failure: code for dispatch, message for humans.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+};
+
+/// Either a T or an Error. Deliberately tiny — no monadic combinators,
+/// just the accessors the controller needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT
+  Result(ErrorCode code, std::string message)
+      : error_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The value; OCPS_CHECKs ok() (calling value() on an error is a bug).
+  T& value() {
+    OCPS_CHECK(ok(), "Result::value() on error: " << error_->to_string());
+    return *value_;
+  }
+  const T& value() const {
+    OCPS_CHECK(ok(), "Result::value() on error: " << error_->to_string());
+    return *value_;
+  }
+
+  /// The error; OCPS_CHECKs !ok().
+  const Error& error() const {
+    OCPS_CHECK(!ok(), "Result::error() on a success value");
+    return *error_;
+  }
+
+  /// Value or a fallback, never throws.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Convenience factories mirroring the usual expected<> idiom.
+template <typename T>
+Result<T> Ok(T value) {
+  return Result<T>(std::move(value));
+}
+
+inline Error Err(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace ocps

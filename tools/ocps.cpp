@@ -17,6 +17,8 @@
 
 #include "cachesim/corun.hpp"
 #include "combinatorics/enumerate.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/fault_injection.hpp"
 #include "core/baselines.hpp"
 #include "core/composition.hpp"
 #include "core/dp_partition.hpp"
@@ -67,6 +69,24 @@ commands:
       --binary         input is an ocps binary trace
       --window W       accesses per WSS sample (2000)
       --threshold T    relative WSS change opening a phase (0.30)
+  controller <trace...> run the fault-tolerant online repartitioning
+                       controller over the interleaved traces
+      --capacity C     cache size in blocks (1024)
+      --block-bytes B  block size (64)
+      --binary         inputs are ocps binary traces
+      --epoch N        accesses per repartitioning epoch (50000)
+      --sampling-rate R  SHARDS rate per program (0.05)
+      --min-units M    per-program QoS floor in blocks (0)
+      --max-delta D    hysteresis: max blocks moved per epoch (0 = off)
+      --policy P       graceful | restart   (graceful)
+      fault injection (deterministic; all rates in [0,1], default 0):
+      --fault-rate F        set every fault kind to rate F
+      --fault-nan F         NaN-lace a sampled MRC
+      --fault-spike F       spike a sampled MRC above 1
+      --fault-truncate F    truncate a sampled MRC
+      --fault-drop F        drop a program's estimate for an epoch
+      --fault-dp-fail F     fail the DP for an epoch
+      --fault-seed S        injection schedule seed (0xFA117)
   help                 this message
 )";
   return 2;
@@ -309,6 +329,80 @@ int cmd_phases(const ArgParser& args) {
   return 0;
 }
 
+int cmd_controller(const ArgParser& args) {
+  std::size_t capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 1024));
+  std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(args.get_int("block-bytes", 64));
+  std::vector<Trace> traces;
+  std::vector<double> rates;
+  std::vector<std::string> names;
+  for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+    const std::string& path = args.positionals()[i];
+    traces.push_back(args.has("binary")
+                         ? load_trace_binary(path)
+                         : load_address_trace(path, block_bytes));
+    rates.push_back(1.0);
+    names.push_back(stem_of(path));
+  }
+  OCPS_CHECK(!traces.empty(), "need at least one trace file");
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.length();
+  InterleavedTrace mix = interleave_proportional(traces, rates, total);
+
+  ControllerConfig config;
+  config.capacity = capacity;
+  config.epoch_length =
+      static_cast<std::size_t>(args.get_int("epoch", 50000));
+  config.sampling_rate = args.get_double("sampling-rate", 0.05);
+  config.min_units =
+      static_cast<std::size_t>(args.get_int("min-units", 0));
+  config.max_delta_units =
+      static_cast<std::size_t>(args.get_int("max-delta", 0));
+  std::string policy = args.get_string("policy", "graceful");
+  if (policy == "restart") {
+    config.fault_policy = FaultPolicy::kRestartOnError;
+  } else {
+    OCPS_CHECK(policy == "graceful", "unknown policy '" << policy << "'");
+  }
+
+  double all = args.get_double("fault-rate", 0.0);
+  FaultInjectionConfig faults;
+  faults.nan_rate = args.get_double("fault-nan", all);
+  faults.spike_rate = args.get_double("fault-spike", all);
+  faults.truncate_rate = args.get_double("fault-truncate", all);
+  faults.drop_rate = args.get_double("fault-drop", all);
+  faults.dp_fail_rate = args.get_double("fault-dp-fail", all);
+  faults.seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", 0xFA117));
+  FaultInjector injector(faults);
+
+  ControllerResult r = run_online_controller(mix, traces.size(), config,
+                                             injector.hooks());
+
+  TextTable t({"program", "final blocks", "miss ratio"});
+  const auto& final_alloc = r.alloc_history.back();
+  for (std::size_t i = 0; i < traces.size(); ++i)
+    t.add_row({names[i], std::to_string(final_alloc[i]),
+               TextTable::num(r.sim.miss_ratio(i), 5)});
+  t.print(std::cout);
+  std::cout << "group miss ratio: "
+            << TextTable::num(r.sim.group_miss_ratio(), 5) << "\n\n";
+
+  std::cout << "health: " << r.epochs << " epochs, " << r.epochs_degraded
+            << " degraded, " << r.repairs << " repairs, " << r.fallbacks
+            << " fallbacks; profiling cost "
+            << TextTable::pct(r.sampled_fraction, 1) << "\n";
+  if (injector.injected_total() > 0)
+    std::cout << "injected faults: " << injector.injected_total() << " ("
+              << injector.injected_nan() << " nan, "
+              << injector.injected_spikes() << " spike, "
+              << injector.injected_truncations() << " truncate, "
+              << injector.injected_drops() << " drop, "
+              << injector.injected_dp_failures() << " dp-fail)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -323,6 +417,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "phases") return cmd_phases(args);
+    if (command == "controller") return cmd_controller(args);
     return usage();
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the repo with ASan+UBSan and runs the tier-1 test suite.
+# Intended as the CI sanitizer job; usable locally the same way:
+#
+#   tools/run_sanitizers.sh [build-dir] [ctest-args...]
+#
+# Exits non-zero on any build failure, test failure, or sanitizer report.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-sanitize}"
+shift || true
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DOCPS_SANITIZE=address,undefined
+cmake --build "$build_dir" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
