@@ -3,7 +3,6 @@
 // "128² = 16384 times smaller"). This bench sweeps the unit count and
 // shows (a) the quadratic DP cost growth and (b) that the achieved group
 // miss ratio saturates quickly — justifying the paper's choice.
-#include <chrono>
 #include <iostream>
 
 #include "combinatorics/enumerate.hpp"
@@ -55,11 +54,9 @@ int main() {
           cost[k][c] =
               m.access_rate * m.mrc.ratio_at(static_cast<double>(c) * scale);
       }
-      auto start = std::chrono::steady_clock::now();
+      PhaseTimer timer("granularity.dp");
       DpResult dp = optimize_partition(cost, units);
-      total_time += std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+      total_time += timer.stop();
       total_mr += dp.objective_value / rate_sum;
     }
     double avg_mr = total_mr / static_cast<double>(sample.size());

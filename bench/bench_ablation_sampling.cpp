@@ -3,7 +3,6 @@
 // "to have reproducible results" but argues sampling makes the analysis
 // deployable (~0.09 s/program). This bench sweeps the sampling fraction
 // and reports footprint and MRC error plus profiling speedup.
-#include <chrono>
 #include <iostream>
 
 #include "common.hpp"
@@ -41,17 +40,16 @@ int main() {
     for (std::size_t p = 0; p < suite.models.size(); ++p) {
       Trace trace = suite_trace(suite, p);
 
-      auto t0 = std::chrono::steady_clock::now();
+      PhaseTimer full_timer("sampling.full_profile");
       FootprintCurve full = compute_footprint(trace);
-      auto t1 = std::chrono::steady_clock::now();
+      full_time += full_timer.stop();
       SamplingConfig sc;
       sc.burst_length = config.burst;
       sc.gap_length = config.gap;
       sc.jitter_seed = 1 + p;
+      PhaseTimer sampled_timer("sampling.sampled_profile");
       SampledFootprint sampled = sampled_footprint(trace, sc);
-      auto t2 = std::chrono::steady_clock::now();
-      full_time += std::chrono::duration<double>(t1 - t0).count();
-      sampled_time += std::chrono::duration<double>(t2 - t1).count();
+      sampled_time += sampled_timer.stop();
 
       fp_err += footprint_max_error(full, sampled.footprint);
       frac += sampled.sampling_fraction;

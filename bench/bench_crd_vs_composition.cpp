@@ -4,7 +4,6 @@
 // predicts any group. This bench measures both sides of the trade-off on
 // a sample of pairs/quads: prediction error of composition against the
 // exact CRD curve, and the analysis cost of each approach.
-#include <chrono>
 #include <iostream>
 
 #include "combinatorics/enumerate.hpp"
@@ -45,18 +44,19 @@ int main() {
     InterleavedTrace mix = interleave_proportional(
         {ta, tb}, {a.access_rate, b.access_rate}, mix_len);
 
-    auto t0 = std::chrono::steady_clock::now();
+    PhaseTimer crd_timer("crd.profile");
     CrdProfile crd = concurrent_reuse_distances(mix);
     MissRatioCurve exact = crd.group_mrc(capacity);
-    auto t1 = std::chrono::steady_clock::now();
+    double crd_s = crd_timer.stop();
 
     CoRunGroup group({&a, &b});
+    PhaseTimer comp_timer("crd.composition");
     std::vector<double> composed(capacity + 1);
     for (std::size_t c = 0; c <= capacity; ++c)
       composed[c] = group_miss_ratio(
           group,
           predict_shared_miss_ratios(group, static_cast<double>(c)));
-    auto t2 = std::chrono::steady_clock::now();
+    double comp_s = comp_timer.stop();
 
     double worst = 0.0, sum = 0.0;
     for (std::size_t c = 1; c <= capacity; ++c) {
@@ -65,8 +65,6 @@ int main() {
       sum += err;
       all_errors.push_back(err);
     }
-    double crd_s = std::chrono::duration<double>(t1 - t0).count();
-    double comp_s = std::chrono::duration<double>(t2 - t1).count();
     crd_total += crd_s;
     comp_total += comp_s;
     t.add_row({a.name + "+" + b.name,

@@ -3,6 +3,8 @@
 // per group for DP including IO, ~0.11 s for STTW on a 1.7 GHz i5).
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include "core/dp_partition.hpp"
 #include "core/sttw.hpp"
 #include "util/rng.hpp"
@@ -90,4 +92,13 @@ BENCHMARK(BM_DpWithBounds)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DpMinimax)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Sttw)->Arg(1024)->Arg(131072)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the observability snapshot
+// is emitted like every other bench binary when OCPS_OBS is on.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  ocps::bench::emit_metrics_snapshot_if_enabled();
+  return 0;
+}

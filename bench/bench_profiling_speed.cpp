@@ -6,6 +6,8 @@
 // every co-run.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include "cachesim/corun.hpp"
 #include "locality/footprint.hpp"
 #include "locality/reuse_distance.hpp"
@@ -80,4 +82,13 @@ BENCHMARK(BM_StackDistances)->Arg(100000)->Arg(400000)
 BENCHMARK(BM_SharedCacheSim)->Arg(200000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LruSimSingleSize)->Arg(200000)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the observability snapshot
+// is emitted like every other bench binary when OCPS_OBS is on.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  ocps::bench::emit_metrics_snapshot_if_enabled();
+  return 0;
+}

@@ -13,6 +13,60 @@
 
 namespace ocps::bench {
 
+PhaseTimer::PhaseTimer(const char* name)
+    : name_(name), start_(std::chrono::steady_clock::now()) {
+  span_.emplace(name, "bench");
+}
+
+PhaseTimer::~PhaseTimer() { stop(); }
+
+double PhaseTimer::seconds() const {
+  if (stopped_seconds_ >= 0.0) return stopped_seconds_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double PhaseTimer::stop() {
+  if (stopped_seconds_ < 0.0) {
+    stopped_seconds_ = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+    if (obs::enabled())
+      obs::histogram(std::string("bench.") + name_ + "_ns")
+          .observe(stopped_seconds_ * 1e9);
+    span_.reset();
+  }
+  return stopped_seconds_;
+}
+
+void emit_metrics_snapshot_if_enabled() {
+  static bool emitted = false;
+  if (emitted || !obs::enabled()) return;
+  emitted = true;
+  std::string path = env_string("OCPS_METRICS_OUT", "");
+  if (path.empty()) {
+    std::cout << "[ocps] metrics snapshot:\n";
+    obs::write_metrics_json(std::cout);
+    std::cout << std::endl;
+  } else {
+    std::ofstream os(path, std::ios::trunc);
+    OCPS_CHECK(os.good(), "cannot write metrics snapshot " << path);
+    obs::write_metrics_json(os);
+    std::cerr << "[ocps] metrics snapshot written to " << path << "\n";
+  }
+}
+
+namespace {
+
+// Emits the snapshot when the bench binary exits through main's return
+// path; explicit early calls take precedence via the idempotence flag.
+struct SnapshotAtExit {
+  ~SnapshotAtExit() { emit_metrics_snapshot_if_enabled(); }
+} snapshot_at_exit;
+
+}  // namespace
+
 namespace {
 
 std::string cache_dir() {
@@ -116,11 +170,9 @@ Evaluation load_evaluation() {
 
   SweepOptions sweep_options;
   sweep_options.capacity = eval.capacity;
-  auto start = std::chrono::steady_clock::now();
+  PhaseTimer timer("load_evaluation.sweep");
   eval.sweep = sweep_groups(eval.suite.models, groups, sweep_options);
-  auto elapsed = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
+  double elapsed = timer.stop();
   std::cerr << "[ocps] swept " << eval.sweep.size() << " groups in "
             << elapsed << " s ("
             << elapsed / static_cast<double>(eval.sweep.size())

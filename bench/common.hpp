@@ -14,14 +14,48 @@
 //   OCPS_CSV_DIR       when set, figure series are also written as CSV
 #pragma once
 
+#include <chrono>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/group_sweep.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
 
 namespace ocps::bench {
+
+/// Steady-clock stopwatch for bench phase timing, wired into the
+/// observability layer: every timed phase is a "bench" trace span and a
+/// sample in histogram `bench.<name>_ns` when OCPS_OBS is on. All bench
+/// wall-clock numbers come from this one timer so they share a clock
+/// (std::chrono::steady_clock) and show up in trace exports.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char* name);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Elapsed seconds so far (or the final time once stopped).
+  double seconds() const;
+  /// Stops the timer, records the span + histogram sample, and returns
+  /// elapsed seconds. Idempotent; the destructor calls it.
+  double stop();
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  std::optional<obs::ScopedSpan> span_;
+  double stopped_seconds_ = -1.0;
+};
+
+/// When observability is on (OCPS_OBS=1), writes the metrics-registry
+/// JSON snapshot to `OCPS_METRICS_OUT` (or stdout when unset). Runs
+/// automatically at exit of every binary linking bench common; calling
+/// it earlier is idempotent. A no-op when observability is off.
+void emit_metrics_snapshot_if_enabled();
 
 /// Suite + sweep bundle used by the Table I / Fig 5-7 binaries.
 struct Evaluation {

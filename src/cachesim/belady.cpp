@@ -4,12 +4,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
 
 BeladyResult simulate_belady(const Trace& trace, std::size_t capacity) {
+  obs::ScopedSpan span("sim.belady", "cachesim");
   const std::size_t n = trace.length();
+  OCPS_OBS_COUNT("sim.belady.accesses", n);
   BeladyResult result;
   result.accesses = n;
   if (n == 0) return result;

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
@@ -45,6 +46,8 @@ std::size_t num_programs(const InterleavedTrace& trace) {
 CoRunResult simulate_shared(const InterleavedTrace& trace,
                             std::size_t capacity,
                             const CoRunOptions& options) {
+  obs::ScopedSpan span("sim.shared_corun", "cachesim");
+  span.set_arg("accesses", trace.length());
   const std::size_t p = num_programs(trace);
   CoRunResult out;
   out.accesses.assign(p, 0);
@@ -96,6 +99,8 @@ CoRunResult simulate_partition_sharing(
     const InterleavedTrace& trace, const std::vector<std::uint32_t>& group_of,
     const std::vector<std::size_t>& group_sizes,
     const CoRunOptions& options) {
+  obs::ScopedSpan span("sim.partitioned_corun", "cachesim");
+  span.set_arg("accesses", trace.length());
   const std::size_t p = num_programs(trace);
   OCPS_CHECK(group_of.size() >= p,
              "group_of must cover all " << p << " programs");

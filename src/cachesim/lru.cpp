@@ -1,5 +1,6 @@
 #include "cachesim/lru.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
@@ -10,9 +11,11 @@ LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
 
 bool LruCache::access(Block b) {
   evicted_valid_ = false;
+  OCPS_OBS_COUNT("sim.lru.accesses", 1);
   auto it = map_.find(b);
   if (it != map_.end()) {
     ++hits_;
+    OCPS_OBS_COUNT("sim.lru.hits", 1);
     lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
@@ -24,6 +27,7 @@ bool LruCache::access(Block b) {
     map_.erase(victim);
     evicted_ = victim;
     evicted_valid_ = true;
+    OCPS_OBS_COUNT("sim.lru.evictions", 1);
   }
   lru_.push_front(b);
   map_.emplace(b, lru_.begin());

@@ -1,5 +1,6 @@
 #include "cachesim/policies.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
@@ -50,9 +51,11 @@ std::size_t PolicyCache::pick_victim() {
 }
 
 bool PolicyCache::access(Block b) {
+  OCPS_OBS_COUNT("sim.policy.accesses", 1);
   auto it = where_.find(b);
   if (it != where_.end()) {
     ++hits_;
+    OCPS_OBS_COUNT("sim.policy.hits", 1);
     if (policy_ == Policy::kClock) referenced_[it->second] = 1;
     return true;
   }
@@ -64,6 +67,7 @@ bool PolicyCache::access(Block b) {
     where_.emplace(b, slots_.size() - 1);
     return false;
   }
+  OCPS_OBS_COUNT("sim.policy.evictions", 1);
   std::size_t victim = pick_victim();
   where_.erase(slots_[victim]);
   slots_[victim] = b;

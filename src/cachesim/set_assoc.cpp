@@ -1,5 +1,6 @@
 #include "cachesim/set_assoc.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
@@ -28,11 +29,13 @@ std::size_t SetAssociativeCache::set_index(Block b) const {
 }
 
 bool SetAssociativeCache::access(Block b) {
+  OCPS_OBS_COUNT("sim.set_assoc.accesses", 1);
   Set& set = sets_[set_index(b)];
   auto& lines = set.lines;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     if (lines[i] == b) {
       ++hits_;
+      OCPS_OBS_COUNT("sim.set_assoc.hits", 1);
       // Move to front (MRU).
       for (std::size_t j = i; j > 0; --j) lines[j] = lines[j - 1];
       lines[0] = b;
@@ -43,6 +46,7 @@ bool SetAssociativeCache::access(Block b) {
   if (lines.size() < ways_) {
     lines.insert(lines.begin(), b);
   } else {
+    OCPS_OBS_COUNT("sim.set_assoc.evictions", 1);
     for (std::size_t j = lines.size() - 1; j > 0; --j) lines[j] = lines[j - 1];
     lines[0] = b;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
@@ -37,6 +38,7 @@ std::size_t WayPartitionedCache::set_index(Block b) const {
 
 bool WayPartitionedCache::access(Block b, std::uint32_t who) {
   OCPS_CHECK(who < quota_.size(), "program " << who << " has no quota");
+  OCPS_OBS_COUNT("sim.way_partitioned.accesses", 1);
   ++clock_;
   Line* base = &lines_[set_index(b) * ways_];
 
@@ -46,6 +48,7 @@ bool WayPartitionedCache::access(Block b, std::uint32_t who) {
     if (line.valid && line.owner == who && line.block == b) {
       line.last_used = clock_;
       ++hits_[who];
+      OCPS_OBS_COUNT("sim.way_partitioned.hits", 1);
       return true;
     }
   }
@@ -80,6 +83,7 @@ bool WayPartitionedCache::access(Block b, std::uint32_t who) {
     victim = own_lru;
   }
   if (!victim) return false;
+  if (victim->valid) OCPS_OBS_COUNT("sim.way_partitioned.evictions", 1);
   victim->valid = true;
   victim->block = b;
   victim->owner = who;

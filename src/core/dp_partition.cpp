@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "combinatorics/enumerate.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
@@ -44,12 +45,31 @@ double combine(DpObjective obj, double a, double b) {
   return obj == DpObjective::kSumCost ? a + b : std::max(a, b);
 }
 
+// Emits the DP's span and metrics on every exit path: solve latency
+// histogram, cell-evaluation and solve counters, and the table size the
+// solve allocated. Inert (one branch) when observability is off.
+struct DpObsRecorder {
+  obs::ScopedSpan span{"dp.optimize", "core"};
+  std::uint64_t cells = 0;
+  std::uint64_t table_bytes = 0;
+
+  ~DpObsRecorder() {
+    if (!span.active()) return;
+    span.set_arg("cells", cells);
+    OCPS_OBS_COUNT("dp.solves", 1);
+    OCPS_OBS_COUNT("dp.cells", cells);
+    OCPS_OBS_HIST("dp.solve_ns", span.elapsed_ns());
+    OCPS_OBS_GAUGE("dp.table_bytes", table_bytes);
+  }
+};
+
 }  // namespace
 
 DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
                             std::size_t capacity, const DpOptions& options) {
   const std::size_t p = cost.size();
   OCPS_CHECK(p >= 1, "need at least one program");
+  DpObsRecorder obs_rec;
   for (std::size_t i = 0; i < p; ++i) {
     OCPS_CHECK(cost[i].size() >= capacity + 1,
                "cost curve " << i << " shorter than capacity+1");
@@ -68,6 +88,8 @@ DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
   // choice is (p × capacity+1); uint32 keeps it compact (4·P·C bytes).
   std::vector<std::vector<std::uint32_t>> choice(
       p, std::vector<std::uint32_t>(capacity + 1, 0));
+  obs_rec.table_bytes =
+      (capacity + 1) * (p * sizeof(std::uint32_t) + 2 * sizeof(double));
 
   // Base: zero programs consume zero units at zero cost (identity of both
   // objectives: 0 for sum; -inf would be the true identity for max but 0
@@ -84,6 +106,7 @@ DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
     }
     for (std::size_t k = lo; k <= capacity; ++k) {
       const std::size_t c_max = std::min(hi, k);
+      if (c_max >= lo) obs_rec.cells += c_max - lo + 1;
       double best_val = kInf;
       std::uint32_t best_c = 0;
       for (std::size_t c = lo; c <= c_max; ++c) {
@@ -125,34 +148,41 @@ Result<DpResult> try_optimize_partition(
   // reject via OCPS_CHECK must be caught here first so the online path
   // never unwinds through the DP.
   const std::size_t p = cost.size();
+  auto reject = [](ErrorCode code, std::string message) {
+    OCPS_OBS_COUNT("dp.errors", 1);
+    return Err(code, std::move(message));
+  };
   if (p == 0)
-    return Err(ErrorCode::kInvalidArgument, "no cost curves given");
+    return reject(ErrorCode::kInvalidArgument, "no cost curves given");
   for (std::size_t i = 0; i < p; ++i) {
     if (cost[i].size() < capacity + 1)
-      return Err(ErrorCode::kInvalidArgument,
-                 "cost curve " + std::to_string(i) +
-                     " shorter than capacity+1");
+      return reject(ErrorCode::kInvalidArgument,
+                    "cost curve " + std::to_string(i) +
+                        " shorter than capacity+1");
     for (std::size_t c = 0; c <= capacity; ++c)
       if (!std::isfinite(cost[i][c]))
-        return Err(ErrorCode::kCorruptData,
-                   "non-finite cost at program " + std::to_string(i) +
-                       ", c=" + std::to_string(c));
+        return reject(ErrorCode::kCorruptData,
+                      "non-finite cost at program " + std::to_string(i) +
+                          ", c=" + std::to_string(c));
   }
   if (!options.min_alloc.empty() && options.min_alloc.size() != p)
-    return Err(ErrorCode::kInvalidArgument, "min_alloc size mismatch");
+    return reject(ErrorCode::kInvalidArgument, "min_alloc size mismatch");
   if (!options.max_alloc.empty() && options.max_alloc.size() != p)
-    return Err(ErrorCode::kInvalidArgument, "max_alloc size mismatch");
+    return reject(ErrorCode::kInvalidArgument, "max_alloc size mismatch");
 
   DpResult result;
   try {
     result = optimize_partition(cost, capacity, options);
   } catch (const CheckError& e) {
+    OCPS_OBS_COUNT("dp.errors", 1);
     return Err(ErrorCode::kInternal, e.what());
   }
-  if (!result.feasible)
+  if (!result.feasible) {
+    OCPS_OBS_COUNT("dp.errors", 1);
     return Err(ErrorCode::kInfeasible,
                "allocation bounds admit no partition of capacity " +
                    std::to_string(capacity));
+  }
   return Ok(std::move(result));
 }
 

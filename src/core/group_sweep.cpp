@@ -5,6 +5,7 @@
 #include "core/baselines.hpp"
 #include "core/dp_partition.hpp"
 #include "core/sttw.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -55,6 +56,8 @@ GroupEvaluation evaluate_group(
     const std::vector<std::vector<double>>& unit_costs,
     const std::vector<std::uint32_t>& members, const SweepOptions& options) {
   OCPS_CHECK(!members.empty(), "empty group");
+  obs::ScopedSpan span("sweep.evaluate_group", "core");
+  span.set_arg("members", members.size());
   const std::size_t capacity = options.capacity;
 
   std::vector<const ProgramModel*> models;
@@ -117,6 +120,8 @@ GroupEvaluation evaluate_group(
         outcome_from_alloc(group, sttw.alloc);
   }
 
+  OCPS_OBS_COUNT("sweep.groups_evaluated", 1);
+  OCPS_OBS_HIST("sweep.group_eval_ns", span.elapsed_ns());
   return eval;
 }
 
@@ -124,6 +129,8 @@ std::vector<GroupEvaluation> sweep_groups(
     const std::vector<ProgramModel>& programs,
     const std::vector<std::vector<std::uint32_t>>& groups,
     const SweepOptions& options) {
+  obs::ScopedSpan span("sweep.sweep_groups", "core");
+  span.set_arg("groups", groups.size());
   auto unit_costs = precompute_unit_costs(programs, options.capacity);
   std::vector<GroupEvaluation> out(groups.size());
   auto run = [&](std::size_t g) {

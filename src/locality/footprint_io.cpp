@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iomanip>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
@@ -83,6 +84,9 @@ FootprintFile load_footprint_file(const std::string& path) {
                                                        << path);
   }
   out.footprint = PiecewiseLinear(std::move(xs), std::move(ys));
+  OCPS_OBS_COUNT("io.footprint.bytes_read", file_size);
+  OCPS_OBS_COUNT("io.footprint.knots_parsed", knots);
+  OCPS_OBS_COUNT("io.footprint.files_loaded", 1);
   return out;
 }
 

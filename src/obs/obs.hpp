@@ -1,0 +1,347 @@
+// Process-wide observability: metrics registry + structured trace events.
+//
+// The online controller, the DP solver, and the simulators are the hot
+// paths of a would-be cache-management daemon; when an epoch degrades or
+// a solve slows down, the operator needs to see *why* without attaching a
+// debugger. This subsystem provides the two standard substrates:
+//
+//  * a metrics registry — named counters, gauges, and histograms with
+//    fixed power-of-two log-bucketing. Counters are striped across
+//    cache-line-padded shards updated with relaxed atomics, so the
+//    parallel group sweep (util/parallel) never serializes on a metric;
+//    shards are merged only on scrape.
+//  * a trace-event layer — RAII spans with nanosecond steady_clock
+//    timestamps, recorded into fixed-size per-thread ring buffers
+//    (newest events win), exportable as Chrome `trace_event` JSON
+//    (chrome://tracing, Perfetto) or a plain-text timeline.
+//
+// Cost model, in increasing order of off-ness:
+//  * runtime off (default): every instrumentation site is a single
+//    well-predicted branch on a latched flag. Nothing is allocated,
+//    recorded, or printed; results are bit-for-bit those of an
+//    uninstrumented build.
+//  * runtime on: set OCPS_OBS=1 (or call set_enabled(true), which the
+//    CLI does for `ocps stats` / `--trace-out` / `--metrics-out`).
+//  * compile-time off: build with -DOCPS_OBS_DISABLED (cmake option
+//    OCPS_OBS_DISABLED) and the whole API collapses to inline no-ops —
+//    not even the branch remains.
+//
+// Usage:
+//   OCPS_OBS_COUNT("sim.lru.hits", 1);
+//   OCPS_OBS_HIST("dp.solve_ns", timer_ns);
+//   obs::ScopedSpan span("dp_solve", "core");       // RAII span
+//   obs::instant_event("degraded", "controller", "error_code", 3);
+//
+// See docs/observability.md for the full tour.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ocps::obs {
+
+/// One exported trace event (a completed span or an instant marker).
+/// `name`/`cat`/`arg_name` must be string literals (or otherwise outlive
+/// the recording) — the ring buffer stores pointers, never copies.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint64_t ts_ns = 0;   ///< start, ns since the process trace epoch
+  std::uint64_t dur_ns = 0;  ///< 0 for instant events
+  const char* arg_name = nullptr;  ///< optional numeric payload key
+  std::uint64_t arg = 0;
+  std::uint32_t tid = 0;  ///< dense per-thread id (assigned on first use)
+  bool instant = false;
+};
+
+/// Events each per-thread ring holds before overwriting the oldest.
+inline constexpr std::size_t kRingCapacity = 4096;
+
+/// Number of counter/histogram shards; threads hash onto them.
+inline constexpr std::size_t kCounterShards = 16;
+
+/// Histogram bucket count. Bucket 0 holds v < 1 (and non-finite values);
+/// bucket i in [1, kHistogramBuckets-2] holds 2^(i-1) <= v < 2^i; the
+/// last bucket holds everything at or above 2^(kHistogramBuckets-2).
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+}  // namespace ocps::obs
+
+#ifndef OCPS_OBS_DISABLED
+
+#include <array>
+#include <atomic>
+
+namespace ocps::obs {
+
+namespace detail {
+std::atomic<bool>& enabled_flag();
+}  // namespace detail
+
+/// True when observability is recording. Latched from the OCPS_OBS
+/// environment variable on first query; set_enabled() overrides.
+inline bool enabled() {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// Runtime master switch (used by the CLI and tests).
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic nanoseconds since the process trace epoch (steady_clock).
+std::uint64_t now_ns();
+
+/// Monotonically increasing counter, sharded to stay lock-free under the
+/// parallel sweeps. Obtain via obs::counter(); objects live forever at a
+/// stable address, so call sites may cache references.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept;
+  std::uint64_t value() const noexcept;  ///< merges all shards
+  void reset() noexcept;
+
+  Counter() = default;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kCounterShards> shards_;
+};
+
+/// Last-write-wins floating-point value.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+  Gauge() = default;
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed log-bucketed histogram (power-of-two boundaries, see
+/// kHistogramBuckets). Lock-free: buckets are relaxed atomics.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  std::uint64_t bucket(std::size_t i) const noexcept;
+
+  /// Bucket that value v lands in. Exact at boundaries: v == 2^k goes to
+  /// bucket k+1 (the bucket whose range starts at 2^k).
+  static std::size_t bucket_index(double v) noexcept;
+  /// Inclusive lower bound of bucket i (0 for bucket 0).
+  static double bucket_lower_bound(std::size_t i) noexcept;
+  /// Exclusive upper bound of bucket i (infinity for the last bucket).
+  static double bucket_upper_bound(std::size_t i) noexcept;
+
+  Histogram() = default;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Plain-data snapshot of one histogram (for reporting).
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  /// Non-empty buckets only: {bucket index, count}.
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+};
+
+/// Plain-data snapshot of the whole registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Named metric lookup; creates on first use. Thread-safe. The returned
+/// references stay valid for the life of the process (reset_metrics()
+/// zeroes values but never destroys metrics).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Scrapes every metric (merging counter shards).
+MetricsSnapshot metrics_snapshot();
+
+/// Zeroes every registered metric (the registry keeps its entries).
+void reset_metrics();
+
+/// Writes the snapshot as one JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+///  buckets:[{lo,hi,count},...]}}}.
+void write_metrics_json(std::ostream& os);
+
+/// Human-readable snapshot; when `prefix` is non-empty only metrics whose
+/// name starts with it are printed.
+void write_metrics_text(std::ostream& os, const std::string& prefix = "");
+
+/// RAII span: records a TraceEvent into the calling thread's ring buffer
+/// on destruction. Construction is a no-op when observability is off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "ocps") noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric payload exported under args{} in Chrome JSON.
+  void set_arg(const char* key, std::uint64_t value) noexcept;
+  /// Nanoseconds since construction (0 when observability is off).
+  std::uint64_t elapsed_ns() const noexcept;
+  /// True when the span is recording (observability was on at entry).
+  bool active() const noexcept { return active_; }
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Records a zero-duration marker event.
+void instant_event(const char* name, const char* cat = "ocps",
+                   const char* arg_name = nullptr,
+                   std::uint64_t arg = 0) noexcept;
+
+/// All buffered events from every thread, sorted by start timestamp.
+std::vector<TraceEvent> trace_events();
+
+/// Drops all buffered events (rings stay registered).
+void clear_trace_events();
+
+/// Chrome trace_event JSON: {"traceEvents":[...]} — load in
+/// chrome://tracing or https://ui.perfetto.dev.
+void write_chrome_trace(std::ostream& os);
+
+/// Plain-text timeline, one event per line, sorted by start time.
+void write_text_timeline(std::ostream& os);
+
+}  // namespace ocps::obs
+
+/// Adds `n` to counter `name` when observability is on. The metric is
+/// resolved once per call site and cached.
+#define OCPS_OBS_COUNT(name, n)                                        \
+  do {                                                                 \
+    if (::ocps::obs::enabled()) {                                      \
+      static ::ocps::obs::Counter& ocps_obs_counter_ =                 \
+          ::ocps::obs::counter(name);                                  \
+      ocps_obs_counter_.add(n);                                        \
+    }                                                                  \
+  } while (0)
+
+/// Records `v` into histogram `name` when observability is on.
+#define OCPS_OBS_HIST(name, v)                                         \
+  do {                                                                 \
+    if (::ocps::obs::enabled()) {                                      \
+      static ::ocps::obs::Histogram& ocps_obs_hist_ =                  \
+          ::ocps::obs::histogram(name);                                \
+      ocps_obs_hist_.observe(static_cast<double>(v));                  \
+    }                                                                  \
+  } while (0)
+
+/// Sets gauge `name` to `v` when observability is on.
+#define OCPS_OBS_GAUGE(name, v)                                        \
+  do {                                                                 \
+    if (::ocps::obs::enabled()) {                                      \
+      static ::ocps::obs::Gauge& ocps_obs_gauge_ =                     \
+          ::ocps::obs::gauge(name);                                    \
+      ocps_obs_gauge_.set(static_cast<double>(v));                     \
+    }                                                                  \
+  } while (0)
+
+#else  // OCPS_OBS_DISABLED: the entire API collapses to inline no-ops.
+
+namespace ocps::obs {
+
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+inline std::uint64_t now_ns() { return 0; }
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(double) noexcept {}
+  double value() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  void observe(double) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  double sum() const noexcept { return 0.0; }
+  std::uint64_t bucket(std::size_t) const noexcept { return 0; }
+  static std::size_t bucket_index(double) noexcept { return 0; }
+  static double bucket_lower_bound(std::size_t) noexcept { return 0.0; }
+  static double bucket_upper_bound(std::size_t) noexcept { return 0.0; }
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+Counter& counter(const std::string&);
+Gauge& gauge(const std::string&);
+Histogram& histogram(const std::string&);
+inline MetricsSnapshot metrics_snapshot() { return {}; }
+inline void reset_metrics() {}
+void write_metrics_json(std::ostream& os);
+void write_metrics_text(std::ostream& os, const std::string& prefix = "");
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*, const char* = "ocps") noexcept {}
+  void set_arg(const char*, std::uint64_t) noexcept {}
+  std::uint64_t elapsed_ns() const noexcept { return 0; }
+  bool active() const noexcept { return false; }
+};
+
+inline void instant_event(const char*, const char* = "ocps",
+                          const char* = nullptr, std::uint64_t = 0) noexcept {}
+inline std::vector<TraceEvent> trace_events() { return {}; }
+inline void clear_trace_events() {}
+void write_chrome_trace(std::ostream& os);
+void write_text_timeline(std::ostream& os);
+
+}  // namespace ocps::obs
+
+#define OCPS_OBS_COUNT(name, n) \
+  do {                          \
+  } while (0)
+#define OCPS_OBS_HIST(name, v) \
+  do {                         \
+  } while (0)
+#define OCPS_OBS_GAUGE(name, v) \
+  do {                          \
+  } while (0)
+
+#endif  // OCPS_OBS_DISABLED

@@ -1,0 +1,234 @@
+#ifndef OCPS_OBS_DISABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ocps::obs {
+
+namespace {
+
+std::uint64_t steady_now_raw() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t trace_epoch() {
+  static const std::uint64_t epoch = steady_now_raw();
+  return epoch;
+}
+
+// Per-thread event ring. push() is called only by the owning thread; a
+// tiny spinlock makes concurrent export (another thread scraping) safe
+// without ever contending on the hot path — the lock is uncontended
+// except during an export.
+struct SpanRing {
+  std::vector<TraceEvent> events;  // capacity kRingCapacity, ring storage
+  std::size_t next = 0;            // ring write position
+  std::uint64_t total = 0;         // events ever pushed
+  std::uint32_t tid = 0;
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+
+  void push(TraceEvent e) {
+    while (lock.test_and_set(std::memory_order_acquire)) {
+    }
+    e.tid = tid;
+    if (events.size() < kRingCapacity) {
+      events.push_back(e);
+    } else {
+      events[next] = e;
+    }
+    next = (next + 1) % kRingCapacity;
+    ++total;
+    lock.clear(std::memory_order_release);
+  }
+
+  void snapshot(std::vector<TraceEvent>* out) {
+    while (lock.test_and_set(std::memory_order_acquire)) {
+    }
+    out->insert(out->end(), events.begin(), events.end());
+    lock.clear(std::memory_order_release);
+  }
+
+  void clear() {
+    while (lock.test_and_set(std::memory_order_acquire)) {
+    }
+    events.clear();
+    next = 0;
+    lock.clear(std::memory_order_release);
+  }
+};
+
+struct RingDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  std::uint32_t next_tid = 1;
+};
+
+RingDirectory& directory() {
+  static RingDirectory* d = new RingDirectory();  // never destroyed
+  return *d;
+}
+
+SpanRing& this_thread_ring() {
+  thread_local std::shared_ptr<SpanRing> ring = [] {
+    auto r = std::make_shared<SpanRing>();
+    r->events.reserve(kRingCapacity);
+    RingDirectory& d = directory();
+    std::lock_guard<std::mutex> lock(d.mu);
+    r->tid = d.next_tid++;
+    d.rings.push_back(r);  // directory keeps rings alive past thread exit
+    return r;
+  }();
+  return *ring;
+}
+
+void escape(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+}  // namespace
+
+std::uint64_t now_ns() { return steady_now_raw() - trace_epoch(); }
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat) noexcept {
+  if (!enabled()) return;
+  name_ = name;
+  cat_ = cat;
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.ts_ns = start_ns_;
+  e.dur_ns = now_ns() - start_ns_;
+  e.arg_name = arg_name_;
+  e.arg = arg_;
+  e.instant = false;
+  this_thread_ring().push(e);
+}
+
+void ScopedSpan::set_arg(const char* key, std::uint64_t value) noexcept {
+  arg_name_ = key;
+  arg_ = value;
+}
+
+std::uint64_t ScopedSpan::elapsed_ns() const noexcept {
+  return active_ ? now_ns() - start_ns_ : 0;
+}
+
+void instant_event(const char* name, const char* cat, const char* arg_name,
+                   std::uint64_t arg) noexcept {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_ns = now_ns();
+  e.dur_ns = 0;
+  e.arg_name = arg_name;
+  e.arg = arg;
+  e.instant = true;
+  this_thread_ring().push(e);
+}
+
+std::vector<TraceEvent> trace_events() {
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  {
+    RingDirectory& d = directory();
+    std::lock_guard<std::mutex> lock(d.mu);
+    rings = d.rings;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& r : rings) r->snapshot(&out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+void clear_trace_events() {
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  {
+    RingDirectory& d = directory();
+    std::lock_guard<std::mutex> lock(d.mu);
+    rings = d.rings;
+  }
+  for (const auto& r : rings) r->clear();
+}
+
+void write_chrome_trace(std::ostream& os) {
+  std::vector<TraceEvent> events = trace_events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"";
+    escape(os, e.name);
+    os << "\",\"cat\":\"";
+    escape(os, e.cat ? e.cat : "ocps");
+    os << "\",\"ph\":\"" << (e.instant ? 'i' : 'X') << "\",\"pid\":1"
+       << ",\"tid\":" << e.tid << ",\"ts\":"
+       << static_cast<double>(e.ts_ns) / 1000.0;
+    if (e.instant) {
+      os << ",\"s\":\"t\"";
+    } else {
+      os << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+    }
+    if (e.arg_name) {
+      os << ",\"args\":{\"";
+      escape(os, e.arg_name);
+      os << "\":" << e.arg << '}';
+    }
+    os << '}';
+  }
+  os << "]}";
+}
+
+void write_text_timeline(std::ostream& os) {
+  for (const TraceEvent& e : trace_events()) {
+    os << e.ts_ns << "ns";
+    if (e.instant) {
+      os << " !";
+    } else {
+      os << " +" << e.dur_ns << "ns";
+    }
+    os << " tid=" << e.tid << " " << (e.cat ? e.cat : "ocps") << "/"
+       << e.name;
+    if (e.arg_name) os << " " << e.arg_name << "=" << e.arg;
+    os << "\n";
+  }
+}
+
+}  // namespace ocps::obs
+
+#else  // OCPS_OBS_DISABLED
+
+#include <ostream>
+
+#include "obs/obs.hpp"
+
+namespace ocps::obs {
+
+void write_chrome_trace(std::ostream& os) { os << "{\"traceEvents\":[]}"; }
+void write_text_timeline(std::ostream&) {}
+
+}  // namespace ocps::obs
+
+#endif  // OCPS_OBS_DISABLED

@@ -9,6 +9,7 @@
 #include "core/dp_partition.hpp"
 #include "locality/sanitize.hpp"
 #include "locality/shards.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/result.hpp"
 
@@ -135,44 +136,68 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
     const std::size_t epoch_index = out.epochs;
     ++out.epochs;
     EpochHealth health;
+    obs::ScopedSpan epoch_span("epoch", "controller");
+    epoch_span.set_arg("epoch", epoch_index);
 
-    // Phase 1 — estimate: sanitize every sampled MRC; a program whose
-    // estimate is unusable keeps its previous cost row (hold).
-    for (std::size_t i = 0; i < p; ++i) {
-      const double weight = static_cast<double>(epoch_accesses[i]);
-      bool usable = !(hooks.drop_estimate && hooks.drop_estimate(epoch_index, i));
-      MissRatioCurve mrc;
-      if (usable) {
-        std::vector<double> ratios =
-            profilers[i].estimate_mrc(config.capacity).ratios();
-        if (hooks.corrupt_mrc) hooks.corrupt_mrc(epoch_index, i, ratios);
-        RepairReport report;
-        Result<MissRatioCurve> sanitized =
-            sanitize_mrc(std::move(ratios), profilers[i].accesses(),
-                         config.capacity, &report);
-        health.repairs += report.total();
-        if (sanitized.ok()) {
-          mrc = std::move(sanitized.value());
+    // Phase 1a — estimate: pull every program's sampled MRC for the
+    // epoch. Estimation is per-program pure, so splitting it from the
+    // sanitize pass below changes nothing but gives each stage its own
+    // trace span.
+    std::vector<std::vector<double>> raw(p);
+    std::vector<bool> usable(p, false);
+    {
+      obs::ScopedSpan span("estimate", "controller");
+      for (std::size_t i = 0; i < p; ++i) {
+        usable[i] =
+            !(hooks.drop_estimate && hooks.drop_estimate(epoch_index, i));
+        if (usable[i]) {
+          raw[i] = profilers[i].estimate_mrc(config.capacity).ratios();
+          if (hooks.corrupt_mrc) hooks.corrupt_mrc(epoch_index, i, raw[i]);
         } else {
-          usable = false;
+          obs::instant_event("estimate_dropped", "controller", "program", i);
         }
+        sampled_total += profilers[i].sampled_accesses();
       }
-      if (usable) {
-        for (std::size_t c = 0; c <= config.capacity; ++c) {
-          double fresh = weight * mrc.ratio(c);
-          ewma_cost[i][c] = have_estimate[i]
-                                ? config.ewma_alpha * fresh +
-                                      (1.0 - config.ewma_alpha) *
-                                          ewma_cost[i][c]
-                                : fresh;
+    }
+
+    // Phase 1b — sanitize: repair what is repairable; a program whose
+    // estimate is unusable keeps its previous cost row (hold).
+    {
+      obs::ScopedSpan span("sanitize", "controller");
+      for (std::size_t i = 0; i < p; ++i) {
+        const double weight = static_cast<double>(epoch_accesses[i]);
+        MissRatioCurve mrc;
+        if (usable[i]) {
+          RepairReport report;
+          Result<MissRatioCurve> sanitized =
+              sanitize_mrc(std::move(raw[i]), profilers[i].accesses(),
+                           config.capacity, &report);
+          health.repairs += report.total();
+          if (sanitized.ok()) {
+            mrc = std::move(sanitized.value());
+          } else {
+            usable[i] = false;
+            obs::instant_event(
+                "estimate_degraded", "controller", "error_code",
+                static_cast<std::uint64_t>(sanitized.error().code));
+          }
         }
-        have_estimate[i] = true;
-      } else {
-        ++health.degraded_programs;
+        if (usable[i]) {
+          for (std::size_t c = 0; c <= config.capacity; ++c) {
+            double fresh = weight * mrc.ratio(c);
+            ewma_cost[i][c] = have_estimate[i]
+                                  ? config.ewma_alpha * fresh +
+                                        (1.0 - config.ewma_alpha) *
+                                            ewma_cost[i][c]
+                                  : fresh;
+          }
+          have_estimate[i] = true;
+        } else {
+          ++health.degraded_programs;
+        }
+        profilers[i].reset();
+        epoch_accesses[i] = 0;
       }
-      sampled_total += profilers[i].sampled_accesses();
-      profilers[i].reset();
-      epoch_accesses[i] = 0;
     }
 
     // Phase 2 — decide. The naive baseline restarts on any fault; the
@@ -183,23 +208,25 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
         health.degraded_programs > 0) {
       restart_from_scratch();
       health.restarted = true;
+      obs::instant_event("restart", "controller", "epoch", epoch_index);
     } else if (!all_have) {
       // First-epoch failure: nothing was ever learned for some program,
       // so there is no basis to run the DP — stay on the current
       // allocation (the startup equal partition).
       health.held_allocation = true;
+      obs::instant_event("hold", "controller", "epoch", epoch_index);
     } else {
-      Result<DpResult> dp =
-          (hooks.fail_dp && hooks.fail_dp(epoch_index))
-              ? Result<DpResult>(ErrorCode::kInternal, "injected DP fault")
-              : [&] {
-                  DpOptions options;
-                  if (config.min_units > 0)
-                    options.min_alloc.assign(p, config.min_units);
-                  return try_optimize_partition(ewma_cost, config.capacity,
-                                                options);
-                }();
+      Result<DpResult> dp = [&]() -> Result<DpResult> {
+        obs::ScopedSpan span("dp_solve", "controller");
+        if (hooks.fail_dp && hooks.fail_dp(epoch_index))
+          return Result<DpResult>(ErrorCode::kInternal, "injected DP fault");
+        DpOptions options;
+        if (config.min_units > 0)
+          options.min_alloc.assign(p, config.min_units);
+        return try_optimize_partition(ewma_cost, config.capacity, options);
+      }();
       if (dp.ok()) {
+        obs::ScopedSpan span("apply", "controller");
         alloc = cap_allocation_change(alloc, dp.value().alloc,
                                       config.max_delta_units);
         for (std::size_t i = 0; i < p; ++i)
@@ -208,10 +235,14 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
         restart_from_scratch();
         health.dp_failed = true;
         health.restarted = true;
+        obs::instant_event("dp_failed", "controller", "error_code",
+                           static_cast<std::uint64_t>(dp.error().code));
       } else {
         // Hold the last-good allocation; next epoch gets a fresh try.
         health.dp_failed = true;
         health.held_allocation = true;
+        obs::instant_event("dp_failed", "controller", "error_code",
+                           static_cast<std::uint64_t>(dp.error().code));
       }
     }
     out.alloc_history.push_back(alloc);
@@ -221,6 +252,23 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
     if (health.held_allocation || health.restarted) ++out.fallbacks;
     out.repairs += health.repairs;
     out.health.push_back(health);
+
+    // Mirror the health record into the metrics registry: the same
+    // counters back `ocps stats`, `--metrics-out`, and the bench
+    // snapshots, so health reporting has one source of truth.
+    // Adding 0 still registers the metric, so every health counter shows
+    // up in snapshots even for a fault-free run.
+    OCPS_OBS_COUNT("controller.epochs", 1);
+    OCPS_OBS_COUNT("controller.repairs", health.repairs);
+    OCPS_OBS_COUNT("controller.degraded_programs", health.degraded_programs);
+    OCPS_OBS_COUNT("controller.epochs_degraded",
+                   (health.degraded_programs > 0 || health.dp_failed) ? 1
+                                                                      : 0);
+    OCPS_OBS_COUNT("controller.fallbacks",
+                   (health.held_allocation || health.restarted) ? 1 : 0);
+    OCPS_OBS_COUNT("controller.dp_failures", health.dp_failed ? 1 : 0);
+    OCPS_OBS_COUNT("controller.restarts", health.restarted ? 1 : 0);
+    OCPS_OBS_HIST("controller.epoch_ns", epoch_span.elapsed_ns());
   };
 
   for (std::size_t t = 0; t < trace.length(); ++t) {

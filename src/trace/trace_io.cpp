@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
@@ -51,6 +52,9 @@ Trace load_trace_binary(const std::string& path) {
   is.read(reinterpret_cast<char*>(t.accesses.data()),
           static_cast<std::streamsize>(n * sizeof(Block)));
   OCPS_CHECK(is.good(), "truncated trace payload in " << path);
+  OCPS_OBS_COUNT("io.trace.bytes_read", header + n * sizeof(Block));
+  OCPS_OBS_COUNT("io.trace.records_parsed", n);
+  OCPS_OBS_COUNT("io.trace.files_loaded", 1);
   return t;
 }
 
@@ -61,8 +65,10 @@ Trace parse_address_stream(std::istream& is, std::uint64_t block_bytes) {
   Trace t;
   std::string line;
   std::size_t lineno = 0;
+  std::uint64_t bytes = 0;
   while (std::getline(is, line)) {
     ++lineno;
+    bytes += line.size() + 1;
     // Strip comments and whitespace-only lines.
     auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
@@ -84,6 +90,8 @@ Trace parse_address_stream(std::istream& is, std::uint64_t block_bytes) {
                "bad address '" << addr_token << "' on line " << lineno);
     t.accesses.push_back(addr / block_bytes);
   }
+  OCPS_OBS_COUNT("io.trace.bytes_read", bytes);
+  OCPS_OBS_COUNT("io.trace.records_parsed", t.accesses.size());
   return t;
 }
 

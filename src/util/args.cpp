@@ -82,4 +82,47 @@ std::vector<std::string> ArgParser::unknown_options(
   return out;
 }
 
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                                   diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+void ArgParser::reject_unknown(const std::vector<std::string>& known) const {
+  for (const std::string& bad : unknown_options(known)) {
+    // Suggest the closest known flag, but only when it is plausibly a
+    // typo: within 3 edits or sharing a 3+ character prefix.
+    std::string best;
+    std::size_t best_dist = static_cast<std::size_t>(-1);
+    for (const std::string& candidate : known) {
+      std::size_t d = edit_distance(bad, candidate);
+      if (d < best_dist) {
+        best_dist = d;
+        best = candidate;
+      }
+    }
+    bool shares_prefix =
+        !best.empty() && bad.size() >= 3 && best.compare(0, 3, bad, 0, 3) == 0;
+    if (!best.empty() && (best_dist <= 3 || shares_prefix)) {
+      OCPS_CHECK(false, "unknown option --" << bad << " (did you mean --"
+                                            << best << "?)");
+    }
+    OCPS_CHECK(false, "unknown option --" << bad);
+  }
+}
+
 }  // namespace ocps

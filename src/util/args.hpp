@@ -36,6 +36,12 @@ class ArgParser {
   std::vector<std::string> unknown_options(
       const std::vector<std::string>& known) const;
 
+  /// Throws CheckError when any passed option is not in `known`. The
+  /// message names the offending option and suggests the closest known
+  /// flag (by edit distance), so `--fault-rat` fails loudly with
+  /// "did you mean --fault-rate?" instead of being silently ignored.
+  void reject_unknown(const std::vector<std::string>& known) const;
+
  private:
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;  // flag -> "" for booleans

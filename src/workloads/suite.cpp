@@ -5,6 +5,7 @@
 
 #include "locality/footprint.hpp"
 #include "locality/footprint_io.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/config.hpp"
 #include "util/parallel.hpp"
@@ -49,10 +50,15 @@ ProgramModel profile_one(const WorkloadSpec& spec,
   if (!options.cache_dir.empty()) {
     std::string path = cache_path(options, spec);
     if (std::filesystem::exists(path)) {
+      OCPS_OBS_COUNT("workloads.cache_hits", 1);
       FootprintFile file = load_footprint_file(path);
       return model_from_footprint_file(file, options.capacity);
     }
   }
+  obs::ScopedSpan span("workloads.profile_one", "workloads");
+  span.set_arg("accesses", options.trace_length);
+  OCPS_OBS_COUNT("workloads.traces_generated", 1);
+  OCPS_OBS_COUNT("workloads.accesses_generated", options.trace_length);
   Trace trace = spec.generate(options.trace_length);
   FootprintCurve fp = compute_footprint(trace);
   ProgramModel model = make_program_model(spec.name, spec.access_rate, fp,
@@ -74,6 +80,8 @@ Suite build_suite(const std::vector<WorkloadSpec>& specs,
                   const SuiteOptions& options) {
   OCPS_CHECK(options.trace_length > 0, "trace length must be positive");
   OCPS_CHECK(options.capacity > 0, "capacity must be positive");
+  obs::ScopedSpan span("workloads.build_suite", "workloads");
+  span.set_arg("programs", specs.size());
   Suite suite;
   suite.options = options;
   suite.specs = specs;

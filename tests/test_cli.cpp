@@ -54,6 +54,36 @@ TEST(Args, UnknownOptionsDetected) {
   EXPECT_EQ(unknown[0], "capcity");
 }
 
+TEST(Args, RejectUnknownAcceptsKnownFlags) {
+  ArgParser a = parse({"--capacity", "512", "--rate", "1"});
+  EXPECT_NO_THROW(a.reject_unknown({"capacity", "rate", "epoch"}));
+}
+
+TEST(Args, RejectUnknownThrowsWithSuggestion) {
+  ArgParser a = parse({"--fault-rat", "0.1"});
+  try {
+    a.reject_unknown({"fault-rate", "fault-seed", "capacity"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("--fault-rat"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean --fault-rate?"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Args, RejectUnknownWithoutCloseMatchOmitsSuggestion) {
+  ArgParser a = parse({"--zzzzzzzzzz", "1"});
+  try {
+    a.reject_unknown({"capacity", "rate"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("--zzzzzzzzzz"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+  }
+}
+
 TEST(AddressTrace, ParsesDecimalAndHex) {
   Trace t = parse_address_trace("0\n64\n0x80\n64\n", 64);
   EXPECT_EQ(t.accesses, (std::vector<Block>{0, 1, 2, 1}));

@@ -1,0 +1,388 @@
+// Tests for the observability layer: metrics registry (concurrent
+// counters, histogram bucketing), trace ring buffers, and the Chrome
+// trace_event JSON export (round-tripped through a minimal JSON parser).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "runtime/controller.hpp"
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+
+namespace ocps {
+namespace {
+
+#ifndef OCPS_OBS_DISABLED
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset_metrics();
+    obs::clear_trace_events();
+  }
+  void TearDown() override { obs::set_enabled(false); }
+};
+
+// ---------------------------------------------------------------- metrics
+
+TEST_F(ObsTest, CounterConcurrentIncrementsSumExactly) {
+  obs::Counter& c = obs::counter("test.concurrent_counter");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, CounterMacroAccumulatesAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        OCPS_OBS_COUNT("test.macro_counter", 2);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(obs::counter("test.macro_counter").value(),
+            2 * kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, HistogramConcurrentObservationsSumExactly) {
+  obs::Histogram& h = obs::histogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(3.0);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0 * kThreads * kPerThread);
+  // All 3.0s land in the [2, 4) bucket.
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_index(3.0)),
+            kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreExactPowersOfTwo) {
+  using H = obs::Histogram;
+  // Everything below 1 (and non-finite garbage) lands in bucket 0.
+  EXPECT_EQ(H::bucket_index(0.0), 0u);
+  EXPECT_EQ(H::bucket_index(0.5), 0u);
+  EXPECT_EQ(H::bucket_index(0.999999), 0u);
+  EXPECT_EQ(H::bucket_index(-7.0), 0u);
+  EXPECT_EQ(H::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0u);
+  // Bucket i >= 1 covers [2^(i-1), 2^i): the boundary value 2^k belongs
+  // to bucket k+1, and the value just below it to bucket k.
+  EXPECT_EQ(H::bucket_index(1.0), 1u);
+  EXPECT_EQ(H::bucket_index(1.999), 1u);
+  EXPECT_EQ(H::bucket_index(2.0), 2u);
+  EXPECT_EQ(H::bucket_index(3.999), 2u);
+  EXPECT_EQ(H::bucket_index(4.0), 3u);
+  for (std::size_t k = 0; k + 2 < obs::kHistogramBuckets; ++k) {
+    double v = std::ldexp(1.0, static_cast<int>(k));  // 2^k
+    EXPECT_EQ(H::bucket_index(v), k + 1) << "v = 2^" << k;
+    EXPECT_EQ(H::bucket_index(std::nextafter(v, 0.0)), k == 0 ? 0u : k)
+        << "v just below 2^" << k;
+    EXPECT_DOUBLE_EQ(H::bucket_lower_bound(k + 1), v);
+    EXPECT_DOUBLE_EQ(H::bucket_upper_bound(k + 1),
+                     std::ldexp(1.0, static_cast<int>(k) + 1));
+  }
+  // The last bucket is open-ended.
+  EXPECT_EQ(H::bucket_index(std::ldexp(1.0, 62)),
+            obs::kHistogramBuckets - 1);
+  EXPECT_EQ(H::bucket_index(std::numeric_limits<double>::max()),
+            obs::kHistogramBuckets - 1);
+  EXPECT_TRUE(std::isinf(
+      H::bucket_upper_bound(obs::kHistogramBuckets - 1)));
+}
+
+TEST_F(ObsTest, HistogramObserveMatchesBucketIndex) {
+  obs::Histogram& h = obs::histogram("test.boundary_hist");
+  h.observe(1.0);    // bucket 1
+  h.observe(2.0);    // bucket 2
+  h.observe(1.999);  // bucket 1
+  h.observe(0.25);   // bucket 0
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsAddresses) {
+  obs::Counter& c = obs::counter("test.reset_counter");
+  c.add(41);
+  obs::reset_metrics();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&c, &obs::counter("test.reset_counter"));
+  c.add(1);
+  EXPECT_EQ(obs::counter("test.reset_counter").value(), 1u);
+}
+
+TEST_F(ObsTest, DisabledSitesRecordNothing) {
+  obs::set_enabled(false);
+  OCPS_OBS_COUNT("test.disabled_counter", 1);
+  obs::ScopedSpan span("test.disabled_span", "test");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.elapsed_ns(), 0u);
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::counter("test.disabled_counter").value(), 0u);
+}
+
+// ----------------------------------------------------------------- spans
+
+TEST_F(ObsTest, RingOverwriteKeepsNewestEvents) {
+  const std::uint64_t total = obs::kRingCapacity + 100;
+  for (std::uint64_t i = 0; i < total; ++i)
+    obs::instant_event("test.ring", "test", "i", i);
+  std::vector<std::uint64_t> seen;
+  for (const auto& e : obs::trace_events())
+    if (std::string(e.name) == "test.ring") seen.push_back(e.arg);
+  ASSERT_EQ(seen.size(), obs::kRingCapacity);
+  // The oldest 100 events were overwritten; the newest survive, in order.
+  std::uint64_t expect = 100;
+  for (std::uint64_t v : seen) EXPECT_EQ(v, expect++);
+}
+
+TEST_F(ObsTest, SpansRecordDurationAndArgs) {
+  {
+    obs::ScopedSpan span("test.span", "test");
+    span.set_arg("size", 17);
+    EXPECT_TRUE(span.active());
+  }
+  bool found = false;
+  for (const auto& e : obs::trace_events()) {
+    if (std::string(e.name) != "test.span") continue;
+    found = true;
+    EXPECT_FALSE(e.instant);
+    EXPECT_STREQ(e.cat, "test");
+    EXPECT_STREQ(e.arg_name, "size");
+    EXPECT_EQ(e.arg, 17u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, EventsFromMultipleThreadsCarryDistinctTids) {
+  std::thread other([] { obs::instant_event("test.tid", "test", "t", 2); });
+  other.join();
+  obs::instant_event("test.tid", "test", "t", 1);
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : obs::trace_events())
+    if (std::string(e.name) == "test.tid") tids.push_back(e.tid);
+  ASSERT_EQ(tids.size(), 2u);
+  EXPECT_NE(tids[0], tids[1]);
+}
+
+// ---------------------------------------------- minimal JSON round-trip
+
+// Just enough of a JSON parser to validate the exported artifacts:
+// objects, arrays, strings (no escapes beyond \"), numbers, null.
+struct MiniJson {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  explicit MiniJson(const std::string& text) : s(text) {}
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+  bool peek(char c) {
+    ws();
+    return i < s.size() && s[i] == c;
+  }
+  std::string string() {
+    if (!eat('"')) return "";
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      out.push_back(s[i++]);
+    }
+    eat('"');
+    return out;
+  }
+  void number() {
+    ws();
+    if (i + 4 <= s.size() && s.compare(i, 4, "null") == 0) {
+      i += 4;
+      return;
+    }
+    std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+            s[i] == 'i' || s[i] == 'n' || s[i] == 'f'))
+      ++i;
+    if (i == start) ok = false;
+  }
+  void value() {
+    ws();
+    if (peek('{')) {
+      object(nullptr);
+    } else if (peek('[')) {
+      array(nullptr);
+    } else if (peek('"')) {
+      string();
+    } else {
+      number();
+    }
+  }
+  /// Parses an object; when `keys` is non-null, collects the keys seen.
+  void object(std::vector<std::string>* keys) {
+    if (!eat('{')) return;
+    if (peek('}')) {
+      eat('}');
+      return;
+    }
+    do {
+      std::string k = string();
+      if (keys) keys->push_back(k);
+      if (!eat(':')) return;
+      value();
+    } while (ok && peek(',') && eat(','));
+    eat('}');
+  }
+  /// Parses an array; returns the element count.
+  std::size_t array(std::vector<std::vector<std::string>>* element_keys) {
+    if (!eat('[')) return 0;
+    if (peek(']')) {
+      eat(']');
+      return 0;
+    }
+    std::size_t n = 0;
+    do {
+      ws();
+      if (peek('{') && element_keys) {
+        element_keys->emplace_back();
+        object(&element_keys->back());
+      } else {
+        value();
+      }
+      ++n;
+    } while (ok && peek(',') && eat(','));
+    eat(']');
+    return n;
+  }
+};
+
+TEST_F(ObsTest, ChromeTraceJsonRoundTrips) {
+  {
+    obs::ScopedSpan span("test.json_span", "test");
+    span.set_arg("n", 5);
+  }
+  obs::instant_event("test.json_marker", "test");
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string text = os.str();
+
+  MiniJson parser(text);
+  std::vector<std::string> top_keys;
+  // Parse the outer shell manually so we can inspect the array.
+  ASSERT_TRUE(parser.eat('{'));
+  EXPECT_EQ(parser.string(), "traceEvents");
+  ASSERT_TRUE(parser.eat(':'));
+  std::vector<std::vector<std::string>> events;
+  std::size_t n = parser.array(&events);
+  ASSERT_TRUE(parser.eat('}'));
+  parser.ws();
+  EXPECT_TRUE(parser.ok) << text;
+  EXPECT_EQ(parser.i, text.size()) << "trailing garbage";
+
+  EXPECT_EQ(n, obs::trace_events().size());
+  ASSERT_GE(n, 2u);
+  for (const auto& keys : events) {
+    // Chrome requires name/ph/pid/tid/ts on every event.
+    for (const char* required : {"name", "cat", "ph", "pid", "tid", "ts"})
+      EXPECT_NE(std::find(keys.begin(), keys.end(), required), keys.end())
+          << "missing key " << required;
+  }
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTrips) {
+  obs::counter("test.json_counter").add(3);
+  obs::histogram("test.json_hist").observe(100.0);
+  obs::gauge("test.json_gauge").set(2.5);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os);
+  const std::string text = os.str();
+
+  MiniJson parser(text);
+  std::vector<std::string> top_keys;
+  parser.object(&top_keys);
+  parser.ws();
+  EXPECT_TRUE(parser.ok) << text;
+  EXPECT_EQ(parser.i, text.size()) << "trailing garbage";
+  for (const char* required : {"counters", "gauges", "histograms"})
+    EXPECT_NE(std::find(top_keys.begin(), top_keys.end(), required),
+              top_keys.end());
+  EXPECT_NE(text.find("\"test.json_counter\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"test.json_hist\""), std::string::npos);
+}
+
+TEST_F(ObsTest, TextTimelineListsEvents) {
+  { obs::ScopedSpan span("test.timeline_span", "test"); }
+  std::ostringstream os;
+  obs::write_text_timeline(os);
+  EXPECT_NE(os.str().find("test/test.timeline_span"), std::string::npos);
+}
+
+// ------------------------------------------------- controller tracing
+
+TEST_F(ObsTest, ControllerEmitsOneSpanPerEpochStage) {
+  Trace a = make_cyclic(30000, 64);
+  Trace b = make_sawtooth(30000, 128);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 60000);
+  ControllerConfig config;
+  config.capacity = 256;
+  config.epoch_length = 10000;
+  run_online_controller(mix, 2, config, {});
+
+  std::size_t epochs = 0, estimates = 0, sanitizes = 0, solves = 0,
+              applies = 0;
+  for (const auto& e : obs::trace_events()) {
+    std::string name = e.name;
+    if (name == "epoch") ++epochs;
+    if (name == "estimate") ++estimates;
+    if (name == "sanitize") ++sanitizes;
+    if (name == "dp_solve") ++solves;
+    if (name == "apply") ++applies;
+  }
+  EXPECT_EQ(epochs, 5u);  // 60000 accesses / 10000 per epoch - final partial
+  EXPECT_EQ(estimates, epochs);
+  EXPECT_EQ(sanitizes, epochs);
+  EXPECT_EQ(solves, epochs);
+  EXPECT_EQ(applies, epochs);
+  EXPECT_EQ(obs::counter("controller.epochs").value(), epochs);
+  EXPECT_GT(obs::histogram("dp.solve_ns").count(), 0u);
+}
+
+#endif  // OCPS_OBS_DISABLED
+
+}  // namespace
+}  // namespace ocps

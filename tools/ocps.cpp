@@ -11,7 +11,9 @@
 //             objectives
 //   simulate  address-trace files -> exact shared / equal / optimal
 //             partitioned LRU simulation (ground truth for small inputs)
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,8 @@
 #include "locality/footprint.hpp"
 #include "locality/footprint_io.hpp"
 #include "locality/phases.hpp"
+#include "obs/obs.hpp"
+#include "trace/generators.hpp"
 #include "trace/interleave.hpp"
 #include "trace/trace_io.hpp"
 #include "util/args.hpp"
@@ -87,9 +91,46 @@ commands:
       --fault-drop F        drop a program's estimate for an epoch
       --fault-dp-fail F     fail the DP for an epoch
       --fault-seed S        injection schedule seed (0xFA117)
+      observability (tracing is always recorded by this subcommand):
+      --trace-out FILE      write a Chrome trace_event JSON of the run
+                            (open in chrome://tracing or Perfetto)
+      --metrics-out FILE    write a metrics-registry snapshot as JSON
+  stats [trace...]     run the controller with full observability and
+                       print the metrics registry (DP solve latency,
+                       simulator counters, controller health). With no
+                       traces a synthetic 4-program mix is used.
+      --capacity C     cache size in blocks (1024)
+      --block-bytes B  block size (64)
+      --binary         inputs are ocps binary traces
+      --epoch N        accesses per repartitioning epoch (20000)
+      --length N       accesses per synthetic program (100000)
+      --trace-out FILE   write the Chrome trace_event JSON too
+      --metrics-out FILE write the JSON snapshot too
   help                 this message
 )";
   return 2;
+}
+
+/// Writes the trace / metrics artifacts requested via --trace-out and
+/// --metrics-out. Shared by `controller` and `stats`.
+void write_obs_outputs(const ArgParser& args) {
+  std::string trace_out = args.get_string("trace-out", "");
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out, std::ios::trunc);
+    OCPS_CHECK(os.good(), "cannot open " << trace_out << " for writing");
+    obs::write_chrome_trace(os);
+    OCPS_CHECK(os.good(), "write failed for " << trace_out);
+    std::cout << "wrote Chrome trace (" << obs::trace_events().size()
+              << " events) to " << trace_out << "\n";
+  }
+  std::string metrics_out = args.get_string("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out, std::ios::trunc);
+    OCPS_CHECK(os.good(), "cannot open " << metrics_out << " for writing");
+    obs::write_metrics_json(os);
+    OCPS_CHECK(os.good(), "write failed for " << metrics_out);
+    std::cout << "wrote metrics snapshot to " << metrics_out << "\n";
+  }
 }
 
 std::string stem_of(const std::string& path) {
@@ -330,6 +371,10 @@ int cmd_phases(const ArgParser& args) {
 }
 
 int cmd_controller(const ArgParser& args) {
+  // The CLI always records: the controller's health counters are read
+  // back from the metrics registry below, and --trace-out / --metrics-out
+  // export whatever the run produced.
+  obs::set_enabled(true);
   std::size_t capacity =
       static_cast<std::size_t>(args.get_int("capacity", 1024));
   std::uint64_t block_bytes =
@@ -389,10 +434,11 @@ int cmd_controller(const ArgParser& args) {
   std::cout << "group miss ratio: "
             << TextTable::num(r.sim.group_miss_ratio(), 5) << "\n\n";
 
-  std::cout << "health: " << r.epochs << " epochs, " << r.epochs_degraded
-            << " degraded, " << r.repairs << " repairs, " << r.fallbacks
-            << " fallbacks; profiling cost "
-            << TextTable::pct(r.sampled_fraction, 1) << "\n";
+  // Health comes from the metrics registry — the controller feeds the
+  // same counters that back `ocps stats` and the bench snapshots.
+  obs::write_metrics_text(std::cout, "controller.");
+  std::cout << "profiling cost: " << TextTable::pct(r.sampled_fraction, 1)
+            << "\n";
   if (injector.injected_total() > 0)
     std::cout << "injected faults: " << injector.injected_total() << " ("
               << injector.injected_nan() << " nan, "
@@ -400,6 +446,52 @@ int cmd_controller(const ArgParser& args) {
               << injector.injected_truncations() << " truncate, "
               << injector.injected_drops() << " drop, "
               << injector.injected_dp_failures() << " dp-fail)\n";
+  write_obs_outputs(args);
+  return 0;
+}
+
+int cmd_stats(const ArgParser& args) {
+  obs::set_enabled(true);
+  std::size_t capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 1024));
+  std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(args.get_int("block-bytes", 64));
+
+  std::vector<Trace> traces;
+  if (args.positionals().size() > 1) {
+    for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+      const std::string& path = args.positionals()[i];
+      traces.push_back(args.has("binary")
+                           ? load_trace_binary(path)
+                           : load_address_trace(path, block_bytes));
+    }
+  } else {
+    // Synthetic 4-program mix exercising the cliff / smooth / convex /
+    // two-regime MRC shapes, so every stage of the pipeline lights up.
+    std::size_t n = static_cast<std::size_t>(args.get_int("length", 100000));
+    traces.push_back(make_cyclic(n, capacity / 2));
+    traces.push_back(make_sawtooth(n, capacity));
+    traces.push_back(make_zipf(n, capacity * 4, 0.8, 42));
+    traces.push_back(make_hot_cold(n, capacity / 8, capacity * 4, 0.9, 7));
+  }
+
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.length();
+  InterleavedTrace mix = interleave_proportional(
+      traces, std::vector<double>(traces.size(), 1.0), total);
+
+  ControllerConfig config;
+  config.capacity = capacity;
+  config.epoch_length =
+      static_cast<std::size_t>(args.get_int("epoch", 20000));
+  ControllerResult r =
+      run_online_controller(mix, traces.size(), config, ControllerHooks{});
+  (void)r;
+
+  std::cout << "metrics registry after a " << total << "-access, "
+            << traces.size() << "-program controller run:\n\n";
+  obs::write_metrics_text(std::cout);
+  write_obs_outputs(args);
   return 0;
 }
 
@@ -409,7 +501,30 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string command = argv[1];
   ArgParser args(argc, argv, /*flags=*/{"binary"});
+
+  // Every subcommand declares its flags; anything else is rejected with a
+  // nearest-match suggestion instead of being silently ignored.
+  const std::map<std::string, std::vector<std::string>> known_flags = {
+      {"profile", {"block-bytes", "binary", "rate", "name", "o"}},
+      {"mrc", {"capacity"}},
+      {"predict", {"capacity"}},
+      {"optimize", {"capacity", "baseline", "objective"}},
+      {"simulate", {"capacity", "block-bytes", "warmup"}},
+      {"sweep", {"capacity", "group-size"}},
+      {"phases", {"block-bytes", "binary", "window", "threshold"}},
+      {"controller",
+       {"capacity", "block-bytes", "binary", "epoch", "sampling-rate",
+        "min-units", "max-delta", "policy", "fault-rate", "fault-nan",
+        "fault-spike", "fault-truncate", "fault-drop", "fault-dp-fail",
+        "fault-seed", "trace-out", "metrics-out"}},
+      {"stats",
+       {"capacity", "block-bytes", "binary", "epoch", "length", "trace-out",
+        "metrics-out"}},
+  };
+
   try {
+    auto known = known_flags.find(command);
+    if (known != known_flags.end()) args.reject_unknown(known->second);
     if (command == "profile") return cmd_profile(args);
     if (command == "mrc") return cmd_mrc(args);
     if (command == "predict") return cmd_predict(args);
@@ -418,6 +533,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "phases") return cmd_phases(args);
     if (command == "controller") return cmd_controller(args);
+    if (command == "stats") return cmd_stats(args);
     return usage();
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << "\n";
