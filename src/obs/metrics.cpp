@@ -46,7 +46,9 @@ void Counter::reset() noexcept {
 }
 
 std::size_t Histogram::bucket_index(double v) noexcept {
-  if (!(v >= 1.0)) return 0;  // negatives, sub-unit values, and NaN
+  // Negatives, sub-unit values, and non-finite values (NaN would pass
+  // the comparison inverted; +inf would hand frexp an unspecified exp).
+  if (!std::isfinite(v) || v < 1.0) return 0;
   int exp = 0;
   std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
   // v >= 1 implies exp >= 1; v in [2^(exp-1), 2^exp) belongs to bucket
@@ -91,6 +93,11 @@ std::uint64_t Histogram::bucket(std::size_t i) const noexcept {
                                : 0;
 }
 
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
 namespace {
 
 // The registry proper: name -> metric. The mutex guards only creation and
@@ -114,6 +121,15 @@ T& find_or_create(std::map<std::string, std::unique_ptr<T>>& map,
   if (it == map.end())
     it = map.emplace(name, std::unique_ptr<T>(new T())).first;
   return *it->second;
+}
+
+// NaN/inf have no JSON spelling; emit null so the document stays valid.
+void write_json_double(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
 }
 
 void write_json_escaped(std::ostream& os, const std::string& s) {
@@ -177,11 +193,8 @@ void reset_metrics() {
   std::lock_guard<std::mutex> lock(r.mu);
   for (auto& [name, c] : r.counters) c->reset();
   for (auto& [name, g] : r.gauges) g->reset();
-  for (auto& [name, h] : r.histograms) {
-    // Histograms have no reset() in the public API (scrapes are
-    // cumulative); recreate in place instead.
-    h.reset(new Histogram());
-  }
+  // In-place reset: cached references (OCPS_OBS_HIST) must stay valid.
+  for (auto& [name, h] : r.histograms) h->reset();
 }
 
 void write_metrics_json(std::ostream& os) {
@@ -202,7 +215,8 @@ void write_metrics_json(std::ostream& os) {
     first = false;
     os << '"';
     write_json_escaped(os, name);
-    os << "\":" << v;
+    os << "\":";
+    write_json_double(os, v);
   }
   os << "},\"histograms\":{";
   first = true;
@@ -211,19 +225,15 @@ void write_metrics_json(std::ostream& os) {
     first = false;
     os << '"';
     write_json_escaped(os, h.name);
-    os << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
-       << ",\"buckets\":[";
+    os << "\":{\"count\":" << h.count << ",\"sum\":";
+    write_json_double(os, h.sum);
+    os << ",\"buckets\":[";
     bool bfirst = true;
     for (const auto& [i, n] : h.buckets) {
       if (!bfirst) os << ',';
       bfirst = false;
       os << "{\"lo\":" << Histogram::bucket_lower_bound(i) << ",\"hi\":";
-      double hi = Histogram::bucket_upper_bound(i);
-      if (std::isinf(hi)) {
-        os << "null";
-      } else {
-        os << hi;
-      }
+      write_json_double(os, Histogram::bucket_upper_bound(i));
       os << ",\"count\":" << n << '}';
     }
     os << "]}";

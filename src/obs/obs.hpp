@@ -133,6 +133,7 @@ class Histogram {
   std::uint64_t count() const noexcept;
   double sum() const noexcept;
   std::uint64_t bucket(std::size_t i) const noexcept;
+  void reset() noexcept;  ///< zeroes buckets and sum in place
 
   /// Bucket that value v lands in. Exact at boundaries: v == 2^k goes to
   /// bucket k+1 (the bucket whose range starts at 2^k).
@@ -291,6 +292,7 @@ class Histogram {
   std::uint64_t count() const noexcept { return 0; }
   double sum() const noexcept { return 0.0; }
   std::uint64_t bucket(std::size_t) const noexcept { return 0; }
+  void reset() noexcept {}
   static std::size_t bucket_index(double) noexcept { return 0; }
   static double bucket_lower_bound(std::size_t) noexcept { return 0.0; }
   static double bucket_upper_bound(std::size_t) noexcept { return 0.0; }

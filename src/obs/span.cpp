@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -54,7 +55,17 @@ struct SpanRing {
   void snapshot(std::vector<TraceEvent>* out) {
     while (lock.test_and_set(std::memory_order_acquire)) {
     }
-    out->insert(out->end(), events.begin(), events.end());
+    // Emit in logical (oldest-to-newest) order, not rotated storage
+    // order, so the stable sort in trace_events() keeps push order for
+    // events whose coarse-clock timestamps tie.
+    if (events.size() < kRingCapacity) {
+      out->insert(out->end(), events.begin(), events.end());
+    } else {
+      out->insert(out->end(), events.begin() + static_cast<std::ptrdiff_t>(next),
+                  events.end());
+      out->insert(out->end(), events.begin(),
+                  events.begin() + static_cast<std::ptrdiff_t>(next));
+    }
     lock.clear(std::memory_order_release);
   }
 

@@ -85,6 +85,8 @@ TEST_F(ObsTest, HistogramBucketBoundariesAreExactPowersOfTwo) {
   EXPECT_EQ(H::bucket_index(0.999999), 0u);
   EXPECT_EQ(H::bucket_index(-7.0), 0u);
   EXPECT_EQ(H::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(H::bucket_index(std::numeric_limits<double>::infinity()), 0u);
+  EXPECT_EQ(H::bucket_index(-std::numeric_limits<double>::infinity()), 0u);
   // Bucket i >= 1 covers [2^(i-1), 2^i): the boundary value 2^k belongs
   // to bucket k+1, and the value just below it to bucket k.
   EXPECT_EQ(H::bucket_index(1.0), 1u);
@@ -124,12 +126,21 @@ TEST_F(ObsTest, HistogramObserveMatchesBucketIndex) {
 
 TEST_F(ObsTest, ResetZeroesButKeepsAddresses) {
   obs::Counter& c = obs::counter("test.reset_counter");
+  obs::Histogram& h = obs::histogram("test.reset_hist");
   c.add(41);
+  h.observe(8.0);
   obs::reset_metrics();
   EXPECT_EQ(c.value(), 0u);
   EXPECT_EQ(&c, &obs::counter("test.reset_counter"));
+  // The histogram must be zeroed in place: OCPS_OBS_HIST caches a
+  // reference per call site, so the object may never be reallocated.
+  EXPECT_EQ(&h, &obs::histogram("test.reset_hist"));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
   c.add(1);
+  h.observe(2.0);
   EXPECT_EQ(obs::counter("test.reset_counter").value(), 1u);
+  EXPECT_EQ(obs::histogram("test.reset_hist").count(), 1u);
 }
 
 TEST_F(ObsTest, DisabledSitesRecordNothing) {
@@ -231,11 +242,11 @@ struct MiniJson {
       i += 4;
       return;
     }
+    // Strict JSON numbers only: bare inf/nan tokens must fail the parse.
     std::size_t start = i;
     while (i < s.size() &&
            (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
-            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
-            s[i] == 'i' || s[i] == 'n' || s[i] == 'f'))
+            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E'))
       ++i;
     if (i == start) ok = false;
   }
@@ -327,6 +338,10 @@ TEST_F(ObsTest, MetricsJsonRoundTrips) {
   obs::counter("test.json_counter").add(3);
   obs::histogram("test.json_hist").observe(100.0);
   obs::gauge("test.json_gauge").set(2.5);
+  obs::gauge("test.json_inf_gauge").set(
+      std::numeric_limits<double>::infinity());
+  obs::gauge("test.json_nan_gauge").set(
+      std::numeric_limits<double>::quiet_NaN());
 
   std::ostringstream os;
   obs::write_metrics_json(os);
@@ -343,6 +358,9 @@ TEST_F(ObsTest, MetricsJsonRoundTrips) {
               top_keys.end());
   EXPECT_NE(text.find("\"test.json_counter\":3"), std::string::npos);
   EXPECT_NE(text.find("\"test.json_hist\""), std::string::npos);
+  // Non-finite gauges must serialize as null, never as nan/inf tokens.
+  EXPECT_NE(text.find("\"test.json_inf_gauge\":null"), std::string::npos);
+  EXPECT_NE(text.find("\"test.json_nan_gauge\":null"), std::string::npos);
 }
 
 TEST_F(ObsTest, TextTimelineListsEvents) {
