@@ -44,18 +44,18 @@ int main() {
     double total_mr = 0.0;
     double total_time = 0.0;
     for (const auto& members : sample) {
-      std::vector<std::vector<double>> cost(members.size());
+      CostMatrix cost(members.size(), units);
       double rate_sum = 0.0;
       for (std::size_t k = 0; k < members.size(); ++k) {
         const ProgramModel& m = suite.models[members[k]];
         rate_sum += m.access_rate;
-        cost[k].resize(units + 1);
+        double* row = cost.row(k);
         for (std::size_t c = 0; c <= units; ++c)
-          cost[k][c] =
+          row[c] =
               m.access_rate * m.mrc.ratio_at(static_cast<double>(c) * scale);
       }
       PhaseTimer timer("granularity.dp");
-      DpResult dp = optimize_partition(cost, units);
+      DpResult dp = optimize_partition(cost.view(), units);
       total_time += timer.stop();
       total_mr += dp.objective_value / rate_sum;
     }

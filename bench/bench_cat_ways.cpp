@@ -27,7 +27,7 @@ int main() {
   const std::size_t mix_len = static_cast<std::size_t>(
       env_int("OCPS_SIM_LENGTH", 400000));
 
-  auto unit_costs = precompute_unit_costs(suite.models, capacity);
+  CostMatrix unit_costs = precompute_unit_cost_matrix(suite.models, capacity);
   auto groups =
       all_subsets(static_cast<std::uint32_t>(suite.models.size()), 4);
   std::size_t count =
@@ -46,15 +46,16 @@ int main() {
     const auto& members = groups[gi];
     std::vector<Trace> traces;
     std::vector<double> rates;
-    std::vector<std::vector<double>> cost;
+    std::vector<const double*> cost_rows;
     std::string label;
     for (auto m : members) {
       traces.push_back(suite_trace(suite, m));
       rates.push_back(suite.models[m].access_rate);
-      cost.push_back(unit_costs[m]);
       if (!label.empty()) label += "+";
       label += suite.models[m].name;
     }
+    CostMatrixView cost =
+        unit_costs.gather(members.data(), members.size(), cost_rows);
     InterleavedTrace mix = interleave_proportional(traces, rates, mix_len);
     const std::size_t warmup = mix_len / 4;
 
@@ -66,15 +67,14 @@ int main() {
     // rounding the unit-grain answer — rounding a cliff-sized allocation
     // down by half a way re-triggers the whole cliff.
     const std::size_t blocks_per_way = capacity / ways;
-    std::vector<std::vector<double>> way_cost(members.size());
+    CostMatrix way_cost(members.size(), ways);
     for (std::size_t k = 0; k < members.size(); ++k) {
-      way_cost[k].resize(ways + 1);
+      double* row = way_cost.row(k);
       for (std::size_t w = 0; w <= ways; ++w)
-        way_cost[k][w] =
-            suite.models[members[k]].access_rate *
-            suite.models[members[k]].mrc.ratio(w * blocks_per_way);
+        row[w] = suite.models[members[k]].access_rate *
+                 suite.models[members[k]].mrc.ratio(w * blocks_per_way);
     }
-    DpResult way_dp = optimize_partition(way_cost, ways);
+    DpResult way_dp = optimize_partition(way_cost.view(), ways);
 
     CoRunResult shared = simulate_shared(mix, capacity, {warmup, 0});
     CoRunResult unit_part =

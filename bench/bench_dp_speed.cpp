@@ -1,25 +1,30 @@
 // §VII-A cost-of-analysis microbenchmarks: the DP optimizer's O(P·C²)
 // scaling and the per-group optimization cost (the paper reports ~0.14 s
-// per group for DP including IO, ~0.11 s for STTW on a 1.7 GHz i5).
+// per group for DP including IO, ~0.11 s for STTW on a 1.7 GHz i5), plus
+// the end-to-end C(16,4) sweep comparing the batched engine (persistent
+// pool + prefix-shared DP) against per-group evaluation. Measured numbers
+// are recorded in BENCH_dp_speed.json and docs/performance.md.
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
 
+#include "combinatorics/enumerate.hpp"
 #include "core/dp_partition.hpp"
+#include "core/group_sweep.hpp"
 #include "core/sttw.hpp"
+#include "trace/generators.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace ocps;
 
-std::vector<std::vector<double>> make_costs(std::size_t programs,
-                                            std::size_t capacity,
-                                            std::uint64_t seed) {
+CostMatrix make_costs(std::size_t programs, std::size_t capacity,
+                      std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<std::vector<double>> cost(programs);
-  for (auto& row : cost) {
-    row.resize(capacity + 1);
+  CostMatrix cost(programs, capacity);
+  for (std::size_t i = 0; i < programs; ++i) {
+    double* row = cost.row(i);
     double v = 1.0;
     for (std::size_t c = 0; c <= capacity; ++c) {
       row[c] = v;
@@ -34,9 +39,9 @@ std::vector<std::vector<double>> make_costs(std::size_t programs,
 void BM_DpPartition(benchmark::State& state) {
   const std::size_t p = static_cast<std::size_t>(state.range(0));
   const std::size_t c = static_cast<std::size_t>(state.range(1));
-  auto cost = make_costs(p, c, 42);
+  CostMatrix cost = make_costs(p, c, 42);
   for (auto _ : state) {
-    DpResult r = optimize_partition(cost, c);
+    DpResult r = optimize_partition(cost.view(), c);
     benchmark::DoNotOptimize(r.objective_value);
   }
   state.SetComplexityN(static_cast<std::int64_t>(c));
@@ -45,35 +50,113 @@ void BM_DpPartition(benchmark::State& state) {
       static_cast<double>(c);
 }
 
+// Same solve through a warm scratch arena: steady-state allocation-free.
+void BM_DpPartitionWarmScratch(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const std::size_t c = static_cast<std::size_t>(state.range(1));
+  CostMatrix cost = make_costs(p, c, 42);
+  DpScratch scratch;
+  optimize_partition(cost.view(), c, {}, scratch);  // warm the arena
+  for (auto _ : state) {
+    DpResult r = optimize_partition(cost.view(), c, {}, scratch);
+    benchmark::DoNotOptimize(r.objective_value);
+  }
+  state.counters["scratch_grows"] =
+      static_cast<double>(scratch.grow_events);
+}
+
 void BM_DpWithBounds(benchmark::State& state) {
   const std::size_t c = static_cast<std::size_t>(state.range(0));
-  auto cost = make_costs(4, c, 43);
+  CostMatrix cost = make_costs(4, c, 43);
   DpOptions opt;
   opt.min_alloc = {c / 16, c / 8, 0, c / 10};
   for (auto _ : state) {
-    DpResult r = optimize_partition(cost, c, opt);
+    DpResult r = optimize_partition(cost.view(), c, opt);
     benchmark::DoNotOptimize(r.objective_value);
   }
 }
 
 void BM_DpMinimax(benchmark::State& state) {
   const std::size_t c = static_cast<std::size_t>(state.range(0));
-  auto cost = make_costs(4, c, 44);
+  CostMatrix cost = make_costs(4, c, 44);
   DpOptions opt;
   opt.objective = DpObjective::kMaxCost;
   for (auto _ : state) {
-    DpResult r = optimize_partition(cost, c, opt);
+    DpResult r = optimize_partition(cost.view(), c, opt);
     benchmark::DoNotOptimize(r.objective_value);
   }
 }
 
 void BM_Sttw(benchmark::State& state) {
   const std::size_t c = static_cast<std::size_t>(state.range(0));
-  auto cost = make_costs(4, c, 45);
+  CostMatrix cost = make_costs(4, c, 45);
   for (auto _ : state) {
-    SttwResult r = sttw_partition(cost, c);
+    SttwResult r = sttw_partition(cost.view(), c);
     benchmark::DoNotOptimize(r.objective_value);
   }
+}
+
+// Synthetic 16-program suite mirroring the Table I setup (C(16,4) = 1820
+// four-program groups); traces are short so model building stays cheap.
+std::vector<ProgramModel> make_sweep_suite(std::size_t capacity) {
+  std::vector<ProgramModel> models;
+  const std::size_t n = 30000;
+  for (int i = 0; i < 16; ++i) {
+    Trace t;
+    std::string name = "p" + std::to_string(i);
+    switch (i % 4) {
+      case 0: t = make_zipf(n, 40 + 11 * i, 0.8 + 0.05 * i, 100 + i); break;
+      case 1: t = make_cyclic(n, 24 + 9 * i); break;
+      case 2: t = make_hot_cold(n, 6 + i, 60 + 13 * i, 0.8, 200 + i); break;
+      default: t = make_sawtooth(n, 30 + 7 * i); break;
+    }
+    models.push_back(make_program_model(name, 0.5 + 0.1 * i,
+                                        compute_footprint(t), capacity + 16));
+  }
+  return models;
+}
+
+// End-to-end sweep through the batched engine: persistent pool across
+// groups, prefix-shared DP layers within each thread.
+void BM_GroupSweepBatched(benchmark::State& state) {
+  const std::size_t capacity = static_cast<std::size_t>(state.range(0));
+  auto models = make_sweep_suite(capacity);
+  auto groups = all_subsets(16, 4);
+  SweepOptions opt;
+  opt.capacity = capacity;
+  double check = 0.0;
+  for (auto _ : state) {
+    auto sweep = sweep_groups(models, groups, opt);
+    check = 0.0;
+    for (const auto& g : sweep) check += g.of(Method::kOptimal).group_mr;
+    benchmark::DoNotOptimize(check);
+  }
+  state.counters["groups"] = static_cast<double>(groups.size());
+  state.counters["checksum"] = check;
+}
+
+// The pre-batching evaluation strategy: every group solved independently
+// (no layer sharing, no persistent per-thread state). This is the
+// baseline the ≥3× speedup in BENCH_dp_speed.json is measured against.
+void BM_GroupSweepPerGroup(benchmark::State& state) {
+  const std::size_t capacity = static_cast<std::size_t>(state.range(0));
+  auto models = make_sweep_suite(capacity);
+  auto groups = all_subsets(16, 4);
+  SweepOptions opt;
+  opt.capacity = capacity;
+  CostMatrix unit_costs = precompute_unit_cost_matrix(models, capacity);
+  double check = 0.0;
+  for (auto _ : state) {
+    check = 0.0;
+    for (const auto& members : groups) {
+      GroupEvaluation g =
+          evaluate_group(models, unit_costs.view(), members, opt);
+      check += g.of(Method::kOptimal).group_mr;
+    }
+    benchmark::DoNotOptimize(check);
+  }
+  state.counters["groups"] = static_cast<double>(groups.size());
+  state.counters["checksum"] = check;
 }
 
 }  // namespace
@@ -88,9 +171,20 @@ BENCHMARK(BM_DpPartition)
     ->Args({2, 1024})
     ->Args({8, 1024})
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DpPartitionWarmScratch)
+    ->Args({4, 1024})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DpWithBounds)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DpMinimax)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Sttw)->Arg(1024)->Arg(131072)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupSweepBatched)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_GroupSweepPerGroup)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 // Custom main (instead of BENCHMARK_MAIN) so the observability snapshot
 // is emitted like every other bench binary when OCPS_OBS is on.

@@ -18,7 +18,7 @@ using namespace ocps::bench;
 int main() {
   Suite suite = load_suite();
   const std::size_t capacity = suite.options.capacity;
-  auto unit_costs = precompute_unit_costs(suite.models, capacity);
+  CostMatrix unit_costs = precompute_unit_cost_matrix(suite.models, capacity);
   auto groups =
       all_subsets(static_cast<std::uint32_t>(suite.models.size()), 4);
   std::size_t stride = std::max<std::size_t>(1, groups.size() / 150);
@@ -35,11 +35,10 @@ int main() {
     for (std::size_t gi = 0; gi < groups.size(); gi += stride) {
       const auto& members = groups[gi];
       std::vector<const ProgramModel*> ptrs;
-      std::vector<std::vector<double>> cost;
-      for (auto m : members) {
-        ptrs.push_back(&suite.models[m]);
-        cost.push_back(unit_costs[m]);
-      }
+      std::vector<const double*> rows;
+      for (auto m : members) ptrs.push_back(&suite.models[m]);
+      CostMatrixView cost =
+          unit_costs.gather(members.data(), members.size(), rows);
       CoRunGroup group(ptrs);
       ++total;
 
@@ -50,8 +49,7 @@ int main() {
         demands[i].max_miss_ratio =
             std::min(1.0, fair_mr * (1.0 + slack));
       }
-      ElasticResult r =
-          optimize_elastic(group, cost, capacity, demands);
+      ElasticResult r = optimize_elastic(group, cost, capacity, demands);
       if (!r.feasible) continue;
       ++feasible;
       mrs.push_back(r.group_mr);

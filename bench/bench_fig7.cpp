@@ -85,14 +85,19 @@ int main() {
   // Ablation: the faithful local-derivative STTW (used above) vs the
   // charitable convex-hull strengthening.
   {
-    auto unit_costs =
-        precompute_unit_costs(eval.suite.models, eval.capacity);
+    CostMatrix unit_costs =
+        precompute_unit_cost_matrix(eval.suite.models, eval.capacity);
     double classic_gap = 0.0, hull_gap = 0.0, suh_gap = 0.0;
     for (const auto& g : eval.sweep) {
-      std::vector<std::vector<double>> cost;
+      std::vector<const double*> rows;
+      CostMatrixView cost =
+          unit_costs.gather(g.members.data(), g.members.size(), rows);
+      // Suh's comparator still takes nested rows; copy once per group.
+      std::vector<std::vector<double>> nested;
       double rate_sum = 0.0;
       for (auto m : g.members) {
-        cost.push_back(unit_costs[m]);
+        const double* row = unit_costs.row(m);
+        nested.emplace_back(row, row + eval.capacity + 1);
         rate_sum += eval.suite.models[m].access_rate;
       }
       double opt = g.of(Method::kOptimal).group_mr;
@@ -101,7 +106,7 @@ int main() {
           sttw_partition(cost, eval.capacity, SttwVariant::kConvexHull);
       SttwResult classic = sttw_partition(cost, eval.capacity,
                                           SttwVariant::kLocalDerivative);
-      SttwResult suh = suh_partition(cost, eval.capacity);
+      SttwResult suh = suh_partition(nested, eval.capacity);
       classic_gap += (classic.objective_value / rate_sum - opt) / opt;
       hull_gap += (hull.objective_value / rate_sum - opt) / opt;
       suh_gap += (suh.objective_value / rate_sum - opt) / opt;

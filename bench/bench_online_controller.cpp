@@ -40,14 +40,14 @@ Row run_scenario(const std::string& name, const std::vector<Trace>& traces,
       mix, equal_partition(traces.size(), capacity));
 
   // Offline oracle: whole-trace models -> static DP.
-  std::vector<std::vector<double>> cost(traces.size());
+  CostMatrix cost(traces.size(), capacity);
   for (std::size_t p = 0; p < traces.size(); ++p) {
     ProgramModel m = make_program_model(
         "p" + std::to_string(p), 1.0, compute_footprint(traces[p]), capacity);
-    cost[p].resize(capacity + 1);
-    for (std::size_t c = 0; c <= capacity; ++c) cost[p][c] = m.mrc.ratio(c);
+    double* row = cost.row(p);
+    for (std::size_t c = 0; c <= capacity; ++c) row[c] = m.mrc.ratio(c);
   }
-  DpResult oracle = optimize_partition(cost, capacity);
+  DpResult oracle = optimize_partition(cost.view(), capacity);
   CoRunResult oracle_sim = simulate_partitioned(mix, oracle.alloc);
 
   ControllerConfig config;

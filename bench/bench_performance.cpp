@@ -49,7 +49,7 @@ int main() {
 
     // Direct ANTT optimization via slowdown cost curves.
     auto cost = slowdown_cost_curves(group, capacity, latency);
-    DpResult dp = optimize_partition(cost, capacity);
+    DpResult dp = optimize_partition(NestedCostAdapter(cost).view(), capacity);
     std::vector<double> mr(ptrs.size());
     for (std::size_t k = 0; k < ptrs.size(); ++k)
       mr[k] = ptrs[k]->mrc.ratio(dp.alloc[k]);

@@ -56,12 +56,12 @@ int main() {
     for (std::size_t p = 0; p < traces.size(); ++p)
       models.push_back(make_program_model("p" + std::to_string(p), 1.0,
                                           compute_footprint(traces[p]), C));
-    std::vector<std::vector<double>> cost(models.size());
+    CostMatrix cost(models.size(), C);
     for (std::size_t p = 0; p < models.size(); ++p) {
-      cost[p].resize(C + 1);
-      for (std::size_t c = 0; c <= C; ++c) cost[p][c] = models[p].mrc.ratio(c);
+      double* row = cost.row(p);
+      for (std::size_t c = 0; c <= C; ++c) row[c] = models[p].mrc.ratio(c);
     }
-    DpResult statics = optimize_partition(cost, C);
+    DpResult statics = optimize_partition(cost.view(), C);
     CoRunResult static_sim = simulate_partitioned(mix, statics.alloc);
 
     for (std::size_t epochs : {2 * reps, std::size_t{4}}) {

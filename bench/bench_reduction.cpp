@@ -74,7 +74,7 @@ int main() {
       weights.push_back(shares[i]);
     }
     DpResult dp = optimize_partition(
-        weighted_cost_curves(curves, weights, capacity), capacity);
+        weighted_cost_matrix(curves, weights, capacity).view(), capacity);
 
     auto s2 = search_space_partition_sharing(3, capacity);
     t.add_row({"3 programs #" + std::to_string(instance),

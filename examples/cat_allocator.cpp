@@ -8,14 +8,7 @@
 // free-for-all sharing.
 #include <iostream>
 
-#include "cachesim/corun.hpp"
-#include "cachesim/way_partitioned.hpp"
-#include "core/dp_partition.hpp"
-#include "core/program_model.hpp"
-#include "locality/footprint.hpp"
-#include "trace/generators.hpp"
-#include "trace/interleave.hpp"
-#include "util/table.hpp"
+#include "ocps.hpp"
 
 using namespace ocps;
 
@@ -42,17 +35,16 @@ int main() {
 
   // Profile and build way-granularity cost curves.
   std::vector<ProgramModel> models;
-  std::vector<std::vector<double>> way_cost(apps.size());
+  CostMatrix way_cost(apps.size(), ways);
   for (std::size_t i = 0; i < apps.size(); ++i) {
     models.push_back(make_program_model(
         apps[i].name, apps[i].rate, compute_footprint(apps[i].trace),
         capacity));
-    way_cost[i].resize(ways + 1);
+    double* row = way_cost.row(i);
     for (std::size_t w = 0; w <= ways; ++w)
-      way_cost[i][w] =
-          apps[i].rate * models[i].mrc.ratio(w * blocks_per_way);
+      row[w] = apps[i].rate * models[i].mrc.ratio(w * blocks_per_way);
   }
-  DpResult dp = optimize_partition(way_cost, ways);
+  DpResult dp = optimize_partition(way_cost.view(), ways);
 
   std::cout << "=== CAT way allocation (16 ways, 64 sets) ===\n\n";
   TextTable plan({"app", "ways", "blocks", "predicted miss ratio"});

@@ -6,10 +6,7 @@
 // measurements.
 #include <iostream>
 
-#include "combinatorics/counting.hpp"
-#include "sched/symbiosis.hpp"
-#include "util/table.hpp"
-#include "workloads/suite.hpp"
+#include "ocps.hpp"
 
 using namespace ocps;
 

@@ -8,11 +8,7 @@
 // (demand-driven, free-for-all) allocation converges to.
 #include <iostream>
 
-#include "core/composition.hpp"
-#include "core/dp_partition.hpp"
-#include "locality/footprint.hpp"
-#include "trace/generators.hpp"
-#include "util/table.hpp"
+#include "ocps.hpp"
 
 using namespace ocps;
 
@@ -43,7 +39,7 @@ int main() {
   // Profile each class and express its MRC in *pages* by sampling the
   // object-granularity miss ratio at c_pages * objects_per_page.
   std::vector<ProgramModel> models;
-  std::vector<std::vector<double>> cost(classes.size());
+  CostMatrix cost(classes.size(), kPagesTotal);
   for (std::size_t i = 0; i < classes.size(); ++i) {
     const auto& sc = classes[i];
     // The dense MRC only needs to reach the class's data size — beyond it
@@ -54,11 +50,11 @@ int main() {
         static_cast<std::size_t>(fp.distinct) + 1);
     ProgramModel object_model =
         make_program_model(sc.name, sc.request_rate, fp, mrc_cap);
-    cost[i].resize(kPagesTotal + 1);
+    double* row = cost.row(i);
     for (std::size_t pages = 0; pages <= kPagesTotal; ++pages) {
       double objects = static_cast<double>(pages) *
                        static_cast<double>(sc.objects_per_page);
-      cost[i][pages] = sc.request_rate * object_model.mrc.ratio_at(objects);
+      row[pages] = sc.request_rate * object_model.mrc.ratio_at(objects);
     }
     models.push_back(std::move(object_model));
   }
@@ -78,14 +74,14 @@ int main() {
   demand_split[0] += kPagesTotal - assigned;
 
   // LAMA: the DP optimal split over the composed miss-ratio curves.
-  DpResult lama = optimize_partition(cost, kPagesTotal);
+  DpResult lama = optimize_partition(cost.view(), kPagesTotal);
 
   TextTable t({"slab class", "demand-prop pages", "LAMA pages",
                "demand-prop miss", "LAMA miss"});
   double demand_mr = 0.0, lama_mr = 0.0;
   for (std::size_t i = 0; i < classes.size(); ++i) {
-    double d = cost[i][demand_split[i]] / classes[i].request_rate;
-    double l = cost[i][lama.alloc[i]] / classes[i].request_rate;
+    double d = cost(i, demand_split[i]) / classes[i].request_rate;
+    double l = cost(i, lama.alloc[i]) / classes[i].request_rate;
     demand_mr += classes[i].request_rate / rate_sum * d;
     lama_mr += classes[i].request_rate / rate_sum * l;
     t.add_row({classes[i].name, std::to_string(demand_split[i]),

@@ -9,11 +9,7 @@
 // advantage disappears — Robert Frost's fence goes back up.
 #include <iostream>
 
-#include "cachesim/corun.hpp"
-#include "trace/generators.hpp"
-#include "trace/interleave.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "ocps.hpp"
 
 using namespace ocps;
 

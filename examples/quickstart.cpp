@@ -7,12 +7,7 @@
 // Build and run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/baselines.hpp"
-#include "core/composition.hpp"
-#include "core/dp_partition.hpp"
-#include "locality/footprint.hpp"
-#include "trace/generators.hpp"
-#include "util/table.hpp"
+#include "ocps.hpp"
 
 using namespace ocps;
 
@@ -53,9 +48,9 @@ int main() {
   // 4. Optimize. Cost curves weight each program's miss ratio by its
   //    access rate, so minimizing the sum minimizes the group miss ratio.
   auto shares = group.rate_shares();
-  auto cost = weighted_cost_curves({&zipfy.mrc, &scanner.mrc},
-                                   {shares[0], shares[1]}, kCache);
-  DpResult optimal = optimize_partition(cost, kCache);
+  CostMatrix cost = weighted_cost_matrix({&zipfy.mrc, &scanner.mrc},
+                                         {shares[0], shares[1]}, kCache);
+  DpResult optimal = optimize_partition(cost.view(), kCache);
   std::cout << "Optimal partition: " << zipfy.name << "="
             << optimal.alloc[0] << ", " << scanner.name << "="
             << optimal.alloc[1] << "  (group mr "
@@ -63,7 +58,7 @@ int main() {
 
   // 5. Fairness: the same DP with baseline constraints (§VI) — optimize
   //    the group without making any program worse than equal partitioning.
-  DpResult fair = optimize_equal_baseline(group, cost, kCache);
+  DpResult fair = optimize_equal_baseline(group, cost.view(), kCache);
   std::cout << "Equal-baseline partition: " << zipfy.name << "="
             << fair.alloc[0] << ", " << scanner.name << "=" << fair.alloc[1]
             << "  (group mr " << TextTable::num(fair.objective_value, 4)

@@ -9,8 +9,7 @@
 // optimizers.
 #include <iostream>
 
-#include "util/table.hpp"
-#include "workloads/suite.hpp"
+#include "ocps.hpp"
 
 using namespace ocps;
 

@@ -37,14 +37,20 @@ std::vector<std::size_t> baseline_min_allocs(
 
 namespace {
 
-DpResult optimize_with_baseline(const CoRunGroup& group,
-                                const std::vector<std::vector<double>>& cost,
+DpResult solve(CostMatrixView cost, std::size_t capacity,
+               const DpOptions& options, DpScratch* scratch) {
+  return scratch ? optimize_partition(cost, capacity, options, *scratch)
+                 : optimize_partition(cost, capacity, options);
+}
+
+DpResult optimize_with_baseline(const CoRunGroup& group, CostMatrixView cost,
                                 std::size_t capacity,
-                                const std::vector<double>& baseline_alloc) {
+                                const std::vector<double>& baseline_alloc,
+                                DpScratch* scratch) {
   DpOptions options;
   options.objective = DpObjective::kSumCost;
   options.min_alloc = baseline_min_allocs(group, baseline_alloc);
-  DpResult result = optimize_partition(cost, capacity, options);
+  DpResult result = solve(cost, capacity, options, scratch);
   OCPS_CHECK(result.feasible,
              "baseline-constrained DP infeasible; baseline sums beyond C?");
   return result;
@@ -52,17 +58,16 @@ DpResult optimize_with_baseline(const CoRunGroup& group,
 
 }  // namespace
 
-DpResult optimize_equal_baseline(const CoRunGroup& group,
-                                 const std::vector<std::vector<double>>& cost,
-                                 std::size_t capacity) {
+DpResult optimize_equal_baseline(const CoRunGroup& group, CostMatrixView cost,
+                                 std::size_t capacity, DpScratch* scratch) {
   auto equal = equal_partition(group.size(), capacity);
   std::vector<double> baseline(equal.begin(), equal.end());
-  return optimize_with_baseline(group, cost, capacity, baseline);
+  return optimize_with_baseline(group, cost, capacity, baseline, scratch);
 }
 
-DpResult optimize_natural_baseline(
-    const CoRunGroup& group, const std::vector<std::vector<double>>& cost,
-    std::size_t capacity) {
+DpResult optimize_natural_baseline(const CoRunGroup& group,
+                                   CostMatrixView cost, std::size_t capacity,
+                                   DpScratch* scratch) {
   auto natural = natural_partition(group, static_cast<double>(capacity));
   // Constrain against the *fractional* shared-cache performance (the
   // paper's "no worse than free-for-all sharing"). The bounds can round up
@@ -72,11 +77,25 @@ DpResult optimize_natural_baseline(
   DpOptions options;
   options.objective = DpObjective::kSumCost;
   options.min_alloc = baseline_min_allocs(group, natural);
-  DpResult result = optimize_partition(cost, capacity, options);
+  DpResult result = solve(cost, capacity, options, scratch);
   if (result.feasible) return result;
   auto integral = integerize_partition(natural, capacity);
   std::vector<double> baseline(integral.begin(), integral.end());
-  return optimize_with_baseline(group, cost, capacity, baseline);
+  return optimize_with_baseline(group, cost, capacity, baseline, scratch);
+}
+
+DpResult optimize_equal_baseline(const CoRunGroup& group,
+                                 const std::vector<std::vector<double>>& cost,
+                                 std::size_t capacity) {
+  NestedCostAdapter adapter(cost);
+  return optimize_equal_baseline(group, adapter.view(), capacity);
+}
+
+DpResult optimize_natural_baseline(
+    const CoRunGroup& group, const std::vector<std::vector<double>>& cost,
+    std::size_t capacity) {
+  NestedCostAdapter adapter(cost);
+  return optimize_natural_baseline(group, adapter.view(), capacity);
 }
 
 }  // namespace ocps

@@ -34,13 +34,27 @@ std::vector<std::size_t> baseline_min_allocs(
     const CoRunGroup& group, const std::vector<double>& baseline_alloc);
 
 /// Equal-baseline optimization: group-optimal subject to no program being
-/// worse than under the equal partition.
+/// worse than under the equal partition. Pass a DpScratch to reuse the DP
+/// table across calls (see dp_partition.hpp).
+DpResult optimize_equal_baseline(const CoRunGroup& group, CostMatrixView cost,
+                                 std::size_t capacity,
+                                 DpScratch* scratch = nullptr);
+
+/// Natural-baseline optimization: group-optimal subject to no program being
+/// worse than under free-for-all sharing (the natural partition).
+DpResult optimize_natural_baseline(const CoRunGroup& group,
+                                   CostMatrixView cost, std::size_t capacity,
+                                   DpScratch* scratch = nullptr);
+
+// Deprecated nested-vector shims; removed two PRs after introduction (see
+// CHANGES.md).
+
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
 DpResult optimize_equal_baseline(const CoRunGroup& group,
                                  const std::vector<std::vector<double>>& cost,
                                  std::size_t capacity);
 
-/// Natural-baseline optimization: group-optimal subject to no program being
-/// worse than under free-for-all sharing (the natural partition).
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
 DpResult optimize_natural_baseline(
     const CoRunGroup& group, const std::vector<std::vector<double>>& cost,
     std::size_t capacity);

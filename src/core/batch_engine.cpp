@@ -1,0 +1,112 @@
+#include "core/batch_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void PrefixDpSolver::configure(CostMatrixView all_costs, std::size_t capacity,
+                               DpObjective objective) {
+  OCPS_CHECK(all_costs.cols() >= capacity + 1,
+             "cost table shorter than capacity+1");
+  for (std::size_t i = 0; i < all_costs.rows(); ++i) {
+    const double* row = all_costs.row(i);
+    for (std::size_t c = 0; c <= capacity; ++c)
+      OCPS_CHECK(std::isfinite(row[c]),
+                 "non-finite cost at program " << i << ", c=" << c);
+  }
+  costs_ = all_costs;
+  capacity_ = capacity;
+  objective_ = objective;
+  valid_layers_ = 0;
+  final_best_.resize(capacity + 1);
+  final_choice_.resize(capacity + 1);
+}
+
+void PrefixDpSolver::solve(const std::uint32_t* members, std::size_t count,
+                           const std::size_t* lo, DpResult& out) {
+  OCPS_CHECK(count >= 1, "need at least one program");
+  ++stats_.solves;
+  out.feasible = false;
+  out.objective_value = 0.0;
+  out.alloc.clear();  // keeps capacity; refilled on success
+
+  if (layers_.size() < count) layers_.resize(count);
+
+  // Longest cached prefix whose (member, lo) pairs match this group. Only
+  // non-final layers (positions 0..count-2) are ever cached.
+  std::size_t reuse = 0;
+  while (reuse < valid_layers_ && reuse + 1 < count &&
+         layers_[reuse].member == members[reuse] &&
+         layers_[reuse].lo == (lo ? lo[reuse] : 0)) {
+    ++reuse;
+  }
+  valid_layers_ = reuse;
+  stats_.layers_reused += reuse;
+
+  // Build the missing non-final layers.
+  for (std::size_t j = reuse; j + 1 < count; ++j) {
+    const std::size_t lo_j = lo ? lo[j] : 0;
+    OCPS_CHECK(members[j] < costs_.rows(),
+               "program index out of range: " << members[j]);
+    if (lo_j > capacity_) return;  // infeasible bounds
+    Layer& layer = layers_[j];
+    layer.member = members[j];
+    layer.lo = lo_j;
+    layer.best.assign(capacity_ + 1, kInf);
+    layer.choice.resize(capacity_ + 1);
+    const double* prev = j == 0 ? nullptr : layers_[j - 1].best.data();
+    stats_.cells += dp_detail::forward_layer(
+        objective_, costs_.row(members[j]), lo_j, capacity_,
+        /*k_begin=*/lo_j, /*k_end=*/capacity_, /*prev_is_base=*/j == 0,
+        prev, layer.best.data(), layer.choice.data());
+    ++stats_.layers_computed;
+    valid_layers_ = j + 1;
+  }
+
+  // Final layer: the backtrack only reads its capacity column, so compute
+  // that single state (never cached — the next group almost certainly ends
+  // differently).
+  const std::size_t last = count - 1;
+  const std::size_t lo_last = lo ? lo[last] : 0;
+  OCPS_CHECK(members[last] < costs_.rows(),
+             "program index out of range: " << members[last]);
+  if (lo_last > capacity_) return;  // infeasible bounds
+  final_best_[capacity_] = kInf;
+  stats_.cells += dp_detail::forward_layer(
+      objective_, costs_.row(members[last]), lo_last, capacity_,
+      /*k_begin=*/capacity_, /*k_end=*/capacity_,
+      /*prev_is_base=*/count == 1,
+      count == 1 ? nullptr : layers_[count - 2].best.data(),
+      final_best_.data(), final_choice_.data());
+  ++stats_.layers_computed;
+
+  if (final_best_[capacity_] == kInf) return;  // infeasible
+
+  out.feasible = true;
+  out.objective_value = final_best_[capacity_];
+  out.alloc.assign(count, 0);
+  std::size_t k = capacity_;
+  {
+    std::size_t c = final_choice_[capacity_];
+    out.alloc[last] = c;
+    OCPS_CHECK(c <= k, "backtrack inconsistency");
+    k -= c;
+  }
+  for (std::size_t j = last; j-- > 0;) {
+    std::size_t c = layers_[j].choice[k];
+    out.alloc[j] = c;
+    OCPS_CHECK(c <= k, "backtrack inconsistency");
+    k -= c;
+  }
+  OCPS_CHECK(k == 0, "allocation does not sum to capacity");
+}
+
+}  // namespace ocps

@@ -1,0 +1,80 @@
+// Prefix-memoized DP for batched group evaluation (the engine behind
+// sweep_groups).
+//
+// The Table I sweep solves the same partitioning DP for every co-run
+// group drawn from one program table. The DP table is built one member
+// layer at a time, and a layer depends only on the member prefix before
+// it — so two groups that share a prefix share those layers exactly.
+// Enumerated in lexicographic order, the C(13,4) = 715 four-member groups
+// of a 13-program table touch only 13 + 78 + 286 = 377 distinct non-final
+// layers instead of 715 × 3 = 2,145: adjacent groups usually differ only
+// in the last member, and the last layer is never materialized anyway —
+// the backtrack reads just its capacity column, so the solver computes
+// that single state (O(C) instead of O(C²/2)).
+//
+// PrefixDpSolver keeps the layer stack from the previous solve and reuses
+// the longest prefix whose (member, lower-bound) pairs match; everything
+// is arena-allocated and reused, so steady-state solves do zero heap
+// allocation. Results are bit-for-bit identical to per-group
+// optimize_partition: both run the same dp_detail::forward_layer kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_matrix.hpp"
+#include "core/dp_partition.hpp"
+
+namespace ocps {
+
+/// Batched DP solver over groups drawn from one cost table. Not
+/// thread-safe: use one per sweep thread (see parallel_for_with).
+class PrefixDpSolver {
+ public:
+  /// Cumulative work counters (also mirrored to obs by the sweep).
+  struct Stats {
+    std::uint64_t solves = 0;
+    std::uint64_t layers_computed = 0;  ///< forward layers actually built
+    std::uint64_t layers_reused = 0;    ///< layers served from the stack
+    std::uint64_t cells = 0;            ///< DP cells examined
+  };
+
+  /// Binds the solver to a cost table (cost(i, c) for every program i in
+  /// the table, c = 0..capacity) and an objective. Validates the table
+  /// once (finite entries) so per-solve validation is free. Invalidates
+  /// any cached layers.
+  void configure(CostMatrixView all_costs, std::size_t capacity,
+                 DpObjective objective);
+
+  /// Solves the partitioning DP for the group `members[0..count)` (indices
+  /// into the configured table) with optional per-position lower bounds
+  /// `lo` (nullptr = all zero; upper bounds are the full capacity). Reuses
+  /// `out.alloc` storage. Infeasible bounds yield out.feasible == false.
+  void solve(const std::uint32_t* members, std::size_t count,
+             const std::size_t* lo, DpResult& out);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // One cached DP layer: the table row after including `member` with lower
+  // bound `lo` at this position. best/choice are sized capacity+1 and
+  // reused across solves.
+  struct Layer {
+    std::uint32_t member = 0;
+    std::size_t lo = 0;
+    std::vector<double> best;
+    std::vector<std::uint32_t> choice;
+  };
+
+  CostMatrixView costs_;
+  std::size_t capacity_ = 0;
+  DpObjective objective_ = DpObjective::kSumCost;
+  std::vector<Layer> layers_;
+  std::size_t valid_layers_ = 0;  ///< prefix of layers_ that is current
+  std::vector<double> final_best_;
+  std::vector<std::uint32_t> final_choice_;
+  Stats stats_;
+};
+
+}  // namespace ocps

@@ -1,0 +1,46 @@
+#include "core/cost_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ocps {
+
+CostMatrix CostMatrix::from_rows(
+    const std::vector<std::vector<double>>& rows, std::size_t capacity) {
+  CostMatrix m(rows.size(), capacity);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    OCPS_CHECK(rows[i].size() >= capacity + 1,
+               "cost row " << i << " shorter than capacity+1");
+    double* dst = m.row(i);
+    for (std::size_t c = 0; c <= capacity; ++c) dst[c] = rows[i][c];
+  }
+  return m;
+}
+
+NestedCostAdapter::NestedCostAdapter(
+    const std::vector<std::vector<double>>& rows) {
+  ptrs_.reserve(rows.size());
+  cols_ = rows.empty() ? 0 : rows.front().size();
+  for (const auto& row : rows) {
+    cols_ = std::min(cols_, row.size());
+    ptrs_.push_back(row.data());
+  }
+}
+
+CostMatrix weighted_cost_matrix(
+    const std::vector<const MissRatioCurve*>& mrcs,
+    const std::vector<double>& weights, std::size_t capacity) {
+  OCPS_CHECK(mrcs.size() == weights.size(), "weights must parallel curves");
+  CostMatrix cost(mrcs.size(), capacity);
+  for (std::size_t i = 0; i < mrcs.size(); ++i) {
+    OCPS_CHECK(mrcs[i] != nullptr, "null curve at " << i);
+    OCPS_CHECK(weights[i] >= 0.0, "negative weight at " << i);
+    double* row = cost.row(i);
+    for (std::size_t c = 0; c <= capacity; ++c)
+      row[c] = weights[i] * mrcs[i]->ratio(c);
+  }
+  return cost;
+}
+
+}  // namespace ocps

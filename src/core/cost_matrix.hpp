@@ -1,0 +1,131 @@
+// Flat cost-curve storage for the optimizers.
+//
+// Every optimizer in this library consumes "cost curves": for program i
+// and allocation c in 0..capacity, cost[i][c] is the (lower-is-better)
+// cost of giving program i exactly c units — typically the rate-weighted
+// miss ratio. The seed API passed std::vector<std::vector<double>>,
+// which scatters rows across the heap and forced the group sweep to copy
+// member rows for every one of the 1,820 co-run groups.
+//
+// CostMatrix stores all rows in one contiguous row-major block (rows ×
+// (capacity+1) doubles). CostMatrixView is the non-owning parameter type
+// the optimizers take; it has two shapes behind one row() accessor:
+//
+//   * contiguous — a window over a CostMatrix (or any flat buffer);
+//   * gathered   — an array of row pointers, so a co-run group can view
+//     its members' rows inside the full program table with zero copies
+//     (and legacy vector<vector> rows can be viewed without conversion).
+//
+// Views are trivially copyable and never own memory; the caller keeps
+// the backing rows (and, for gathered views, the pointer array) alive.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "locality/mrc.hpp"
+
+namespace ocps {
+
+/// Non-owning view of `rows` cost curves over allocations 0..cols-1.
+class CostMatrixView {
+ public:
+  CostMatrixView() = default;
+
+  /// Contiguous row-major block: row i starts at data + i*cols.
+  CostMatrixView(const double* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  /// Gathered rows: row i is row_ptrs[i] (each at least cols doubles).
+  /// The pointer array must outlive the view.
+  CostMatrixView(const double* const* row_ptrs, std::size_t rows,
+                 std::size_t cols)
+      : row_ptrs_(row_ptrs), rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Largest allocation represented (cols() - 1).
+  std::size_t capacity() const { return cols_ == 0 ? 0 : cols_ - 1; }
+  bool empty() const { return rows_ == 0; }
+
+  const double* row(std::size_t i) const {
+    return row_ptrs_ ? row_ptrs_[i] : data_ + i * cols_;
+  }
+  double operator()(std::size_t i, std::size_t c) const { return row(i)[c]; }
+
+ private:
+  const double* data_ = nullptr;
+  const double* const* row_ptrs_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Owning flat row-major cost matrix: rows × (capacity+1), zero-filled.
+class CostMatrix {
+ public:
+  CostMatrix() = default;
+  CostMatrix(std::size_t rows, std::size_t capacity)
+      : data_(rows * (capacity + 1), 0.0), rows_(rows),
+        cols_(capacity + 1) {}
+
+  /// Copies nested rows into flat storage. Every row must have at least
+  /// capacity+1 entries (checked).
+  static CostMatrix from_rows(const std::vector<std::vector<double>>& rows,
+                              std::size_t capacity);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t capacity() const { return cols_ == 0 ? 0 : cols_ - 1; }
+  bool empty() const { return rows_ == 0; }
+
+  double* row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row(std::size_t i) const { return data_.data() + i * cols_; }
+  double& operator()(std::size_t i, std::size_t c) { return row(i)[c]; }
+  double operator()(std::size_t i, std::size_t c) const { return row(i)[c]; }
+
+  /// View of the whole matrix.
+  CostMatrixView view() const {
+    return CostMatrixView(data_.data(), rows_, cols_);
+  }
+
+  /// Gathered view of the given rows (e.g. a co-run group's members in
+  /// the full program table). `ptr_storage` receives the row pointers and
+  /// must outlive the returned view; it is resized to `count`.
+  template <typename Index>
+  CostMatrixView gather(const Index* members, std::size_t count,
+                        std::vector<const double*>& ptr_storage) const {
+    ptr_storage.resize(count);
+    for (std::size_t i = 0; i < count; ++i)
+      ptr_storage[i] = row(static_cast<std::size_t>(members[i]));
+    return CostMatrixView(ptr_storage.data(), count, cols_);
+  }
+
+ private:
+  std::vector<double> data_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Non-owning adapter from legacy nested rows to a gathered view; owns
+/// only the row-pointer array. Lets vector<vector<double>> call sites use
+/// the view-based optimizers with zero copies while they migrate.
+class NestedCostAdapter {
+ public:
+  explicit NestedCostAdapter(const std::vector<std::vector<double>>& rows);
+  CostMatrixView view() const {
+    return CostMatrixView(ptrs_.data(), ptrs_.size(), cols_);
+  }
+
+ private:
+  std::vector<const double*> ptrs_;
+  std::size_t cols_ = 0;
+};
+
+/// Cost curves cost_i(c) = weight_i * mr_i(c) in flat storage. With
+/// weight_i = access-rate share this makes Σ cost the group miss ratio
+/// (Eq. 14's f_i weighting). Flat replacement for weighted_cost_curves.
+CostMatrix weighted_cost_matrix(
+    const std::vector<const MissRatioCurve*>& mrcs,
+    const std::vector<double>& weights, std::size_t capacity);
+
+}  // namespace ocps

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "combinatorics/enumerate.hpp"
 #include "obs/obs.hpp"
@@ -14,40 +15,30 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-struct Bounds {
-  std::vector<std::size_t> lo;
-  std::vector<std::size_t> hi;
-};
-
-Bounds resolve_bounds(std::size_t programs, std::size_t capacity,
-                      const DpOptions& options) {
-  Bounds b;
-  b.lo.assign(programs, 0);
-  b.hi.assign(programs, capacity);
+// Resolves DpOptions bounds into scratch.lo / scratch.hi.
+void resolve_bounds(std::size_t programs, std::size_t capacity,
+                    const DpOptions& options, DpScratch& scratch) {
+  scratch.lo.assign(programs, 0);
+  scratch.hi.assign(programs, capacity);
   if (!options.min_alloc.empty()) {
     OCPS_CHECK(options.min_alloc.size() == programs,
                "min_alloc size mismatch");
-    b.lo = options.min_alloc;
+    scratch.lo.assign(options.min_alloc.begin(), options.min_alloc.end());
   }
   if (!options.max_alloc.empty()) {
     OCPS_CHECK(options.max_alloc.size() == programs,
                "max_alloc size mismatch");
-    b.hi = options.max_alloc;
+    scratch.hi.assign(options.max_alloc.begin(), options.max_alloc.end());
   }
   // Infeasible bounds (lo > hi, or Σlo > capacity) are reported by the
   // optimizers via feasible == false rather than rejected here.
   for (std::size_t i = 0; i < programs; ++i)
-    b.hi[i] = std::min(b.hi[i], capacity);
-  return b;
-}
-
-double combine(DpObjective obj, double a, double b) {
-  return obj == DpObjective::kSumCost ? a + b : std::max(a, b);
+    scratch.hi[i] = std::min(scratch.hi[i], capacity);
 }
 
 // Emits the DP's span and metrics on every exit path: solve latency
 // histogram, cell-evaluation and solve counters, and the table size the
-// solve allocated. Inert (one branch) when observability is off.
+// solve uses. Inert (one branch) when observability is off.
 struct DpObsRecorder {
   obs::ScopedSpan span{"dp.optimize", "core"};
   std::uint64_t cells = 0;
@@ -63,76 +54,156 @@ struct DpObsRecorder {
   }
 };
 
-}  // namespace
-
-DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
-                            std::size_t capacity, const DpOptions& options) {
-  const std::size_t p = cost.size();
+void validate_costs(CostMatrixView cost, std::size_t capacity) {
+  const std::size_t p = cost.rows();
   OCPS_CHECK(p >= 1, "need at least one program");
-  DpObsRecorder obs_rec;
+  OCPS_CHECK(cost.cols() >= capacity + 1,
+             "cost curves shorter than capacity+1");
   for (std::size_t i = 0; i < p; ++i) {
-    OCPS_CHECK(cost[i].size() >= capacity + 1,
-               "cost curve " << i << " shorter than capacity+1");
+    const double* row = cost.row(i);
     // NaN/inf in a cost curve would silently corrupt the min-reduction;
     // fail loudly instead.
     for (std::size_t c = 0; c <= capacity; ++c)
-      OCPS_CHECK(std::isfinite(cost[i][c]),
+      OCPS_CHECK(std::isfinite(row[c]),
                  "non-finite cost at program " << i << ", c=" << c);
   }
-  Bounds bounds = resolve_bounds(p, capacity, options);
+}
 
-  // best[k] = optimal objective over the first i programs using exactly k
-  // units; choice[i][k] = units given to program i in that optimum.
-  std::vector<double> best(capacity + 1, kInf);
-  std::vector<double> next(capacity + 1, kInf);
-  // choice is (p × capacity+1); uint32 keeps it compact (4·P·C bytes).
-  std::vector<std::vector<std::uint32_t>> choice(
-      p, std::vector<std::uint32_t>(capacity + 1, 0));
-  obs_rec.table_bytes =
-      (capacity + 1) * (p * sizeof(std::uint32_t) + 2 * sizeof(double));
+}  // namespace
 
-  // Base: zero programs consume zero units at zero cost (identity of both
-  // objectives: 0 for sum; -inf would be the true identity for max but 0
-  // works because costs are non-negative).
-  best.assign(capacity + 1, kInf);
-  best[0] = 0.0;
+void DpScratch::reserve(std::size_t programs, std::size_t capacity) {
+  const std::size_t cols = capacity + 1;
+  bool grew = best.capacity() < cols || next.capacity() < cols ||
+              choice.capacity() < programs * cols ||
+              row_ptrs.capacity() < programs;
+  if (grew) {
+    ++grow_events;
+    OCPS_OBS_COUNT("dp.scratch_grow", 1);
+  }
+  best.resize(cols);
+  next.resize(cols);
+  choice.resize(programs * cols);
+  if (row_ptrs.capacity() < programs) row_ptrs.reserve(programs);
+}
 
-  for (std::size_t i = 0; i < p; ++i) {
-    std::fill(next.begin(), next.end(), kInf);
-    const std::size_t lo = bounds.lo[i];
-    const std::size_t hi = bounds.hi[i];
-    if (lo > capacity || lo > hi) {
-      return DpResult{};  // infeasible bounds
+namespace dp_detail {
+
+namespace {
+
+template <DpObjective Obj>
+std::uint64_t forward_layer_impl(const double* cost_row, std::size_t lo,
+                                 std::size_t hi, std::size_t k_begin,
+                                 std::size_t k_end, bool prev_is_base,
+                                 const double* prev, double* next,
+                                 std::uint32_t* choice) {
+  std::uint64_t cells = 0;
+  if (prev_is_base) {
+    // Base layer: prev[j] is finite only at j = 0, so the only candidate
+    // for state k is c = k. Same arithmetic as the general loop (the
+    // combine with prev[0] = 0.0 is kept), O(C) instead of O(C²).
+    for (std::size_t k = std::max(lo, k_begin); k <= k_end && k <= hi;
+         ++k) {
+      next[k] = Obj == DpObjective::kSumCost ? 0.0 + cost_row[k]
+                                             : std::max(0.0, cost_row[k]);
+      choice[k] = static_cast<std::uint32_t>(k);
+      ++cells;
     }
-    for (std::size_t k = lo; k <= capacity; ++k) {
-      const std::size_t c_max = std::min(hi, k);
-      if (c_max >= lo) obs_rec.cells += c_max - lo + 1;
-      double best_val = kInf;
-      std::uint32_t best_c = 0;
+    return cells;
+  }
+  for (std::size_t k = k_begin; k <= k_end; ++k) {
+    const std::size_t c_max = std::min(hi, k);
+    double best_val = kInf;
+    std::uint32_t best_c = 0;
+    if (c_max >= lo) {
+      cells += c_max - lo + 1;
+      const double* prev_at_k = prev + k;
       for (std::size_t c = lo; c <= c_max; ++c) {
-        double prev = best[k - c];
-        if (prev == kInf) continue;
-        double val = combine(options.objective, prev, cost[i][c]);
+        double prev_v = prev_at_k[-static_cast<std::ptrdiff_t>(c)];
+        if (prev_v == kInf) continue;
+        double val = Obj == DpObjective::kSumCost
+                         ? prev_v + cost_row[c]
+                         : std::max(prev_v, cost_row[c]);
         if (val < best_val) {
           best_val = val;
           best_c = static_cast<std::uint32_t>(c);
         }
       }
-      next[k] = best_val;
-      choice[i][k] = best_c;
     }
-    best.swap(next);
+    next[k] = best_val;
+    choice[k] = best_c;
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::uint64_t forward_layer(DpObjective objective, const double* cost_row,
+                            std::size_t lo, std::size_t hi,
+                            std::size_t k_begin, std::size_t k_end,
+                            bool prev_is_base, const double* prev,
+                            double* next, std::uint32_t* choice) {
+  return objective == DpObjective::kSumCost
+             ? forward_layer_impl<DpObjective::kSumCost>(
+                   cost_row, lo, hi, k_begin, k_end, prev_is_base, prev,
+                   next, choice)
+             : forward_layer_impl<DpObjective::kMaxCost>(
+                   cost_row, lo, hi, k_begin, k_end, prev_is_base, prev,
+                   next, choice);
+}
+
+}  // namespace dp_detail
+
+DpResult optimize_partition(CostMatrixView cost, std::size_t capacity,
+                            const DpOptions& options, DpScratch& scratch) {
+  const std::size_t p = cost.rows();
+  DpObsRecorder obs_rec;
+  validate_costs(cost, capacity);
+  resolve_bounds(p, capacity, options, scratch);
+  scratch.reserve(p, capacity);
+  obs_rec.table_bytes =
+      (capacity + 1) * (p * sizeof(std::uint32_t) + 2 * sizeof(double));
+
+  // best[k] = optimal objective over the first i programs using exactly k
+  // units; choice row i holds the units given to program i in that
+  // optimum. The final layer only ever feeds the backtrack at
+  // k = capacity, so it is computed for that single state.
+  std::fill(scratch.best.begin(), scratch.best.begin() + capacity + 1,
+            kInf);
+  scratch.best[0] = 0.0;
+
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t lo = scratch.lo[i];
+    const std::size_t hi = scratch.hi[i];
+    if (lo > capacity || lo > hi) {
+      return DpResult{};  // infeasible bounds
+    }
+    std::uint32_t* choice_row = scratch.choice.data() + i * (capacity + 1);
+    const bool final_layer = (i + 1 == p);
+    const std::size_t k_begin = final_layer ? capacity : lo;
+    if (!final_layer)
+      std::fill(scratch.next.begin(),
+                scratch.next.begin() + capacity + 1, kInf);
+    obs_rec.cells += dp_detail::forward_layer(
+        options.objective, cost.row(i), lo, hi, k_begin, capacity,
+        /*prev_is_base=*/i == 0, scratch.best.data(), scratch.next.data(),
+        choice_row);
+    if (final_layer && i == 0) {
+      // Single-program solve: the base fast path only writes [lo, hi];
+      // state `capacity` may be outside it.
+      if (capacity > hi) scratch.next[capacity] = kInf;
+    }
+    scratch.best.swap(scratch.next);
   }
 
-  if (best[capacity] == kInf) return DpResult{};
+  if (scratch.best[capacity] == kInf) return DpResult{};
 
   DpResult result;
   result.feasible = true;
-  result.objective_value = best[capacity];
+  result.objective_value = scratch.best[capacity];
   result.alloc.assign(p, 0);
   std::size_t k = capacity;
   for (std::size_t i = p; i-- > 0;) {
-    std::size_t c = choice[i][k];
+    std::size_t c = scratch.choice[i * (capacity + 1) + k];
     result.alloc[i] = c;
     OCPS_CHECK(c <= k, "backtrack inconsistency");
     k -= c;
@@ -141,26 +212,32 @@ DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
   return result;
 }
 
-Result<DpResult> try_optimize_partition(
-    const std::vector<std::vector<double>>& cost, std::size_t capacity,
-    const DpOptions& options) {
+DpResult optimize_partition(CostMatrixView cost, std::size_t capacity,
+                            const DpOptions& options) {
+  DpScratch scratch;
+  return optimize_partition(cost, capacity, options, scratch);
+}
+
+Result<DpResult> try_optimize_partition(CostMatrixView cost,
+                                        std::size_t capacity,
+                                        const DpOptions& options) {
   // Validate up front with error values; anything optimize_partition would
   // reject via OCPS_CHECK must be caught here first so the online path
   // never unwinds through the DP.
-  const std::size_t p = cost.size();
+  const std::size_t p = cost.rows();
   auto reject = [](ErrorCode code, std::string message) {
     OCPS_OBS_COUNT("dp.errors", 1);
     return Err(code, std::move(message));
   };
   if (p == 0)
     return reject(ErrorCode::kInvalidArgument, "no cost curves given");
+  if (cost.cols() < capacity + 1)
+    return reject(ErrorCode::kInvalidArgument,
+                  "cost curves shorter than capacity+1");
   for (std::size_t i = 0; i < p; ++i) {
-    if (cost[i].size() < capacity + 1)
-      return reject(ErrorCode::kInvalidArgument,
-                    "cost curve " + std::to_string(i) +
-                        " shorter than capacity+1");
+    const double* row = cost.row(i);
     for (std::size_t c = 0; c <= capacity; ++c)
-      if (!std::isfinite(cost[i][c]))
+      if (!std::isfinite(row[c]))
         return reject(ErrorCode::kCorruptData,
                       "non-finite cost at program " + std::to_string(i) +
                           ", c=" + std::to_string(c));
@@ -186,12 +263,13 @@ Result<DpResult> try_optimize_partition(
   return Ok(std::move(result));
 }
 
-DpResult optimize_partition_exhaustive(
-    const std::vector<std::vector<double>>& cost, std::size_t capacity,
-    const DpOptions& options) {
-  const std::size_t p = cost.size();
+DpResult optimize_partition_exhaustive(CostMatrixView cost,
+                                       std::size_t capacity,
+                                       const DpOptions& options) {
+  const std::size_t p = cost.rows();
   OCPS_CHECK(p >= 1, "need at least one program");
-  Bounds bounds = resolve_bounds(p, capacity, options);
+  DpScratch scratch;
+  resolve_bounds(p, capacity, options, scratch);
 
   DpResult best;
   best.objective_value = kInf;
@@ -203,13 +281,13 @@ DpResult optimize_partition_exhaustive(
         bool ok = true;
         for (std::size_t i = 0; i < p; ++i) {
           std::size_t c = alloc[i];
-          if (c < bounds.lo[i] || c > bounds.hi[i]) {
+          if (c < scratch.lo[i] || c > scratch.hi[i]) {
             ok = false;
             break;
           }
           value = (options.objective == DpObjective::kSumCost)
-                      ? value + cost[i][c]
-                      : std::max(value, cost[i][c]);
+                      ? value + cost(i, c)
+                      : std::max(value, cost(i, c));
         }
         if (ok && value < best.objective_value) {
           best.feasible = true;
@@ -220,6 +298,52 @@ DpResult optimize_partition_exhaustive(
       });
   if (!best.feasible) best.objective_value = 0.0;
   return best;
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated nested-vector shims.
+
+namespace {
+
+// Replicates the seed's per-row size error messages before viewing.
+void check_nested_rows(const std::vector<std::vector<double>>& cost,
+                       std::size_t capacity) {
+  for (std::size_t i = 0; i < cost.size(); ++i)
+    OCPS_CHECK(cost[i].size() >= capacity + 1,
+               "cost curve " << i << " shorter than capacity+1");
+}
+
+}  // namespace
+
+DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
+                            std::size_t capacity, const DpOptions& options) {
+  OCPS_CHECK(!cost.empty(), "need at least one program");
+  check_nested_rows(cost, capacity);
+  NestedCostAdapter adapter(cost);
+  return optimize_partition(adapter.view(), capacity, options);
+}
+
+Result<DpResult> try_optimize_partition(
+    const std::vector<std::vector<double>>& cost, std::size_t capacity,
+    const DpOptions& options) {
+  if (cost.empty())
+    return Err(ErrorCode::kInvalidArgument, "no cost curves given");
+  for (std::size_t i = 0; i < cost.size(); ++i)
+    if (cost[i].size() < capacity + 1)
+      return Err(ErrorCode::kInvalidArgument,
+                 "cost curve " + std::to_string(i) +
+                     " shorter than capacity+1");
+  NestedCostAdapter adapter(cost);
+  return try_optimize_partition(adapter.view(), capacity, options);
+}
+
+DpResult optimize_partition_exhaustive(
+    const std::vector<std::vector<double>>& cost, std::size_t capacity,
+    const DpOptions& options) {
+  OCPS_CHECK(!cost.empty(), "need at least one program");
+  check_nested_rows(cost, capacity);
+  NestedCostAdapter adapter(cost);
+  return optimize_partition_exhaustive(adapter.view(), capacity, options);
 }
 
 std::vector<std::vector<double>> weighted_cost_curves(

@@ -13,11 +13,19 @@
 // Per-program allocation bounds [min_alloc_i, max_alloc_i] express the
 // baseline-fairness constraints of §VI (see baselines.hpp) and any QoS
 // floor a caller wants.
+//
+// Cost curves are passed as a CostMatrixView (core/cost_matrix.hpp); the
+// nested-vector overloads are deprecated shims. Repeated solvers (the
+// group sweep, the online controller) pass a DpScratch so the DP table
+// never reallocates between solves; core/batch_engine.hpp additionally
+// shares DP layers between solves whose program prefixes match.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/cost_matrix.hpp"
 #include "locality/mrc.hpp"
 #include "util/result.hpp"
 
@@ -43,12 +51,34 @@ struct DpResult {
   double objective_value = 0.0;
 };
 
-/// Runs the DP. cost[i] must have size >= capacity+1; cost[i][c] is the
-/// cost of giving program i exactly c units. Throws CheckError on malformed
-/// input; returns feasible == false when the bounds admit no allocation.
-DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
-                            std::size_t capacity,
+/// Reusable solver arena: the DP table buffers, grown on demand and never
+/// shrunk, so back-to-back solves of the same shape do zero heap
+/// allocation in the hot loop. grow_events counts reallocation episodes
+/// (mirrored in obs counter `dp.scratch_grow`): in a steady-state sweep
+/// it stops increasing after the first solve per thread.
+struct DpScratch {
+  std::vector<double> best;
+  std::vector<double> next;
+  std::vector<std::uint32_t> choice;  ///< flat programs × (capacity+1)
+  std::vector<std::size_t> lo;
+  std::vector<std::size_t> hi;
+  std::vector<const double*> row_ptrs;  ///< for gathered views
+  std::uint64_t grow_events = 0;
+
+  /// Ensures capacity for a (programs, capacity) solve.
+  void reserve(std::size_t programs, std::size_t capacity);
+};
+
+/// Runs the DP. cost must have rows >= 1 and cols >= capacity+1;
+/// cost(i, c) is the cost of giving program i exactly c units. Throws
+/// CheckError on malformed input; returns feasible == false when the
+/// bounds admit no allocation.
+DpResult optimize_partition(CostMatrixView cost, std::size_t capacity,
                             const DpOptions& options = {});
+
+/// Same, with caller-owned scratch (no table allocation once warm).
+DpResult optimize_partition(CostMatrixView cost, std::size_t capacity,
+                            const DpOptions& options, DpScratch& scratch);
 
 /// Guarded entry point for the runtime path. Same optimization as
 /// optimize_partition, but every failure mode — malformed cost curves
@@ -57,21 +87,65 @@ DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
 /// exception, so an online caller can hold its last-good allocation and
 /// keep serving. Offline/batch callers should keep using
 /// optimize_partition, where aborting on bad input is the right policy.
+Result<DpResult> try_optimize_partition(CostMatrixView cost,
+                                        std::size_t capacity,
+                                        const DpOptions& options = {});
+
+/// Exhaustive reference optimizer (enumerates every composition); used as
+/// the test oracle for the DP. Exponential — small instances only.
+DpResult optimize_partition_exhaustive(CostMatrixView cost,
+                                       std::size_t capacity,
+                                       const DpOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Deprecated nested-vector shims (zero-copy: they view the nested rows).
+// Out-of-tree callers should migrate to CostMatrix / CostMatrixView; these
+// overloads will be removed two PRs after their introduction (see
+// CHANGES.md).
+
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
+DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
+                            std::size_t capacity,
+                            const DpOptions& options = {});
+
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
 Result<DpResult> try_optimize_partition(
     const std::vector<std::vector<double>>& cost, std::size_t capacity,
     const DpOptions& options = {});
 
-/// Exhaustive reference optimizer (enumerates every composition); used as
-/// the test oracle for the DP. Exponential — small instances only.
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
 DpResult optimize_partition_exhaustive(
     const std::vector<std::vector<double>>& cost, std::size_t capacity,
     const DpOptions& options = {});
 
 /// Convenience: builds cost curves cost_i(c) = weight_i * mr_i(c) from
-/// miss-ratio curves. With weight_i = access-rate share this makes Σ cost
-/// the group miss ratio (Eq. 14's f_i weighting).
+/// miss-ratio curves (nested form).
+[[deprecated("use weighted_cost_matrix (core/cost_matrix.hpp)")]]
 std::vector<std::vector<double>> weighted_cost_curves(
     const std::vector<const MissRatioCurve*>& mrcs,
     const std::vector<double>& weights, std::size_t capacity);
+
+// ---------------------------------------------------------------------------
+// Internal: the forward-layer kernel, shared between the per-solve DP and
+// the prefix-memoized batch engine so both produce bit-identical tables.
+
+namespace dp_detail {
+
+/// Computes next[k] / choice[k] for k in [k_begin, k_end] (inclusive)
+/// from the previous layer: next[k] = min over c in [lo, min(hi, k)] of
+/// combine(prev[k-c], cost_row[c]), ties broken toward the smallest c.
+/// Entries outside [k_begin, k_end] are left untouched (callers pre-fill
+/// with +inf where later layers will read them). When prev_is_base the
+/// previous layer is the DP base (prev[0] = 0, +inf elsewhere) and the
+/// layer collapses to the closed form next[k] = combine(0, cost_row[k])
+/// for k in [lo, hi] — same arithmetic, O(C) instead of O(C²).
+/// Returns the number of (k, c) cells examined (for obs).
+std::uint64_t forward_layer(DpObjective objective, const double* cost_row,
+                            std::size_t lo, std::size_t hi,
+                            std::size_t k_begin, std::size_t k_end,
+                            bool prev_is_base, const double* prev,
+                            double* next, std::uint32_t* choice);
+
+}  // namespace dp_detail
 
 }  // namespace ocps

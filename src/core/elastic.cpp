@@ -6,13 +6,12 @@
 
 namespace ocps {
 
-ElasticResult optimize_elastic(const CoRunGroup& group,
-                               const std::vector<std::vector<double>>& cost,
+ElasticResult optimize_elastic(const CoRunGroup& group, CostMatrixView cost,
                                std::size_t capacity,
                                const std::vector<ElasticDemand>& demands) {
   OCPS_CHECK(demands.size() == group.size(),
              "need one demand per group member");
-  OCPS_CHECK(cost.size() == group.size(), "cost curves must match group");
+  OCPS_CHECK(cost.rows() == group.size(), "cost curves must match group");
 
   ElasticResult out;
   out.reserved.resize(group.size());
@@ -50,6 +49,14 @@ ElasticResult optimize_elastic(const CoRunGroup& group,
   }
   out.group_mr = rate_sum > 0.0 ? weighted / rate_sum : 0.0;
   return out;
+}
+
+ElasticResult optimize_elastic(const CoRunGroup& group,
+                               const std::vector<std::vector<double>>& cost,
+                               std::size_t capacity,
+                               const std::vector<ElasticDemand>& demands) {
+  NestedCostAdapter adapter(cost);
+  return optimize_elastic(group, adapter.view(), capacity, demands);
 }
 
 }  // namespace ocps

@@ -39,6 +39,13 @@ struct ElasticResult {
 /// units needed to meet the miss-ratio ceiling), then optimizes the group
 /// miss ratio over the elastic remainder. Infeasible when reserves exceed
 /// the capacity.
+ElasticResult optimize_elastic(const CoRunGroup& group, CostMatrixView cost,
+                               std::size_t capacity,
+                               const std::vector<ElasticDemand>& demands);
+
+/// Deprecated nested-vector shim; removed two PRs after introduction (see
+/// CHANGES.md).
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
 ElasticResult optimize_elastic(const CoRunGroup& group,
                                const std::vector<std::vector<double>>& cost,
                                std::size_t capacity,

@@ -9,7 +9,11 @@
 //   STTW             classic convex greedy,
 //
 // and summarize improvements in Table I's format. Groups are independent,
-// so the sweep is parallel over groups.
+// so the sweep parallelizes across groups on the persistent thread pool;
+// within each thread, a PrefixDpSolver (core/batch_engine.hpp) shares DP
+// layers between groups with a common member prefix, so the batched sweep
+// is several times faster than per-group evaluation while producing
+// bit-for-bit identical results.
 #pragma once
 
 #include <array>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "core/composition.hpp"
+#include "core/cost_matrix.hpp"
 
 namespace ocps {
 
@@ -52,24 +57,34 @@ struct GroupEvaluation {
 };
 
 /// Sweep knobs.
+///
+/// Thread-count precedence: `threads` > 0 pins the sweep to exactly that
+/// many threads (1 = serial); `threads` == 0 defers to the environment —
+/// OCPS_THREADS if set, hardware concurrency otherwise. Either way the
+/// width is capped by the persistent pool's size, which is fixed from the
+/// environment when the first parallel loop runs.
 struct SweepOptions {
   std::size_t capacity = 1024;  ///< shared cache size in units
-  bool parallel = true;         ///< parallelize across groups
+  std::size_t threads = 0;      ///< sweep width; 0 = auto (see above)
 };
 
-/// Evaluates every method on one group. `unit_costs[i][c]` must hold
+/// Evaluates every method on one group. `unit_costs(i, c)` must hold
 /// access_rate_i * mr_i(c) for every program i in the table (precompute
-/// once with precompute_unit_costs).
-GroupEvaluation evaluate_group(
-    const std::vector<ProgramModel>& programs,
-    const std::vector<std::vector<double>>& unit_costs,
-    const std::vector<std::uint32_t>& members, const SweepOptions& options);
+/// once with precompute_unit_cost_matrix). Batch callers should prefer
+/// sweep_groups, which additionally shares DP work between groups.
+GroupEvaluation evaluate_group(const std::vector<ProgramModel>& programs,
+                               CostMatrixView unit_costs,
+                               const std::vector<std::uint32_t>& members,
+                               const SweepOptions& options);
 
-/// Rate-weighted miss-count cost curves for all programs.
-std::vector<std::vector<double>> precompute_unit_costs(
+/// Rate-weighted miss-count cost curves for all programs, flat storage.
+CostMatrix precompute_unit_cost_matrix(
     const std::vector<ProgramModel>& programs, std::size_t capacity);
 
-/// Runs evaluate_group over every listed group (parallel across groups).
+/// Runs the batched evaluation over every listed group: parallel across
+/// groups, prefix-shared DP within each thread. Results are identical to
+/// calling evaluate_group per group (enumerate groups in lexicographic
+/// member order for the best layer reuse).
 std::vector<GroupEvaluation> sweep_groups(
     const std::vector<ProgramModel>& programs,
     const std::vector<std::vector<std::uint32_t>>& groups,
@@ -86,5 +101,17 @@ struct ImprovementStats {
 };
 ImprovementStats improvement_over(const std::vector<GroupEvaluation>& sweep,
                                   Method baseline);
+
+// Deprecated shims; removed two PRs after introduction (see CHANGES.md).
+
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
+GroupEvaluation evaluate_group(
+    const std::vector<ProgramModel>& programs,
+    const std::vector<std::vector<double>>& unit_costs,
+    const std::vector<std::uint32_t>& members, const SweepOptions& options);
+
+[[deprecated("use precompute_unit_cost_matrix")]]
+std::vector<std::vector<double>> precompute_unit_costs(
+    const std::vector<ProgramModel>& programs, std::size_t capacity);
 
 }  // namespace ocps

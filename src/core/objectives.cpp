@@ -6,19 +6,18 @@
 namespace ocps {
 
 DpResult optimize_minimax(const CoRunGroup& group, std::size_t capacity) {
-  std::vector<std::vector<double>> cost(group.size());
+  CostMatrix cost(group.size(), capacity);
   for (std::size_t i = 0; i < group.size(); ++i) {
-    cost[i].resize(capacity + 1);
+    double* row = cost.row(i);
     for (std::size_t c = 0; c <= capacity; ++c)
-      cost[i][c] = group[i].mrc.ratio(c);
+      row[c] = group[i].mrc.ratio(c);
   }
   DpOptions options;
   options.objective = DpObjective::kMaxCost;
-  return optimize_partition(cost, capacity, options);
+  return optimize_partition(cost.view(), capacity, options);
 }
 
-DpResult optimize_with_qos(const CoRunGroup& group,
-                           const std::vector<std::vector<double>>& cost,
+DpResult optimize_with_qos(const CoRunGroup& group, CostMatrixView cost,
                            std::size_t capacity,
                            const std::vector<double>& qos_ceiling) {
   OCPS_CHECK(qos_ceiling.size() == group.size(),
@@ -32,6 +31,14 @@ DpResult optimize_with_qos(const CoRunGroup& group,
     options.min_alloc[i] = need;
   }
   return optimize_partition(cost, capacity, options);
+}
+
+DpResult optimize_with_qos(const CoRunGroup& group,
+                           const std::vector<std::vector<double>>& cost,
+                           std::size_t capacity,
+                           const std::vector<double>& qos_ceiling) {
+  NestedCostAdapter adapter(cost);
+  return optimize_with_qos(group, adapter.view(), capacity, qos_ceiling);
 }
 
 double jain_fairness_vs_equal(const CoRunGroup& group,

@@ -21,6 +21,13 @@ DpResult optimize_minimax(const CoRunGroup& group, std::size_t capacity);
 /// Minimizes Σ rate_i · mr_i(c_i) subject to mr_i(c_i) <= qos_ceiling_i for
 /// every member (per-program QoS guarantees as allocation lower bounds).
 /// Returns feasible == false when a ceiling is unattainable within C.
+DpResult optimize_with_qos(const CoRunGroup& group, CostMatrixView cost,
+                           std::size_t capacity,
+                           const std::vector<double>& qos_ceiling);
+
+/// Deprecated nested-vector shim; removed two PRs after introduction (see
+/// CHANGES.md).
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
 DpResult optimize_with_qos(const CoRunGroup& group,
                            const std::vector<std::vector<double>>& cost,
                            std::size_t capacity,

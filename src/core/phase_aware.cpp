@@ -81,13 +81,13 @@ VariablePhasePlan phase_aware_optimize_at(const VariableEpochProfile& profile,
   plan.alloc_per_epoch.resize(profile.num_epochs());
   for (std::size_t e = 0; e < profile.num_epochs(); ++e) {
     const auto& models = profile.epoch_models[e];
-    std::vector<std::vector<double>> cost(models.size());
+    CostMatrix cost(models.size(), capacity);
     for (std::size_t p = 0; p < models.size(); ++p) {
-      cost[p].resize(capacity + 1);
+      double* row = cost.row(p);
       for (std::size_t c = 0; c <= capacity; ++c)
-        cost[p][c] = models[p].access_rate * models[p].mrc.ratio(c);
+        row[c] = models[p].access_rate * models[p].mrc.ratio(c);
     }
-    DpResult dp = optimize_partition(cost, capacity);
+    DpResult dp = optimize_partition(cost.view(), capacity);
     OCPS_CHECK(dp.feasible, "per-epoch DP must be feasible");
     plan.alloc_per_epoch[e] = dp.alloc;
   }
@@ -145,15 +145,15 @@ PhaseAwarePlan phase_aware_optimize(const EpochProfile& profile,
   double mr_sum = 0.0;
   for (std::size_t e = 0; e < profile.num_epochs(); ++e) {
     const auto& models = profile.epoch_models[e];
-    std::vector<std::vector<double>> cost(models.size());
+    CostMatrix cost(models.size(), capacity);
     double rate_sum = 0.0;
     for (std::size_t p = 0; p < models.size(); ++p) {
       rate_sum += models[p].access_rate;
-      cost[p].resize(capacity + 1);
+      double* row = cost.row(p);
       for (std::size_t c = 0; c <= capacity; ++c)
-        cost[p][c] = models[p].access_rate * models[p].mrc.ratio(c);
+        row[c] = models[p].access_rate * models[p].mrc.ratio(c);
     }
-    DpResult dp = optimize_partition(cost, capacity);
+    DpResult dp = optimize_partition(cost.view(), capacity);
     OCPS_CHECK(dp.feasible, "per-epoch DP must be feasible");
     plan.alloc_per_epoch[e] = dp.alloc;
     mr_sum += dp.objective_value / rate_sum;

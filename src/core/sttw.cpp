@@ -45,20 +45,19 @@ std::vector<double> convex_minorant(const std::vector<double>& cost) {
 
 }  // namespace
 
-SttwResult sttw_partition(const std::vector<std::vector<double>>& cost,
-                          std::size_t capacity, SttwVariant variant) {
-  const std::size_t p = cost.size();
+SttwResult sttw_partition(CostMatrixView cost, std::size_t capacity,
+                          SttwVariant variant) {
+  const std::size_t p = cost.rows();
   OCPS_CHECK(p >= 1, "need at least one program");
-  for (std::size_t i = 0; i < p; ++i)
-    OCPS_CHECK(cost[i].size() >= capacity + 1,
-               "cost curve " << i << " shorter than capacity+1");
+  OCPS_CHECK(cost.cols() >= capacity + 1,
+             "cost curves shorter than capacity+1");
 
   // The curve the greedy believes in: raw (faithful Stone et al.) or the
   // convex minorant (charitable variant).
   std::vector<std::vector<double>> believed(p);
   for (std::size_t i = 0; i < p; ++i) {
-    std::vector<double> window(cost[i].begin(),
-                               cost[i].begin() + capacity + 1);
+    const double* row = cost.row(i);
+    std::vector<double> window(row, row + capacity + 1);
     believed[i] = (variant == SttwVariant::kConvexHull)
                       ? convex_minorant(window)
                       : std::move(window);
@@ -96,10 +95,20 @@ SttwResult sttw_partition(const std::vector<std::vector<double>>& cost,
   SttwResult result;
   result.alloc = std::move(alloc);
   for (std::size_t i = 0; i < p; ++i) {
-    result.objective_value += cost[i][result.alloc[i]];
+    result.objective_value += cost(i, result.alloc[i]);
     result.believed_objective_value += believed[i][result.alloc[i]];
   }
   return result;
+}
+
+SttwResult sttw_partition(const std::vector<std::vector<double>>& cost,
+                          std::size_t capacity, SttwVariant variant) {
+  OCPS_CHECK(!cost.empty(), "need at least one program");
+  for (std::size_t i = 0; i < cost.size(); ++i)
+    OCPS_CHECK(cost[i].size() >= capacity + 1,
+               "cost curve " << i << " shorter than capacity+1");
+  NestedCostAdapter adapter(cost);
+  return sttw_partition(adapter.view(), capacity, variant);
 }
 
 }  // namespace ocps

@@ -40,8 +40,14 @@ struct SttwResult {
 };
 
 /// Runs STTW on cost curves (same convention as optimize_partition:
-/// cost[i][c] for c = 0..capacity; lower is better; typically the
+/// cost(i, c) for c = 0..capacity; lower is better; typically the
 /// rate-weighted miss ratio).
+SttwResult sttw_partition(CostMatrixView cost, std::size_t capacity,
+                          SttwVariant variant = SttwVariant::kLocalDerivative);
+
+/// Deprecated nested-vector shim; removed two PRs after introduction (see
+/// CHANGES.md).
+[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
 SttwResult sttw_partition(const std::vector<std::vector<double>>& cost,
                           std::size_t capacity,
                           SttwVariant variant = SttwVariant::kLocalDerivative);

@@ -1,0 +1,79 @@
+// Umbrella header: the whole public OCPS API in one include.
+//
+//   #include "ocps.hpp"
+//
+// Applications (see examples/) should include only this header; the
+// per-subsystem headers below remain available for builds that want
+// finer-grained dependencies, but their layout is an implementation
+// detail and may shift between releases.
+#pragma once
+
+// Utilities: error checking, Result<T>, RNG, config, stats, tables,
+// and the persistent thread pool behind every parallel loop.
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/config.hpp"
+#include "util/curve.hpp"
+#include "util/parallel.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+// Observability: metrics registry, trace spans, profiling hooks.
+#include "obs/obs.hpp"
+
+// Traces and synthetic workload generators.
+#include "trace/generators.hpp"
+#include "trace/interleave.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+// Locality theory: reuse distance, footprint, MRC and friends.
+#include "locality/crd.hpp"
+#include "locality/footprint.hpp"
+#include "locality/footprint_io.hpp"
+#include "locality/hotl.hpp"
+#include "locality/mrc.hpp"
+#include "locality/phases.hpp"
+#include "locality/reuse_distance.hpp"
+#include "locality/reuse_time.hpp"
+#include "locality/sampling.hpp"
+#include "locality/sanitize.hpp"
+#include "locality/shards.hpp"
+
+// Combinatorics of groups and schemes.
+#include "combinatorics/counting.hpp"
+#include "combinatorics/enumerate.hpp"
+
+// Core optimizers: cost matrices, the DP, baselines, comparators, the
+// batched group-sweep engine, and the paper's extensions.
+#include "core/baselines.hpp"
+#include "core/batch_engine.hpp"
+#include "core/composition.hpp"
+#include "core/cost_matrix.hpp"
+#include "core/dp_partition.hpp"
+#include "core/elastic.hpp"
+#include "core/group_sweep.hpp"
+#include "core/objectives.hpp"
+#include "core/partition_sharing.hpp"
+#include "core/performance.hpp"
+#include "core/phase_aware.hpp"
+#include "core/program_model.hpp"
+#include "core/sttw.hpp"
+#include "core/suh.hpp"
+
+// Cache simulators for validation.
+#include "cachesim/belady.hpp"
+#include "cachesim/corun.hpp"
+#include "cachesim/lru.hpp"
+#include "cachesim/policies.hpp"
+#include "cachesim/set_assoc.hpp"
+#include "cachesim/way_partitioned.hpp"
+
+// Scheduling, online control, and workload suites.
+#include "runtime/controller.hpp"
+#include "runtime/fault_injection.hpp"
+#include "sched/symbiosis.hpp"
+#include "workloads/spec_like.hpp"
+#include "workloads/suite.hpp"

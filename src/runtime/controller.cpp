@@ -109,8 +109,7 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
     profilers.emplace_back(config.sampling_rate,
                            config.sampling_seed + i * 1315423911ULL);
 
-  std::vector<std::vector<double>> ewma_cost(
-      p, std::vector<double>(config.capacity + 1, 0.0));
+  CostMatrix ewma_cost(p, config.capacity);
   // A program with no valid estimate yet has a meaningless cost row; the
   // DP only runs once every program has reported at least once.
   std::vector<bool> have_estimate(p, false);
@@ -127,7 +126,8 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
     alloc = equal;
     for (std::size_t i = 0; i < p; ++i) {
       partitions[i].set_capacity(alloc[i]);
-      std::fill(ewma_cost[i].begin(), ewma_cost[i].end(), 0.0);
+      double* row = ewma_cost.row(i);
+      std::fill(row, row + config.capacity + 1, 0.0);
       have_estimate[i] = false;
     }
   };
@@ -183,13 +183,13 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
           }
         }
         if (usable[i]) {
+          double* row = ewma_cost.row(i);
           for (std::size_t c = 0; c <= config.capacity; ++c) {
             double fresh = weight * mrc.ratio(c);
-            ewma_cost[i][c] = have_estimate[i]
-                                  ? config.ewma_alpha * fresh +
-                                        (1.0 - config.ewma_alpha) *
-                                            ewma_cost[i][c]
-                                  : fresh;
+            row[c] = have_estimate[i]
+                         ? config.ewma_alpha * fresh +
+                               (1.0 - config.ewma_alpha) * row[c]
+                         : fresh;
           }
           have_estimate[i] = true;
         } else {
@@ -223,7 +223,8 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
         DpOptions options;
         if (config.min_units > 0)
           options.min_alloc.assign(p, config.min_units);
-        return try_optimize_partition(ewma_cost, config.capacity, options);
+        return try_optimize_partition(ewma_cost.view(), config.capacity,
+                                      options);
       }();
       if (dp.ok()) {
         obs::ScopedSpan span("apply", "controller");

@@ -94,17 +94,16 @@ Schedule best_schedule_partitioned(
         double weighted = 0.0, rate_total = 0.0;
         for (std::size_t g = 0; g < groups.size(); ++g) {
           // Optimal intra-cache partition for this cache's residents.
-          std::vector<std::vector<double>> cost;
-          cost.reserve(groups[g].size());
-          for (std::uint32_t member : groups[g]) {
+          CostMatrix cost(groups[g].size(), capacity);
+          for (std::size_t k = 0; k < groups[g].size(); ++k) {
+            std::uint32_t member = groups[g][k];
             s.cache_of[member] = static_cast<std::uint32_t>(g);
-            std::vector<double> row(capacity + 1);
+            double* row = cost.row(k);
             for (std::size_t c = 0; c <= capacity; ++c)
               row[c] = programs[member]->access_rate *
                        programs[member]->mrc.ratio(c);
-            cost.push_back(std::move(row));
           }
-          DpResult dp = optimize_partition(cost, capacity);
+          DpResult dp = optimize_partition(cost.view(), capacity);
           OCPS_CHECK(dp.feasible, "intra-cache DP must be feasible");
           for (std::size_t k = 0; k < groups[g].size(); ++k) {
             std::uint32_t member = groups[g][k];

@@ -1,26 +1,12 @@
 // Shared-memory parallel loops for the evaluation sweeps.
 //
-// The group sweep evaluates 1,820 independent co-run groups; each group's
-// DP is independent, so the sweep is embarrassingly parallel. We implement a
-// chunked parallel_for over an index range with std::thread workers (the
-// OpenMP `parallel for schedule(dynamic)` idiom, without requiring OpenMP).
-// On a single-core host it degrades to a serial loop with no thread spawn.
+// Facade over util/thread_pool: parallel_for keeps its historical
+// free-function shape (dynamic contiguous chunks, first exception
+// rethrown on the caller, serial degradation on one core) but now runs
+// on the persistent work-stealing pool instead of spawning threads per
+// call, and is a template over the callable so per-index dispatch
+// inlines. See thread_pool.hpp for the pool itself, per-thread-state
+// loops (parallel_for_with), and the OCPS_THREADS contract.
 #pragma once
 
-#include <cstddef>
-#include <functional>
-
-namespace ocps {
-
-/// Number of worker threads used by parallel_for: hardware_concurrency,
-/// overridable with OCPS_THREADS.
-std::size_t parallel_thread_count();
-
-/// Runs fn(i) for every i in [begin, end), distributing dynamically-sized
-/// chunks across worker threads. fn must be safe to call concurrently for
-/// distinct i. Exceptions thrown by fn are captured and the first one is
-/// rethrown on the calling thread after all workers join.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn);
-
-}  // namespace ocps
+#include "util/thread_pool.hpp"

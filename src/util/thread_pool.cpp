@@ -1,0 +1,132 @@
+#include "util/thread_pool.hpp"
+
+#include "obs/obs.hpp"
+#include "util/config.hpp"
+
+namespace ocps {
+
+std::size_t parallel_thread_count() {
+  std::int64_t forced = env_int("OCPS_THREADS", 0);
+  if (forced > 0) return static_cast<std::size_t>(forced);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  OCPS_OBS_GAUGE("pool.threads", workers + 1);  // + the calling thread
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(parallel_thread_count() > 0
+                             ? parallel_thread_count() - 1
+                             : 0);
+  return pool;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    depth += q->jobs.size();
+  }
+  return depth;
+}
+
+bool ThreadPool::submit(Job job) {
+  if (queues_.empty()) return false;
+  std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->jobs.push_back(job);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  OCPS_OBS_GAUGE("pool.queue_depth",
+                 pending_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+  return true;
+}
+
+std::size_t ThreadPool::cancel(void* ctx) {
+  std::size_t removed = 0;
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    for (auto it = q->jobs.begin(); it != q->jobs.end();) {
+      if (it->ctx == ctx) {
+        it = q->jobs.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (removed > 0) pending_.fetch_sub(removed, std::memory_order_release);
+  return removed;
+}
+
+bool ThreadPool::try_pop(std::size_t self, Job& out) {
+  // Own queue first, newest job (LIFO: best locality for nested loops)...
+  {
+    auto& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.jobs.empty()) {
+      out = q.jobs.back();
+      q.jobs.pop_back();
+      pending_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  // ... then steal the oldest job from the other queues (FIFO end), which
+  // tends to grab whole loops rather than their tails.
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    auto& q = *queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.jobs.empty()) {
+      out = q.jobs.front();
+      q.jobs.pop_front();
+      pending_.fetch_sub(1, std::memory_order_release);
+      OCPS_OBS_COUNT("pool.jobs_stolen", 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Job job;
+    if (try_pop(self, job)) {
+      job.run(job.ctx);
+      OCPS_OBS_COUNT("pool.jobs_executed", 1);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+}  // namespace ocps

@@ -1,0 +1,129 @@
+// Golden equivalence for the batched evaluation engine: the prefix-shared
+// batched sweep must be bit-for-bit identical to independent per-group
+// evaluation, for all six methods, across every C(16,4) = 1820 group of
+// the Table I-style synthetic suite (at reduced capacity so the test
+// stays fast).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "combinatorics/enumerate.hpp"
+#include "core/batch_engine.hpp"
+#include "core/group_sweep.hpp"
+#include "trace/generators.hpp"
+
+namespace ocps {
+namespace {
+
+std::vector<ProgramModel> make_suite(std::size_t capacity) {
+  std::vector<ProgramModel> models;
+  const std::size_t n = 30000;
+  for (int i = 0; i < 16; ++i) {
+    Trace t;
+    std::string name = "p" + std::to_string(i);
+    switch (i % 4) {
+      case 0: t = make_zipf(n, 40 + 11 * i, 0.8 + 0.05 * i, 100 + i); break;
+      case 1: t = make_cyclic(n, 24 + 9 * i); break;
+      case 2: t = make_hot_cold(n, 6 + i, 60 + 13 * i, 0.8, 200 + i); break;
+      default: t = make_sawtooth(n, 30 + 7 * i); break;
+    }
+    models.push_back(make_program_model(name, 0.5 + 0.1 * i,
+                                        compute_footprint(t), capacity + 16));
+  }
+  return models;
+}
+
+// Bitwise equality: batched evaluation must not perturb even the last ulp
+// (NaNs would also compare equal, unlike ==).
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool same_vector_bits(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!same_bits(a[i], b[i])) return false;
+  return true;
+}
+
+void expect_identical(const GroupEvaluation& a, const GroupEvaluation& b) {
+  ASSERT_EQ(a.members, b.members);
+  for (std::size_t m = 0; m < kNumMethods; ++m) {
+    const MethodOutcome& x = a.methods[m];
+    const MethodOutcome& y = b.methods[m];
+    EXPECT_TRUE(same_vector_bits(x.alloc, y.alloc))
+        << method_name(static_cast<Method>(m)) << " alloc differs";
+    EXPECT_TRUE(same_vector_bits(x.per_program_mr, y.per_program_mr))
+        << method_name(static_cast<Method>(m)) << " per_program_mr differs";
+    EXPECT_TRUE(same_bits(x.group_mr, y.group_mr))
+        << method_name(static_cast<Method>(m)) << " group_mr differs";
+  }
+}
+
+TEST(BatchSweep, BitForBitIdenticalToPerGroupEvaluation) {
+  const std::size_t capacity = 64;
+  auto models = make_suite(capacity);
+  auto groups = all_subsets(16, 4);
+  ASSERT_EQ(groups.size(), 1820u);
+
+  SweepOptions opt;
+  opt.capacity = capacity;
+  auto batched = sweep_groups(models, groups, opt);
+  ASSERT_EQ(batched.size(), groups.size());
+
+  CostMatrix unit_costs = precompute_unit_cost_matrix(models, capacity);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    GroupEvaluation per_group =
+        evaluate_group(models, unit_costs.view(), groups[g], opt);
+    expect_identical(batched[g], per_group);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first divergence at group " << g;
+    }
+  }
+}
+
+TEST(BatchSweep, SerialAndAutoWidthProduceIdenticalResults) {
+  const std::size_t capacity = 48;
+  auto models = make_suite(capacity);
+  auto groups = all_subsets(16, 3);  // 560 groups
+
+  SweepOptions serial, wide;
+  serial.capacity = wide.capacity = capacity;
+  serial.threads = 1;
+  wide.threads = 4;  // capped by the pool; exercises chunked scheduling
+  auto a = sweep_groups(models, groups, serial);
+  auto b = sweep_groups(models, groups, wide);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t g = 0; g < a.size(); ++g) expect_identical(a[g], b[g]);
+}
+
+TEST(BatchSweep, PrefixSolverSharesLayersAcrossLexOrderedGroups) {
+  const std::size_t capacity = 32;
+  auto models = make_suite(capacity);
+  CostMatrix unit_costs = precompute_unit_cost_matrix(models, capacity);
+
+  PrefixDpSolver solver;
+  solver.configure(unit_costs.view(), capacity, DpObjective::kSumCost);
+  auto groups = all_subsets(16, 4);
+  std::vector<std::size_t> lo(4, 0);
+  DpResult out;
+  for (const auto& members : groups) {
+    solver.solve(members.data(), members.size(), lo.data(), out);
+    ASSERT_TRUE(out.feasible);
+  }
+  const PrefixDpSolver::Stats& stats = solver.stats();
+  EXPECT_EQ(stats.solves, groups.size());
+  // Lexicographic enumeration shares the first three of four layers
+  // whenever consecutive groups agree on a member prefix. The distinct
+  // prefixes of ascending 4-subsets of 16: 13 of length 1 (m0 <= 12),
+  // C(14,2) = 91 of length 2, C(15,3) = 455 of length 3 — plus one
+  // uncached final layer per group.
+  const std::size_t expected_layers = 13 + 91 + 455 + 1820;
+  EXPECT_EQ(stats.layers_computed, expected_layers);
+  EXPECT_EQ(stats.layers_reused,
+            groups.size() * 4 - expected_layers);
+}
+
+}  // namespace
+}  // namespace ocps

@@ -38,14 +38,14 @@ struct Fixture {
         {&models[0], &models[1], &models[2], &models[3]});
   }
 
-  std::vector<std::vector<double>> costs() const {
+  CostMatrix costs() const {
     std::vector<const MissRatioCurve*> curves;
     std::vector<double> weights;
     for (const auto& m : models) {
       curves.push_back(&m.mrc);
       weights.push_back(m.access_rate);
     }
-    return weighted_cost_curves(curves, weights, capacity);
+    return weighted_cost_matrix(curves, weights, capacity);
   }
 };
 
@@ -77,8 +77,8 @@ TEST(BaselineMinAllocs, ThresholdsAreSufficientAndTight) {
 TEST(BaselineOpt, EqualBaselineNeverHurtsAnyone) {
   Fixture f;
   CoRunGroup g = f.group();
-  auto cost = f.costs();
-  DpResult r = optimize_equal_baseline(g, cost, f.capacity);
+  CostMatrix cost = f.costs();
+  DpResult r = optimize_equal_baseline(g, cost.view(), f.capacity);
   ASSERT_TRUE(r.feasible);
   auto equal = equal_partition(4, f.capacity);
   for (std::size_t i = 0; i < 4; ++i)
@@ -90,8 +90,8 @@ TEST(BaselineOpt, EqualBaselineNeverHurtsAnyone) {
 TEST(BaselineOpt, NaturalBaselineNeverHurtsAnyone) {
   Fixture f;
   CoRunGroup g = f.group();
-  auto cost = f.costs();
-  DpResult r = optimize_natural_baseline(g, cost, f.capacity);
+  CostMatrix cost = f.costs();
+  DpResult r = optimize_natural_baseline(g, cost.view(), f.capacity);
   ASSERT_TRUE(r.feasible);
   auto natural = natural_partition(g, static_cast<double>(f.capacity));
   for (std::size_t i = 0; i < 4; ++i)
@@ -103,14 +103,14 @@ TEST(BaselineOpt, NaturalBaselineNeverHurtsAnyone) {
 TEST(BaselineOpt, ConstrainedBetweenBaselineAndOptimal) {
   Fixture f;
   CoRunGroup g = f.group();
-  auto cost = f.costs();
+  CostMatrix cost = f.costs();
 
-  DpResult optimal = optimize_partition(cost, f.capacity);
-  DpResult eq_base = optimize_equal_baseline(g, cost, f.capacity);
+  DpResult optimal = optimize_partition(cost.view(), f.capacity);
+  DpResult eq_base = optimize_equal_baseline(g, cost.view(), f.capacity);
 
   auto equal = equal_partition(4, f.capacity);
   double equal_cost = 0.0;
-  for (std::size_t i = 0; i < 4; ++i) equal_cost += cost[i][equal[i]];
+  for (std::size_t i = 0; i < 4; ++i) equal_cost += cost(i, equal[i]);
 
   // Optimal <= constrained <= plain-baseline cost.
   EXPECT_LE(optimal.objective_value, eq_base.objective_value + 1e-12);
@@ -137,11 +137,11 @@ TEST(BaselineOpt, OrderingHoldsAcrossRandomGroups) {
       curves.push_back(&m.mrc);
       weights.push_back(m.access_rate);
     }
-    auto cost = weighted_cost_curves(curves, weights, cap);
+    CostMatrix cost = weighted_cost_matrix(curves, weights, cap);
 
-    DpResult optimal = optimize_partition(cost, cap);
-    DpResult nat_base = optimize_natural_baseline(g, cost, cap);
-    DpResult eq_base = optimize_equal_baseline(g, cost, cap);
+    DpResult optimal = optimize_partition(cost.view(), cap);
+    DpResult nat_base = optimize_natural_baseline(g, cost.view(), cap);
+    DpResult eq_base = optimize_equal_baseline(g, cost.view(), cap);
     ASSERT_TRUE(optimal.feasible);
     ASSERT_TRUE(nat_base.feasible);
     ASSERT_TRUE(eq_base.feasible);
@@ -153,8 +153,8 @@ TEST(BaselineOpt, OrderingHoldsAcrossRandomGroups) {
 TEST(Objectives, MinimaxNeverWorseThanSumOnWorstMember) {
   Fixture f;
   CoRunGroup g = f.group();
-  auto cost = f.costs();
-  DpResult sum_opt = optimize_partition(cost, f.capacity);
+  CostMatrix cost = f.costs();
+  DpResult sum_opt = optimize_partition(cost.view(), f.capacity);
   DpResult minimax = optimize_minimax(g, f.capacity);
   ASSERT_TRUE(minimax.feasible);
   auto worst = [&](const std::vector<std::size_t>& alloc) {
@@ -169,12 +169,12 @@ TEST(Objectives, MinimaxNeverWorseThanSumOnWorstMember) {
 TEST(Objectives, QosFloorsRespected) {
   Fixture f;
   CoRunGroup g = f.group();
-  auto cost = f.costs();
+  CostMatrix cost = f.costs();
   // Demand each program do at least as well as with a third of the cache.
   std::vector<double> ceilings;
   for (std::size_t i = 0; i < 4; ++i)
     ceilings.push_back(g[i].mrc.ratio(f.capacity / 3));
-  DpResult r = optimize_with_qos(g, cost, f.capacity, ceilings);
+  DpResult r = optimize_with_qos(g, cost.view(), f.capacity, ceilings);
   if (r.feasible) {
     for (std::size_t i = 0; i < 4; ++i)
       EXPECT_LE(g[i].mrc.ratio(r.alloc[i]), ceilings[i] + 1e-9);
@@ -184,9 +184,9 @@ TEST(Objectives, QosFloorsRespected) {
 TEST(Objectives, QosUnattainableReportsInfeasible) {
   Fixture f;
   CoRunGroup g = f.group();
-  auto cost = f.costs();
+  CostMatrix cost = f.costs();
   std::vector<double> impossible(4, -1.0);  // below any achievable ratio
-  DpResult r = optimize_with_qos(g, cost, f.capacity, impossible);
+  DpResult r = optimize_with_qos(g, cost.view(), f.capacity, impossible);
   EXPECT_FALSE(r.feasible);
 }
 

@@ -23,16 +23,29 @@ std::vector<double> random_cost_curve(Rng& rng, std::size_t capacity,
   return cost;
 }
 
-double sum_cost(const std::vector<std::vector<double>>& cost,
-                const std::vector<std::size_t>& alloc) {
+CostMatrix random_cost_matrix(Rng& rng, std::size_t programs,
+                              std::size_t capacity, bool with_cliffs) {
+  CostMatrix cost(programs, capacity);
+  for (std::size_t i = 0; i < programs; ++i) {
+    auto row = random_cost_curve(rng, capacity, with_cliffs);
+    std::copy(row.begin(), row.end(), cost.row(i));
+  }
+  return cost;
+}
+
+CostMatrix make_cost(const std::vector<std::vector<double>>& rows) {
+  return CostMatrix::from_rows(rows, rows.front().size() - 1);
+}
+
+double sum_cost(CostMatrixView cost, const std::vector<std::size_t>& alloc) {
   double s = 0.0;
-  for (std::size_t i = 0; i < cost.size(); ++i) s += cost[i][alloc[i]];
+  for (std::size_t i = 0; i < cost.rows(); ++i) s += cost(i, alloc[i]);
   return s;
 }
 
 TEST(Dp, TrivialSingleProgramTakesWholeCache) {
-  std::vector<std::vector<double>> cost = {{1.0, 0.5, 0.2, 0.1}};
-  DpResult r = optimize_partition(cost, 3);
+  CostMatrix cost = make_cost({{1.0, 0.5, 0.2, 0.1}});
+  DpResult r = optimize_partition(cost.view(), 3);
   ASSERT_TRUE(r.feasible);
   EXPECT_EQ(r.alloc, (std::vector<std::size_t>{3}));
   EXPECT_DOUBLE_EQ(r.objective_value, 0.1);
@@ -40,11 +53,11 @@ TEST(Dp, TrivialSingleProgramTakesWholeCache) {
 
 TEST(Dp, PicksTheCliffOverTheSlope) {
   // Program 0: no benefit from cache. Program 1: cliff at 3.
-  std::vector<std::vector<double>> cost = {
+  CostMatrix cost = make_cost({
       {1.0, 0.99, 0.98, 0.97},
       {1.0, 1.0, 1.0, 0.0},
-  };
-  DpResult r = optimize_partition(cost, 3);
+  });
+  DpResult r = optimize_partition(cost.view(), 3);
   ASSERT_TRUE(r.feasible);
   EXPECT_EQ(r.alloc, (std::vector<std::size_t>{0, 3}));
   EXPECT_DOUBLE_EQ(r.objective_value, 1.0);
@@ -55,14 +68,13 @@ TEST(Dp, AllocationAlwaysSumsToCapacity) {
   for (int trial = 0; trial < 20; ++trial) {
     std::size_t p = 2 + rng.below(4);
     std::size_t cap = 5 + rng.below(30);
-    std::vector<std::vector<double>> cost(p);
-    for (auto& row : cost) row = random_cost_curve(rng, cap, true);
-    DpResult r = optimize_partition(cost, cap);
+    CostMatrix cost = random_cost_matrix(rng, p, cap, true);
+    DpResult r = optimize_partition(cost.view(), cap);
     ASSERT_TRUE(r.feasible);
     std::size_t total = 0;
     for (auto c : r.alloc) total += c;
     EXPECT_EQ(total, cap);
-    EXPECT_NEAR(r.objective_value, sum_cost(cost, r.alloc), 1e-12);
+    EXPECT_NEAR(r.objective_value, sum_cost(cost.view(), r.alloc), 1e-12);
   }
 }
 
@@ -76,13 +88,12 @@ TEST_P(DpOracleProperty, MatchesExhaustiveSearch) {
   Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
   std::size_t p = 2 + rng.below(3);   // 2..4 programs
   std::size_t cap = 4 + rng.below(9); // 4..12 units
-  std::vector<std::vector<double>> cost(p);
-  for (auto& row : cost) row = random_cost_curve(rng, cap, cliffs);
+  CostMatrix cost = random_cost_matrix(rng, p, cap, cliffs);
 
   DpOptions opt;
   opt.objective = objective;
-  DpResult dp = optimize_partition(cost, cap, opt);
-  DpResult brute = optimize_partition_exhaustive(cost, cap, opt);
+  DpResult dp = optimize_partition(cost.view(), cap, opt);
+  DpResult brute = optimize_partition_exhaustive(cost.view(), cap, opt);
   ASSERT_TRUE(dp.feasible);
   ASSERT_TRUE(brute.feasible);
   EXPECT_NEAR(dp.objective_value, brute.objective_value, 1e-12);
@@ -96,60 +107,133 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Dp, RespectsLowerAndUpperBounds) {
   Rng rng(5);
-  std::vector<std::vector<double>> cost(3);
-  for (auto& row : cost) row = random_cost_curve(rng, 12, true);
+  CostMatrix cost = random_cost_matrix(rng, 3, 12, true);
   DpOptions opt;
   opt.min_alloc = {2, 0, 3};
   opt.max_alloc = {5, 4, 12};
-  DpResult r = optimize_partition(cost, 12, opt);
+  DpResult r = optimize_partition(cost.view(), 12, opt);
   ASSERT_TRUE(r.feasible);
   EXPECT_GE(r.alloc[0], 2u);
   EXPECT_LE(r.alloc[0], 5u);
   EXPECT_LE(r.alloc[1], 4u);
   EXPECT_GE(r.alloc[2], 3u);
-  DpResult brute = optimize_partition_exhaustive(cost, 12, opt);
+  DpResult brute = optimize_partition_exhaustive(cost.view(), 12, opt);
   EXPECT_NEAR(r.objective_value, brute.objective_value, 1e-12);
 }
 
 TEST(Dp, ReportsInfeasibleBounds) {
-  std::vector<std::vector<double>> cost = {{1.0, 0.5}, {1.0, 0.5}};
+  CostMatrix cost = make_cost({{1.0, 0.5}, {1.0, 0.5}});
   DpOptions opt;
   opt.min_alloc = {1, 1};  // needs 2 units, capacity is 1
-  DpResult r = optimize_partition(cost, 1, opt);
+  DpResult r = optimize_partition(cost.view(), 1, opt);
   EXPECT_FALSE(r.feasible);
   opt.min_alloc = {2, 0};  // lower bound above capacity
-  EXPECT_FALSE(optimize_partition(cost, 1, opt).feasible);
+  EXPECT_FALSE(optimize_partition(cost.view(), 1, opt).feasible);
+}
+
+TEST(Dp, ScratchReuseMatchesFreshSolves) {
+  // A shared scratch across back-to-back solves of assorted shapes must
+  // not change any result, and must stop growing once warm.
+  Rng rng(17);
+  DpScratch scratch;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t p = 1 + rng.below(4);
+    std::size_t cap = 4 + rng.below(12);
+    CostMatrix cost = random_cost_matrix(rng, p, cap, true);
+    DpResult fresh = optimize_partition(cost.view(), cap);
+    DpResult reused = optimize_partition(cost.view(), cap, {}, scratch);
+    ASSERT_EQ(fresh.feasible, reused.feasible);
+    EXPECT_EQ(fresh.alloc, reused.alloc);
+    EXPECT_EQ(fresh.objective_value, reused.objective_value);
+  }
+  std::uint64_t grown = scratch.grow_events;
+  Rng rng2(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t p = 1 + rng2.below(4);
+    std::size_t cap = 4 + rng2.below(12);
+    CostMatrix cost = random_cost_matrix(rng2, p, cap, true);
+    optimize_partition(cost.view(), cap, {}, scratch);
+  }
+  EXPECT_EQ(scratch.grow_events, grown);  // warm arena: no reallocation
 }
 
 TEST(Dp, MaxObjectiveBalancesWorstCase) {
   // Sum objective starves program 0 (its curve is flat); max objective
   // must not.
-  std::vector<std::vector<double>> cost = {
+  CostMatrix cost = make_cost({
       {0.5, 0.45, 0.4, 0.35, 0.3},
       {1.0, 0.1, 0.05, 0.01, 0.0},
-  };
+  });
   DpOptions max_opt;
   max_opt.objective = DpObjective::kMaxCost;
-  DpResult r = optimize_partition(cost, 4, max_opt);
+  DpResult r = optimize_partition(cost.view(), 4, max_opt);
   ASSERT_TRUE(r.feasible);
   // Giving everything to program 1 leaves max = 0.5; optimum gives program
   // 0 most units: alloc {3,1} -> max(0.35, 0.1) = 0.35.
   EXPECT_NEAR(r.objective_value, 0.35, 1e-12);
 }
 
-TEST(Dp, WeightedCostCurves) {
+TEST(Dp, WeightedCostMatrix) {
   MissRatioCurve a({1.0, 0.5, 0.25}, 100);
   MissRatioCurve b({1.0, 0.8, 0.6}, 100);
-  auto cost = weighted_cost_curves({&a, &b}, {2.0, 1.0}, 2);
-  EXPECT_DOUBLE_EQ(cost[0][1], 1.0);
-  EXPECT_DOUBLE_EQ(cost[1][2], 0.6);
-  EXPECT_THROW(weighted_cost_curves({&a}, {1.0, 2.0}, 2), CheckError);
+  CostMatrix cost = weighted_cost_matrix({&a, &b}, {2.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cost(1, 2), 0.6);
+  EXPECT_THROW(weighted_cost_matrix({&a}, {1.0, 2.0}, 2), CheckError);
 }
 
 TEST(Dp, RejectsShortCostCurves) {
-  std::vector<std::vector<double>> cost = {{1.0, 0.5}};
-  EXPECT_THROW(optimize_partition(cost, 5), CheckError);
+  CostMatrix cost = make_cost({{1.0, 0.5}});
+  EXPECT_THROW(optimize_partition(cost.view(), 5), CheckError);
 }
+
+TEST(Dp, GatheredViewMatchesContiguous) {
+  // A gathered view over out-of-order rows of a bigger table must solve
+  // exactly like a contiguous copy of those rows.
+  Rng rng(71);
+  CostMatrix table = random_cost_matrix(rng, 6, 10, true);
+  std::vector<std::uint32_t> members = {4, 1, 5};
+  std::vector<const double*> ptrs;
+  CostMatrixView gathered = table.gather(members.data(), members.size(), ptrs);
+  CostMatrix copied(members.size(), 10);
+  for (std::size_t i = 0; i < members.size(); ++i)
+    std::copy(table.row(members[i]), table.row(members[i]) + 11,
+              copied.row(i));
+  DpResult a = optimize_partition(gathered, 10);
+  DpResult b = optimize_partition(copied.view(), 10);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.alloc, b.alloc);
+  EXPECT_EQ(a.objective_value, b.objective_value);
+}
+
+// The nested-vector shims stay until their announced removal; pin their
+// behavior (delegation to the view-based optimizers) meanwhile.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Dp, DeprecatedNestedOverloadsAgree) {
+  std::vector<std::vector<double>> nested = {
+      {1.0, 0.99, 0.98, 0.97},
+      {1.0, 1.0, 1.0, 0.0},
+  };
+  DpResult shim = optimize_partition(nested, 3);
+  DpResult flat = optimize_partition(make_cost(nested).view(), 3);
+  ASSERT_TRUE(shim.feasible);
+  EXPECT_EQ(shim.alloc, flat.alloc);
+  EXPECT_EQ(shim.objective_value, flat.objective_value);
+
+  MissRatioCurve a({1.0, 0.5, 0.25}, 100);
+  MissRatioCurve b({1.0, 0.8, 0.6}, 100);
+  auto curves = weighted_cost_curves({&a, &b}, {2.0, 1.0}, 2);
+  CostMatrix matrix = weighted_cost_matrix({&a, &b}, {2.0, 1.0}, 2);
+  for (std::size_t i = 0; i < curves.size(); ++i)
+    for (std::size_t c = 0; c < curves[i].size(); ++c)
+      EXPECT_EQ(curves[i][c], matrix(i, c));
+
+  SttwResult shim_sttw = sttw_partition(nested, 3);
+  SttwResult flat_sttw = sttw_partition(make_cost(nested).view(), 3);
+  EXPECT_EQ(shim_sttw.alloc, flat_sttw.alloc);
+}
+#pragma GCC diagnostic pop
 
 TEST(Sttw, EqualsDpOnConvexCurves) {
   // Strictly convex curves: the greedy is provably optimal — in both
@@ -161,13 +245,12 @@ TEST(Sttw, EqualsDpOnConvexCurves) {
     return cost;
   };
   for (std::size_t cap : {5u, 10u, 20u}) {
-    std::vector<std::vector<double>> cost = {convex(1.0, cap),
-                                             convex(2.0, cap),
-                                             convex(0.5, cap)};
-    DpResult dp = optimize_partition(cost, cap);
+    CostMatrix cost = make_cost(
+        {convex(1.0, cap), convex(2.0, cap), convex(0.5, cap)});
+    DpResult dp = optimize_partition(cost.view(), cap);
     for (SttwVariant v :
          {SttwVariant::kLocalDerivative, SttwVariant::kConvexHull}) {
-      SttwResult sttw = sttw_partition(cost, cap, v);
+      SttwResult sttw = sttw_partition(cost.view(), cap, v);
       EXPECT_NEAR(sttw.objective_value, dp.objective_value, 1e-9)
           << "cap=" << cap;
     }
@@ -179,12 +262,11 @@ TEST(Sttw, NeverBeatsDp) {
   for (int trial = 0; trial < 30; ++trial) {
     std::size_t p = 2 + rng.below(3);
     std::size_t cap = 4 + rng.below(12);
-    std::vector<std::vector<double>> cost(p);
-    for (auto& row : cost) row = random_cost_curve(rng, cap, true);
-    DpResult dp = optimize_partition(cost, cap);
+    CostMatrix cost = random_cost_matrix(rng, p, cap, true);
+    DpResult dp = optimize_partition(cost.view(), cap);
     for (SttwVariant v :
          {SttwVariant::kLocalDerivative, SttwVariant::kConvexHull}) {
-      SttwResult sttw = sttw_partition(cost, cap, v);
+      SttwResult sttw = sttw_partition(cost.view(), cap, v);
       EXPECT_GE(sttw.objective_value + 1e-12, dp.objective_value);
     }
   }
@@ -194,16 +276,16 @@ TEST(Sttw, LocalDerivativeIsBlindToCliffsBehindPlateaus) {
   // The faithful Stone et al. rule: program 1's plateau shows zero local
   // marginal, so the greedy starves it even though the cliff at 4 is the
   // single best investment. The hull variant sees the chord and fills it.
-  std::vector<std::vector<double>> cost = {
+  CostMatrix cost = make_cost({
       {1.0, 0.95, 0.91, 0.88, 0.86},
       {1.0, 1.0, 1.0, 1.0, 0.0},
-  };
+  });
   SttwResult classic =
-      sttw_partition(cost, 4, SttwVariant::kLocalDerivative);
+      sttw_partition(cost.view(), 4, SttwVariant::kLocalDerivative);
   EXPECT_EQ(classic.alloc[1], 0u);  // cliff never discovered
-  SttwResult hull = sttw_partition(cost, 4, SttwVariant::kConvexHull);
+  SttwResult hull = sttw_partition(cost.view(), 4, SttwVariant::kConvexHull);
   EXPECT_EQ(hull.alloc[1], 4u);  // hull chord slope 0.25 beats 0.05
-  DpResult dp = optimize_partition(cost, 4);
+  DpResult dp = optimize_partition(cost.view(), 4);
   EXPECT_NEAR(hull.objective_value, dp.objective_value, 1e-12);
   EXPECT_GT(classic.objective_value, dp.objective_value + 0.5);
 }
@@ -212,11 +294,11 @@ TEST(Sttw, LosesOnCliffCurves) {
   // The paper's headline failure: a cliff the hull smooths away. Program 1
   // has a cliff at 4; program 0 has a gentle convex slope that the greedy
   // (looking at hulls) over-feeds.
-  std::vector<std::vector<double>> cost = {
+  CostMatrix cost = make_cost({
       {1.0, 0.70, 0.45, 0.25, 0.10},
       {1.0, 1.0, 1.0, 1.0, 0.0},
-  };
-  DpResult dp = optimize_partition(cost, 4);
+  });
+  DpResult dp = optimize_partition(cost.view(), 4);
   // DP grabs the cliff: alloc {0,4}, objective 1.0.
   EXPECT_NEAR(dp.objective_value, 1.0, 1e-12);
   // Both variants miss it here: the classic rule sees a zero marginal on
@@ -224,16 +306,15 @@ TEST(Sttw, LosesOnCliffCurves) {
   // early marginals and the budget runs out mid-chord.
   for (SttwVariant v :
        {SttwVariant::kLocalDerivative, SttwVariant::kConvexHull}) {
-    SttwResult sttw = sttw_partition(cost, 4, v);
+    SttwResult sttw = sttw_partition(cost.view(), 4, v);
     EXPECT_GT(sttw.objective_value, dp.objective_value + 0.05);
   }
 }
 
 TEST(Sttw, AllocSumsToCapacity) {
   Rng rng(99);
-  std::vector<std::vector<double>> cost(4);
-  for (auto& row : cost) row = random_cost_curve(rng, 16, true);
-  SttwResult r = sttw_partition(cost, 16);
+  CostMatrix cost = random_cost_matrix(rng, 4, 16, true);
+  SttwResult r = sttw_partition(cost.view(), 16);
   std::size_t total = 0;
   for (auto c : r.alloc) total += c;
   EXPECT_EQ(total, 16u);
@@ -241,13 +322,12 @@ TEST(Sttw, AllocSumsToCapacity) {
 
 TEST(Sttw, BelievedObjectiveLowerBoundsTrueObjective) {
   Rng rng(123);
-  std::vector<std::vector<double>> cost(3);
-  for (auto& row : cost) row = random_cost_curve(rng, 10, true);
-  SttwResult hull = sttw_partition(cost, 10, SttwVariant::kConvexHull);
+  CostMatrix cost = random_cost_matrix(rng, 3, 10, true);
+  SttwResult hull = sttw_partition(cost.view(), 10, SttwVariant::kConvexHull);
   EXPECT_LE(hull.believed_objective_value, hull.objective_value + 1e-12);
   // The classic rule believes the raw curve, so belief == truth.
   SttwResult classic =
-      sttw_partition(cost, 10, SttwVariant::kLocalDerivative);
+      sttw_partition(cost.view(), 10, SttwVariant::kLocalDerivative);
   EXPECT_NEAR(classic.believed_objective_value, classic.objective_value,
               1e-12);
 }

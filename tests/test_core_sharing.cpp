@@ -108,8 +108,8 @@ TEST(Reduction, ExhaustivePartitioningMatchesDp) {
     curves.push_back(&g[i].mrc);
     weights.push_back(shares[i]);
   }
-  auto cost = weighted_cost_curves(curves, weights, w.capacity);
-  DpResult dp = optimize_partition(cost, w.capacity);
+  CostMatrix cost = weighted_cost_matrix(curves, weights, w.capacity);
+  DpResult dp = optimize_partition(cost.view(), w.capacity);
   ASSERT_TRUE(dp.feasible);
   // The DP objective is exactly the group miss ratio under the same model.
   EXPECT_NEAR(dp.objective_value, partitioning.outcome.group_mr, 1e-6);
@@ -188,8 +188,8 @@ TEST(Sweep, SerialAndParallelAgree) {
   SweepWorld w;
   SweepOptions par, ser;
   par.capacity = ser.capacity = w.capacity;
-  par.parallel = true;
-  ser.parallel = false;
+  par.threads = 0;  // auto: pool width from OCPS_THREADS / hardware
+  ser.threads = 1;  // pinned serial
   auto groups = all_subsets(5, 3);
   auto a = sweep_groups(w.models, groups, par);
   auto b = sweep_groups(w.models, groups, ser);

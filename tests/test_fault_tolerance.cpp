@@ -131,12 +131,14 @@ TEST(SanitizeFootprint, RejectsWhenNothingSurvives) {
 // ------------------------------------------------------------- DP guard
 
 TEST(TryOptimize, MatchesThrowingEntryPointOnCleanInput) {
-  std::vector<std::vector<double>> cost = {
-      {1.0, 0.5, 0.2, 0.1, 0.05},
-      {1.0, 0.9, 0.3, 0.2, 0.15},
-  };
-  Result<DpResult> guarded = try_optimize_partition(cost, 4);
-  DpResult plain = optimize_partition(cost, 4);
+  CostMatrix cost = CostMatrix::from_rows(
+      {
+          {1.0, 0.5, 0.2, 0.1, 0.05},
+          {1.0, 0.9, 0.3, 0.2, 0.15},
+      },
+      4);
+  Result<DpResult> guarded = try_optimize_partition(cost.view(), 4);
+  DpResult plain = optimize_partition(cost.view(), 4);
   ASSERT_TRUE(guarded.ok());
   EXPECT_EQ(guarded.value().alloc, plain.alloc);
   EXPECT_DOUBLE_EQ(guarded.value().objective_value, plain.objective_value);
@@ -144,23 +146,27 @@ TEST(TryOptimize, MatchesThrowingEntryPointOnCleanInput) {
 
 TEST(TryOptimize, ErrorsInsteadOfThrowing) {
   std::vector<std::vector<double>> nan_cost = {{1.0, kNaN, 0.2}};
-  Result<DpResult> corrupt = try_optimize_partition(nan_cost, 2);
+  Result<DpResult> corrupt =
+      try_optimize_partition(NestedCostAdapter(nan_cost).view(), 2);
   ASSERT_FALSE(corrupt.ok());
   EXPECT_EQ(corrupt.error().code, ErrorCode::kCorruptData);
 
   std::vector<std::vector<double>> short_cost = {{1.0, 0.5}};
-  Result<DpResult> truncated = try_optimize_partition(short_cost, 5);
+  Result<DpResult> truncated =
+      try_optimize_partition(NestedCostAdapter(short_cost).view(), 5);
   ASSERT_FALSE(truncated.ok());
   EXPECT_EQ(truncated.error().code, ErrorCode::kInvalidArgument);
 
-  std::vector<std::vector<double>> cost = {{1.0, 0.5, 0.2}, {1.0, 0.5, 0.2}};
+  CostMatrix cost = CostMatrix::from_rows(
+      {{1.0, 0.5, 0.2}, {1.0, 0.5, 0.2}}, 2);
   DpOptions options;
   options.min_alloc = {2, 2};  // 4 > capacity 2
-  Result<DpResult> infeasible = try_optimize_partition(cost, 2, options);
+  Result<DpResult> infeasible =
+      try_optimize_partition(cost.view(), 2, options);
   ASSERT_FALSE(infeasible.ok());
   EXPECT_EQ(infeasible.error().code, ErrorCode::kInfeasible);
 
-  EXPECT_FALSE(try_optimize_partition({}, 4).ok());
+  EXPECT_FALSE(try_optimize_partition(CostMatrixView(), 4).ok());
 }
 
 // ------------------------------------------------------ hardened loaders

@@ -123,9 +123,11 @@ TEST(SchedulingDominance, MoreCachesNeverHurtPartitioned) {
 TEST(Hardening, DpRejectsNonFiniteCosts) {
   std::vector<std::vector<double>> cost = {{1.0, 0.5, 0.2}};
   cost[0][1] = std::nan("");
-  EXPECT_THROW(optimize_partition(cost, 2), CheckError);
+  EXPECT_THROW(optimize_partition(NestedCostAdapter(cost).view(), 2),
+               CheckError);
   cost[0][1] = std::numeric_limits<double>::infinity();
-  EXPECT_THROW(optimize_partition(cost, 2), CheckError);
+  EXPECT_THROW(optimize_partition(NestedCostAdapter(cost).view(), 2),
+               CheckError);
 }
 
 TEST(Hardening, FootprintLoaderSurvivesFuzz) {

@@ -42,7 +42,7 @@ TEST(Suh, SeesCliffsBehindPlateaus) {
   };
   SttwResult suh = suh_partition(cost, 4);
   EXPECT_EQ(suh.alloc[1], 4u);
-  DpResult dp = optimize_partition(cost, 4);
+  DpResult dp = optimize_partition(NestedCostAdapter(cost).view(), 4);
   EXPECT_NEAR(suh.objective_value, dp.objective_value, 1e-12);
 }
 
@@ -54,10 +54,10 @@ TEST(Suh, NeverBeatsDpAndUsuallyBeatsClassicSttw) {
     std::size_t cap = 6 + rng.below(14);
     std::vector<std::vector<double>> cost(p);
     for (auto& row : cost) row = random_cost_curve(rng, cap);
-    DpResult dp = optimize_partition(cost, cap);
+    DpResult dp = optimize_partition(NestedCostAdapter(cost).view(), cap);
     SttwResult suh = suh_partition(cost, cap);
-    SttwResult classic =
-        sttw_partition(cost, cap, SttwVariant::kLocalDerivative);
+    SttwResult classic = sttw_partition(NestedCostAdapter(cost).view(), cap,
+                                        SttwVariant::kLocalDerivative);
     EXPECT_GE(suh.objective_value + 1e-12, dp.objective_value);
     suh_total += suh.objective_value;
     classic_total += classic.objective_value;
@@ -90,12 +90,12 @@ struct ElasticFixture {
   CoRunGroup group() const {
     return CoRunGroup({&models[0], &models[1], &models[2]});
   }
-  std::vector<std::vector<double>> costs() const {
-    std::vector<std::vector<double>> cost(models.size());
+  CostMatrix costs() const {
+    CostMatrix cost(models.size(), capacity);
     for (std::size_t i = 0; i < models.size(); ++i) {
-      cost[i].resize(capacity + 1);
+      double* row = cost.row(i);
       for (std::size_t c = 0; c <= capacity; ++c)
-        cost[i][c] = models[i].access_rate * models[i].mrc.ratio(c);
+        row[c] = models[i].access_rate * models[i].mrc.ratio(c);
     }
     return cost;
   }
@@ -104,10 +104,10 @@ struct ElasticFixture {
 TEST(Elastic, NoDemandsEqualsPlainOptimal) {
   ElasticFixture f;
   CoRunGroup g = f.group();
-  auto cost = f.costs();
+  CostMatrix cost = f.costs();
   ElasticResult elastic = optimize_elastic(
-      g, cost, f.capacity, std::vector<ElasticDemand>(3));
-  DpResult plain = optimize_partition(cost, f.capacity);
+      g, cost.view(), f.capacity, std::vector<ElasticDemand>(3));
+  DpResult plain = optimize_partition(cost.view(), f.capacity);
   ASSERT_TRUE(elastic.feasible);
   EXPECT_EQ(elastic.alloc, plain.alloc);
   EXPECT_EQ(elastic.elastic_units, f.capacity);
@@ -116,10 +116,10 @@ TEST(Elastic, NoDemandsEqualsPlainOptimal) {
 TEST(Elastic, CeilingsBecomeFloorsAndAreMet) {
   ElasticFixture f;
   CoRunGroup g = f.group();
-  auto cost = f.costs();
+  CostMatrix cost = f.costs();
   std::vector<ElasticDemand> demands(3);
   demands[2].max_miss_ratio = g[2].mrc.ratio(30);  // small program QoS
-  ElasticResult r = optimize_elastic(g, cost, f.capacity, demands);
+  ElasticResult r = optimize_elastic(g, cost.view(), f.capacity, demands);
   ASSERT_TRUE(r.feasible);
   EXPECT_GE(r.alloc[2], r.reserved[2]);
   EXPECT_LE(g[2].mrc.ratio(r.alloc[2]), *demands[2].max_miss_ratio + 1e-9);
@@ -130,7 +130,8 @@ TEST(Elastic, MinUnitsRespected) {
   CoRunGroup g = f.group();
   std::vector<ElasticDemand> demands(3);
   demands[0].min_units = 50;
-  ElasticResult r = optimize_elastic(g, f.costs(), f.capacity, demands);
+  ElasticResult r =
+      optimize_elastic(g, f.costs().view(), f.capacity, demands);
   ASSERT_TRUE(r.feasible);
   EXPECT_GE(r.alloc[0], 50u);
   EXPECT_EQ(r.elastic_units, f.capacity - 50);
@@ -142,12 +143,13 @@ TEST(Elastic, InfeasibleContractsReported) {
   std::vector<ElasticDemand> demands(3);
   demands[0].min_units = 80;
   demands[1].min_units = 80;  // 160 > 120
-  ElasticResult r = optimize_elastic(g, f.costs(), f.capacity, demands);
+  ElasticResult r =
+      optimize_elastic(g, f.costs().view(), f.capacity, demands);
   EXPECT_FALSE(r.feasible);
   std::vector<ElasticDemand> impossible(3);
   impossible[1].max_miss_ratio = 0.0;  // cyclic program never reaches 0
   EXPECT_FALSE(
-      optimize_elastic(g, f.costs(), f.capacity, impossible).feasible);
+      optimize_elastic(g, f.costs().view(), f.capacity, impossible).feasible);
 }
 
 TEST(Controller, RunsAndConservesCapacity) {

@@ -68,6 +68,8 @@ commands:
   sweep <fp...>        evaluate every k-subset co-run with all six methods
       --capacity C     cache size in blocks (1024)
       --group-size K   programs per co-run group (min(4, #files))
+      --threads N      sweep threads; 0 = auto from OCPS_THREADS /
+                       hardware concurrency (0)
   phases <trace>       detect working-set phases of an address trace
       --block-bytes B  block size (64)
       --binary         input is an ocps binary trace
@@ -217,15 +219,15 @@ int cmd_optimize(const ArgParser& args) {
     weights.push_back(m.access_rate);
   }
   CoRunGroup group(ptrs);
-  auto cost = weighted_cost_curves(curves, weights, capacity);
+  CostMatrix cost = weighted_cost_matrix(curves, weights, capacity);
 
   std::string baseline = args.get_string("baseline", "none");
   std::string objective = args.get_string("objective", "sum");
   DpResult result;
   if (baseline == "equal") {
-    result = optimize_equal_baseline(group, cost, capacity);
+    result = optimize_equal_baseline(group, cost.view(), capacity);
   } else if (baseline == "natural") {
-    result = optimize_natural_baseline(group, cost, capacity);
+    result = optimize_natural_baseline(group, cost.view(), capacity);
   } else {
     OCPS_CHECK(baseline == "none", "unknown baseline '" << baseline << "'");
     DpOptions options;
@@ -235,7 +237,7 @@ int cmd_optimize(const ArgParser& args) {
       OCPS_CHECK(objective == "sum",
                  "unknown objective '" << objective << "'");
     }
-    result = optimize_partition(cost, capacity, options);
+    result = optimize_partition(cost.view(), capacity, options);
   }
   OCPS_CHECK(result.feasible, "optimization infeasible");
 
@@ -306,6 +308,7 @@ int cmd_sweep(const ArgParser& args) {
                             static_cast<std::uint32_t>(k));
   SweepOptions options;
   options.capacity = capacity;
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   auto sweep = sweep_groups(models, groups, options);
 
   std::cout << "evaluated " << sweep.size() << " co-run groups of " << k
@@ -510,7 +513,7 @@ int main(int argc, char** argv) {
       {"predict", {"capacity"}},
       {"optimize", {"capacity", "baseline", "objective"}},
       {"simulate", {"capacity", "block-bytes", "warmup"}},
-      {"sweep", {"capacity", "group-size"}},
+      {"sweep", {"capacity", "group-size", "threads"}},
       {"phases", {"block-bytes", "binary", "window", "threshold"}},
       {"controller",
        {"capacity", "block-bytes", "binary", "epoch", "sampling-rate",
