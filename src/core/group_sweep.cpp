@@ -298,11 +298,21 @@ std::vector<GroupEvaluation> sweep_groups(
   span.set_arg("groups", groups.size());
   CostMatrix unit_costs =
       precompute_unit_cost_matrix(programs, options.capacity);
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point::max();
   std::vector<GroupEvaluation> out(groups.size());
   parallel_for_with(
       0, groups.size(),
       [&] { return BatchContext(programs, unit_costs, options.capacity); },
       [&](BatchContext& ctx, std::size_t g) {
+        if (has_deadline &&
+            std::chrono::steady_clock::now() > options.deadline) {
+          OCPS_OBS_COUNT("sweep.deadline_exceeded", 1);
+          throw SweepDeadlineExceeded("sweep deadline exceeded with group " +
+                                      std::to_string(g) + " of " +
+                                      std::to_string(groups.size()) +
+                                      " pending");
+        }
         out[g] = evaluate_group_batched(ctx, groups[g]);
       },
       options.threads);

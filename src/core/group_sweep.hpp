@@ -17,12 +17,14 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/composition.hpp"
 #include "core/cost_matrix.hpp"
+#include "util/check.hpp"
 
 namespace ocps {
 
@@ -66,6 +68,23 @@ struct GroupEvaluation {
 struct SweepOptions {
   std::size_t capacity = 1024;  ///< shared cache size in units
   std::size_t threads = 0;      ///< sweep width; 0 = auto (see above)
+
+  /// Cooperative deadline. When set (anything other than the default
+  /// time_point::max()), sweep_groups checks the clock before each group
+  /// and throws SweepDeadlineExceeded once the deadline has passed. The
+  /// check is per group, not per DP cell, so overshoot is bounded by one
+  /// group evaluation per worker. Callers that need partial results must
+  /// split the sweep themselves; a deadline abandons the whole call.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// Thrown by sweep_groups when SweepOptions::deadline passes mid-sweep.
+/// Derives from CheckError so existing catch sites keep working; callers
+/// that care (the serve daemon's 504 path) catch this type first.
+class SweepDeadlineExceeded : public CheckError {
+ public:
+  explicit SweepDeadlineExceeded(const std::string& what) : CheckError(what) {}
 };
 
 /// Evaluates every method on one group. `unit_costs(i, c)` must hold

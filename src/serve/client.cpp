@@ -1,0 +1,111 @@
+#include "serve/client.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace ocps::serve {
+
+Result<Client> Client::connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    return Err(ErrorCode::kInvalidArgument,
+               "socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    return Err(ErrorCode::kIoError,
+               std::string("socket(): ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Err(ErrorCode::kIoError,
+               "connect(" + socket_path + "): " + std::strerror(err));
+  }
+  return Ok(Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Result<Response> Client::call(const std::string& request_line,
+                              std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return Err(ErrorCode::kIoError, "client is not connected");
+
+  std::string line = request_line;
+  line.push_back('\n');
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Err(ErrorCode::kIoError,
+                 std::string("send(): ") + std::strerror(errno));
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string response = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      return parse_response(response);
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline)
+      return Err(ErrorCode::kIoError, "timed out waiting for response");
+    auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(std::max<long long>(
+                                    1, wait.count())));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Err(ErrorCode::kIoError,
+                 std::string("poll(): ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;  // loop re-checks the deadline
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0)
+      return Err(ErrorCode::kIoError, "daemon closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Err(ErrorCode::kIoError,
+                 std::string("recv(): ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<Response> Client::call(const json::Value& request,
+                              std::chrono::milliseconds timeout) {
+  return call(request.dump(), timeout);
+}
+
+}  // namespace ocps::serve

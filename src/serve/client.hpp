@@ -1,0 +1,66 @@
+// Blocking client for the partition-service daemon.
+//
+// One connection, synchronous request/response: call() writes a single
+// request line and blocks until the matching response line arrives (the
+// daemon may answer a batch out of order across *connections*, but each
+// call here waits for exactly one line, and the Request helpers stamp an
+// id so callers can still sanity-check the echo). This is deliberately
+// the simplest correct client — it backs the `ocps query` subcommand,
+// the integration tests, and bench_serve's closed-loop workers; anything
+// fancier (pipelining, multiplexing) belongs to callers speaking the
+// protocol directly.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/result.hpp"
+
+namespace ocps::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's Unix socket. kIoError when the socket is
+  /// missing or nothing is listening.
+  static Result<Client> connect(const std::string& socket_path);
+
+  Client() = default;  ///< disconnected; call() fails with kIoError
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one raw request line (no trailing newline) and blocks until
+  /// one response line arrives or `timeout` passes (kIoError). The
+  /// response is decoded but NOT interpreted: a shed/deadline/error
+  /// reply is an ok() Result whose Response has ok == false.
+  Result<Response> call(const std::string& request_line,
+                        std::chrono::milliseconds timeout =
+                            std::chrono::milliseconds(30000));
+
+  /// Serializes and sends a request object.
+  Result<Response> call(const json::Value& request,
+                        std::chrono::milliseconds timeout =
+                            std::chrono::milliseconds(30000));
+
+  /// Literal overload: without it a `call("{...}")` would be ambiguous
+  /// between the string and json::Value overloads (Value converts from
+  /// const char*).
+  Result<Response> call(const char* request_line,
+                        std::chrono::milliseconds timeout =
+                            std::chrono::milliseconds(30000)) {
+    return call(std::string(request_line), timeout);
+  }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace ocps::serve

@@ -1,0 +1,146 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+namespace ocps::serve {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPartition: return "partition";
+    case Op::kSweep: return "sweep";
+    case Op::kHealth: return "health";
+    case Op::kReload: return "reload";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<std::vector<std::string>> string_list(const json::Value& obj,
+                                             std::string_view key) {
+  std::vector<std::string> out;
+  const json::Value* v = obj.find(key);
+  if (!v) return Ok(std::move(out));
+  if (!v->is_array())
+    return Err(ErrorCode::kInvalidArgument,
+               std::string(key) + " must be an array of strings");
+  for (const json::Value& item : v->as_array()) {
+    if (!item.is_string())
+      return Err(ErrorCode::kInvalidArgument,
+                 std::string(key) + " must be an array of strings");
+    out.push_back(item.as_string());
+  }
+  return Ok(std::move(out));
+}
+
+Result<std::size_t> size_field(const json::Value& obj, std::string_view key,
+                               std::size_t fallback) {
+  const json::Value* v = obj.find(key);
+  if (!v) return Ok(std::move(fallback));
+  if (!v->is_number() || v->as_number() < 0 ||
+      v->as_number() != std::floor(v->as_number()))
+    return Err(ErrorCode::kInvalidArgument,
+               std::string(key) + " must be a non-negative integer");
+  return Ok(static_cast<std::size_t>(v->as_number()));
+}
+
+}  // namespace
+
+Result<Request> parse_request(const std::string& line) {
+  Result<json::Value> parsed = json::parse(line);
+  if (!parsed.ok()) return parsed.error();
+  const json::Value& obj = parsed.value();
+  if (!obj.is_object())
+    return Err(ErrorCode::kInvalidArgument, "request must be a JSON object");
+
+  Request req;
+  double id = obj.get_number("id", 0.0);
+  req.id = static_cast<std::int64_t>(id);
+
+  std::string op = obj.get_string("op", "");
+  if (op == "partition") req.op = Op::kPartition;
+  else if (op == "sweep") req.op = Op::kSweep;
+  else if (op == "health") req.op = Op::kHealth;
+  else if (op == "reload") req.op = Op::kReload;
+  else
+    return Err(ErrorCode::kInvalidArgument,
+               op.empty() ? "missing \"op\"" : "unknown op \"" + op + "\"");
+
+  auto programs = string_list(obj, "programs");
+  if (!programs.ok()) return programs.error();
+  req.programs = std::move(programs.value());
+
+  auto paths = string_list(obj, "paths");
+  if (!paths.ok()) return paths.error();
+  req.paths = std::move(paths.value());
+
+  auto capacity = size_field(obj, "capacity", 0);
+  if (!capacity.ok()) return capacity.error();
+  req.capacity = capacity.value();
+
+  auto group_size = size_field(obj, "group_size", 0);
+  if (!group_size.ok()) return group_size.error();
+  req.group_size = group_size.value();
+
+  req.objective = obj.get_string("objective", "sum");
+  if (req.objective != "sum" && req.objective != "max")
+    return Err(ErrorCode::kInvalidArgument,
+               "objective must be \"sum\" or \"max\"");
+
+  req.deadline_ms = obj.get_number("deadline_ms", 0.0);
+  if (!(req.deadline_ms >= 0.0) || !std::isfinite(req.deadline_ms))
+    return Err(ErrorCode::kInvalidArgument,
+               "deadline_ms must be a non-negative number");
+
+  switch (req.op) {
+    case Op::kPartition:
+      if (req.programs.empty())
+        return Err(ErrorCode::kInvalidArgument,
+                   "partition needs a non-empty \"programs\" list");
+      break;
+    case Op::kReload:
+      if (req.paths.empty())
+        return Err(ErrorCode::kInvalidArgument,
+                   "reload needs a non-empty \"paths\" list");
+      break;
+    case Op::kSweep:
+    case Op::kHealth:
+      break;
+  }
+  return Ok(std::move(req));
+}
+
+std::string error_response(std::int64_t id, int code,
+                           const std::string& message) {
+  json::Value out;
+  out.set("id", json::Value(static_cast<double>(id)));
+  out.set("ok", json::Value(false));
+  out.set("code", json::Value(static_cast<double>(code)));
+  out.set("error", json::Value(message));
+  return out.dump();
+}
+
+std::string ok_response(std::int64_t id, json::Value body) {
+  json::Value out;
+  out.set("id", json::Value(static_cast<double>(id)));
+  out.set("ok", json::Value(true));
+  if (body.is_object())
+    for (const auto& [k, v] : body.as_object()) out.set(k, v);
+  return out.dump();
+}
+
+Result<Response> parse_response(const std::string& line) {
+  Result<json::Value> parsed = json::parse(line);
+  if (!parsed.ok()) return parsed.error();
+  if (!parsed.value().is_object())
+    return Err(ErrorCode::kCorruptData, "response must be a JSON object");
+  Response r;
+  r.body = std::move(parsed.value());
+  r.id = static_cast<std::int64_t>(r.body.get_number("id", 0.0));
+  r.ok = r.body.get_bool("ok", false);
+  r.code = static_cast<int>(r.body.get_number("code", 0.0));
+  r.error = r.body.get_string("error", "");
+  return Ok(std::move(r));
+}
+
+}  // namespace ocps::serve

@@ -1,0 +1,84 @@
+// Wire protocol of the partition-service daemon (`ocps serve`).
+//
+// Transport: a Unix domain stream socket carrying line-delimited JSON —
+// one request object per line in, one response object per line out,
+// answered in completion order (responses echo the request id, so a
+// client may pipeline). The full protocol is documented in
+// docs/serving.md; this header is the single source of truth for field
+// names and status codes, shared by the server, the blocking client, the
+// `ocps query` subcommand, and the integration tests.
+//
+// Requests:
+//   {"id":1,"op":"partition","programs":["mcf","lbm"],"capacity":512,
+//    "objective":"sum","deadline_ms":50}
+//   {"id":2,"op":"sweep","group_size":4,"capacity":512,"deadline_ms":500}
+//   {"id":3,"op":"health"}
+//   {"id":4,"op":"reload","paths":["profiles/a.fp","profiles/b.fp"]}
+//
+// Responses: {"id":1,"ok":true,...} or
+//   {"id":1,"ok":false,"code":429,"error":"queue full"}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace ocps::serve {
+
+/// Request kinds the daemon answers.
+enum class Op {
+  kPartition,  ///< DP allocation for one named co-run group
+  kSweep,      ///< Table I-style sweep over every k-subset
+  kHealth,     ///< daemon liveness + counters (answered inline)
+  kReload,     ///< atomic profile-set swap (answered inline)
+};
+
+const char* op_name(Op op);
+
+/// HTTP-flavoured status codes used in error responses.
+inline constexpr int kCodeBadRequest = 400;        ///< malformed request
+inline constexpr int kCodeNotFound = 404;          ///< unknown program name
+inline constexpr int kCodeQueueFull = 429;         ///< admission shed
+inline constexpr int kCodeUnprocessable = 422;     ///< rejected reload
+inline constexpr int kCodeInternal = 500;          ///< unexpected failure
+inline constexpr int kCodeShuttingDown = 503;      ///< drain in progress
+inline constexpr int kCodeDeadlineExceeded = 504;  ///< deadline passed
+
+/// One decoded request. Fields irrelevant to the op stay defaulted.
+struct Request {
+  std::int64_t id = 0;  ///< echoed in the response; 0 when absent
+  Op op = Op::kHealth;
+  std::vector<std::string> programs;  ///< partition: co-run group members
+  std::size_t capacity = 0;           ///< 0 = server default
+  std::string objective = "sum";      ///< "sum" | "max"
+  double deadline_ms = 0.0;           ///< 0 = server default (may be none)
+  std::size_t group_size = 0;         ///< sweep: k (0 = min(4, #programs))
+  std::vector<std::string> paths;     ///< reload: footprint files
+};
+
+/// Decodes one request line. kCorruptData for syntactically bad JSON,
+/// kInvalidArgument for a well-formed object with bad fields.
+Result<Request> parse_request(const std::string& line);
+
+/// Response builders; each returns one JSON line WITHOUT the trailing
+/// newline (the transport appends it).
+std::string error_response(std::int64_t id, int code,
+                           const std::string& message);
+std::string ok_response(std::int64_t id, json::Value body);
+
+/// Fields of a decoded response, as far as the generic client cares.
+struct Response {
+  std::int64_t id = 0;
+  bool ok = false;
+  int code = 0;           ///< set on errors
+  std::string error;      ///< set on errors
+  json::Value body;       ///< the whole response object
+};
+
+/// Decodes one response line.
+Result<Response> parse_response(const std::string& line);
+
+}  // namespace ocps::serve

@@ -1,0 +1,800 @@
+// Daemon implementation. Threading model (see server.hpp for the tour):
+//
+//   accept thread  --> one reader thread per connection --> bounded queue
+//                                                        --> batching thread
+//
+// Every blocking wait in the daemon is a poll()/wait_for() loop of at
+// most ~50 ms that re-checks stopping_, so request_stop() can be a pure
+// atomic store (and therefore safe to call from a signal handler) while
+// shutdown latency stays bounded. The drain ordering in stop() is what
+// guarantees zero in-flight loss: producers are joined before
+// producers_done_ lets the batching thread exit, so every admitted
+// request is answered before the last thread dies.
+
+#include "serve/server.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+#include "combinatorics/enumerate.hpp"
+#include "core/batch_engine.hpp"
+#include "core/group_sweep.hpp"
+#include "locality/footprint_io.hpp"
+#include "locality/sanitize.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace ocps::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A connection writing a line this long without a newline is not
+// speaking the protocol; cut it off instead of buffering forever.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+// Poll interval bounding how long any thread can miss stopping_.
+constexpr int kPollMs = 50;
+
+double ms_since(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Profile sets.
+
+std::size_t ProfileSet::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < models.size(); ++i)
+    if (models[i].name == name) return i;
+  return npos;
+}
+
+std::shared_ptr<const ProfileSet> make_profile_set(
+    std::vector<ProgramModel> models, std::size_t capacity,
+    std::uint64_t version) {
+  auto set = std::make_shared<ProfileSet>();
+  set->models = std::move(models);
+  set->unit_costs = precompute_unit_cost_matrix(set->models, capacity);
+  set->version = version;
+  return set;
+}
+
+Result<ProgramModel> load_profile(const std::string& path,
+                                  std::size_t capacity) {
+  try {
+    FootprintFile file = load_footprint_file(path);
+    if (!std::isfinite(file.access_rate) || file.access_rate <= 0.0)
+      return Err(ErrorCode::kCorruptData,
+                 path + ": access rate must be positive and finite");
+    RepairReport report;
+    Result<PiecewiseLinear> knots = sanitize_footprint_knots(
+        file.footprint.xs(), file.footprint.ys(), &report);
+    if (!knots.ok())
+      return Err(knots.error().code,
+                 path + ": " + knots.error().message);
+    file.footprint = std::move(knots.value());
+    return Ok(model_from_footprint_file(file, capacity));
+  } catch (const CheckError& e) {
+    return Err(ErrorCode::kCorruptData, path + ": " + e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server plumbing types.
+
+struct Server::AtomicCounters {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  std::atomic<std::uint64_t> malformed{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> reloads{0};
+  std::atomic<std::uint64_t> reload_rejected{0};
+};
+
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mutex;  ///< reader (errors) and batcher both write
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  // Appends the newline and writes the whole line. MSG_NOSIGNAL: a
+  // client that hung up must cost us an error return, not a SIGPIPE.
+  bool send_line(std::string line) {
+    line.push_back('\n');
+    std::lock_guard<std::mutex> guard(write_mutex);
+    const char* data = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      ssize_t n = ::send(fd, data, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+};
+
+// Warm DP state owned by the batching thread: one prefix-sharing solver
+// per objective, reconfigured only when the profile version or the
+// requested capacity changes. Holding the shared_ptr keeps the profile
+// set (and thus the cost rows the solver points into) alive across
+// batches even after a reload swaps the served set.
+struct Server::SolverState {
+  struct Entry {
+    PrefixDpSolver solver;
+    std::shared_ptr<const ProfileSet> set;
+    std::size_t capacity = 0;
+  };
+  Entry sum;
+  Entry max;
+  DpResult dp_buf;
+
+  PrefixDpSolver& ensure(const std::shared_ptr<const ProfileSet>& set,
+                         std::size_t capacity, DpObjective objective) {
+    Entry& e = objective == DpObjective::kMaxCost ? max : sum;
+    if (e.set != set || e.capacity != capacity) {
+      e.solver.configure(set->unit_costs.view(), capacity, objective);
+      e.set = set;
+      e.capacity = capacity;
+    }
+    return e.solver;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+
+Server::Server(ServeConfig config, std::vector<ProgramModel> models)
+    : config_(std::move(config)),
+      counters_(std::make_unique<AtomicCounters>()) {
+  OCPS_CHECK(!config_.socket_path.empty(), "serve: socket path is required");
+  OCPS_CHECK(config_.capacity > 0, "serve: capacity must be positive");
+  OCPS_CHECK(config_.max_batch > 0, "serve: max_batch must be positive");
+  OCPS_CHECK(config_.queue_capacity > 0,
+             "serve: queue_capacity must be positive");
+  OCPS_CHECK(config_.linger.count() >= 0, "serve: linger must be >= 0");
+  OCPS_CHECK(config_.default_deadline_ms >= 0.0 &&
+                 std::isfinite(config_.default_deadline_ms),
+             "serve: default_deadline_ms must be finite and >= 0");
+  profiles_ = make_profile_set(std::move(models), config_.capacity, 1);
+}
+
+Server::~Server() { stop(); }
+
+Result<bool> Server::start() {
+  OCPS_CHECK(!started_.exchange(true), "Server::start called twice");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path))
+    return Err(ErrorCode::kInvalidArgument,
+               "socket path too long: " + config_.socket_path);
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    return Err(ErrorCode::kIoError,
+               std::string("socket(): ") + std::strerror(errno));
+
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      int err = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Err(ErrorCode::kIoError, "bind(" + config_.socket_path +
+                                          "): " + std::strerror(err));
+    }
+    // The path exists. A connectable socket means a live daemon; refuse
+    // to fight it. A connection-refused socket is a stale file from a
+    // crashed daemon; remove it and claim the path.
+    int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    bool live = probe >= 0 &&
+                ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0;
+    if (probe >= 0) ::close(probe);
+    if (live) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Err(ErrorCode::kIoError,
+                 "another daemon is serving " + config_.socket_path);
+    }
+    ::unlink(config_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      int err = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Err(ErrorCode::kIoError, "bind(" + config_.socket_path +
+                                          "): " + std::strerror(err));
+    }
+  }
+
+  if (::listen(listen_fd_, 64) != 0) {
+    int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+    return Err(ErrorCode::kIoError,
+               std::string("listen(): ") + std::strerror(err));
+  }
+
+  started_at_ = Clock::now();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  batch_thread_ = std::thread([this] { batch_loop(); });
+  return Ok(true);
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  if (!started_.load() || joined_.exchange(true)) return;
+
+  // 1. No new connections.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+
+  // 2. No new requests: join every reader (each notices stopping_ within
+  // one poll interval and finishes the line it was handling).
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> guard(conns_mutex_);
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& t : readers)
+    if (t.joinable()) t.join();
+
+  // 3. Only now may the batching thread exit on empty — everything that
+  // made it into the queue gets answered first (zero in-flight loss).
+  producers_done_.store(true);
+  queue_cv_.notify_all();
+  if (batch_thread_.joinable()) batch_thread_.join();
+
+  std::lock_guard<std::mutex> guard(conns_mutex_);
+  conns_.clear();
+}
+
+void Server::wait_until_stop_requested() const {
+  while (!stopping_.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> guard(queue_mutex_);
+  return queue_.size();
+}
+
+std::uint64_t Server::profile_version() const {
+  return profiles()->version;
+}
+
+Server::Counters Server::counters() const {
+  Counters c;
+  c.requests = counters_->requests.load();
+  c.answered = counters_->answered.load();
+  c.shed = counters_->shed.load();
+  c.deadline_exceeded = counters_->deadline_exceeded.load();
+  c.malformed = counters_->malformed.load();
+  c.batches = counters_->batches.load();
+  c.reloads = counters_->reloads.load();
+  c.reload_rejected = counters_->reload_rejected.load();
+  return c;
+}
+
+std::shared_ptr<const ProfileSet> Server::profiles() const {
+  std::lock_guard<std::mutex> guard(profiles_mutex_);
+  return profiles_;
+}
+
+// ---------------------------------------------------------------------------
+// Socket threads.
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> guard(conns_mutex_);
+    if (stopping_.load()) continue;  // conn dtor closes the fd
+    conns_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  while (!stopping_.load()) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;
+    char chunk[4096];
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // client hung up
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(conn, line);
+    }
+    if (buffer.size() > kMaxLineBytes) {
+      counters_->malformed.fetch_add(1);
+      OCPS_OBS_COUNT("serve.malformed", 1);
+      conn->send_line(
+          error_response(0, kCodeBadRequest, "request line too long"));
+      break;
+    }
+  }
+  // Drop this connection from the server's set so a long-lived daemon
+  // doesn't accumulate dead fds; Pending entries still holding the
+  // shared_ptr keep the fd alive until their responses are written.
+  std::lock_guard<std::mutex> guard(conns_mutex_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+               conns_.end());
+}
+
+// ---------------------------------------------------------------------------
+// Request admission.
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  counters_->requests.fetch_add(1);
+  OCPS_OBS_COUNT("serve.requests", 1);
+
+  Result<Request> parsed = parse_request(line);
+  if (!parsed.ok()) {
+    counters_->malformed.fetch_add(1);
+    OCPS_OBS_COUNT("serve.malformed", 1);
+    conn->send_line(
+        error_response(0, kCodeBadRequest, parsed.error().message));
+    return;
+  }
+  Request req = std::move(parsed.value());
+
+  if (req.capacity > config_.capacity) {
+    counters_->malformed.fetch_add(1);
+    OCPS_OBS_COUNT("serve.malformed", 1);
+    conn->send_line(error_response(
+        req.id, kCodeBadRequest,
+        "capacity " + std::to_string(req.capacity) +
+            " exceeds server capacity " + std::to_string(config_.capacity)));
+    return;
+  }
+
+  switch (req.op) {
+    case Op::kHealth:
+      handle_health(conn, req);
+      return;
+    case Op::kReload:
+      handle_reload(conn, req);
+      return;
+    case Op::kPartition:
+    case Op::kSweep:
+      break;
+  }
+
+  if (stopping_.load()) {
+    conn->send_line(
+        error_response(req.id, kCodeShuttingDown, "daemon is draining"));
+    return;
+  }
+
+  Pending p;
+  p.req = std::move(req);
+  p.conn = conn;
+  p.enqueued = Clock::now();
+  double deadline_ms = p.req.deadline_ms > 0.0 ? p.req.deadline_ms
+                                               : config_.default_deadline_ms;
+  p.deadline = deadline_ms > 0.0
+                   ? p.enqueued +
+                         std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 deadline_ms))
+                   : Clock::time_point::max();
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> guard(queue_mutex_);
+    if (queue_.size() < config_.queue_capacity) {
+      queue_.push_back(std::move(p));
+      OCPS_OBS_GAUGE("serve.queue_depth",
+                     static_cast<double>(queue_.size()));
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    queue_cv_.notify_all();
+  } else {
+    counters_->shed.fetch_add(1);
+    OCPS_OBS_COUNT("serve.shed", 1);
+    conn->send_line(error_response(p.req.id, kCodeQueueFull, "queue full"));
+  }
+}
+
+void Server::handle_health(const std::shared_ptr<Connection>& conn,
+                           const Request& req) {
+  auto set = profiles();
+  json::Value body;
+  body.set("uptime_ms", json::Value(ms_since(started_at_, Clock::now())));
+  body.set("version", json::Value(static_cast<double>(set->version)));
+  body.set("capacity", json::Value(static_cast<double>(config_.capacity)));
+  json::Array names;
+  names.reserve(set->models.size());
+  for (const ProgramModel& m : set->models) names.emplace_back(m.name);
+  body.set("programs", json::Value(std::move(names)));
+  body.set("queue_depth",
+           json::Value(static_cast<double>(queue_depth())));
+  body.set("draining", json::Value(stopping_.load()));
+  Counters c = counters();
+  json::Value cnt;
+  cnt.set("requests", json::Value(static_cast<double>(c.requests)));
+  cnt.set("answered", json::Value(static_cast<double>(c.answered)));
+  cnt.set("shed", json::Value(static_cast<double>(c.shed)));
+  cnt.set("deadline_exceeded",
+          json::Value(static_cast<double>(c.deadline_exceeded)));
+  cnt.set("malformed", json::Value(static_cast<double>(c.malformed)));
+  cnt.set("batches", json::Value(static_cast<double>(c.batches)));
+  cnt.set("reloads", json::Value(static_cast<double>(c.reloads)));
+  cnt.set("reload_rejected",
+          json::Value(static_cast<double>(c.reload_rejected)));
+  body.set("counters", std::move(cnt));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Server::handle_reload(const std::shared_ptr<Connection>& conn,
+                           const Request& req) {
+  std::lock_guard<std::mutex> reload_guard(reload_mutex_);
+
+  auto reject = [&](const std::string& why) {
+    counters_->reload_rejected.fetch_add(1);
+    OCPS_OBS_COUNT("serve.reload_rejected", 1);
+    conn->send_line(error_response(
+        req.id, kCodeUnprocessable,
+        "reload rejected, keeping profile set v" +
+            std::to_string(profile_version()) + ": " + why));
+  };
+
+  // Build the complete candidate set first; nothing is swapped until
+  // every file loads and sanitizes.
+  std::vector<ProgramModel> models;
+  models.reserve(req.paths.size());
+  std::unordered_set<std::string> names;
+  for (const std::string& path : req.paths) {
+    Result<ProgramModel> model = load_profile(path, config_.capacity);
+    if (!model.ok()) {
+      reject(model.error().message);
+      return;
+    }
+    if (!names.insert(model.value().name).second) {
+      reject("duplicate program name \"" + model.value().name + "\"");
+      return;
+    }
+    models.push_back(std::move(model.value()));
+  }
+
+  std::uint64_t next_version = profile_version() + 1;
+  auto set = make_profile_set(std::move(models), config_.capacity,
+                              next_version);
+  {
+    std::lock_guard<std::mutex> guard(profiles_mutex_);
+    profiles_ = std::move(set);
+  }
+  counters_->reloads.fetch_add(1);
+  OCPS_OBS_COUNT("serve.reloads", 1);
+  json::Value body;
+  body.set("version", json::Value(static_cast<double>(next_version)));
+  body.set("programs",
+           json::Value(static_cast<double>(req.paths.size())));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+// ---------------------------------------------------------------------------
+// Batching thread.
+
+void Server::batch_loop() {
+  SolverState solver;
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(kPollMs), [&] {
+        return !queue_.empty() || producers_done_.load();
+      });
+      if (queue_.empty()) {
+        if (producers_done_.load()) break;
+        continue;
+      }
+      const bool draining = stopping_.load();
+      // Test seam: admit but do not drain while held (never during the
+      // shutdown drain, which must always make progress).
+      if (!draining && config_.hold_batching &&
+          config_.hold_batching->load()) {
+        lock.unlock();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      if (!draining) {
+        // Linger: give the batch a chance to fill before solving, so
+        // concurrent clients coalesce and the DP prefix reuse has
+        // something to share.
+        Clock::time_point linger_until = Clock::now() + config_.linger;
+        while (!stopping_.load() && queue_.size() < config_.max_batch) {
+          Clock::time_point now = Clock::now();
+          if (now >= linger_until) break;
+          queue_cv_.wait_until(
+              lock, std::min(linger_until,
+                             now + std::chrono::milliseconds(kPollMs)));
+        }
+      }
+      std::size_t take = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      OCPS_OBS_GAUGE("serve.queue_depth",
+                     static_cast<double>(queue_.size()));
+    }
+    if (!batch.empty()) process_batch(batch, solver);
+  }
+}
+
+void Server::process_batch(std::vector<Pending>& batch,
+                           SolverState& solver) {
+  counters_->batches.fetch_add(1);
+  OCPS_OBS_COUNT("serve.batches", 1);
+  OCPS_OBS_HIST("serve.batch_size", static_cast<double>(batch.size()));
+  obs::ScopedSpan span("serve.process_batch", "serve");
+  span.set_arg("requests", batch.size());
+
+  auto set = profiles();
+
+  // Answer partitions grouped by (objective, capacity) so the warm
+  // solver reconfigures at most once per distinct pair, keeping the DP
+  // prefix cache effective across the batch; sweeps go last (they use
+  // the thread pool, not the warm solver). stable_sort keeps arrival
+  // order within each class.
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const Request& ra = batch[a].req;
+                     const Request& rb = batch[b].req;
+                     if (ra.op != rb.op) return ra.op == Op::kPartition;
+                     if (ra.objective != rb.objective)
+                       return ra.objective < rb.objective;
+                     return ra.capacity < rb.capacity;
+                   });
+
+  for (std::size_t idx : order) {
+    Pending& p = batch[idx];
+    if (Clock::now() > p.deadline) {
+      counters_->deadline_exceeded.fetch_add(1);
+      OCPS_OBS_COUNT("serve.deadline_exceeded", 1);
+      respond(p,
+              error_response(p.req.id, kCodeDeadlineExceeded,
+                             "deadline exceeded before solve"),
+              false);
+      continue;
+    }
+    try {
+      if (p.req.op == Op::kPartition)
+        answer_partition(p, set, solver);
+      else
+        answer_sweep(p, *set);
+    } catch (const SweepDeadlineExceeded& e) {
+      counters_->deadline_exceeded.fetch_add(1);
+      OCPS_OBS_COUNT("serve.deadline_exceeded", 1);
+      respond(p, error_response(p.req.id, kCodeDeadlineExceeded, e.what()),
+              false);
+    } catch (const std::exception& e) {
+      respond(p, error_response(p.req.id, kCodeInternal, e.what()), false);
+    }
+  }
+}
+
+void Server::answer_partition(
+    Pending& p, const std::shared_ptr<const ProfileSet>& set_ptr,
+    SolverState& solver) {
+  const ProfileSet& set = *set_ptr;
+  const Request& req = p.req;
+  const std::size_t capacity =
+      req.capacity > 0 ? req.capacity : config_.capacity;
+  const std::size_t n = req.programs.size();
+
+  // Resolve names, then sort members ascending for DP layer reuse while
+  // remembering each one's position in the request.
+  std::vector<std::pair<std::uint32_t, std::size_t>> resolved;
+  resolved.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t idx = set.index_of(req.programs[i]);
+    if (idx == ProfileSet::npos) {
+      respond(p,
+              error_response(req.id, kCodeNotFound,
+                             "unknown program \"" + req.programs[i] + "\""),
+              false);
+      return;
+    }
+    resolved.emplace_back(static_cast<std::uint32_t>(idx), i);
+  }
+  std::sort(resolved.begin(), resolved.end());
+  std::vector<std::uint32_t> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = resolved[i].first;
+
+  DpObjective objective = req.objective == "max" ? DpObjective::kMaxCost
+                                                 : DpObjective::kSumCost;
+  PrefixDpSolver& dp = solver.ensure(set_ptr, capacity, objective);
+  dp.solve(members.data(), n, nullptr, solver.dp_buf);
+  if (!solver.dp_buf.feasible) {
+    respond(p,
+            error_response(req.id, kCodeInternal,
+                           "unconstrained DP reported infeasible"),
+            false);
+    return;
+  }
+
+  // Map the allocation back to request order and evaluate the solo MRCs.
+  std::vector<double> alloc(n, 0.0);
+  std::vector<double> mr(n, 0.0);
+  double rate_sum = 0.0;
+  double weighted_mr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProgramModel& model = set.models[members[i]];
+    std::size_t units = solver.dp_buf.alloc[i];
+    double ratio = model.mrc.ratio(units);
+    std::size_t pos = resolved[i].second;
+    alloc[pos] = static_cast<double>(units);
+    mr[pos] = ratio;
+    rate_sum += model.access_rate;
+    weighted_mr += model.access_rate * ratio;
+  }
+
+  json::Value body;
+  json::Array programs;
+  programs.reserve(n);
+  for (const std::string& name : req.programs) programs.emplace_back(name);
+  body.set("programs", json::Value(std::move(programs)));
+  body.set("capacity", json::Value(static_cast<double>(capacity)));
+  body.set("objective", json::Value(req.objective));
+  json::Array alloc_arr(alloc.begin(), alloc.end());
+  body.set("alloc", json::Value(std::move(alloc_arr)));
+  json::Array mr_arr(mr.begin(), mr.end());
+  body.set("miss_ratios", json::Value(std::move(mr_arr)));
+  body.set("group_mr",
+           json::Value(rate_sum > 0.0 ? weighted_mr / rate_sum : 0.0));
+  body.set("objective_value", json::Value(solver.dp_buf.objective_value));
+  body.set("version", json::Value(static_cast<double>(set.version)));
+  respond(p, ok_response(req.id, std::move(body)), true);
+}
+
+void Server::answer_sweep(Pending& p, const ProfileSet& set) {
+  const Request& req = p.req;
+  const std::size_t capacity =
+      req.capacity > 0 ? req.capacity : config_.capacity;
+
+  std::vector<std::uint32_t> selected;
+  if (req.programs.empty()) {
+    selected.resize(set.models.size());
+    std::iota(selected.begin(), selected.end(), 0u);
+  } else {
+    for (const std::string& name : req.programs) {
+      std::size_t idx = set.index_of(name);
+      if (idx == ProfileSet::npos) {
+        respond(p,
+                error_response(req.id, kCodeNotFound,
+                               "unknown program \"" + name + "\""),
+                false);
+        return;
+      }
+      selected.push_back(static_cast<std::uint32_t>(idx));
+    }
+    std::sort(selected.begin(), selected.end());
+    selected.erase(std::unique(selected.begin(), selected.end()),
+                   selected.end());
+  }
+  const std::size_t n = selected.size();
+  if (n == 0) {
+    respond(p,
+            error_response(req.id, kCodeNotFound, "no programs loaded"),
+            false);
+    return;
+  }
+  std::size_t k = req.group_size > 0 ? req.group_size
+                                     : std::min<std::size_t>(4, n);
+  if (k > n) {
+    respond(p,
+            error_response(req.id, kCodeBadRequest,
+                           "group_size " + std::to_string(k) +
+                               " exceeds program count " +
+                               std::to_string(n)),
+            false);
+    return;
+  }
+
+  std::vector<std::vector<std::uint32_t>> groups = all_subsets(
+      static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(k));
+  for (auto& group : groups)
+    for (std::uint32_t& member : group) member = selected[member];
+
+  SweepOptions options;
+  options.capacity = capacity;
+  options.threads = config_.threads;
+  if (p.deadline != Clock::time_point::max()) options.deadline = p.deadline;
+
+  // Throws SweepDeadlineExceeded past the deadline; process_batch maps
+  // that to 504.
+  std::vector<GroupEvaluation> sweep =
+      sweep_groups(set.models, groups, options);
+
+  json::Value improvement;
+  const Method baselines[] = {Method::kEqual, Method::kNatural,
+                              Method::kEqualBaseline,
+                              Method::kNaturalBaseline, Method::kSttw};
+  for (Method m : baselines) {
+    ImprovementStats stats = improvement_over(sweep, m);
+    json::Value row;
+    row.set("max", json::Value(stats.max));
+    row.set("avg", json::Value(stats.avg));
+    row.set("median", json::Value(stats.median));
+    row.set("frac_ge_10", json::Value(stats.frac_ge_10));
+    row.set("frac_ge_20", json::Value(stats.frac_ge_20));
+    improvement.set(method_name(m), std::move(row));
+  }
+
+  json::Value body;
+  body.set("groups", json::Value(static_cast<double>(groups.size())));
+  body.set("group_size", json::Value(static_cast<double>(k)));
+  body.set("capacity", json::Value(static_cast<double>(capacity)));
+  body.set("version", json::Value(static_cast<double>(set.version)));
+  body.set("improvement", std::move(improvement));
+  respond(p, ok_response(req.id, std::move(body)), true);
+}
+
+void Server::respond(Pending& p, const std::string& line, bool answered) {
+  p.conn->send_line(line);
+  OCPS_OBS_HIST("serve.request_ns",
+                static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - p.enqueued)
+                        .count()));
+  if (answered) {
+    counters_->answered.fetch_add(1);
+    OCPS_OBS_COUNT("serve.answered", 1);
+  }
+}
+
+}  // namespace ocps::serve

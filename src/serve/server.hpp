@@ -1,0 +1,213 @@
+// Resident partition-service daemon (`ocps serve`).
+//
+// The batch CLI reloads profiles and rebuilds the DP on every invocation;
+// a multi-tenant cache manager is instead deployed as a resident service
+// that answers allocation queries online (Memshare, LFOC). This module is
+// that layer: the daemon loads the workload suite's footprint/MRC
+// profiles once, keeps the PR 3 batch engine warm (one PrefixDpSolver on
+// the batching thread, the persistent ThreadPool for sweeps), and serves
+// `partition` / `sweep` / `health` / `reload` requests over a Unix domain
+// socket speaking line-delimited JSON (serve/protocol.hpp).
+//
+// Request flow and the failure ladder:
+//   * readers parse each line; malformed JSON → 400, never a crash;
+//   * solver requests enter a bounded queue — admission control: when the
+//     queue is full the request is shed immediately with 429 instead of
+//     growing the backlog (load-shedding beats unbounded latency);
+//   * the batching thread coalesces up to `max_batch` requests (waiting
+//     at most `linger` after the first), sorts them for DP prefix reuse,
+//     and answers each; per-request deadlines are honored cooperatively —
+//     checked before each solve and per group inside the sweep loop — and
+//     expired requests get 504;
+//   * `reload` builds a complete candidate profile set first — every file
+//     re-validated through the PR 1 sanitizer — and atomically swaps it
+//     in only when every profile is good; any bad profile rejects the
+//     whole reload with 422 and keeps the last-good set serving;
+//   * on SIGTERM (`request_stop()`) the daemon stops accepting, drains
+//     the queue answering every admitted request (zero in-flight loss),
+//     then exits.
+//
+// Observability (obs registry, docs/serving.md lists all fields):
+// serve.queue_depth gauge, serve.batch_size + serve.request_ns
+// histograms, counters serve.requests / serve.shed /
+// serve.deadline_exceeded / serve.malformed / serve.reloads /
+// serve.reload_rejected / serve.batches. `health` reads the same
+// numbers from the server's own atomics so it works with obs off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cost_matrix.hpp"
+#include "core/program_model.hpp"
+#include "serve/protocol.hpp"
+#include "util/result.hpp"
+
+namespace ocps::serve {
+
+/// Daemon knobs (CLI flags of `ocps serve` map 1:1 onto these).
+struct ServeConfig {
+  std::string socket_path;       ///< Unix socket path (required)
+  std::size_t capacity = 1024;   ///< default / maximum cache size in units
+  std::size_t max_batch = 64;    ///< max solver requests per batch
+  std::chrono::milliseconds linger{2};  ///< max wait to fill a batch
+  std::size_t queue_capacity = 256;     ///< admission-control bound
+  std::size_t threads = 0;       ///< sweep width (0 = auto, see SweepOptions)
+  double default_deadline_ms = 0.0;  ///< per-request default; 0 = none
+
+  /// Test seam: while *hold_batching is true the batching thread admits
+  /// requests into the queue but does not drain it, making queue-full and
+  /// deadline behaviour deterministic to test. Ignored during drain.
+  const std::atomic<bool>* hold_batching = nullptr;
+};
+
+/// Immutable snapshot of the profiles the daemon serves. Swapped
+/// atomically by `reload`; in-flight batches keep the set they started
+/// with via shared_ptr.
+struct ProfileSet {
+  std::vector<ProgramModel> models;
+  CostMatrix unit_costs;  ///< rate-weighted miss counts, capacity columns
+  std::uint64_t version = 0;
+
+  /// Index of the named program, or npos.
+  std::size_t index_of(const std::string& name) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Builds a profile set from models (validates against `capacity`).
+std::shared_ptr<const ProfileSet> make_profile_set(
+    std::vector<ProgramModel> models, std::size_t capacity,
+    std::uint64_t version);
+
+/// Loads + sanitizes one footprint file into a ProgramModel. Every
+/// failure (unreadable file, malformed header, knots the PR 1 sanitizer
+/// cannot repair) comes back as an Error — the reload path must never
+/// throw on operator input.
+Result<ProgramModel> load_profile(const std::string& path,
+                                  std::size_t capacity);
+
+/// The daemon. Construction validates config and profiles; start() binds
+/// the socket and spawns the accept/reader/batching threads; stop()
+/// drains and joins everything. A Server is single-use: once stopped it
+/// cannot be restarted.
+class Server {
+ public:
+  /// Throws CheckError on invalid config (empty socket path, zero
+  /// capacity/queue) — misconfiguration is a caller bug, unlike anything
+  /// arriving over the socket.
+  Server(ServeConfig config, std::vector<ProgramModel> models);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens on the socket and starts the service threads.
+  /// Returns an Error (kIoError) when the socket cannot be bound.
+  Result<bool> start();
+
+  /// Signals shutdown. Async-signal-safe (only stores an atomic): the
+  /// SIGTERM handler of `ocps serve` calls exactly this. Threads notice
+  /// within one poll interval (~50 ms) and begin the drain.
+  void request_stop() noexcept { stopping_.store(true); }
+
+  /// Blocks until request_stop() is observed and the drain completes,
+  /// then joins every thread and removes the socket file. Idempotent.
+  void stop();
+
+  /// Blocks until request_stop() has been called (the `ocps serve` main
+  /// thread parks here), without initiating the drain itself.
+  void wait_until_stop_requested() const;
+
+  bool stop_requested() const { return stopping_.load(); }
+  const ServeConfig& config() const { return config_; }
+
+  /// Requests currently admitted but not yet batched.
+  std::size_t queue_depth() const;
+
+  /// Current profile-set version (bumps on successful reload).
+  std::uint64_t profile_version() const;
+
+  /// Plain-data counters mirrored into the obs registry; `health`
+  /// responses are assembled from these so they work with obs off.
+  struct Counters {
+    std::uint64_t requests = 0;     ///< lines received (any op)
+    std::uint64_t answered = 0;     ///< solver requests answered ok
+    std::uint64_t shed = 0;         ///< 429 admission rejections
+    std::uint64_t deadline_exceeded = 0;  ///< 504 responses
+    std::uint64_t malformed = 0;    ///< 400 parse/validation failures
+    std::uint64_t batches = 0;      ///< solver batches executed
+    std::uint64_t reloads = 0;      ///< successful profile swaps
+    std::uint64_t reload_rejected = 0;  ///< 422 kept-last-good reloads
+  };
+  Counters counters() const;
+
+ private:
+  struct Connection;
+  struct SolverState;
+
+  /// One admitted solver request waiting in the batching queue.
+  struct Pending {
+    Request req;
+    std::shared_ptr<Connection> conn;
+    std::chrono::steady_clock::time_point enqueued;
+    /// time_point::max() when the request has no deadline.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void batch_loop();
+
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void handle_health(const std::shared_ptr<Connection>& conn,
+                     const Request& req);
+  void handle_reload(const std::shared_ptr<Connection>& conn,
+                     const Request& req);
+  void process_batch(std::vector<Pending>& batch, SolverState& solver);
+  void answer_partition(Pending& p,
+                        const std::shared_ptr<const ProfileSet>& profiles,
+                        SolverState& solver);
+  void answer_sweep(Pending& p, const ProfileSet& profiles);
+  void respond(Pending& p, const std::string& line, bool answered);
+
+  std::shared_ptr<const ProfileSet> profiles() const;
+
+  ServeConfig config_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> joined_{false};
+  /// Set by stop() once accept + readers are joined: nothing can enqueue
+  /// any more, so the batching thread may exit when the queue drains.
+  std::atomic<bool> producers_done_{false};
+
+  mutable std::mutex profiles_mutex_;
+  std::shared_ptr<const ProfileSet> profiles_;
+  std::mutex reload_mutex_;  ///< serializes reload requests
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> reader_threads_;
+
+  std::thread accept_thread_;
+  std::thread batch_thread_;
+
+  std::chrono::steady_clock::time_point started_at_;
+
+  struct AtomicCounters;
+  std::unique_ptr<AtomicCounters> counters_;
+};
+
+}  // namespace ocps::serve

@@ -103,7 +103,20 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
 }  // namespace
 
 void ArgParser::reject_unknown(const std::vector<std::string>& known) const {
+  reject_unknown(known, {});
+}
+
+void ArgParser::reject_unknown(
+    const std::vector<std::string>& known,
+    const std::map<std::string, std::string>& known_elsewhere) const {
   for (const std::string& bad : unknown_options(known)) {
+    // A flag that belongs to a different subcommand is not a typo; say
+    // where it applies instead of guessing at the nearest name.
+    auto elsewhere = known_elsewhere.find(bad);
+    if (elsewhere != known_elsewhere.end())
+      throw CheckError("option --" + bad +
+                       " is not accepted by this subcommand (valid for: " +
+                       elsewhere->second + ")");
     // Suggest the closest known flag, but only when it is plausibly a
     // typo: within 3 edits or sharing a 3+ character prefix.
     std::string best;
@@ -117,11 +130,10 @@ void ArgParser::reject_unknown(const std::vector<std::string>& known) const {
     }
     bool shares_prefix =
         !best.empty() && bad.size() >= 3 && best.compare(0, 3, bad, 0, 3) == 0;
-    if (!best.empty() && (best_dist <= 3 || shares_prefix)) {
-      OCPS_CHECK(false, "unknown option --" << bad << " (did you mean --"
-                                            << best << "?)");
-    }
-    OCPS_CHECK(false, "unknown option --" << bad);
+    if (!best.empty() && (best_dist <= 3 || shares_prefix))
+      throw CheckError("unknown option --" + bad + " (did you mean --" +
+                       best + "?)");
+    throw CheckError("unknown option --" + bad);
   }
 }
 

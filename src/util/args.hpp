@@ -42,6 +42,15 @@ class ArgParser {
   /// "did you mean --fault-rate?" instead of being silently ignored.
   void reject_unknown(const std::vector<std::string>& known) const;
 
+  /// Same, with routing for flags that exist on *other* subcommands:
+  /// `known_elsewhere` maps such a flag to a human-readable list of the
+  /// subcommands that accept it, so `ocps mrc --threads 4` fails with
+  /// "option --threads is not accepted by this subcommand (valid for:
+  /// sweep, serve, query)" instead of a nearest-typo guess.
+  void reject_unknown(
+      const std::vector<std::string>& known,
+      const std::map<std::string, std::string>& known_elsewhere) const;
+
  private:
   std::vector<std::string> positional_;
   std::map<std::string, std::string> options_;  // flag -> "" for booleans

@@ -1,0 +1,428 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace ocps::json {
+
+bool Value::as_bool() const {
+  OCPS_CHECK(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  OCPS_CHECK(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  OCPS_CHECK(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  OCPS_CHECK(is_array(), "JSON value is not an array");
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  OCPS_CHECK(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Value::get_number(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return (v && v->is_number()) ? v->number_ : fallback;
+}
+
+std::string Value::get_string(std::string_view key,
+                              const std::string& fallback) const {
+  const Value* v = find(key);
+  return (v && v->is_string()) ? v->string_ : fallback;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return (v && v->is_bool()) ? v->bool_ : fallback;
+}
+
+void Value::set(std::string key, Value v) {
+  if (is_null()) type_ = Type::kObject;
+  OCPS_CHECK(is_object(), "JSON set() on a non-object");
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  // Integers in the exactly-representable range print without a decimal
+  // point (protocol ids and counts stay integral on the wire).
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  // Shortest round-trip representation.
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  OCPS_CHECK(ec == std::errc(), "to_chars failed for double");
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: dump_number(number_, out); return;
+    case Type::kString: out += quote(string_); return;
+    case Type::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        array_[i].dump_to(out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += quote(object_[i].first);
+        out.push_back(':');
+        object_[i].second.dump_to(out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Never throws: every
+/// failure is reported through fail() and unwinds via the bool returns.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> run() {
+    Value v;
+    if (!parse_value(v, 0)) return Err(ErrorCode::kCorruptData, error_);
+    skip_ws();
+    if (pos_ != text_.size())
+      return Err(ErrorCode::kCorruptData,
+                 "trailing characters at offset " + std::to_string(pos_));
+    return Ok(std::move(v));
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty())
+      error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit)
+      return fail("invalid literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value& out, std::size_t depth) {
+    if (depth >= kMaxParseDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!parse_literal("null")) return false;
+        out = Value();
+        return true;
+      case 't':
+        if (!parse_literal("true")) return false;
+        out = Value(true);
+        return true;
+      case 'f':
+        if (!parse_literal("false")) return false;
+        out = Value(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Value(std::move(s));
+        return true;
+      }
+      case '[': return parse_array(out, depth);
+      case '{': return parse_object(out, depth);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_array(Value& out, std::size_t depth) {
+    ++pos_;  // '['
+    Array items;
+    skip_ws();
+    if (eat(']')) {
+      out = Value(std::move(items));
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      items.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) break;
+      if (!eat(',')) return fail("expected ',' or ']'");
+    }
+    out = Value(std::move(items));
+    return true;
+  }
+
+  bool parse_object(Value& out, std::size_t depth) {
+    ++pos_;  // '{'
+    Object members;
+    skip_ws();
+    if (eat('}')) {
+      out = Value(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) break;
+      if (!eat(',')) return fail("expected ',' or '}'");
+    }
+    out = Value(std::move(members));
+    return true;
+  }
+
+  bool append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp <= 0x7F) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7FF) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp <= 0xFFFF) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        return fail("bad \\u escape");
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a low surrogate continuation.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              return fail("lone high surrogate");
+            pos_ += 2;
+            std::uint32_t lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              return fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(Value& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    std::size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      digits = true;
+    }
+    if (digits && text_[int_start] == '0' && pos_ - int_start > 1) {
+      pos_ = start;
+      return fail("leading zero");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        digits = true;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      bool exp_digits = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) {
+        pos_ = start;
+        return fail("bad exponent");
+      }
+    }
+    if (!digits) {
+      pos_ = start;
+      return fail("invalid value");
+    }
+    double d = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      pos_ = start;
+      return fail("unparsable number");
+    }
+    out = Value(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace ocps::json

@@ -1,0 +1,106 @@
+// Minimal JSON value type, parser, and writer.
+//
+// The serve daemon speaks line-delimited JSON over a Unix socket
+// (src/serve), which makes malformed input expected runtime weather, not
+// a caller bug — so parsing returns Result<Value> (util/result.hpp)
+// instead of throwing, and the parser enforces a nesting-depth limit so a
+// hostile request cannot overflow the recursive descent. The writer is
+// the inverse: dump() emits compact RFC 8259 JSON with full string
+// escaping, and numbers round-trip through the shortest representation
+// that restores the double exactly.
+//
+// Deliberately small: no streaming, no comments, no NaN/Infinity
+// extensions (non-finite numbers serialize as null, matching
+// obs::write_metrics_json). Objects preserve insertion order and use
+// linear lookup — protocol messages have a handful of keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ocps::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Insertion-ordered key/value pairs; duplicate keys keep the first.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/// One JSON value (tagged union over the seven RFC 8259 kinds, with all
+/// numbers held as double).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Value(double d) : type_(Type::kNumber), number_(d) {}          // NOLINT
+  Value(int i) : type_(Type::kNumber), number_(i) {}             // NOLINT
+  Value(std::int64_t i)                                          // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Value(std::size_t u)                                           // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}     // NOLINT
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}  // NOLINT
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; OCPS_CHECK on kind mismatch (a mismatch is a caller
+  /// bug — protocol code must test the kind or use the get_* helpers).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Tolerant object getters: fallback when the key is absent or the
+  /// member has the wrong kind.
+  double get_number(std::string_view key, double fallback) const;
+  std::string get_string(std::string_view key,
+                         const std::string& fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Appends a member (object value only; OCPS_CHECKs the kind). `set`
+  /// on a default-constructed null turns it into an object first.
+  void set(std::string key, Value v);
+
+  /// Compact serialization. Non-finite numbers emit null.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Maximum array/object nesting the parser accepts.
+inline constexpr std::size_t kMaxParseDepth = 64;
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed;
+/// anything else after the value is an error). Errors come back as
+/// kCorruptData with a byte offset in the message.
+Result<Value> parse(std::string_view text);
+
+/// Escapes `s` as a JSON string literal, including the quotes.
+std::string quote(std::string_view s);
+
+}  // namespace ocps::json

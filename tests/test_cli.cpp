@@ -84,6 +84,38 @@ TEST(Args, RejectUnknownWithoutCloseMatchOmitsSuggestion) {
   }
 }
 
+TEST(Args, RejectUnknownMessagesAreClean) {
+  // The error must read like a CLI diagnostic, not an assertion dump.
+  ArgParser a = parse({"--fault-rat", "0.1"});
+  try {
+    a.reject_unknown({"fault-rate", "capacity"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    std::string msg = e.what();
+    EXPECT_EQ(msg.find("OCPS_CHECK"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("args.cpp"), std::string::npos) << msg;
+  }
+}
+
+TEST(Args, RejectUnknownRoutesFlagsKnownElsewhere) {
+  // A flag that belongs to another subcommand names where it applies
+  // instead of guessing at the nearest typo.
+  ArgParser a = parse({"--threads", "4"});
+  try {
+    a.reject_unknown({"capacity"}, {{"threads", "serve, sweep"}});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("--threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid for: serve, sweep"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+  }
+  // Flags in `known` are unaffected by the routing table.
+  ArgParser b = parse({"--capacity", "64"});
+  EXPECT_NO_THROW(
+      b.reject_unknown({"capacity"}, {{"threads", "serve, sweep"}}));
+}
+
 TEST(AddressTrace, ParsesDecimalAndHex) {
   Trace t = parse_address_trace("0\n64\n0x80\n64\n", 64);
   EXPECT_EQ(t.accesses, (std::vector<Block>{0, 1, 2, 1}));

@@ -66,9 +66,10 @@ TEST(BaselineMinAllocs, ThresholdsAreSufficientAndTight) {
     EXPECT_LE(g[i].mrc.ratio(mins[i]),
               g[i].mrc.ratio(equal[i]) + 1e-9);
     // Tight: one unit less would be worse (or min is 0).
-    if (mins[i] > 0)
+    if (mins[i] > 0) {
       EXPECT_GT(g[i].mrc.ratio(mins[i] - 1),
                 g[i].mrc.ratio(equal[i]) + 1e-12);
+    }
     // Never demands more than the baseline itself.
     EXPECT_LE(mins[i], equal[i]);
   }

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "util/config.hpp"
 #include "util/curve.hpp"
 #include "util/fenwick.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -284,6 +286,90 @@ TEST(Fenwick, OutOfRangeChecked) {
   Fenwick f(4);
   EXPECT_THROW(f.add(4, 1), CheckError);
   EXPECT_THROW(f.prefix(4), CheckError);
+}
+
+// --- util/json ------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  auto v = json::parse(
+      R"({"s":"hi","n":-2.5,"i":42,"b":true,"z":null,"a":[1,2,3],)"
+      R"("o":{"k":"v"}})");
+  ASSERT_TRUE(v.ok()) << v.error().to_string();
+  const json::Value& obj = v.value();
+  EXPECT_EQ(obj.get_string("s", ""), "hi");
+  EXPECT_DOUBLE_EQ(obj.get_number("n", 0.0), -2.5);
+  EXPECT_DOUBLE_EQ(obj.get_number("i", 0.0), 42.0);
+  EXPECT_TRUE(obj.get_bool("b", false));
+  ASSERT_NE(obj.find("z"), nullptr);
+  EXPECT_TRUE(obj.find("z")->is_null());
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("a")->as_array().size(), 3u);
+  ASSERT_NE(obj.find("o"), nullptr);
+  EXPECT_EQ(obj.find("o")->get_string("k", ""), "v");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").ok());
+  EXPECT_FALSE(json::parse("{").ok());
+  EXPECT_FALSE(json::parse("[1,]").ok());
+  EXPECT_FALSE(json::parse(R"({"a":1,})").ok());
+  EXPECT_FALSE(json::parse(R"({"a" 1})").ok());
+  EXPECT_FALSE(json::parse("[1] trailing").ok());
+  EXPECT_FALSE(json::parse("01").ok());      // leading zero
+  EXPECT_FALSE(json::parse("+1").ok());      // no leading plus in JSON
+  EXPECT_FALSE(json::parse("nul").ok());
+  EXPECT_FALSE(json::parse(R"("unterminated)").ok());
+  EXPECT_FALSE(json::parse("\"bad \x01 control\"").ok());
+}
+
+TEST(Json, DepthLimitStopsRecursion) {
+  std::string deep(json::kMaxParseDepth + 1, '[');
+  deep += std::string(json::kMaxParseDepth + 1, ']');
+  EXPECT_FALSE(json::parse(deep).ok());
+  std::string fine(json::kMaxParseDepth - 1, '[');
+  fine += std::string(json::kMaxParseDepth - 1, ']');
+  EXPECT_TRUE(json::parse(fine).ok());
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  auto v = json::parse(R"(["a\"b", "tab\there", "Aé€"])");
+  ASSERT_TRUE(v.ok()) << v.error().to_string();
+  const json::Array& a = v.value().as_array();
+  EXPECT_EQ(a[0].as_string(), "a\"b");
+  EXPECT_EQ(a[1].as_string(), "tab\there");
+  EXPECT_EQ(a[2].as_string(), "A\xc3\xa9\xe2\x82\xac");  // A é €
+  // Surrogate pair -> 4-byte UTF-8.
+  auto pair = json::parse(R"("😀")");
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair.value().as_string(), "\xf0\x9f\x98\x80");
+  // Lone surrogate is an error.
+  EXPECT_FALSE(json::parse(R"("\ud83d")").ok());
+}
+
+TEST(Json, DumpRoundTripsThroughParse) {
+  json::Value obj;
+  obj.set("name", json::Value(std::string("x\"y\n")));
+  obj.set("count", json::Value(3.0));
+  obj.set("ratio", json::Value(0.1));
+  obj.set("flag", json::Value(false));
+  json::Array arr;
+  arr.emplace_back(1.0);
+  arr.emplace_back(std::string("two"));
+  obj.set("arr", json::Value(std::move(arr)));
+  std::string text = obj.dump();
+  auto back = json::parse(text);
+  ASSERT_TRUE(back.ok()) << text;
+  EXPECT_EQ(back.value().get_string("name", ""), "x\"y\n");
+  EXPECT_DOUBLE_EQ(back.value().get_number("count", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(back.value().get_number("ratio", 0.0), 0.1);
+  // Integer-valued numbers print without a decimal point.
+  EXPECT_NE(text.find("\"count\":3"), std::string::npos);
+  // Insertion order is preserved.
+  EXPECT_LT(text.find("name"), text.find("count"));
+  // Non-finite numbers degrade to null rather than emitting bad JSON.
+  json::Value inf;
+  inf.set("v", json::Value(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(inf.dump(), R"({"v":null})");
 }
 
 }  // namespace

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Gate CI on bench_dp_speed regressions against the committed baseline.
+
+Compares a google-benchmark JSON output file (produced by
+``bench_dp_speed --benchmark_out=... --benchmark_out_format=json``)
+against ``BENCH_dp_speed.json``'s ``microbenchmarks_after_ms`` table and
+
+* **fails** (exit 1) when a gated benchmark — by default the batched-sweep
+  ones, the whole point of the PR 3 engine — is more than ``--threshold``
+  (default 25%) slower than its committed baseline, and
+* **degrades to warn-only** when the run looks noisy: with
+  ``--benchmark_repetitions`` the spread between a benchmark's fastest and
+  slowest repetition is computed, and if any gated benchmark's spread
+  exceeds ``--noise-threshold`` (default 10%) the runner is deemed too
+  noisy to gate hard — regressions are printed but the exit code stays 0.
+
+Absolute times move with the runner's CPU, so the gate also checks a
+machine-independent anchor: the *ratio* of the batched sweep to the
+per-group sweep. The committed baseline has batched ≈ 2× faster; if the
+measured ratio loses more than ``--threshold`` of that advantage, the
+batching engine itself regressed no matter how fast the runner is.
+
+Usage:
+    tools/check_bench_regression.py bench_dp_speed_ci.json \
+        [--baseline BENCH_dp_speed.json] [--threshold 0.25] \
+        [--noise-threshold 0.10] [--gate-prefix BM_GroupSweep]
+
+Only Python 3 stdlib is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+
+def normalise(run_name: str) -> str:
+    """Strips runtime-option suffixes (``/iterations:1``, ``/repeats:3``,
+    ``/real_time`` ...) so names match the baseline's plain keys."""
+    return re.sub(r"/(iterations|repeats|min_time|min_warmup_time"
+                  r"|process_time|real_time|manual_time)(:[^/]*)?", "",
+                  run_name)
+
+
+def load_measurements(path: str) -> tuple[dict[str, float], dict[str, float]]:
+    """Returns (mean ms per benchmark, max relative spread per benchmark).
+
+    With --benchmark_repetitions google-benchmark emits one entry per
+    repetition plus ``_mean``/``_median``/``_stddev`` aggregates; without,
+    a single entry per benchmark. Handles both. Times are normalised to
+    milliseconds.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+
+    unit_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+    reps: dict[str, list[float]] = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = normalise(entry.get("run_name", entry["name"]))
+        scale = unit_ms.get(entry.get("time_unit", "ns"))
+        if scale is None:
+            raise SystemExit(f"unknown time_unit in {path}: {entry}")
+        reps.setdefault(name, []).append(float(entry["real_time"]) * scale)
+
+    means = {name: sum(ts) / len(ts) for name, ts in reps.items()}
+    spreads = {}
+    for name, ts in reps.items():
+        lo, hi = min(ts), max(ts)
+        spreads[name] = (hi - lo) / lo if len(ts) > 1 and lo > 0 else 0.0
+    return means, spreads
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="google-benchmark JSON output")
+    parser.add_argument("--baseline", default="BENCH_dp_speed.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative slowdown that fails the gate")
+    parser.add_argument("--noise-threshold", type=float, default=0.10,
+                        help="repetition spread above which the gate "
+                             "only warns")
+    parser.add_argument("--gate-prefix", default="BM_GroupSweep",
+                        help="benchmarks whose regressions fail the build; "
+                             "others are reported informationally")
+    args = parser.parse_args()
+
+    with open(args.baseline, "r", encoding="utf-8") as f:
+        baseline = json.load(f)["microbenchmarks_after_ms"]
+
+    measured, spreads = load_measurements(args.results)
+
+    noisy = [name for name in measured
+             if name.startswith(args.gate_prefix)
+             and spreads.get(name, 0.0) > args.noise_threshold]
+    if noisy:
+        print(f"NOISY RUNNER: repetition spread exceeds "
+              f"{args.noise_threshold:.0%} for {', '.join(sorted(noisy))}; "
+              f"gate degraded to warn-only")
+
+    failures: list[str] = []
+    warnings: list[str] = []
+    print(f"{'benchmark':<40} {'baseline ms':>12} {'measured ms':>12} "
+          f"{'ratio':>7}")
+    for name in sorted(baseline):
+        base_ms = baseline[name]
+        if name not in measured:
+            warnings.append(f"{name}: missing from results (filtered run?)")
+            continue
+        ratio = measured[name] / base_ms
+        gated = name.startswith(args.gate_prefix)
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            msg = (f"{name}: {measured[name]:.3f} ms vs baseline "
+                   f"{base_ms:.3f} ms ({ratio:.2f}x)")
+            if gated:
+                failures.append(msg)
+                marker = "  <-- REGRESSION"
+            else:
+                warnings.append(msg)
+                marker = "  (ungated)"
+        print(f"{name:<40} {base_ms:>12.3f} {measured[name]:>12.3f} "
+              f"{ratio:>6.2f}x{marker}")
+
+    # Machine-independent anchor: batched must keep (most of) its edge
+    # over the per-group path measured on the same host, same run.
+    batched, pergroup = "BM_GroupSweepBatched/256", "BM_GroupSweepPerGroup/256"
+    if batched in measured and pergroup in measured \
+            and batched in baseline and pergroup in baseline:
+        base_ratio = baseline[batched] / baseline[pergroup]
+        run_ratio = measured[batched] / measured[pergroup]
+        print(f"{'batched/per-group ratio':<40} {base_ratio:>12.3f} "
+              f"{run_ratio:>12.3f}")
+        if run_ratio > base_ratio * (1.0 + args.threshold):
+            failures.append(
+                f"batched/per-group ratio {run_ratio:.3f} vs baseline "
+                f"{base_ratio:.3f}: the batching advantage itself regressed")
+
+    for msg in warnings:
+        print(f"WARN: {msg}")
+    if failures:
+        for msg in failures:
+            print(f"{'WARN' if noisy else 'FAIL'}: {msg}")
+        if noisy:
+            print("exit 0: noisy runner, regressions reported as warnings")
+            return 0
+        return 1
+    print("OK: no gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

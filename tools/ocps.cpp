@@ -11,6 +11,10 @@
 //             objectives
 //   simulate  address-trace files -> exact shared / equal / optimal
 //             partitioned LRU simulation (ground truth for small inputs)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -29,6 +33,8 @@
 #include "locality/footprint_io.hpp"
 #include "locality/phases.hpp"
 #include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "trace/generators.hpp"
 #include "trace/interleave.hpp"
 #include "trace/trace_io.hpp"
@@ -97,6 +103,28 @@ commands:
       --trace-out FILE      write a Chrome trace_event JSON of the run
                             (open in chrome://tracing or Perfetto)
       --metrics-out FILE    write a metrics-registry snapshot as JSON
+  serve <fp...>        run the resident partition-service daemon: loads the
+                       footprint profiles once, keeps the DP warm, answers
+                       line-delimited JSON over a Unix socket (see
+                       docs/serving.md); SIGTERM/SIGINT drain gracefully
+      --socket PATH    Unix domain socket path (required)
+      --capacity C     default / maximum cache size in blocks (1024)
+      --max-batch N    max solver requests coalesced per batch (64)
+      --linger-ms L    max wait to fill a batch, milliseconds (2)
+      --queue-cap N    admission bound; beyond it requests shed 429 (256)
+      --threads N      sweep threads; 0 = auto (0)
+      --deadline-ms D  default per-request deadline; 0 = none (0)
+  query                send one request to a running daemon and print the
+                       JSON response
+      --socket PATH    daemon socket path (required)
+      --op OP          partition | sweep | health | reload   (health)
+      --programs A,B   comma-separated program names (partition/sweep)
+      --paths a,b      comma-separated footprint files (reload)
+      --capacity C     cache size in blocks (0 = server default)
+      --objective O    sum | max                (sum)
+      --group-size K   sweep group size (0 = server default)
+      --deadline-ms D  per-request deadline (0 = server default)
+      --timeout-ms T   client-side wait for the response (30000)
   stats [trace...]     run the controller with full observability and
                        print the metrics registry (DP solve latency,
                        simulator counters, controller health). With no
@@ -498,6 +526,113 @@ int cmd_stats(const ArgParser& args) {
   return 0;
 }
 
+// The SIGTERM/SIGINT handler may only do async-signal-safe work;
+// Server::request_stop is a single atomic store, which qualifies.
+std::atomic<serve::Server*> g_server{nullptr};
+
+extern "C" void ocps_serve_signal_handler(int) {
+  if (serve::Server* s = g_server.load()) s->request_stop();
+}
+
+int cmd_serve(const ArgParser& args) {
+  obs::set_enabled(true);
+  serve::ServeConfig config;
+  config.socket_path = args.get_string("socket", "");
+  OCPS_CHECK(!config.socket_path.empty(), "serve needs --socket PATH");
+  config.capacity = static_cast<std::size_t>(args.get_int("capacity", 1024));
+  config.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 64));
+  config.linger = std::chrono::milliseconds(args.get_int("linger-ms", 2));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-cap", 256));
+  config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  config.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+
+  auto models = load_models(args, config.capacity);
+  serve::Server server(config, std::move(models));
+  g_server.store(&server);
+  std::signal(SIGTERM, ocps_serve_signal_handler);
+  std::signal(SIGINT, ocps_serve_signal_handler);
+
+  Result<bool> started = server.start();
+  if (!started.ok()) {
+    g_server.store(nullptr);
+    std::cerr << "error: " << started.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "serving " << args.positionals().size() - 1
+            << " program profiles on " << config.socket_path
+            << " (capacity " << config.capacity << ", max batch "
+            << config.max_batch << ", queue " << config.queue_capacity
+            << "); SIGTERM drains" << std::endl;
+
+  server.wait_until_stop_requested();
+  std::cout << "draining..." << std::endl;
+  server.stop();
+  g_server.store(nullptr);
+
+  serve::Server::Counters c = server.counters();
+  std::cout << "drained: " << c.requests << " requests, " << c.answered
+            << " answered, " << c.shed << " shed, " << c.deadline_exceeded
+            << " past deadline, " << c.malformed << " malformed, "
+            << c.batches << " batches, " << c.reloads << " reloads\n";
+  return 0;
+}
+
+int cmd_query(const ArgParser& args) {
+  std::string socket = args.get_string("socket", "");
+  OCPS_CHECK(!socket.empty(), "query needs --socket PATH");
+
+  json::Value req;
+  req.set("id", json::Value(1.0));
+  req.set("op", json::Value(args.get_string("op", "health")));
+  auto comma_list = [](const std::string& csv) {
+    json::Array out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+      std::size_t comma = csv.find(',', start);
+      if (comma == std::string::npos) comma = csv.size();
+      if (comma > start) out.emplace_back(csv.substr(start, comma - start));
+      start = comma + 1;
+    }
+    return out;
+  };
+  std::string programs = args.get_string("programs", "");
+  if (!programs.empty())
+    req.set("programs", json::Value(comma_list(programs)));
+  std::string paths = args.get_string("paths", "");
+  if (!paths.empty()) req.set("paths", json::Value(comma_list(paths)));
+  std::int64_t capacity = args.get_int("capacity", 0);
+  if (capacity > 0)
+    req.set("capacity", json::Value(static_cast<double>(capacity)));
+  if (args.has("objective"))
+    req.set("objective", json::Value(args.get_string("objective", "sum")));
+  std::int64_t group_size = args.get_int("group-size", 0);
+  if (group_size > 0)
+    req.set("group_size", json::Value(static_cast<double>(group_size)));
+  double deadline_ms = args.get_double("deadline-ms", 0.0);
+  if (deadline_ms > 0.0)
+    req.set("deadline_ms", json::Value(deadline_ms));
+
+  Result<serve::Client> client = serve::Client::connect(socket);
+  if (!client.ok()) {
+    std::cerr << "error: " << client.error().to_string() << "\n";
+    return 1;
+  }
+  Result<serve::Response> resp = client.value().call(
+      req, std::chrono::milliseconds(args.get_int("timeout-ms", 30000)));
+  if (!resp.ok()) {
+    std::cerr << "error: " << resp.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << resp.value().body.dump() << "\n";
+  if (!resp.value().ok) {
+    std::cerr << "error: daemon replied " << resp.value().code << ": "
+              << resp.value().error << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,11 +658,33 @@ int main(int argc, char** argv) {
       {"stats",
        {"capacity", "block-bytes", "binary", "epoch", "length", "trace-out",
         "metrics-out"}},
+      {"serve",
+       {"socket", "capacity", "max-batch", "linger-ms", "queue-cap",
+        "threads", "deadline-ms"}},
+      {"query",
+       {"socket", "op", "programs", "paths", "capacity", "objective",
+        "group-size", "deadline-ms", "timeout-ms"}},
   };
 
   try {
     auto known = known_flags.find(command);
-    if (known != known_flags.end()) args.reject_unknown(known->second);
+    if (known != known_flags.end()) {
+      // Flags that other subcommands accept get routed ("--threads is
+      // valid for: serve, sweep") instead of a nearest-typo guess.
+      std::map<std::string, std::string> known_elsewhere;
+      for (const auto& [other, flags] : known_flags) {
+        if (other == command) continue;
+        for (const std::string& flag : flags) {
+          if (std::find(known->second.begin(), known->second.end(), flag) !=
+              known->second.end())
+            continue;
+          std::string& commands = known_elsewhere[flag];
+          if (!commands.empty()) commands += ", ";
+          commands += other;
+        }
+      }
+      args.reject_unknown(known->second, known_elsewhere);
+    }
     if (command == "profile") return cmd_profile(args);
     if (command == "mrc") return cmd_mrc(args);
     if (command == "predict") return cmd_predict(args);
@@ -537,6 +694,8 @@ int main(int argc, char** argv) {
     if (command == "phases") return cmd_phases(args);
     if (command == "controller") return cmd_controller(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
     return usage();
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << "\n";
