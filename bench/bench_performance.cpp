@@ -49,7 +49,9 @@ int main() {
 
     // Direct ANTT optimization via slowdown cost curves.
     auto cost = slowdown_cost_curves(group, capacity, latency);
-    DpResult dp = optimize_partition(NestedCostAdapter(cost).view(), capacity);
+    DpResult dp =
+        optimize_partition(CostMatrix::from_rows(cost, capacity).view(),
+                           capacity);
     std::vector<double> mr(ptrs.size());
     for (std::size_t k = 0; k < ptrs.size(); ++k)
       mr[k] = ptrs[k]->mrc.ratio(dp.alloc[k]);

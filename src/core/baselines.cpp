@@ -84,18 +84,4 @@ DpResult optimize_natural_baseline(const CoRunGroup& group,
   return optimize_with_baseline(group, cost, capacity, baseline, scratch);
 }
 
-DpResult optimize_equal_baseline(const CoRunGroup& group,
-                                 const std::vector<std::vector<double>>& cost,
-                                 std::size_t capacity) {
-  NestedCostAdapter adapter(cost);
-  return optimize_equal_baseline(group, adapter.view(), capacity);
-}
-
-DpResult optimize_natural_baseline(
-    const CoRunGroup& group, const std::vector<std::vector<double>>& cost,
-    std::size_t capacity) {
-  NestedCostAdapter adapter(cost);
-  return optimize_natural_baseline(group, adapter.view(), capacity);
-}
-
 }  // namespace ocps

@@ -46,17 +46,4 @@ DpResult optimize_natural_baseline(const CoRunGroup& group,
                                    CostMatrixView cost, std::size_t capacity,
                                    DpScratch* scratch = nullptr);
 
-// Deprecated nested-vector shims; removed two PRs after introduction (see
-// CHANGES.md).
-
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-DpResult optimize_equal_baseline(const CoRunGroup& group,
-                                 const std::vector<std::vector<double>>& cost,
-                                 std::size_t capacity);
-
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-DpResult optimize_natural_baseline(
-    const CoRunGroup& group, const std::vector<std::vector<double>>& cost,
-    std::size_t capacity);
-
 }  // namespace ocps

@@ -18,16 +18,6 @@ CostMatrix CostMatrix::from_rows(
   return m;
 }
 
-NestedCostAdapter::NestedCostAdapter(
-    const std::vector<std::vector<double>>& rows) {
-  ptrs_.reserve(rows.size());
-  cols_ = rows.empty() ? 0 : rows.front().size();
-  for (const auto& row : rows) {
-    cols_ = std::min(cols_, row.size());
-    ptrs_.push_back(row.data());
-  }
-}
-
 CostMatrix weighted_cost_matrix(
     const std::vector<const MissRatioCurve*>& mrcs,
     const std::vector<double>& weights, std::size_t capacity) {

@@ -106,21 +106,6 @@ class CostMatrix {
   std::size_t cols_ = 0;
 };
 
-/// Non-owning adapter from legacy nested rows to a gathered view; owns
-/// only the row-pointer array. Lets vector<vector<double>> call sites use
-/// the view-based optimizers with zero copies while they migrate.
-class NestedCostAdapter {
- public:
-  explicit NestedCostAdapter(const std::vector<std::vector<double>>& rows);
-  CostMatrixView view() const {
-    return CostMatrixView(ptrs_.data(), ptrs_.size(), cols_);
-  }
-
- private:
-  std::vector<const double*> ptrs_;
-  std::size_t cols_ = 0;
-};
-
 /// Cost curves cost_i(c) = weight_i * mr_i(c) in flat storage. With
 /// weight_i = access-rate share this makes Σ cost the group miss ratio
 /// (Eq. 14's f_i weighting). Flat replacement for weighted_cost_curves.

@@ -300,65 +300,4 @@ DpResult optimize_partition_exhaustive(CostMatrixView cost,
   return best;
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated nested-vector shims.
-
-namespace {
-
-// Replicates the seed's per-row size error messages before viewing.
-void check_nested_rows(const std::vector<std::vector<double>>& cost,
-                       std::size_t capacity) {
-  for (std::size_t i = 0; i < cost.size(); ++i)
-    OCPS_CHECK(cost[i].size() >= capacity + 1,
-               "cost curve " << i << " shorter than capacity+1");
-}
-
-}  // namespace
-
-DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
-                            std::size_t capacity, const DpOptions& options) {
-  OCPS_CHECK(!cost.empty(), "need at least one program");
-  check_nested_rows(cost, capacity);
-  NestedCostAdapter adapter(cost);
-  return optimize_partition(adapter.view(), capacity, options);
-}
-
-Result<DpResult> try_optimize_partition(
-    const std::vector<std::vector<double>>& cost, std::size_t capacity,
-    const DpOptions& options) {
-  if (cost.empty())
-    return Err(ErrorCode::kInvalidArgument, "no cost curves given");
-  for (std::size_t i = 0; i < cost.size(); ++i)
-    if (cost[i].size() < capacity + 1)
-      return Err(ErrorCode::kInvalidArgument,
-                 "cost curve " + std::to_string(i) +
-                     " shorter than capacity+1");
-  NestedCostAdapter adapter(cost);
-  return try_optimize_partition(adapter.view(), capacity, options);
-}
-
-DpResult optimize_partition_exhaustive(
-    const std::vector<std::vector<double>>& cost, std::size_t capacity,
-    const DpOptions& options) {
-  OCPS_CHECK(!cost.empty(), "need at least one program");
-  check_nested_rows(cost, capacity);
-  NestedCostAdapter adapter(cost);
-  return optimize_partition_exhaustive(adapter.view(), capacity, options);
-}
-
-std::vector<std::vector<double>> weighted_cost_curves(
-    const std::vector<const MissRatioCurve*>& mrcs,
-    const std::vector<double>& weights, std::size_t capacity) {
-  OCPS_CHECK(mrcs.size() == weights.size(), "weights must parallel curves");
-  std::vector<std::vector<double>> cost(mrcs.size());
-  for (std::size_t i = 0; i < mrcs.size(); ++i) {
-    OCPS_CHECK(mrcs[i] != nullptr, "null curve at " << i);
-    OCPS_CHECK(weights[i] >= 0.0, "negative weight at " << i);
-    cost[i].resize(capacity + 1);
-    for (std::size_t c = 0; c <= capacity; ++c)
-      cost[i][c] = weights[i] * mrcs[i]->ratio(c);
-  }
-  return cost;
-}
-
 }  // namespace ocps

@@ -14,8 +14,9 @@
 // baseline-fairness constraints of §VI (see baselines.hpp) and any QoS
 // floor a caller wants.
 //
-// Cost curves are passed as a CostMatrixView (core/cost_matrix.hpp); the
-// nested-vector overloads are deprecated shims. Repeated solvers (the
+// Cost curves are passed as a CostMatrixView (core/cost_matrix.hpp);
+// build one with CostMatrix::from_rows when starting from nested
+// vectors. Repeated solvers (the
 // group sweep, the online controller) pass a DpScratch so the DP table
 // never reallocates between solves; core/batch_engine.hpp additionally
 // shares DP layers between solves whose program prefixes match.
@@ -96,34 +97,6 @@ Result<DpResult> try_optimize_partition(CostMatrixView cost,
 DpResult optimize_partition_exhaustive(CostMatrixView cost,
                                        std::size_t capacity,
                                        const DpOptions& options = {});
-
-// ---------------------------------------------------------------------------
-// Deprecated nested-vector shims (zero-copy: they view the nested rows).
-// Out-of-tree callers should migrate to CostMatrix / CostMatrixView; these
-// overloads will be removed two PRs after their introduction (see
-// CHANGES.md).
-
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-DpResult optimize_partition(const std::vector<std::vector<double>>& cost,
-                            std::size_t capacity,
-                            const DpOptions& options = {});
-
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-Result<DpResult> try_optimize_partition(
-    const std::vector<std::vector<double>>& cost, std::size_t capacity,
-    const DpOptions& options = {});
-
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-DpResult optimize_partition_exhaustive(
-    const std::vector<std::vector<double>>& cost, std::size_t capacity,
-    const DpOptions& options = {});
-
-/// Convenience: builds cost curves cost_i(c) = weight_i * mr_i(c) from
-/// miss-ratio curves (nested form).
-[[deprecated("use weighted_cost_matrix (core/cost_matrix.hpp)")]]
-std::vector<std::vector<double>> weighted_cost_curves(
-    const std::vector<const MissRatioCurve*>& mrcs,
-    const std::vector<double>& weights, std::size_t capacity);
 
 // ---------------------------------------------------------------------------
 // Internal: the forward-layer kernel, shared between the per-solve DP and

@@ -51,12 +51,4 @@ ElasticResult optimize_elastic(const CoRunGroup& group, CostMatrixView cost,
   return out;
 }
 
-ElasticResult optimize_elastic(const CoRunGroup& group,
-                               const std::vector<std::vector<double>>& cost,
-                               std::size_t capacity,
-                               const std::vector<ElasticDemand>& demands) {
-  NestedCostAdapter adapter(cost);
-  return optimize_elastic(group, adapter.view(), capacity, demands);
-}
-
 }  // namespace ocps

@@ -43,12 +43,4 @@ ElasticResult optimize_elastic(const CoRunGroup& group, CostMatrixView cost,
                                std::size_t capacity,
                                const std::vector<ElasticDemand>& demands);
 
-/// Deprecated nested-vector shim; removed two PRs after introduction (see
-/// CHANGES.md).
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-ElasticResult optimize_elastic(const CoRunGroup& group,
-                               const std::vector<std::vector<double>>& cost,
-                               std::size_t capacity,
-                               const std::vector<ElasticDemand>& demands);
-
 }  // namespace ocps

@@ -38,17 +38,6 @@ CostMatrix precompute_unit_cost_matrix(
   return cost;
 }
 
-std::vector<std::vector<double>> precompute_unit_costs(
-    const std::vector<ProgramModel>& programs, std::size_t capacity) {
-  std::vector<std::vector<double>> cost(programs.size());
-  for (std::size_t i = 0; i < programs.size(); ++i) {
-    cost[i].resize(capacity + 1);
-    for (std::size_t c = 0; c <= capacity; ++c)
-      cost[i][c] = programs[i].access_rate * programs[i].mrc.ratio(c);
-  }
-  return cost;
-}
-
 namespace {
 
 // Fills a MethodOutcome from an integer allocation using the solo MRCs.
@@ -338,20 +327,6 @@ ImprovementStats improvement_over(const std::vector<GroupEvaluation>& sweep,
   stats.frac_ge_10 = fraction_at_least(improvements, 0.10);
   stats.frac_ge_20 = fraction_at_least(improvements, 0.20);
   return stats;
-}
-
-// Deprecated shims.
-
-GroupEvaluation evaluate_group(
-    const std::vector<ProgramModel>& programs,
-    const std::vector<std::vector<double>>& unit_costs,
-    const std::vector<std::uint32_t>& members, const SweepOptions& options) {
-  for (std::uint32_t idx : members)
-    OCPS_CHECK(idx < unit_costs.size() &&
-                   unit_costs[idx].size() >= options.capacity + 1,
-               "unit cost row " << idx << " shorter than capacity+1");
-  NestedCostAdapter adapter(unit_costs);
-  return evaluate_group(programs, adapter.view(), members, options);
 }
 
 }  // namespace ocps

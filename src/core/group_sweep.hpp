@@ -121,16 +121,4 @@ struct ImprovementStats {
 ImprovementStats improvement_over(const std::vector<GroupEvaluation>& sweep,
                                   Method baseline);
 
-// Deprecated shims; removed two PRs after introduction (see CHANGES.md).
-
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-GroupEvaluation evaluate_group(
-    const std::vector<ProgramModel>& programs,
-    const std::vector<std::vector<double>>& unit_costs,
-    const std::vector<std::uint32_t>& members, const SweepOptions& options);
-
-[[deprecated("use precompute_unit_cost_matrix")]]
-std::vector<std::vector<double>> precompute_unit_costs(
-    const std::vector<ProgramModel>& programs, std::size_t capacity);
-
 }  // namespace ocps

@@ -33,14 +33,6 @@ DpResult optimize_with_qos(const CoRunGroup& group, CostMatrixView cost,
   return optimize_partition(cost, capacity, options);
 }
 
-DpResult optimize_with_qos(const CoRunGroup& group,
-                           const std::vector<std::vector<double>>& cost,
-                           std::size_t capacity,
-                           const std::vector<double>& qos_ceiling) {
-  NestedCostAdapter adapter(cost);
-  return optimize_with_qos(group, adapter.view(), capacity, qos_ceiling);
-}
-
 double jain_fairness_vs_equal(const CoRunGroup& group,
                               const std::vector<double>& per_program_mr,
                               std::size_t capacity) {

@@ -25,14 +25,6 @@ DpResult optimize_with_qos(const CoRunGroup& group, CostMatrixView cost,
                            std::size_t capacity,
                            const std::vector<double>& qos_ceiling);
 
-/// Deprecated nested-vector shim; removed two PRs after introduction (see
-/// CHANGES.md).
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-DpResult optimize_with_qos(const CoRunGroup& group,
-                           const std::vector<std::vector<double>>& cost,
-                           std::size_t capacity,
-                           const std::vector<double>& qos_ceiling);
-
 /// Jain's fairness index of per-program speedups relative to the equal
 /// partition: x_i = mr_i(equal_i) / mr_i(alloc_i) (>1 means better than
 /// equal). Index 1 = perfectly fair, 1/P = maximally unfair.

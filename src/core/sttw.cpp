@@ -101,14 +101,4 @@ SttwResult sttw_partition(CostMatrixView cost, std::size_t capacity,
   return result;
 }
 
-SttwResult sttw_partition(const std::vector<std::vector<double>>& cost,
-                          std::size_t capacity, SttwVariant variant) {
-  OCPS_CHECK(!cost.empty(), "need at least one program");
-  for (std::size_t i = 0; i < cost.size(); ++i)
-    OCPS_CHECK(cost[i].size() >= capacity + 1,
-               "cost curve " << i << " shorter than capacity+1");
-  NestedCostAdapter adapter(cost);
-  return sttw_partition(adapter.view(), capacity, variant);
-}
-
 }  // namespace ocps

@@ -45,11 +45,4 @@ struct SttwResult {
 SttwResult sttw_partition(CostMatrixView cost, std::size_t capacity,
                           SttwVariant variant = SttwVariant::kLocalDerivative);
 
-/// Deprecated nested-vector shim; removed two PRs after introduction (see
-/// CHANGES.md).
-[[deprecated("pass a CostMatrixView (core/cost_matrix.hpp)")]]
-SttwResult sttw_partition(const std::vector<std::vector<double>>& cost,
-                          std::size_t capacity,
-                          SttwVariant variant = SttwVariant::kLocalDerivative);
-
 }  // namespace ocps

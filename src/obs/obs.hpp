@@ -52,6 +52,7 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;  ///< 0 for instant events
   const char* arg_name = nullptr;  ///< optional numeric payload key
   std::uint64_t arg = 0;
+  std::uint64_t trace_id = 0;  ///< request correlation id (0 = none)
   std::uint32_t tid = 0;  ///< dense per-thread id (assigned on first use)
   bool instant = false;
 };
@@ -73,6 +74,7 @@ inline constexpr std::size_t kHistogramBuckets = 64;
 
 #include <array>
 #include <atomic>
+#include <mutex>
 
 namespace ocps::obs {
 
@@ -166,6 +168,42 @@ struct MetricsSnapshot {
   std::vector<HistogramSnapshot> histograms;
 };
 
+/// Estimates quantile q (in [0, 1]) from a log-bucketed snapshot by
+/// locating the bucket where the cumulative count crosses q*count and
+/// interpolating linearly inside it. With power-of-two buckets the
+/// estimate is off by at most the bucket width, i.e. within a factor of
+/// two of the true value (see docs/observability.md). Returns 0 for an
+/// empty histogram; the open-ended last bucket reports its lower bound.
+double histogram_quantile(const HistogramSnapshot& h, double q);
+
+/// Log-bucketed histogram over a sliding time window: per-second slot
+/// sub-histograms, expired slots dropped at observe/snapshot time, so a
+/// snapshot reflects only the last `window_seconds`. Guarded by a mutex —
+/// meant for request-rate paths (the serve daemon), not inner loops.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(unsigned window_seconds = 30);
+  ~WindowedHistogram();
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void observe(double v) noexcept;  ///< stamps with now_ns()
+  /// Merged snapshot of the in-window slots, stamped with now_ns().
+  HistogramSnapshot snapshot(const std::string& name = "") const;
+  unsigned window_seconds() const noexcept { return window_; }
+
+  /// Deterministic variants for tests: the caller supplies the clock.
+  void observe_at(double v, std::uint64_t now_ns) noexcept;
+  HistogramSnapshot snapshot_at(const std::string& name,
+                                std::uint64_t now_ns) const;
+
+ private:
+  struct Slot;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  unsigned window_;
+};
+
 /// Named metric lookup; creates on first use. Thread-safe. The returned
 /// references stay valid for the life of the process (reset_metrics()
 /// zeroes values but never destroys metrics).
@@ -188,6 +226,13 @@ void write_metrics_json(std::ostream& os);
 /// name starts with it are printed.
 void write_metrics_text(std::ostream& os, const std::string& prefix = "");
 
+/// Prometheus text exposition format 0.0.4. Metric names are sanitized
+/// (every character outside [a-zA-Z0-9_:] becomes '_', so `serve.shed`
+/// exports as `serve_shed`); histograms map to cumulative
+/// `_bucket{le="..."}` series (non-empty boundaries plus `+Inf`) with
+/// `_sum` and `_count`.
+void write_metrics_prometheus(std::ostream& os);
+
 /// RAII span: records a TraceEvent into the calling thread's ring buffer
 /// on destruction. Construction is a no-op when observability is off.
 class ScopedSpan {
@@ -199,6 +244,9 @@ class ScopedSpan {
 
   /// Attaches a numeric payload exported under args{} in Chrome JSON.
   void set_arg(const char* key, std::uint64_t value) noexcept;
+  /// Tags the span with a request correlation id; Chrome export links all
+  /// spans sharing a non-zero trace_id into one flow across threads.
+  void set_trace_id(std::uint64_t id) noexcept;
   /// Nanoseconds since construction (0 when observability is off).
   std::uint64_t elapsed_ns() const noexcept;
   /// True when the span is recording (observability was on at entry).
@@ -209,6 +257,7 @@ class ScopedSpan {
   const char* cat_ = nullptr;
   const char* arg_name_ = nullptr;
   std::uint64_t arg_ = 0;
+  std::uint64_t trace_id_ = 0;
   std::uint64_t start_ns_ = 0;
   bool active_ = false;
 };
@@ -318,11 +367,33 @@ inline MetricsSnapshot metrics_snapshot() { return {}; }
 inline void reset_metrics() {}
 void write_metrics_json(std::ostream& os);
 void write_metrics_text(std::ostream& os, const std::string& prefix = "");
+void write_metrics_prometheus(std::ostream& os);
+
+inline double histogram_quantile(const HistogramSnapshot&, double) {
+  return 0.0;
+}
+
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(unsigned window_seconds = 30)
+      : window_(window_seconds) {}
+  void observe(double) noexcept {}
+  HistogramSnapshot snapshot(const std::string& = "") const { return {}; }
+  unsigned window_seconds() const noexcept { return window_; }
+  void observe_at(double, std::uint64_t) noexcept {}
+  HistogramSnapshot snapshot_at(const std::string&, std::uint64_t) const {
+    return {};
+  }
+
+ private:
+  unsigned window_;
+};
 
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char*, const char* = "ocps") noexcept {}
   void set_arg(const char*, std::uint64_t) noexcept {}
+  void set_trace_id(std::uint64_t) noexcept {}
   std::uint64_t elapsed_ns() const noexcept { return 0; }
   bool active() const noexcept { return false; }
 };

@@ -31,6 +31,13 @@ std::uint64_t trace_epoch() {
 // tiny spinlock makes concurrent export (another thread scraping) safe
 // without ever contending on the hot path — the lock is uncontended
 // except during an export.
+// A full ring overwrites its oldest event; obs.spans_dropped counts every
+// such overwrite so a truncated trace export is detectable from metrics.
+Counter& spans_dropped_counter() {
+  static Counter& c = counter("obs.spans_dropped");
+  return c;
+}
+
 struct SpanRing {
   std::vector<TraceEvent> events;  // capacity kRingCapacity, ring storage
   std::size_t next = 0;            // ring write position
@@ -39,6 +46,7 @@ struct SpanRing {
   std::atomic_flag lock = ATOMIC_FLAG_INIT;
 
   void push(TraceEvent e) {
+    bool overwrote = false;
     while (lock.test_and_set(std::memory_order_acquire)) {
     }
     e.tid = tid;
@@ -46,10 +54,12 @@ struct SpanRing {
       events.push_back(e);
     } else {
       events[next] = e;
+      overwrote = true;
     }
     next = (next + 1) % kRingCapacity;
     ++total;
     lock.clear(std::memory_order_release);
+    if (overwrote) spans_dropped_counter().add(1);
   }
 
   void snapshot(std::vector<TraceEvent>* out) {
@@ -93,6 +103,7 @@ SpanRing& this_thread_ring() {
   thread_local std::shared_ptr<SpanRing> ring = [] {
     auto r = std::make_shared<SpanRing>();
     r->events.reserve(kRingCapacity);
+    spans_dropped_counter();  // register eagerly: scrapes always show it
     RingDirectory& d = directory();
     std::lock_guard<std::mutex> lock(d.mu);
     r->tid = d.next_tid++;
@@ -130,6 +141,7 @@ ScopedSpan::~ScopedSpan() {
   e.dur_ns = now_ns() - start_ns_;
   e.arg_name = arg_name_;
   e.arg = arg_;
+  e.trace_id = trace_id_;
   e.instant = false;
   this_thread_ring().push(e);
 }
@@ -138,6 +150,8 @@ void ScopedSpan::set_arg(const char* key, std::uint64_t value) noexcept {
   arg_name_ = key;
   arg_ = value;
 }
+
+void ScopedSpan::set_trace_id(std::uint64_t id) noexcept { trace_id_ = id; }
 
 std::uint64_t ScopedSpan::elapsed_ns() const noexcept {
   return active_ ? now_ns() - start_ns_ : 0;
@@ -202,10 +216,26 @@ void write_chrome_trace(std::ostream& os) {
     } else {
       os << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
     }
-    if (e.arg_name) {
-      os << ",\"args\":{\"";
-      escape(os, e.arg_name);
-      os << "\":" << e.arg << '}';
+    if (e.trace_id != 0) {
+      // Legacy flow-event linkage: viewers draw one connected tree for
+      // all events sharing a bind_id, across threads.
+      os << ",\"bind_id\":" << e.trace_id
+         << ",\"flow_in\":true,\"flow_out\":true";
+    }
+    if (e.arg_name || e.trace_id != 0) {
+      os << ",\"args\":{";
+      bool afirst = true;
+      if (e.arg_name) {
+        os << '"';
+        escape(os, e.arg_name);
+        os << "\":" << e.arg;
+        afirst = false;
+      }
+      if (e.trace_id != 0) {
+        if (!afirst) os << ',';
+        os << "\"trace_id\":" << e.trace_id;
+      }
+      os << '}';
     }
     os << '}';
   }
@@ -222,6 +252,7 @@ void write_text_timeline(std::ostream& os) {
     }
     os << " tid=" << e.tid << " " << (e.cat ? e.cat : "ocps") << "/"
        << e.name;
+    if (e.trace_id != 0) os << " trace_id=" << e.trace_id;
     if (e.arg_name) os << " " << e.arg_name << "=" << e.arg;
     os << "\n";
   }

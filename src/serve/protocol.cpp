@@ -10,6 +10,8 @@ const char* op_name(Op op) {
     case Op::kSweep: return "sweep";
     case Op::kHealth: return "health";
     case Op::kReload: return "reload";
+    case Op::kMetrics: return "metrics";
+    case Op::kSlowlog: return "slowlog";
   }
   return "?";
 }
@@ -62,6 +64,8 @@ Result<Request> parse_request(const std::string& line) {
   else if (op == "sweep") req.op = Op::kSweep;
   else if (op == "health") req.op = Op::kHealth;
   else if (op == "reload") req.op = Op::kReload;
+  else if (op == "metrics") req.op = Op::kMetrics;
+  else if (op == "slowlog") req.op = Op::kSlowlog;
   else
     return Err(ErrorCode::kInvalidArgument,
                op.empty() ? "missing \"op\"" : "unknown op \"" + op + "\"");
@@ -92,6 +96,10 @@ Result<Request> parse_request(const std::string& line) {
     return Err(ErrorCode::kInvalidArgument,
                "deadline_ms must be a non-negative number");
 
+  auto trace_id = size_field(obj, "trace_id", 0);
+  if (!trace_id.ok()) return trace_id.error();
+  req.trace_id = static_cast<std::uint64_t>(trace_id.value());
+
   switch (req.op) {
     case Op::kPartition:
       if (req.programs.empty())
@@ -105,9 +113,39 @@ Result<Request> parse_request(const std::string& line) {
       break;
     case Op::kSweep:
     case Op::kHealth:
+    case Op::kMetrics:
+    case Op::kSlowlog:
       break;
   }
   return Ok(std::move(req));
+}
+
+std::string encode_request(const Request& req) {
+  json::Value out;
+  out.set("id", json::Value(static_cast<double>(req.id)));
+  out.set("op", json::Value(op_name(req.op)));
+  if (!req.programs.empty()) {
+    json::Array programs;
+    programs.reserve(req.programs.size());
+    for (const std::string& name : req.programs) programs.emplace_back(name);
+    out.set("programs", json::Value(std::move(programs)));
+  }
+  if (!req.paths.empty()) {
+    json::Array paths;
+    paths.reserve(req.paths.size());
+    for (const std::string& path : req.paths) paths.emplace_back(path);
+    out.set("paths", json::Value(std::move(paths)));
+  }
+  if (req.capacity > 0)
+    out.set("capacity", json::Value(static_cast<double>(req.capacity)));
+  if (req.group_size > 0)
+    out.set("group_size", json::Value(static_cast<double>(req.group_size)));
+  if (req.objective != "sum") out.set("objective", json::Value(req.objective));
+  if (req.deadline_ms > 0.0)
+    out.set("deadline_ms", json::Value(req.deadline_ms));
+  if (req.trace_id != 0)
+    out.set("trace_id", json::Value(static_cast<double>(req.trace_id)));
+  return out.dump();
 }
 
 std::string error_response(std::int64_t id, int code,

@@ -14,6 +14,10 @@
 //   {"id":2,"op":"sweep","group_size":4,"capacity":512,"deadline_ms":500}
 //   {"id":3,"op":"health"}
 //   {"id":4,"op":"reload","paths":["profiles/a.fp","profiles/b.fp"]}
+//   {"id":5,"op":"metrics"}
+//   {"id":6,"op":"slowlog"}
+// Any request may carry "trace_id": a positive integer correlating the
+// daemon's spans for that request in the Chrome trace export.
 //
 // Responses: {"id":1,"ok":true,...} or
 //   {"id":1,"ok":false,"code":429,"error":"queue full"}.
@@ -34,6 +38,8 @@ enum class Op {
   kSweep,      ///< Table I-style sweep over every k-subset
   kHealth,     ///< daemon liveness + counters (answered inline)
   kReload,     ///< atomic profile-set swap (answered inline)
+  kMetrics,    ///< obs registry scrape (answered inline)
+  kSlowlog,    ///< top-K slowest requests (answered inline)
 };
 
 const char* op_name(Op op);
@@ -44,6 +50,7 @@ inline constexpr int kCodeNotFound = 404;          ///< unknown program name
 inline constexpr int kCodeQueueFull = 429;         ///< admission shed
 inline constexpr int kCodeUnprocessable = 422;     ///< rejected reload
 inline constexpr int kCodeInternal = 500;          ///< unexpected failure
+inline constexpr int kCodeObsDisabled = 501;       ///< obs off / compiled out
 inline constexpr int kCodeShuttingDown = 503;      ///< drain in progress
 inline constexpr int kCodeDeadlineExceeded = 504;  ///< deadline passed
 
@@ -57,11 +64,21 @@ struct Request {
   double deadline_ms = 0.0;           ///< 0 = server default (may be none)
   std::size_t group_size = 0;         ///< sweep: k (0 = min(4, #programs))
   std::vector<std::string> paths;     ///< reload: footprint files
+  /// Optional client-supplied correlation id: every span the daemon
+  /// records for this request is tagged with it, so the Chrome trace
+  /// export shows one connected tree per request across threads. 0 = off.
+  std::uint64_t trace_id = 0;
 };
 
 /// Decodes one request line. kCorruptData for syntactically bad JSON,
 /// kInvalidArgument for a well-formed object with bad fields.
 Result<Request> parse_request(const std::string& line);
+
+/// Serializes a request to one JSON line (no trailing newline), emitting
+/// only the fields relevant to the op plus trace_id when non-zero. This
+/// is the client-side twin of parse_request; `serve::Client` callers and
+/// `ocps query` go through it so trace ids propagate uniformly.
+std::string encode_request(const Request& req);
 
 /// Response builders; each returns one JSON line WITHOUT the trailing
 /// newline (the transport appends it).

@@ -14,6 +14,7 @@
 #include "serve/server.hpp"
 
 #include <errno.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -22,7 +23,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <numeric>
+#include <sstream>
 #include <unordered_set>
 #include <utility>
 
@@ -134,6 +137,61 @@ struct Server::Connection {
   }
 };
 
+// Daemon-side telemetry that is not a plain registry metric: the sliding
+// latency window behind the `serve.request_latency.window.*` gauges and
+// the bounded slow-request log behind the `slowlog` op. The log keeps the
+// K slowest requests seen so far (evicting the fastest entry), so a 504
+// spike hours ago stays attributable to its trace_id.
+struct Server::Telemetry {
+  struct SlowEntry {
+    std::uint64_t trace_id = 0;
+    std::int64_t id = 0;
+    Op op = Op::kPartition;
+    std::string objective;
+    std::size_t group = 0;  ///< partition: member count; sweep: group_size
+    double latency_ms = 0.0;
+    double deadline_slack_ms = 0.0;  ///< NaN when the request had no deadline
+    bool ok = false;
+  };
+
+  obs::WindowedHistogram window;
+  std::mutex mu;
+  std::vector<SlowEntry> entries;
+  std::size_t capacity;
+
+  Telemetry(unsigned window_s, std::size_t cap)
+      : window(window_s), capacity(cap) {
+    entries.reserve(cap);
+  }
+
+  void record(SlowEntry e) {
+    if (capacity == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (entries.size() < capacity) {
+      entries.push_back(std::move(e));
+      return;
+    }
+    std::size_t min_i = 0;  // K is small; a linear scan beats a heap here
+    for (std::size_t i = 1; i < entries.size(); ++i)
+      if (entries[i].latency_ms < entries[min_i].latency_ms) min_i = i;
+    if (e.latency_ms > entries[min_i].latency_ms)
+      entries[min_i] = std::move(e);
+  }
+
+  std::vector<SlowEntry> sorted() {
+    std::vector<SlowEntry> out;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      out = entries;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SlowEntry& a, const SlowEntry& b) {
+                return a.latency_ms > b.latency_ms;
+              });
+    return out;
+  }
+};
+
 // Warm DP state owned by the batching thread: one prefix-sharing solver
 // per objective, reconfigured only when the profile version or the
 // requested capacity changes. Holding the shared_ptr keeps the profile
@@ -176,6 +234,12 @@ Server::Server(ServeConfig config, std::vector<ProgramModel> models)
   OCPS_CHECK(config_.default_deadline_ms >= 0.0 &&
                  std::isfinite(config_.default_deadline_ms),
              "serve: default_deadline_ms must be finite and >= 0");
+  OCPS_CHECK(config_.metrics_port >= -1 && config_.metrics_port <= 65535,
+             "serve: metrics_port must be in [-1, 65535]");
+  OCPS_CHECK(config_.latency_window_s > 0,
+             "serve: latency_window_s must be positive");
+  telemetry_ = std::make_unique<Telemetry>(config_.latency_window_s,
+                                           config_.slowlog_capacity);
   profiles_ = make_profile_set(std::move(models), config_.capacity, 1);
 }
 
@@ -240,9 +304,48 @@ Result<bool> Server::start() {
                std::string("listen(): ") + std::strerror(err));
   }
 
+  // Optional Prometheus exposition listener, loopback only. -1 asks the
+  // kernel for an ephemeral port (tests); the bound port is read back.
+  if (config_.metrics_port != 0) {
+    auto fail = [&](const std::string& what) -> Result<bool> {
+      int err = errno;
+      if (http_fd_ >= 0) {
+        ::close(http_fd_);
+        http_fd_ = -1;
+      }
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::unlink(config_.socket_path.c_str());
+      return Err(ErrorCode::kIoError, what + ": " + std::strerror(err));
+    };
+    http_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (http_fd_ < 0) return fail("metrics socket()");
+    int one = 1;
+    ::setsockopt(http_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in http_addr{};
+    http_addr.sin_family = AF_INET;
+    http_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    http_addr.sin_port =
+        htons(config_.metrics_port > 0
+                  ? static_cast<std::uint16_t>(config_.metrics_port)
+                  : 0);
+    if (::bind(http_fd_, reinterpret_cast<sockaddr*>(&http_addr),
+               sizeof(http_addr)) != 0)
+      return fail("metrics bind(127.0.0.1:" +
+                  std::to_string(config_.metrics_port) + ")");
+    if (::listen(http_fd_, 16) != 0) return fail("metrics listen()");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(http_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0)
+      return fail("metrics getsockname()");
+    http_port_.store(ntohs(bound.sin_port));
+  }
+
   started_at_ = Clock::now();
   accept_thread_ = std::thread([this] { accept_loop(); });
   batch_thread_ = std::thread([this] { batch_loop(); });
+  if (http_fd_ >= 0) http_thread_ = std::thread([this] { http_loop(); });
   return Ok(true);
 }
 
@@ -250,8 +353,14 @@ void Server::stop() {
   stopping_.store(true);
   if (!started_.load() || joined_.exchange(true)) return;
 
-  // 1. No new connections.
+  // 1. No new connections (the metrics listener is independent of the
+  // request pipeline, so it goes down in the same phase).
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (http_thread_.joinable()) http_thread_.join();
+  if (http_fd_ >= 0) {
+    ::close(http_fd_);
+    http_fd_ = -1;
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -368,12 +477,105 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
 }
 
 // ---------------------------------------------------------------------------
+// Prometheus HTTP listener. One short-lived connection per scrape,
+// handled serially: a scrape every few seconds is the design load, and a
+// stalled scraper can block no one but the next scraper.
+
+void Server::http_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{http_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;
+    int fd = ::accept4(http_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    handle_http_client(fd);
+    ::close(fd);
+  }
+}
+
+void Server::handle_http_client(int fd) {
+  // Read the request head; scrapers send tiny GETs, so bound everything.
+  std::string head;
+  Clock::time_point give_up = Clock::now() + std::chrono::seconds(2);
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (Clock::now() >= give_up || head.size() > 8192 || stopping_.load())
+      return;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kPollMs) <= 0) continue;
+    char chunk[1024];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return;
+    }
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  std::istringstream request(head);
+  std::string method, path;
+  request >> method >> path;
+
+  auto send_all = [&](const std::string& data) {
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  };
+  auto reply = [&](const char* status, const char* content_type,
+                   const std::string& body) {
+    std::ostringstream os;
+    os << "HTTP/1.1 " << status << "\r\nContent-Type: " << content_type
+       << "\r\nContent-Length: " << body.size()
+       << "\r\nConnection: close\r\n\r\n"
+       << body;
+    send_all(os.str());
+  };
+
+  if (method != "GET") {
+    reply("405 Method Not Allowed", "text/plain; charset=utf-8",
+          "only GET is supported\n");
+    return;
+  }
+  if (path != "/metrics" && path != "/") {
+    reply("404 Not Found", "text/plain; charset=utf-8",
+          "unknown path; scrape /metrics\n");
+    return;
+  }
+  if (!obs::enabled()) {
+    // Explicit status instead of an empty page: with obs off (or the
+    // layer compiled out) there is nothing to expose, and a scraper
+    // should see that as a config problem, not an idle daemon.
+    reply("501 Not Implemented", "text/plain; charset=utf-8",
+          "observability disabled (run ocps serve, or set OCPS_OBS=1)\n");
+    return;
+  }
+  refresh_latency_gauges();
+  std::ostringstream text;
+  obs::write_metrics_prometheus(text);
+  reply("200 OK", "text/plain; version=0.0.4; charset=utf-8", text.str());
+}
+
+// ---------------------------------------------------------------------------
 // Request admission.
 
 void Server::handle_line(const std::shared_ptr<Connection>& conn,
                          const std::string& line) {
   counters_->requests.fetch_add(1);
   OCPS_OBS_COUNT("serve.requests", 1);
+
+  // Admission span on the reader thread; tagged with the client's
+  // trace_id so the export links it to the solve span on the batching
+  // thread into one per-request tree.
+  obs::ScopedSpan admit("serve.admit", "serve");
 
   Result<Request> parsed = parse_request(line);
   if (!parsed.ok()) {
@@ -384,6 +586,8 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     return;
   }
   Request req = std::move(parsed.value());
+  admit.set_trace_id(req.trace_id);
+  admit.set_arg("id", static_cast<std::uint64_t>(req.id));
 
   if (req.capacity > config_.capacity) {
     counters_->malformed.fetch_add(1);
@@ -401,6 +605,12 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       return;
     case Op::kReload:
       handle_reload(conn, req);
+      return;
+    case Op::kMetrics:
+      handle_metrics(conn, req);
+      return;
+    case Op::kSlowlog:
+      handle_slowlog(conn, req);
       return;
     case Op::kPartition:
     case Op::kSweep:
@@ -523,6 +733,87 @@ void Server::handle_reload(const std::shared_ptr<Connection>& conn,
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry ops (answered inline, like health).
+
+void Server::refresh_latency_gauges() {
+  obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  const obs::HistogramSnapshot* lifetime = nullptr;
+  for (const auto& h : snap.histograms)
+    if (h.name == "serve.request_latency") {
+      lifetime = &h;
+      break;
+    }
+  obs::HistogramSnapshot empty;
+  const obs::HistogramSnapshot& life = lifetime ? *lifetime : empty;
+  obs::HistogramSnapshot window =
+      telemetry_->window.snapshot("serve.request_latency.window");
+
+  // Derived gauges exist from the first scrape (value 0 before traffic)
+  // so dashboards and the CI format checker see a stable series set.
+  static constexpr double kQ[] = {0.5, 0.95, 0.99};
+  static constexpr const char* kName[] = {"p50", "p95", "p99"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    obs::gauge(std::string("serve.request_latency.") + kName[i])
+        .set(obs::histogram_quantile(life, kQ[i]));
+    obs::gauge(std::string("serve.request_latency.window.") + kName[i])
+        .set(obs::histogram_quantile(window, kQ[i]));
+  }
+  obs::gauge("serve.latency_window_s")
+      .set(static_cast<double>(config_.latency_window_s));
+}
+
+void Server::handle_metrics(const std::shared_ptr<Connection>& conn,
+                            const Request& req) {
+  if (!obs::enabled()) {
+    conn->send_line(error_response(
+        req.id, kCodeObsDisabled,
+        "observability disabled (compiled out or OCPS_OBS unset)"));
+    return;
+  }
+  refresh_latency_gauges();
+  std::ostringstream prom;
+  obs::write_metrics_prometheus(prom);
+  std::ostringstream js;
+  obs::write_metrics_json(js);
+  Result<json::Value> metrics = json::parse(js.str());
+
+  json::Value body;
+  body.set("version",
+           json::Value(static_cast<double>(profile_version())));
+  body.set("uptime_ms", json::Value(ms_since(started_at_, Clock::now())));
+  body.set("window_s",
+           json::Value(static_cast<double>(config_.latency_window_s)));
+  if (metrics.ok()) body.set("metrics", std::move(metrics.value()));
+  body.set("prometheus", json::Value(prom.str()));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Server::handle_slowlog(const std::shared_ptr<Connection>& conn,
+                            const Request& req) {
+  // The slow log is server-owned state, not an obs metric: it answers
+  // even with the obs layer off (unlike `metrics`).
+  json::Value body;
+  body.set("capacity",
+           json::Value(static_cast<double>(config_.slowlog_capacity)));
+  json::Array rows;
+  for (const Telemetry::SlowEntry& e : telemetry_->sorted()) {
+    json::Value row;
+    row.set("trace_id", json::Value(static_cast<double>(e.trace_id)));
+    row.set("id", json::Value(static_cast<double>(e.id)));
+    row.set("op", json::Value(op_name(e.op)));
+    row.set("objective", json::Value(e.objective));
+    row.set("groups", json::Value(static_cast<double>(e.group)));
+    row.set("latency_ms", json::Value(e.latency_ms));
+    // NaN (no deadline) serializes as null.
+    row.set("deadline_slack_ms", json::Value(e.deadline_slack_ms));
+    row.set("ok", json::Value(e.ok));
+    rows.push_back(std::move(row));
+  }
+  body.set("slowlog", json::Value(std::move(rows)));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+// ---------------------------------------------------------------------------
 // Batching thread.
 
 void Server::batch_loop() {
@@ -602,6 +893,12 @@ void Server::process_batch(std::vector<Pending>& batch,
 
   for (std::size_t idx : order) {
     Pending& p = batch[idx];
+    // Solve span on the batching thread: second leg of the per-request
+    // tree started by serve.admit on the reader thread (same trace_id).
+    obs::ScopedSpan req_span(
+        p.req.op == Op::kPartition ? "serve.solve" : "serve.sweep", "serve");
+    req_span.set_trace_id(p.req.trace_id);
+    req_span.set_arg("id", static_cast<std::uint64_t>(p.req.id));
     if (Clock::now() > p.deadline) {
       counters_->deadline_exceeded.fetch_add(1);
       OCPS_OBS_COUNT("serve.deadline_exceeded", 1);
@@ -786,11 +1083,33 @@ void Server::answer_sweep(Pending& p, const ProfileSet& set) {
 
 void Server::respond(Pending& p, const std::string& line, bool answered) {
   p.conn->send_line(line);
-  OCPS_OBS_HIST("serve.request_ns",
-                static_cast<double>(
-                    std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        Clock::now() - p.enqueued)
-                        .count()));
+  Clock::time_point now = Clock::now();
+  double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - p.enqueued)
+          .count());
+  OCPS_OBS_HIST("serve.request_ns", ns);
+  double ms = ns / 1e6;
+  // Milliseconds twin of request_ns: the log-bucket resolution (factor
+  // of two) is what the exposition quantiles work from, and ms buckets
+  // read naturally on a dashboard.
+  OCPS_OBS_HIST("serve.request_latency", ms);
+  if (obs::enabled()) telemetry_->window.observe(ms);
+
+  Telemetry::SlowEntry entry;
+  entry.trace_id = p.req.trace_id;
+  entry.id = p.req.id;
+  entry.op = p.req.op;
+  entry.objective = p.req.objective;
+  entry.group = p.req.op == Op::kPartition ? p.req.programs.size()
+                                           : p.req.group_size;
+  entry.latency_ms = ms;
+  entry.deadline_slack_ms =
+      p.deadline == Clock::time_point::max()
+          ? std::numeric_limits<double>::quiet_NaN()
+          : ms_since(now, p.deadline);
+  entry.ok = answered;
+  telemetry_->record(std::move(entry));
+
   if (answered) {
     counters_->answered.fetch_add(1);
     OCPS_OBS_COUNT("serve.answered", 1);

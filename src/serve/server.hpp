@@ -63,6 +63,17 @@ struct ServeConfig {
   std::size_t threads = 0;       ///< sweep width (0 = auto, see SweepOptions)
   double default_deadline_ms = 0.0;  ///< per-request default; 0 = none
 
+  /// Prometheus exposition over HTTP on 127.0.0.1. 0 = no listener;
+  /// a positive value binds that port; -1 binds an ephemeral port (tests
+  /// read the actual one back via Server::bound_metrics_port()).
+  int metrics_port = 0;
+  /// Slow-request log size: the K slowest answered/expired requests kept
+  /// for the `slowlog` op. 0 disables the log.
+  std::size_t slowlog_capacity = 32;
+  /// Sliding window, in seconds, for the `serve.request_latency.window.*`
+  /// percentile gauges.
+  unsigned latency_window_s = 30;
+
   /// Test seam: while *hold_batching is true the batching thread admits
   /// requests into the queue but does not drain it, making queue-full and
   /// deadline behaviour deterministic to test. Ignored during drain.
@@ -128,6 +139,10 @@ class Server {
   bool stop_requested() const { return stopping_.load(); }
   const ServeConfig& config() const { return config_; }
 
+  /// Port the Prometheus HTTP listener actually bound (relevant when the
+  /// config asked for an ephemeral port); 0 when the listener is off.
+  int bound_metrics_port() const { return http_port_.load(); }
+
   /// Requests currently admitted but not yet batched.
   std::size_t queue_depth() const;
 
@@ -164,6 +179,8 @@ class Server {
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
   void batch_loop();
+  void http_loop();
+  void handle_http_client(int fd);
 
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
@@ -171,6 +188,13 @@ class Server {
                      const Request& req);
   void handle_reload(const std::shared_ptr<Connection>& conn,
                      const Request& req);
+  void handle_metrics(const std::shared_ptr<Connection>& conn,
+                      const Request& req);
+  void handle_slowlog(const std::shared_ptr<Connection>& conn,
+                      const Request& req);
+  /// Recomputes the derived p50/p95/p99 gauges (lifetime and windowed)
+  /// from the latency histograms; called before every scrape.
+  void refresh_latency_gauges();
   void process_batch(std::vector<Pending>& batch, SolverState& solver);
   void answer_partition(Pending& p,
                         const std::shared_ptr<const ProfileSet>& profiles,
@@ -204,10 +228,18 @@ class Server {
   std::thread accept_thread_;
   std::thread batch_thread_;
 
+  int http_fd_ = -1;
+  std::atomic<int> http_port_{0};
+  std::thread http_thread_;
+
   std::chrono::steady_clock::time_point started_at_;
 
   struct AtomicCounters;
   std::unique_ptr<AtomicCounters> counters_;
+
+  /// Windowed latency histogram + slow-request log (see server.cpp).
+  struct Telemetry;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace ocps::serve

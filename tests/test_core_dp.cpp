@@ -206,34 +206,28 @@ TEST(Dp, GatheredViewMatchesContiguous) {
   EXPECT_EQ(a.objective_value, b.objective_value);
 }
 
-// The nested-vector shims stay until their announced removal; pin their
-// behavior (delegation to the view-based optimizers) meanwhile.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Dp, DeprecatedNestedOverloadsAgree) {
-  std::vector<std::vector<double>> nested = {
-      {1.0, 0.99, 0.98, 0.97},
-      {1.0, 1.0, 1.0, 0.0},
-  };
-  DpResult shim = optimize_partition(nested, 3);
-  DpResult flat = optimize_partition(make_cost(nested).view(), 3);
-  ASSERT_TRUE(shim.feasible);
-  EXPECT_EQ(shim.alloc, flat.alloc);
-  EXPECT_EQ(shim.objective_value, flat.objective_value);
-
+// CostMatrix::from_rows is the migration path for nested-vector callers
+// (the deprecated shims were removed as announced); pin its semantics.
+TEST(Dp, FromRowsMatchesWeightedCostMatrix) {
   MissRatioCurve a({1.0, 0.5, 0.25}, 100);
   MissRatioCurve b({1.0, 0.8, 0.6}, 100);
-  auto curves = weighted_cost_curves({&a, &b}, {2.0, 1.0}, 2);
   CostMatrix matrix = weighted_cost_matrix({&a, &b}, {2.0, 1.0}, 2);
-  for (std::size_t i = 0; i < curves.size(); ++i)
-    for (std::size_t c = 0; c < curves[i].size(); ++c)
-      EXPECT_EQ(curves[i][c], matrix(i, c));
+  std::vector<std::vector<double>> nested(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const MissRatioCurve& mrc = i == 0 ? a : b;
+    double w = i == 0 ? 2.0 : 1.0;
+    for (std::size_t c = 0; c <= 2; ++c)
+      nested[i].push_back(w * mrc.ratio(c));
+  }
+  CostMatrix from_rows = CostMatrix::from_rows(nested, 2);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t c = 0; c <= 2; ++c)
+      EXPECT_EQ(from_rows(i, c), matrix(i, c));
 
-  SttwResult shim_sttw = sttw_partition(nested, 3);
-  SttwResult flat_sttw = sttw_partition(make_cost(nested).view(), 3);
-  EXPECT_EQ(shim_sttw.alloc, flat_sttw.alloc);
+  // Rows longer than capacity+1 are truncated, shorter ones rejected.
+  EXPECT_NO_THROW(CostMatrix::from_rows({{1.0, 0.5, 0.2, 0.1}}, 2));
+  EXPECT_THROW(CostMatrix::from_rows({{1.0, 0.5}}, 2), CheckError);
 }
-#pragma GCC diagnostic pop
 
 TEST(Sttw, EqualsDpOnConvexCurves) {
   // Strictly convex curves: the greedy is provably optimal — in both

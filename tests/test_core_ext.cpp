@@ -60,7 +60,8 @@ TEST(Performance, SlowdownCostCurvesDriveTheDp) {
   ProgramModel b = model_of("b", make_cyclic(30000, 120), 1.0, 200);
   CoRunGroup g({&a, &b});
   auto cost = slowdown_cost_curves(g, 200);
-  DpResult dp = optimize_partition(NestedCostAdapter(cost).view(), 200);
+  DpResult dp =
+      optimize_partition(CostMatrix::from_rows(cost, 200).view(), 200);
   ASSERT_TRUE(dp.feasible);
   EXPECT_EQ(dp.alloc[0] + dp.alloc[1], 200u);
   EXPECT_GE(dp.objective_value, 2.0 - 1e-9);

@@ -147,13 +147,16 @@ TEST(TryOptimize, MatchesThrowingEntryPointOnCleanInput) {
 TEST(TryOptimize, ErrorsInsteadOfThrowing) {
   std::vector<std::vector<double>> nan_cost = {{1.0, kNaN, 0.2}};
   Result<DpResult> corrupt =
-      try_optimize_partition(NestedCostAdapter(nan_cost).view(), 2);
+      try_optimize_partition(CostMatrix::from_rows(nan_cost, 2).view(), 2);
   ASSERT_FALSE(corrupt.ok());
   EXPECT_EQ(corrupt.error().code, ErrorCode::kCorruptData);
 
-  std::vector<std::vector<double>> short_cost = {{1.0, 0.5}};
-  Result<DpResult> truncated =
-      try_optimize_partition(NestedCostAdapter(short_cost).view(), 5);
+  // A view narrower than capacity+1 must come back as an error value, not
+  // unwind through the DP.
+  std::vector<double> short_row = {1.0, 0.5};
+  const double* short_rows[] = {short_row.data()};
+  Result<DpResult> truncated = try_optimize_partition(
+      CostMatrixView(short_rows, 1, short_row.size()), 5);
   ASSERT_FALSE(truncated.ok());
   EXPECT_EQ(truncated.error().code, ErrorCode::kInvalidArgument);
 

@@ -15,6 +15,7 @@
 #include "runtime/controller.hpp"
 #include "trace/generators.hpp"
 #include "trace/interleave.hpp"
+#include "util/json.hpp"
 
 namespace ocps {
 namespace {
@@ -398,6 +399,216 @@ TEST_F(ObsTest, ControllerEmitsOneSpanPerEpochStage) {
   EXPECT_EQ(applies, epochs);
   EXPECT_EQ(obs::counter("controller.epochs").value(), epochs);
   EXPECT_GT(obs::histogram("dp.solve_ns").count(), 0u);
+}
+
+// ------------------------------------------- quantiles & exposition
+
+TEST_F(ObsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  // 100 observations of 3.0 all land in bucket [2, 4): the median
+  // interpolates to the bucket midpoint, p100 to the upper bound.
+  obs::HistogramSnapshot h;
+  h.count = 100;
+  h.buckets = {{obs::Histogram::bucket_index(3.0), 100}};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 1.0), 4.0);
+
+  // 50 in [1, 2) + 50 in [2, 4): the crossing walks the cumulative
+  // counts and interpolates inside the crossing bucket only.
+  obs::HistogramSnapshot two;
+  two.count = 100;
+  two.buckets = {{1, 50}, {2, 50}};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(two, 0.25), 1.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(two, 0.75), 3.0);
+
+  // The log-bucket guarantee: the estimate is within a factor of 2 of
+  // any true value inside the crossing bucket.
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    double est = obs::histogram_quantile(two, q);
+    EXPECT_GE(est, 1.0);
+    EXPECT_LE(est, 4.0);
+  }
+}
+
+TEST_F(ObsTest, HistogramQuantileEdgeCases) {
+  obs::HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+
+  // Bucket 0 holds v < 1; its lower bound is reported as 0 so sub-unit
+  // latencies do not all flatten to 1.
+  obs::HistogramSnapshot tiny;
+  tiny.count = 10;
+  tiny.buckets = {{0, 10}};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(tiny, 0.5), 0.5);
+
+  // The last bucket is open-ended: clamp to its lower bound instead of
+  // interpolating toward infinity.
+  obs::HistogramSnapshot top;
+  top.count = 4;
+  top.buckets = {{obs::kHistogramBuckets - 1, 4}};
+  EXPECT_DOUBLE_EQ(
+      obs::histogram_quantile(top, 0.99),
+      obs::Histogram::bucket_lower_bound(obs::kHistogramBuckets - 1));
+
+  // Out-of-range q clamps rather than extrapolating.
+  obs::HistogramSnapshot one;
+  one.count = 1;
+  one.buckets = {{1, 1}};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(one, -3.0),
+                   obs::histogram_quantile(one, 0.0));
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(one, 7.0),
+                   obs::histogram_quantile(one, 1.0));
+}
+
+TEST_F(ObsTest, WindowedHistogramForgetsOldSeconds) {
+  constexpr std::uint64_t kSec = 1000000000ULL;
+  obs::WindowedHistogram w(/*window_seconds=*/3);
+  EXPECT_EQ(w.window_seconds(), 3u);
+  // One observation per second at seconds 0..5, values 10, 20, ..., 60.
+  for (std::uint64_t s = 0; s < 6; ++s)
+    w.observe_at(10.0 * static_cast<double>(s + 1), s * kSec);
+
+  // At second 5 the window covers seconds 3..5: values 40, 50, 60.
+  obs::HistogramSnapshot now = w.snapshot_at("w", 5 * kSec);
+  EXPECT_EQ(now.count, 3u);
+  EXPECT_DOUBLE_EQ(now.sum, 150.0);
+
+  // A scrape with an older clock sees only what survives in the ring:
+  // seconds 0 and 1 were recycled by 4 and 5 (4-slot ring), so the
+  // window ending at second 2 holds just second 2 itself.
+  obs::HistogramSnapshot past = w.snapshot_at("w", 2 * kSec);
+  EXPECT_EQ(past.count, 1u);
+  EXPECT_DOUBLE_EQ(past.sum, 30.0);
+
+  // Far in the future every slot has aged out.
+  obs::HistogramSnapshot later = w.snapshot_at("w", 100 * kSec);
+  EXPECT_EQ(later.count, 0u);
+
+  // A slot recycled by a new second drops its old contents exactly once:
+  // second 6 hashes onto second 2's slot (ring of window+1 = 4 slots).
+  w.observe_at(5.0, 6 * kSec);
+  obs::HistogramSnapshot wrapped = w.snapshot_at("w", 6 * kSec);
+  EXPECT_EQ(wrapped.count, 3u);  // seconds 4, 5, 6
+  EXPECT_DOUBLE_EQ(wrapped.sum, 50.0 + 60.0 + 5.0);
+}
+
+TEST_F(ObsTest, PrometheusExpositionIsWellFormed) {
+  obs::counter("test.prom.counter").add(7);
+  obs::gauge("test.prom.gauge").set(2.5);
+  obs::gauge("test.prom.nan_gauge").set(
+      std::numeric_limits<double>::quiet_NaN());
+  obs::Histogram& h = obs::histogram("test.prom.hist");
+  h.observe(0.5);   // bucket 0
+  h.observe(3.0);   // bucket [2, 4)
+  h.observe(3.5);   // bucket [2, 4)
+  h.observe(100.0);  // bucket [64, 128)
+
+  std::ostringstream os;
+  obs::write_metrics_prometheus(os);
+  const std::string text = os.str();
+
+  // Dots sanitize to underscores; every family gets a TYPE line.
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_gauge 2.5"), std::string::npos);
+  // Non-finite gauges use Prometheus spellings, not JSON null.
+  EXPECT_NE(text.find("test_prom_nan_gauge NaN"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram"),
+            std::string::npos);
+
+  // Histogram series: cumulative buckets, +Inf equals _count.
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"4\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"128\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 4"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_sum 107"), std::string::npos);
+
+  // Raw dots must never leak into metric names.
+  EXPECT_EQ(text.find("test.prom"), std::string::npos);
+}
+
+TEST_F(ObsTest, SpansDroppedCountsRingOverwrites) {
+  // Fill this thread's ring exactly, then push 7 more: each overwrite
+  // bumps obs.spans_dropped so truncated exports are detectable.
+  for (std::uint64_t i = 0; i < obs::kRingCapacity; ++i)
+    obs::instant_event("test.fill", "test", "i", i);
+  EXPECT_EQ(obs::counter("obs.spans_dropped").value(), 0u);
+  for (std::uint64_t i = 0; i < 7; ++i)
+    obs::instant_event("test.overflow", "test", "i", i);
+  EXPECT_EQ(obs::counter("obs.spans_dropped").value(), 7u);
+
+  // The counter appears in the Prometheus scrape.
+  std::ostringstream os;
+  obs::write_metrics_prometheus(os);
+  EXPECT_NE(os.str().find("obs_spans_dropped 7"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceParsesWithUtilJsonAfterWrap) {
+  // Spans from two threads sharing one trace id, plus enough instant
+  // events to wrap the main thread's ring — the export must stay valid
+  // JSON with every span a complete X event carrying dur.
+  {
+    obs::ScopedSpan s("test.wrap_root", "test");
+    s.set_trace_id(42);
+    s.set_arg("id", 9);
+  }
+  std::thread worker([] {
+    obs::ScopedSpan s("test.wrap_child", "test");
+    s.set_trace_id(42);
+  });
+  worker.join();
+  for (std::uint64_t i = 0; i < obs::kRingCapacity + 50; ++i)
+    obs::instant_event("test.wrap_noise", "test", "i", i);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  Result<json::Value> parsed = json::parse(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+
+  const json::Value* events = parsed.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::size_t spans_with_id = 0;
+  std::vector<double> tids;
+  for (const json::Value& e : events->as_array()) {
+    ASSERT_TRUE(e.is_object());
+    std::string ph = e.get_string("ph", "");
+    EXPECT_TRUE(ph == "X" || ph == "i") << ph;
+    EXPECT_NE(e.find("name"), nullptr);
+    EXPECT_NE(e.find("ts"), nullptr);
+    EXPECT_NE(e.find("tid"), nullptr);
+    // Complete (X) events must carry a duration; instants must not.
+    if (ph == "X") {
+      const json::Value* dur = e.find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->as_number(), 0.0);
+    } else {
+      EXPECT_EQ(e.find("dur"), nullptr);
+    }
+    // Spans tagged with the request's trace id link via bind_id and echo
+    // it in args for the viewer's detail pane.
+    if (e.get_number("bind_id", 0.0) == 42.0) {
+      ++spans_with_id;
+      tids.push_back(e.get_number("tid", -1.0));
+      const json::Value* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->get_number("trace_id", 0.0), 42.0);
+    }
+  }
+  // The root span's ring wrapped, but the worker thread's ring kept its
+  // span: at least one tagged event survives, and when both do they come
+  // from distinct threads.
+  ASSERT_GE(spans_with_id, 1u);
+  if (spans_with_id >= 2) {
+    EXPECT_NE(tids[0], tids[1]);
+  }
 }
 
 #endif  // OCPS_OBS_DISABLED

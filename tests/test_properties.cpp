@@ -123,10 +123,10 @@ TEST(SchedulingDominance, MoreCachesNeverHurtPartitioned) {
 TEST(Hardening, DpRejectsNonFiniteCosts) {
   std::vector<std::vector<double>> cost = {{1.0, 0.5, 0.2}};
   cost[0][1] = std::nan("");
-  EXPECT_THROW(optimize_partition(NestedCostAdapter(cost).view(), 2),
+  EXPECT_THROW(optimize_partition(CostMatrix::from_rows(cost, 2).view(), 2),
                CheckError);
   cost[0][1] = std::numeric_limits<double>::infinity();
-  EXPECT_THROW(optimize_partition(NestedCostAdapter(cost).view(), 2),
+  EXPECT_THROW(optimize_partition(CostMatrix::from_rows(cost, 2).view(), 2),
                CheckError);
 }
 

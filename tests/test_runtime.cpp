@@ -42,7 +42,7 @@ TEST(Suh, SeesCliffsBehindPlateaus) {
   };
   SttwResult suh = suh_partition(cost, 4);
   EXPECT_EQ(suh.alloc[1], 4u);
-  DpResult dp = optimize_partition(NestedCostAdapter(cost).view(), 4);
+  DpResult dp = optimize_partition(CostMatrix::from_rows(cost, 4).view(), 4);
   EXPECT_NEAR(suh.objective_value, dp.objective_value, 1e-12);
 }
 
@@ -54,10 +54,11 @@ TEST(Suh, NeverBeatsDpAndUsuallyBeatsClassicSttw) {
     std::size_t cap = 6 + rng.below(14);
     std::vector<std::vector<double>> cost(p);
     for (auto& row : cost) row = random_cost_curve(rng, cap);
-    DpResult dp = optimize_partition(NestedCostAdapter(cost).view(), cap);
+    CostMatrix flat = CostMatrix::from_rows(cost, cap);
+    DpResult dp = optimize_partition(flat.view(), cap);
     SttwResult suh = suh_partition(cost, cap);
-    SttwResult classic = sttw_partition(NestedCostAdapter(cost).view(), cap,
-                                        SttwVariant::kLocalDerivative);
+    SttwResult classic =
+        sttw_partition(flat.view(), cap, SttwVariant::kLocalDerivative);
     EXPECT_GE(suh.objective_value + 1e-12, dp.objective_value);
     suh_total += suh.objective_value;
     classic_total += classic.objective_value;

@@ -6,12 +6,17 @@
 // the obs registry mirrors the server's own counters.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -66,11 +71,39 @@ json::Value partition_request(std::int64_t id,
   return req;
 }
 
+#ifndef OCPS_OBS_DISABLED
 std::uint64_t obs_counter(const obs::MetricsSnapshot& snap,
                           const std::string& name) {
   for (const auto& [n, v] : snap.counters)
     if (n == name) return v;
   return 0;
+}
+#endif
+
+/// Minimal HTTP/1.1 GET against the daemon's loopback metrics listener;
+/// returns the whole response (status line + headers + body), or "" on
+/// connect failure. The server closes after one exchange, so read to EOF.
+std::string http_get(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ssize_t ignored = ::send(fd, req.data(), req.size(), 0);
+  (void)ignored;
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+    out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
 }
 
 class ServeTest : public ::testing::Test {
@@ -79,6 +112,7 @@ class ServeTest : public ::testing::Test {
     obs::set_enabled(true);
     obs::reset_metrics();
   }
+  void TearDown() override { obs::set_enabled(true); }
 };
 
 TEST_F(ServeTest, PartitionHappyPathAndHealth) {
@@ -227,9 +261,11 @@ TEST_F(ServeTest, QueueFullShedsWith429) {
   EXPECT_EQ(c.shed, 1u);
   EXPECT_EQ(c.answered, 3u);  // ids 1, 2, 4
 
+#ifndef OCPS_OBS_DISABLED
   obs::MetricsSnapshot snap = obs::metrics_snapshot();
   EXPECT_EQ(obs_counter(snap, "serve.shed"), c.shed);
   EXPECT_EQ(obs_counter(snap, "serve.requests"), c.requests);
+#endif
 }
 
 TEST_F(ServeTest, DeadlineExceededGets504) {
@@ -267,8 +303,10 @@ TEST_F(ServeTest, DeadlineExceededGets504) {
   server.request_stop();
   server.stop();
   EXPECT_EQ(server.counters().deadline_exceeded, 1u);
+#ifndef OCPS_OBS_DISABLED
   obs::MetricsSnapshot snap = obs::metrics_snapshot();
   EXPECT_EQ(obs_counter(snap, "serve.deadline_exceeded"), 1u);
+#endif
 }
 
 TEST_F(ServeTest, SweepAnswersAndHonorsDeadline) {
@@ -413,6 +451,7 @@ TEST_F(ServeTest, DrainAnswersEveryAdmittedRequest) {
   EXPECT_EQ(c.shed, 0u);
   EXPECT_EQ(server.queue_depth(), 0u);
 
+#ifndef OCPS_OBS_DISABLED
   obs::MetricsSnapshot snap = obs::metrics_snapshot();
   EXPECT_EQ(obs_counter(snap, "serve.requests"), c.requests);
   EXPECT_EQ(obs_counter(snap, "serve.answered"), c.answered);
@@ -426,6 +465,7 @@ TEST_F(ServeTest, DrainAnswersEveryAdmittedRequest) {
       EXPECT_GE(total, 1u);
     }
   }
+#endif
 }
 
 TEST_F(ServeTest, RequestsDuringDrainGet503) {
@@ -504,6 +544,269 @@ TEST_F(ServeTest, ProtocolRoundTrip) {
   EXPECT_FALSE(decoded.value().ok);
   EXPECT_EQ(decoded.value().code, kCodeQueueFull);
   EXPECT_EQ(decoded.value().error, "queue full");
+}
+
+TEST_F(ServeTest, ProtocolMetricsSlowlogAndTraceId) {
+  Result<Request> metrics =
+      parse_request(R"({"id":1,"op":"metrics","trace_id":99})");
+  ASSERT_TRUE(metrics.ok()) << metrics.error().to_string();
+  EXPECT_EQ(metrics.value().op, Op::kMetrics);
+  EXPECT_EQ(metrics.value().trace_id, 99u);
+
+  Result<Request> slowlog = parse_request(R"({"id":2,"op":"slowlog"})");
+  ASSERT_TRUE(slowlog.ok());
+  EXPECT_EQ(slowlog.value().op, Op::kSlowlog);
+  EXPECT_EQ(slowlog.value().trace_id, 0u);
+
+  EXPECT_FALSE(parse_request(R"({"op":"health","trace_id":-3})").ok());
+  EXPECT_FALSE(parse_request(R"({"op":"health","trace_id":1.5})").ok());
+
+  // encode_request is the client-side twin of parse_request.
+  Request req;
+  req.id = 12;
+  req.op = Op::kPartition;
+  req.programs = {"a", "b"};
+  req.capacity = 32;
+  req.objective = "max";
+  req.deadline_ms = 7.5;
+  req.trace_id = 41;
+  Result<Request> round = parse_request(encode_request(req));
+  ASSERT_TRUE(round.ok()) << round.error().to_string();
+  EXPECT_EQ(round.value().id, req.id);
+  EXPECT_EQ(round.value().op, req.op);
+  EXPECT_EQ(round.value().programs, req.programs);
+  EXPECT_EQ(round.value().capacity, req.capacity);
+  EXPECT_EQ(round.value().objective, req.objective);
+  EXPECT_DOUBLE_EQ(round.value().deadline_ms, req.deadline_ms);
+  EXPECT_EQ(round.value().trace_id, req.trace_id);
+}
+
+TEST_F(ServeTest, MetricsOpExposesRegistryAndPercentiles) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("metrics");
+  config.capacity = kCapacity;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()
+                  .call(partition_request(1, {"prog0", "prog1"}))
+                  .ok());
+  ASSERT_TRUE(client.value()
+                  .call(partition_request(2, {"prog1", "prog2"}))
+                  .ok());
+
+  Result<Response> r = client.value().call(R"({"id":3,"op":"metrics"})");
+  ASSERT_TRUE(r.ok());
+#ifdef OCPS_OBS_DISABLED
+  // Compiled out, the op still answers the protocol — with the explicit
+  // "obs disabled" status, never a broken or empty response.
+  EXPECT_FALSE(r.value().ok);
+  EXPECT_EQ(r.value().code, kCodeObsDisabled);
+#else
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+  EXPECT_EQ(r.value().id, 3);
+  EXPECT_EQ(r.value().body.get_number("window_s", 0.0), 30.0);
+  EXPECT_EQ(r.value().body.get_number("version", 0.0), 1.0);
+
+  // Machine-readable registry: counters saw the two solves, and the
+  // derived latency percentile gauges exist (lifetime and windowed).
+  const json::Value* metrics = r.value().body.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const json::Value* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->get_number("serve.answered", -1.0), 2.0);
+  const json::Value* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  for (const char* g :
+       {"serve.request_latency.p50", "serve.request_latency.p95",
+        "serve.request_latency.p99", "serve.request_latency.window.p50",
+        "serve.request_latency.window.p95",
+        "serve.request_latency.window.p99"})
+    EXPECT_GE(gauges->get_number(g, -1.0), 0.0) << g;
+  EXPECT_GT(gauges->get_number("serve.request_latency.p50", 0.0), 0.0);
+
+  // Prometheus text rides along for `ocps stats --socket`.
+  std::string prom = r.value().body.get_string("prometheus", "");
+  EXPECT_NE(prom.find("# TYPE serve_request_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_request_latency_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_request_latency_count 2"), std::string::npos);
+  EXPECT_NE(prom.find("serve_request_latency_p50"), std::string::npos);
+  EXPECT_NE(prom.find("serve_request_latency_window_p99"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_spans_dropped"), std::string::npos);
+
+  // With obs off at runtime the op answers 501, not a broken protocol.
+  obs::set_enabled(false);
+  Result<Response> off = client.value().call(R"({"id":4,"op":"metrics"})");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().ok);
+  EXPECT_EQ(off.value().code, kCodeObsDisabled);
+  obs::set_enabled(true);
+#endif  // OCPS_OBS_DISABLED
+
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, SlowlogKeepsSlowestAnsweredRequests) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("slowlog");
+  config.capacity = kCapacity;
+  config.slowlog_capacity = 2;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  for (int i = 1; i <= 3; ++i) {
+    std::string line = R"({"id":)" + std::to_string(i) +
+                       R"(,"op":"partition","programs":["prog0","prog1"],)" +
+                       R"("trace_id":)" + std::to_string(100 + i) + "}";
+    Result<Response> r = client.value().call(line);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().ok) << r.value().error;
+  }
+
+  // The slow log is server-owned state: it answers even with obs off.
+  obs::set_enabled(false);
+  Result<Response> r = client.value().call(R"({"id":9,"op":"slowlog"})");
+  obs::set_enabled(true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+  EXPECT_EQ(r.value().body.get_number("capacity", 0.0), 2.0);
+  const json::Value* rows = r.value().body.find("slowlog");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_array());
+  // Capacity 2: only the two slowest of the three survive, sorted
+  // slowest-first, each row carrying its correlation fields.
+  ASSERT_EQ(rows->as_array().size(), 2u);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const json::Value& row : rows->as_array()) {
+    EXPECT_EQ(row.get_string("op", ""), "partition");
+    EXPECT_EQ(row.get_number("groups", 0.0), 2.0);
+    EXPECT_TRUE(row.get_bool("ok", false));
+    double latency = row.get_number("latency_ms", -1.0);
+    EXPECT_GE(latency, 0.0);
+    EXPECT_LE(latency, prev);
+    prev = latency;
+    double id = row.get_number("id", 0.0);
+    EXPECT_EQ(row.get_number("trace_id", 0.0), 100.0 + id);
+    // No deadline was set: slack serializes as null (NaN -> null).
+    const json::Value* slack = row.find("deadline_slack_ms");
+    ASSERT_NE(slack, nullptr);
+    EXPECT_TRUE(slack->is_null());
+  }
+
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, TraceIdLinksSpansAcrossThreads) {
+  obs::clear_trace_events();
+  ServeConfig config;
+  config.socket_path = unique_socket_path("traceid");
+  config.capacity = kCapacity;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  Request req;
+  req.id = 5;
+  req.op = Op::kPartition;
+  req.programs = {"prog0", "prog1"};
+  req.trace_id = 777;
+  Result<Response> r = client.value().call(encode_request(req));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+
+#ifndef OCPS_OBS_DISABLED
+  // The solve span closes just after the reply is written; poll briefly.
+  bool admit_seen = false, solve_seen = false;
+  std::vector<std::uint32_t> tids;
+  for (int spin = 0; spin < 2000 && !(admit_seen && solve_seen); ++spin) {
+    admit_seen = solve_seen = false;
+    tids.clear();
+    for (const auto& e : obs::trace_events()) {
+      if (e.trace_id != 777) continue;
+      if (std::string(e.name) == "serve.admit") admit_seen = true;
+      if (std::string(e.name) == "serve.solve") solve_seen = true;
+      tids.push_back(e.tid);
+    }
+    if (!(admit_seen && solve_seen))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // One request, one tree: admission on the reader thread and the solve
+  // on the batching thread share the client's trace id across threads.
+  EXPECT_TRUE(admit_seen);
+  EXPECT_TRUE(solve_seen);
+  ASSERT_GE(tids.size(), 2u);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_NE(tids.front(), tids.back());
+#endif  // OCPS_OBS_DISABLED
+
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, HttpEndpointServesPrometheus) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("http");
+  config.capacity = kCapacity;
+  config.metrics_port = -1;  // ephemeral: read the real port back
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+  int port = server.bound_metrics_port();
+  ASSERT_GT(port, 0);
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()
+                  .call(partition_request(1, {"prog0", "prog1"}))
+                  .ok());
+
+  std::string resp = http_get(port, "/metrics");
+#ifdef OCPS_OBS_DISABLED
+  // Compiled out, the listener still binds and answers an explicit 501.
+  EXPECT_NE(resp.find("501 Not Implemented"), std::string::npos) << resp;
+#else
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(resp.find("# TYPE serve_requests counter"), std::string::npos);
+  EXPECT_NE(resp.find("serve_request_latency_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(resp.find("serve_request_latency_p50"), std::string::npos);
+#endif
+
+  EXPECT_NE(http_get(port, "/nope").find("404 Not Found"),
+            std::string::npos);
+
+  // Runtime obs-off answers an explicit 501, not an empty page.
+  obs::set_enabled(false);
+  EXPECT_NE(http_get(port, "/metrics").find("501 Not Implemented"),
+            std::string::npos);
+  obs::set_enabled(true);
+
+  server.request_stop();
+  server.stop();
+
+  // The listener is gone after stop().
+  EXPECT_EQ(http_get(port, "/metrics"), "");
+}
+
+TEST_F(ServeTest, MetricsPortZeroMeansNoListener) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("nohttp");
+  config.capacity = kCapacity;
+  Server server(config, make_models(2));
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_EQ(server.bound_metrics_port(), 0);
+  server.request_stop();
+  server.stop();
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (format 0.0.4) scrape.
+
+Checks that every line is a comment or a ``name{labels} value`` sample
+with a legal metric name and a parseable value, that every sample's
+family has a preceding ``# TYPE`` line, and that histogram ``_bucket``
+series are cumulative and end with a ``le="+Inf"`` bucket equal to the
+family's ``_count``. Extra arguments are series names that must appear
+(e.g. ``serve_request_latency_bucket``). Exits non-zero on the first
+violation, printing the offending line.
+
+Usage:
+    tools/check_prometheus_exposition.py metrics.prom [required ...]
+
+Only Python 3 stdlib is used.
+"""
+
+import re
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    text = sys.stdin.read() if path == "-" else open(path, encoding="utf-8").read()
+
+    type_re = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                         r"(counter|gauge|histogram|summary|untyped)$")
+    sample_re = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
+    types: dict[str, str] = {}
+    seen: dict[str, str] = {}
+    buckets: dict[str, list[tuple[str, int]]] = {}
+
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE"):
+                m = type_re.match(line)
+                assert m, f"line {ln}: malformed TYPE line: {line!r}"
+                types[m.group(1)] = m.group(2)
+            continue
+        m = sample_re.match(line)
+        assert m, f"line {ln}: malformed sample: {line!r}"
+        name, labels, value = m.groups()
+        if value not in ("NaN", "+Inf", "-Inf"):
+            float(value)  # raises SystemExit-worthy ValueError on garbage
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stem and types.get(stem) == "histogram":
+                family = stem
+        assert family in types, f"line {ln}: sample {name} has no TYPE line"
+        seen[name] = value
+        if family != name and name.endswith("_bucket"):
+            le = re.search(r'le="([^"]*)"', labels or "")
+            assert le, f"line {ln}: histogram bucket without le label: {line!r}"
+            buckets.setdefault(family, []).append((le.group(1), int(value)))
+
+    for family, series in buckets.items():
+        counts = [c for _, c in series]
+        assert counts == sorted(counts), f"{family}: buckets not cumulative"
+        assert series[-1][0] == "+Inf", f"{family}: missing le=\"+Inf\" bucket"
+        total = int(seen.get(family + "_count", -1))
+        assert series[-1][1] == total, \
+            f"{family}: +Inf bucket {series[-1][1]} != _count {total}"
+
+    for required in sys.argv[2:]:
+        assert required in seen or required in types, \
+            f"missing required series {required}"
+
+    print(f"OK: {len(seen)} samples, {len(types)} families, "
+          f"{len(buckets)} histograms well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

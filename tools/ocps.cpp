@@ -18,7 +18,9 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cachesim/corun.hpp"
@@ -114,17 +116,34 @@ commands:
       --queue-cap N    admission bound; beyond it requests shed 429 (256)
       --threads N      sweep threads; 0 = auto (0)
       --deadline-ms D  default per-request deadline; 0 = none (0)
+      --metrics-port P serve Prometheus text on http://127.0.0.1:P/metrics
+                       (0 = off)
+      --slowlog-cap K  slowest requests kept for the slowlog op (32)
+      --window-s N     sliding window for latency percentile gauges (30)
+      --trace-out FILE   write the Chrome trace_event JSON at drain
+      --metrics-out FILE write the metrics snapshot JSON at drain
   query                send one request to a running daemon and print the
                        JSON response
       --socket PATH    daemon socket path (required)
-      --op OP          partition | sweep | health | reload   (health)
+      --op OP          partition | sweep | health | reload | metrics |
+                       slowlog   (health)
       --programs A,B   comma-separated program names (partition/sweep)
       --paths a,b      comma-separated footprint files (reload)
       --capacity C     cache size in blocks (0 = server default)
       --objective O    sum | max                (sum)
       --group-size K   sweep group size (0 = server default)
       --deadline-ms D  per-request deadline (0 = server default)
+      --trace-id N     correlation id tagging the daemon's spans for this
+                       request in the Chrome trace export (0 = none)
       --timeout-ms T   client-side wait for the response (30000)
+  top                  live terminal dashboard of a running daemon:
+                       throughput, queue depth, shed/504 rates, batch
+                       size, and latency percentiles, refreshed in place
+      --socket PATH    daemon socket path (required)
+      --interval-ms I  refresh interval (1000)
+      --iterations N   frames to render before exiting; 0 = until ^C (0)
+      --no-ansi        append frames instead of redrawing in place
+      --timeout-ms T   per-poll client timeout (5000)
   stats [trace...]     run the controller with full observability and
                        print the metrics registry (DP solve latency,
                        simulator counters, controller health). With no
@@ -136,6 +155,9 @@ commands:
       --length N       accesses per synthetic program (100000)
       --trace-out FILE   write the Chrome trace_event JSON too
       --metrics-out FILE write the JSON snapshot too
+      --socket PATH    read live metrics from a running daemon instead
+                       (prints its Prometheus exposition; no local run)
+      --timeout-ms T   client-side wait when --socket is used (30000)
   help                 this message
 )";
   return 2;
@@ -481,7 +503,37 @@ int cmd_controller(const ArgParser& args) {
   return 0;
 }
 
+// `ocps stats --socket PATH`: scrape a *running* daemon over its socket
+// (the `metrics` op) and print the Prometheus exposition it returns,
+// instead of running a local controller.
+int cmd_stats_socket(const ArgParser& args, const std::string& socket) {
+  Result<serve::Client> client = serve::Client::connect(socket);
+  if (!client.ok()) {
+    std::cerr << "error: " << client.error().to_string() << "\n";
+    return 1;
+  }
+  serve::Request req;
+  req.id = 1;
+  req.op = serve::Op::kMetrics;
+  Result<serve::Response> resp = client.value().call(
+      serve::encode_request(req),
+      std::chrono::milliseconds(args.get_int("timeout-ms", 30000)));
+  if (!resp.ok()) {
+    std::cerr << "error: " << resp.error().to_string() << "\n";
+    return 1;
+  }
+  if (!resp.value().ok) {
+    std::cerr << "error: daemon replied " << resp.value().code << ": "
+              << resp.value().error << "\n";
+    return 1;
+  }
+  std::cout << resp.value().body.get_string("prometheus", "");
+  return 0;
+}
+
 int cmd_stats(const ArgParser& args) {
+  std::string socket = args.get_string("socket", "");
+  if (!socket.empty()) return cmd_stats_socket(args, socket);
   obs::set_enabled(true);
   std::size_t capacity =
       static_cast<std::size_t>(args.get_int("capacity", 1024));
@@ -546,6 +598,11 @@ int cmd_serve(const ArgParser& args) {
       static_cast<std::size_t>(args.get_int("queue-cap", 256));
   config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   config.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  config.metrics_port = static_cast<int>(args.get_int("metrics-port", 0));
+  config.slowlog_capacity =
+      static_cast<std::size_t>(args.get_int("slowlog-cap", 32));
+  config.latency_window_s =
+      static_cast<unsigned>(args.get_int("window-s", 30));
 
   auto models = load_models(args, config.capacity);
   serve::Server server(config, std::move(models));
@@ -564,6 +621,9 @@ int cmd_serve(const ArgParser& args) {
             << " (capacity " << config.capacity << ", max batch "
             << config.max_batch << ", queue " << config.queue_capacity
             << "); SIGTERM drains" << std::endl;
+  if (server.bound_metrics_port() > 0)
+    std::cout << "metrics on http://127.0.0.1:" << server.bound_metrics_port()
+              << "/metrics" << std::endl;
 
   server.wait_until_stop_requested();
   std::cout << "draining..." << std::endl;
@@ -575,6 +635,9 @@ int cmd_serve(const ArgParser& args) {
             << " answered, " << c.shed << " shed, " << c.deadline_exceeded
             << " past deadline, " << c.malformed << " malformed, "
             << c.batches << " batches, " << c.reloads << " reloads\n";
+  // The daemon's own spans (admission / solve / sweep, tagged with client
+  // trace ids) and metrics are exportable at drain, same as `controller`.
+  write_obs_outputs(args);
   return 0;
 }
 
@@ -612,6 +675,9 @@ int cmd_query(const ArgParser& args) {
   double deadline_ms = args.get_double("deadline-ms", 0.0);
   if (deadline_ms > 0.0)
     req.set("deadline_ms", json::Value(deadline_ms));
+  std::int64_t trace_id = args.get_int("trace-id", 0);
+  if (trace_id > 0)
+    req.set("trace_id", json::Value(static_cast<double>(trace_id)));
 
   Result<serve::Client> client = serve::Client::connect(socket);
   if (!client.ok()) {
@@ -633,12 +699,137 @@ int cmd_query(const ArgParser& args) {
   return 0;
 }
 
+// `ocps top`: poll the daemon's metrics + health ops and redraw a compact
+// dashboard. Rates are first differences between consecutive polls.
+int cmd_top(const ArgParser& args) {
+  std::string socket = args.get_string("socket", "");
+  OCPS_CHECK(!socket.empty(), "top needs --socket PATH");
+  std::int64_t interval_ms = args.get_int("interval-ms", 1000);
+  OCPS_CHECK(interval_ms > 0, "interval-ms must be positive");
+  std::int64_t iterations = args.get_int("iterations", 0);
+  bool ansi = !args.has("no-ansi");
+  auto timeout = std::chrono::milliseconds(args.get_int("timeout-ms", 5000));
+
+  Result<serve::Client> client = serve::Client::connect(socket);
+  if (!client.ok()) {
+    std::cerr << "error: " << client.error().to_string() << "\n";
+    return 1;
+  }
+
+  double prev_answered = 0.0, prev_shed = 0.0, prev_expired = 0.0;
+  auto prev_time = std::chrono::steady_clock::now();
+  bool have_prev = false;
+
+  for (std::int64_t frame = 0; iterations == 0 || frame < iterations;
+       ++frame) {
+    if (frame > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+
+    serve::Request mreq;
+    mreq.id = 2 * frame + 1;
+    mreq.op = serve::Op::kMetrics;
+    Result<serve::Response> metrics_resp =
+        client.value().call(serve::encode_request(mreq), timeout);
+    serve::Request hreq;
+    hreq.id = 2 * frame + 2;
+    hreq.op = serve::Op::kHealth;
+    Result<serve::Response> health_resp =
+        client.value().call(serve::encode_request(hreq), timeout);
+    if (!metrics_resp.ok() || !health_resp.ok()) {
+      const Error& err = metrics_resp.ok() ? health_resp.error()
+                                           : metrics_resp.error();
+      std::cerr << "error: " << err.to_string() << "\n";
+      return 1;
+    }
+    if (!metrics_resp.value().ok) {
+      std::cerr << "error: daemon replied " << metrics_resp.value().code
+                << ": " << metrics_resp.value().error << "\n";
+      return 1;
+    }
+
+    const json::Value& health = health_resp.value().body;
+    const json::Value* metrics = metrics_resp.value().body.find("metrics");
+    auto num = [&](const char* section, const std::string& name) {
+      const json::Value* s = metrics ? metrics->find(section) : nullptr;
+      return s ? s->get_number(name, 0.0) : 0.0;
+    };
+
+    double answered = num("counters", "serve.answered");
+    double shed = num("counters", "serve.shed");
+    double expired = num("counters", "serve.deadline_exceeded");
+    double batches = num("counters", "serve.batches");
+    double queue = num("gauges", "serve.queue_depth");
+    double window_s = num("gauges", "serve.latency_window_s");
+    double batch_count = 0.0, batch_sum = 0.0;
+    if (metrics)
+      if (const json::Value* hs = metrics->find("histograms"))
+        if (const json::Value* h = hs->find("serve.batch_size")) {
+          batch_count = h->get_number("count", 0.0);
+          batch_sum = h->get_number("sum", 0.0);
+        }
+
+    auto now = std::chrono::steady_clock::now();
+    double dt = std::chrono::duration<double>(now - prev_time).count();
+    double rps = 0.0, shed_ps = 0.0, exp_ps = 0.0;
+    if (have_prev && dt > 0.0) {
+      rps = (answered - prev_answered) / dt;
+      shed_ps = (shed - prev_shed) / dt;
+      exp_ps = (expired - prev_expired) / dt;
+    }
+    prev_answered = answered;
+    prev_shed = shed;
+    prev_expired = expired;
+    prev_time = now;
+    have_prev = true;
+
+    std::ostringstream frame_out;
+    if (ansi) frame_out << "\x1b[H\x1b[2J";
+    frame_out << "ocps top — " << socket << " — profile set v"
+              << static_cast<std::uint64_t>(health.get_number("version", 0.0))
+              << " — up "
+              << TextTable::num(health.get_number("uptime_ms", 0.0) / 1000.0,
+                                1)
+              << "s"
+              << (health.get_bool("draining", false) ? " — DRAINING" : "")
+              << "\n\n";
+    frame_out << "  throughput  " << TextTable::num(rps, 1)
+              << " req/s    answered " << answered << "    shed " << shed
+              << " (" << TextTable::num(shed_ps, 1) << "/s)    504 "
+              << expired << " (" << TextTable::num(exp_ps, 1) << "/s)\n";
+    frame_out << "  queue depth " << queue << "    batches " << batches
+              << "    avg batch "
+              << TextTable::num(batch_count > 0.0 ? batch_sum / batch_count
+                                                  : 0.0,
+                                2)
+              << "\n";
+    frame_out << "  latency ms  p50 "
+              << TextTable::num(num("gauges", "serve.request_latency.p50"), 3)
+              << "   p95 "
+              << TextTable::num(num("gauges", "serve.request_latency.p95"), 3)
+              << "   p99 "
+              << TextTable::num(num("gauges", "serve.request_latency.p99"), 3)
+              << "   (lifetime)\n";
+    frame_out << "  window      p50 "
+              << TextTable::num(
+                     num("gauges", "serve.request_latency.window.p50"), 3)
+              << "   p95 "
+              << TextTable::num(
+                     num("gauges", "serve.request_latency.window.p95"), 3)
+              << "   p99 "
+              << TextTable::num(
+                     num("gauges", "serve.request_latency.window.p99"), 3)
+              << "   (last " << window_s << "s)\n";
+    std::cout << frame_out.str() << std::flush;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string command = argv[1];
-  ArgParser args(argc, argv, /*flags=*/{"binary"});
+  ArgParser args(argc, argv, /*flags=*/{"binary", "no-ansi"});
 
   // Every subcommand declares its flags; anything else is rejected with a
   // nearest-match suggestion instead of being silently ignored.
@@ -657,13 +848,16 @@ int main(int argc, char** argv) {
         "fault-seed", "trace-out", "metrics-out"}},
       {"stats",
        {"capacity", "block-bytes", "binary", "epoch", "length", "trace-out",
-        "metrics-out"}},
+        "metrics-out", "socket", "timeout-ms"}},
       {"serve",
        {"socket", "capacity", "max-batch", "linger-ms", "queue-cap",
-        "threads", "deadline-ms"}},
+        "threads", "deadline-ms", "metrics-port", "slowlog-cap", "window-s",
+        "trace-out", "metrics-out"}},
       {"query",
        {"socket", "op", "programs", "paths", "capacity", "objective",
-        "group-size", "deadline-ms", "timeout-ms"}},
+        "group-size", "deadline-ms", "trace-id", "timeout-ms"}},
+      {"top",
+       {"socket", "interval-ms", "iterations", "no-ansi", "timeout-ms"}},
   };
 
   try {
@@ -696,6 +890,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "query") return cmd_query(args);
+    if (command == "top") return cmd_top(args);
     return usage();
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << "\n";

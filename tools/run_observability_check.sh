@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # End-to-end check of the observability layer: runs the controller with
-# tracing on, then validates the emitted Chrome trace and metrics JSON
-# against a lightweight schema. Intended as the CI observability job;
-# usable locally the same way:
+# tracing on and validates the emitted Chrome trace and metrics JSON
+# against a lightweight schema, then starts a serve daemon, drives it
+# with trace-id-tagged queries, scrapes the live Prometheus endpoint,
+# and validates the exposition format plus the cross-thread request
+# trace trees. Intended as the CI observability job; usable locally the
+# same way:
 #
 #   tools/run_observability_check.sh [build-dir]
 #
-# Exits non-zero when the CLI fails, an artifact is missing, or either
-# JSON file does not look like what docs/observability.md promises.
+# Exits non-zero when the CLI fails, an artifact is missing, or an
+# artifact does not look like what docs/observability.md promises.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,7 +24,12 @@ if [[ ! -x "$ocps" ]]; then
 fi
 
 workdir="$(mktemp -d)"
-trap 'rm -rf "$workdir"' EXIT
+serve_pid=""
+cleanup() {
+  [[ -n "$serve_pid" ]] && kill "$serve_pid" 2> /dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
 
 # A small deterministic trace: two interleaved scans with different
 # working sets, enough accesses for several controller epochs.
@@ -80,6 +88,98 @@ else
   grep -q '"controller.epochs"' "$workdir/metrics.json"
   grep -q '"dp.solve_ns"' "$workdir/metrics.json"
   echo "OK (grep fallback): artifacts contain the required keys"
+fi
+
+# ---------------------------------------------------------------------------
+# Live telemetry: a serve daemon under load, scraped over HTTP.
+
+"$ocps" profile "$workdir/a.txt" --name a -o "$workdir/a.fp" > /dev/null
+"$ocps" profile "$workdir/b.txt" --name b -o "$workdir/b.fp" > /dev/null
+
+serve_log="$workdir/serve.log"
+"$ocps" serve "$workdir/a.fp" "$workdir/b.fp" \
+  --socket "$workdir/serve.sock" --capacity 256 \
+  --metrics-port -1 --trace-out "$workdir/serve_trace.json" \
+  > "$serve_log" 2>&1 &
+serve_pid=$!
+
+# The daemon binds an ephemeral metrics port and prints it at startup.
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's|^metrics on http://127.0.0.1:\([0-9]*\)/metrics$|\1|p' \
+    "$serve_log")"
+  [[ -n "$port" && -S "$workdir/serve.sock" ]] && break
+  sleep 0.1
+done
+if [[ -z "$port" || ! -S "$workdir/serve.sock" ]]; then
+  echo "FAIL: daemon did not come up"
+  cat "$serve_log"
+  exit 1
+fi
+
+# Traffic tagged with client trace ids, so the drain-time trace export
+# must contain one multi-thread span tree per request.
+for i in 1 2 3 4; do
+  "$ocps" query --socket "$workdir/serve.sock" --op partition \
+    --programs a,b --trace-id $((8000 + i)) > /dev/null
+done
+"$ocps" query --socket "$workdir/serve.sock" --op slowlog \
+  > "$workdir/slowlog.json"
+grep -q '"slowlog"' "$workdir/slowlog.json"
+
+if command -v python3 > /dev/null; then
+  python3 - "$port" "$workdir/metrics.prom" <<'EOF'
+import sys, urllib.request
+url = f"http://127.0.0.1:{sys.argv[1]}/metrics"
+body = urllib.request.urlopen(url, timeout=10).read().decode()
+open(sys.argv[2], "w").write(body)
+print(f"scraped {len(body)} bytes from {url}")
+EOF
+  python3 "$repo_root/tools/check_prometheus_exposition.py" \
+    "$workdir/metrics.prom" \
+    serve_requests serve_request_latency_bucket serve_request_latency_p50 \
+    serve_request_latency_p95 serve_request_latency_p99 \
+    serve_request_latency_window_p50 serve_queue_depth obs_spans_dropped
+else
+  "$ocps" stats --socket "$workdir/serve.sock" > "$workdir/metrics.prom"
+  grep -q 'serve_request_latency_bucket{le="' "$workdir/metrics.prom"
+  grep -q 'serve_request_latency_p50' "$workdir/metrics.prom"
+  echo "OK (grep fallback): exposition contains the required series"
+fi
+
+# The socket-side views read the same registry.
+"$ocps" stats --socket "$workdir/serve.sock" \
+  | grep -q 'serve_request_latency_bucket{le="'
+"$ocps" top --socket "$workdir/serve.sock" --iterations 1 --no-ansi \
+  | grep -q "ocps top"
+
+# Drain; the daemon writes its Chrome trace on the way out.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+
+if command -v python3 > /dev/null; then
+  python3 - "$workdir/serve_trace.json" <<'EOF'
+import collections, json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "no daemon trace events"
+threads_by_trace_id = collections.defaultdict(set)
+for e in events:
+    if e["ph"] == "X":
+        assert "dur" in e, f"span without duration: {e}"
+    tid = e.get("args", {}).get("trace_id")
+    if tid:
+        assert e.get("bind_id") == tid, f"bind_id != args.trace_id: {e}"
+        threads_by_trace_id[tid].add(e["tid"])
+linked = {t for t, tids in threads_by_trace_id.items() if len(tids) >= 2}
+assert linked, ("no client trace id links spans across threads: "
+                f"{dict(threads_by_trace_id)}")
+print(f"OK: {len(events)} daemon trace events, "
+      f"{len(linked)} request trees span multiple threads")
+EOF
+else
+  grep -q '"bind_id":8001' "$workdir/serve_trace.json"
+  echo "OK (grep fallback): daemon trace contains trace-id-linked spans"
 fi
 
 echo "observability check passed"
