@@ -1,0 +1,348 @@
+// Router resilience bench: a 3-backend fleet behind an in-process
+// `Router`, driven by closed-loop clients while the harness injects
+// socket-layer chaos at every backend and kills + restarts one backend
+// mid-load.
+//
+// Phases:
+//   steady   chaos only (resets, trickles, stalls on backend responses)
+//   outage   one backend is stopped mid-load, then restarted; the prober
+//            must eject it (breaker open) and readmit it (closed) while
+//            clients keep getting answers from the survivors
+//
+// Sanity anchors, checked at exit (non-zero exit on violation):
+//  * zero wrong answers: every ok response echoes the request id and
+//    carries an alloc whose blocks sum to <= capacity;
+//  * every non-ok outcome is a clean, classified status (429/502/503/504
+//    or an explicit transport error after retries) — never a truncated
+//    or corrupt response line;
+//  * availability stays >= 98% in both phases (retries + failover hide
+//    the outage);
+//  * the victim's breaker was observed open during the outage and closed
+//    again after the restart.
+//
+// Environment knobs:
+//   OCPS_ROUTER_REQUESTS  requests per phase per worker (default 150)
+//   OCPS_THREADS          solver width inside the daemons
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common.hpp"
+#include "core/program_model.hpp"
+#include "runtime/fault_injection.hpp"
+#include "serve/client.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+#include "trace/generators.hpp"
+#include "util/table.hpp"
+
+using namespace ocps;
+using namespace ocps::bench;
+
+namespace {
+
+constexpr std::size_t kCapacity = 256;
+constexpr std::size_t kBackends = 3;
+constexpr std::size_t kWorkers = 4;
+
+std::vector<ProgramModel> make_models() {
+  std::vector<ProgramModel> models;
+  const std::size_t n = 60000;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Trace t;
+    switch (i % 4) {
+      case 0: t = make_cyclic(n, 40 + 11 * i); break;
+      case 1: t = make_zipf(n, 120 + 17 * i, 0.85, 300 + i); break;
+      case 2: t = make_hot_cold(n, 6 + i, 90 + 13 * i, 0.8, 400 + i); break;
+      default: t = make_sawtooth(n, 24 + 7 * i); break;
+    }
+    models.push_back(make_program_model("prog" + std::to_string(i),
+                                        0.5 + 0.2 * i, compute_footprint(t),
+                                        kCapacity));
+  }
+  return models;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+std::string sock_path(const std::string& tag) {
+  return "/tmp/ocps_bench_router_" + tag + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+struct WorkerResult {
+  std::size_t ok = 0;
+  std::size_t clean_errors = 0;  ///< classified 429/502/503/504
+  std::size_t transport_errors = 0;
+  std::size_t wrong_answers = 0;  ///< corrupt alloc / wrong id echo
+  std::vector<double> latencies_ms;
+};
+
+/// Closed loop through the router with the hardened client: retries with
+/// jittered backoff, the request deadline as the budget.
+void run_worker(const std::string& router_sock, std::size_t worker,
+                std::size_t count, WorkerResult* out) {
+  Result<serve::Client> client = serve::Client::connect(router_sock);
+  if (!client.ok()) {
+    out->transport_errors = count;
+    return;
+  }
+  serve::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.seed = 0xB0FF + worker;
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull * (worker + 1);
+  auto next = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::size_t>(lcg >> 33);
+  };
+  out->latencies_ms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::Request req;
+    req.id = static_cast<std::int64_t>(worker * 1000000 + i + 1);
+    req.op = serve::Op::kPartition;
+    req.deadline_ms = 3000.0;
+    std::size_t members = 2 + next() % 3;
+    std::size_t first = next() % 8;
+    for (std::size_t m = 0; m < members; ++m)
+      req.programs.push_back("prog" +
+                             std::to_string((first + m * 3) % 8));
+    req.capacity = kCapacity;
+
+    auto start = std::chrono::steady_clock::now();
+    Result<serve::Response> r = client.value().call_with_retry(req, policy);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    if (!r.ok()) {
+      // Transport failure after every retry: drop and reconnect so the
+      // rest of the loop is not doomed by one dead connection.
+      ++out->transport_errors;
+      Result<serve::Client> fresh = serve::Client::connect(router_sock);
+      if (fresh.ok()) client.value() = std::move(fresh.value());
+      continue;
+    }
+    const serve::Response& resp = r.value();
+    if (!resp.ok) {
+      if (resp.code == 429 || resp.code == 502 || resp.code == 503 ||
+          resp.code == 504) {
+        ++out->clean_errors;
+      } else {
+        ++out->wrong_answers;  // unclassified failure = protocol bug
+      }
+      continue;
+    }
+    // A wrong answer is worse than no answer: check the invariants the
+    // DP guarantees (id echo, one alloc per program, capacity respected).
+    const json::Value* alloc = resp.body.find("alloc");
+    bool sane = resp.id == req.id && alloc != nullptr;
+    if (sane) {
+      double total = 0.0;
+      const json::Array& blocks = alloc->as_array();
+      for (const json::Value& v : blocks) total += v.as_number();
+      sane = blocks.size() == req.programs.size() &&
+             total <= static_cast<double>(kCapacity) + 0.5;
+    }
+    if (!sane) {
+      ++out->wrong_answers;
+      continue;
+    }
+    ++out->ok;
+    out->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double idx = p * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+struct PhaseStats {
+  std::size_t requests = 0, ok = 0, clean = 0, transport = 0, wrong = 0;
+  double p50 = 0.0, p99 = 0.0;
+};
+
+PhaseStats run_phase(const std::string& router_sock, std::size_t per_worker,
+                     const std::function<void()>& mid_phase) {
+  std::vector<WorkerResult> results(kWorkers);
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    workers.emplace_back(run_worker, router_sock, w, per_worker,
+                         &results[w]);
+  if (mid_phase) mid_phase();
+  for (std::thread& t : workers) t.join();
+
+  PhaseStats stats;
+  std::vector<double> all;
+  for (const WorkerResult& r : results) {
+    stats.ok += r.ok;
+    stats.clean += r.clean_errors;
+    stats.transport += r.transport_errors;
+    stats.wrong += r.wrong_answers;
+    all.insert(all.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  stats.requests = kWorkers * per_worker;
+  std::sort(all.begin(), all.end());
+  stats.p50 = percentile(all, 0.50);
+  stats.p99 = percentile(all, 0.99);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t per_worker = env_size("OCPS_ROUTER_REQUESTS", 150);
+  std::vector<ProgramModel> models = make_models();
+
+  // Backend chaos: pacing faults are common, hard resets rarer — the
+  // router must absorb all of them without surfacing a corrupt answer.
+  NetFaultConfig chaos_cfg;
+  chaos_cfg.reset_rate = 0.02;
+  chaos_cfg.trickle_rate = 0.05;
+  chaos_cfg.stall_rate = 0.05;
+  chaos_cfg.stall = std::chrono::milliseconds(10);
+  chaos_cfg.seed = 0x5EAFA117;
+  NetFaultInjector chaos(chaos_cfg);
+
+  std::vector<serve::ServeConfig> backend_cfgs;
+  std::vector<std::unique_ptr<serve::Server>> backends;
+  for (std::size_t i = 0; i < kBackends; ++i) {
+    serve::ServeConfig cfg;
+    cfg.socket_path = sock_path("b" + std::to_string(i));
+    cfg.capacity = kCapacity;
+    cfg.net_faults = &chaos;
+    backend_cfgs.push_back(cfg);
+    backends.push_back(std::make_unique<serve::Server>(cfg, models));
+    if (!backends.back()->start().ok()) {
+      std::cerr << "FAIL: backend " << i << " did not start\n";
+      return 1;
+    }
+  }
+
+  serve::RouterConfig rcfg;
+  rcfg.socket_path = sock_path("front");
+  for (const auto& cfg : backend_cfgs) rcfg.backends.push_back(cfg.socket_path);
+  rcfg.breaker.failure_threshold = 3;
+  rcfg.breaker.cooldown = std::chrono::milliseconds(300);
+  rcfg.health_interval = std::chrono::milliseconds(100);
+  rcfg.connect_timeout = std::chrono::milliseconds(500);
+  serve::Router router(rcfg);
+  if (!router.start().ok()) {
+    std::cerr << "FAIL: router did not start\n";
+    return 1;
+  }
+
+  TextTable table({"phase", "requests", "ok", "clean_err", "transport",
+                   "wrong", "p50_ms", "p99_ms"});
+
+  PhaseStats steady = run_phase(rcfg.socket_path, per_worker, nullptr);
+  table.add_row({"steady_chaos", std::to_string(steady.requests),
+                 std::to_string(steady.ok), std::to_string(steady.clean),
+                 std::to_string(steady.transport),
+                 std::to_string(steady.wrong), TextTable::num(steady.p50, 3),
+                 TextTable::num(steady.p99, 3)});
+
+  // Outage phase: kill backend 0 shortly into the load, restart it a
+  // moment later; record whether the breaker was seen open.
+  constexpr std::size_t kVictim = 0;
+  std::atomic<bool> saw_open{false};
+  auto outage = [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    backends[kVictim]->request_stop();
+    backends[kVictim]->stop();
+    backends[kVictim].reset();
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (router.breaker_state(kVictim) ==
+          serve::CircuitBreaker::State::kOpen) {
+        saw_open.store(true);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    backends[kVictim] =
+        std::make_unique<serve::Server>(backend_cfgs[kVictim], models);
+    if (!backends[kVictim]->start().ok())
+      std::cerr << "FAIL: victim restart failed\n";
+  };
+  PhaseStats outage_stats = run_phase(rcfg.socket_path, per_worker, outage);
+  table.add_row(
+      {"kill_restart", std::to_string(outage_stats.requests),
+       std::to_string(outage_stats.ok), std::to_string(outage_stats.clean),
+       std::to_string(outage_stats.transport),
+       std::to_string(outage_stats.wrong),
+       TextTable::num(outage_stats.p50, 3),
+       TextTable::num(outage_stats.p99, 3)});
+  std::cout << "\nrouter resilience (" << kBackends << " backends, "
+            << kWorkers << " closed-loop clients, chaos armed):\n\n";
+  table.print(std::cout);
+  std::cout << "\n";
+  std::cout << "chaos injected: " << chaos.injected_resets() << " resets, "
+            << chaos.injected_trickles() << " trickles, "
+            << chaos.injected_stalls() << " stalls\n";
+  serve::Router::Counters rc = router.counters();
+  std::cout << "router: " << rc.forwarded << " forwarded, " << rc.failovers
+            << " failovers, " << rc.no_backend << " no-backend, "
+            << rc.all_open << " all-open\n";
+
+  // The breaker must readmit the restarted victim before we call it done.
+  bool reclosed = false;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (router.breaker_state(kVictim) ==
+        serve::CircuitBreaker::State::kClosed) {
+      reclosed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  router.stop();
+  for (auto& b : backends)
+    if (b) {
+      b->request_stop();
+      b->stop();
+    }
+
+  bool failed = false;
+  auto check = [&](bool cond, const std::string& what) {
+    if (!cond) {
+      std::cerr << "ANCHOR VIOLATED: " << what << "\n";
+      failed = true;
+    }
+  };
+  check(steady.wrong == 0 && outage_stats.wrong == 0,
+        "wrong or corrupt answers observed");
+  auto availability = [](const PhaseStats& s) {
+    return static_cast<double>(s.ok) /
+           static_cast<double>(std::max<std::size_t>(1, s.requests));
+  };
+  check(availability(steady) >= 0.98, "steady-phase availability < 98%");
+  check(availability(outage_stats) >= 0.98,
+        "outage-phase availability < 98%");
+  check(saw_open.load(), "victim breaker never opened during the outage");
+  check(reclosed, "victim breaker never re-closed after restart");
+  check(chaos.injected_total() > 0, "chaos injector never fired");
+  if (failed) {
+    std::cerr << "FAIL: router resilience anchors violated\n";
+    return 1;
+  }
+  std::cout << "all resilience anchors hold\n";
+  return 0;
+}

@@ -125,4 +125,70 @@ void FaultInjector::reset_counts() {
   nan_ = spikes_ = truncations_ = drops_ = dp_failures_ = 0;
 }
 
+// ---------------------------------------------------------------------------
+// Socket-layer faults.
+
+namespace {
+
+// Kind tags for the network injector, disjoint from the controller's.
+enum NetKind : std::uint64_t {
+  kAcceptFail = 101,
+  kReset = 102,
+  kTrickle = 103,
+  kStall = 104,
+};
+
+}  // namespace
+
+NetFaultConfig NetFaultConfig::uniform(double r, std::uint64_t seed) {
+  NetFaultConfig c;
+  c.accept_fail_rate = c.reset_rate = c.trickle_rate = c.stall_rate = r;
+  c.seed = seed;
+  return c;
+}
+
+NetFaultInjector::NetFaultInjector(const NetFaultConfig& config)
+    : config_(config) {
+  auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+  OCPS_CHECK(valid_rate(config.accept_fail_rate) &&
+                 valid_rate(config.reset_rate) &&
+                 valid_rate(config.trickle_rate) &&
+                 valid_rate(config.stall_rate),
+             "net fault rates must be in [0, 1]");
+  OCPS_CHECK(config.stall.count() >= 0, "net fault stall must be >= 0");
+}
+
+double NetFaultInjector::draw(std::uint64_t kind, std::uint64_t seq) const {
+  std::uint64_t h = mix(mix(config_.seed, kind), seq + 1);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool NetFaultInjector::fail_accept() const {
+  std::uint64_t seq = accept_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.accept_fail_rate > 0.0 &&
+      draw(kAcceptFail, seq) < config_.accept_fail_rate) {
+    accept_failures_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+NetFaultInjector::WriteFault NetFaultInjector::write_fault() const {
+  std::uint64_t seq = write_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.reset_rate > 0.0 && draw(kReset, seq) < config_.reset_rate) {
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFault::kReset;
+  }
+  if (config_.trickle_rate > 0.0 &&
+      draw(kTrickle, seq) < config_.trickle_rate) {
+    trickles_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFault::kTrickle;
+  }
+  if (config_.stall_rate > 0.0 && draw(kStall, seq) < config_.stall_rate) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFault::kStall;
+  }
+  return WriteFault::kNone;
+}
+
 }  // namespace ocps

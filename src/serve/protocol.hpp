@@ -51,7 +51,8 @@ inline constexpr int kCodeQueueFull = 429;         ///< admission shed
 inline constexpr int kCodeUnprocessable = 422;     ///< rejected reload
 inline constexpr int kCodeInternal = 500;          ///< unexpected failure
 inline constexpr int kCodeObsDisabled = 501;       ///< obs off / compiled out
-inline constexpr int kCodeShuttingDown = 503;      ///< drain in progress
+inline constexpr int kCodeBadGateway = 502;        ///< router: no backend answered
+inline constexpr int kCodeShuttingDown = 503;      ///< drain / overload / no backend up
 inline constexpr int kCodeDeadlineExceeded = 504;  ///< deadline passed
 
 /// One decoded request. Fields irrelevant to the op stay defaulted.

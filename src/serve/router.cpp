@@ -1,0 +1,922 @@
+// Router implementation. Threading model:
+//
+//   accept thread --> one reader thread per client connection
+//                       (parses, routes, forwards synchronously)
+//   health thread --> scrapes every backend's `metrics` op on a fixed
+//                     interval, feeding the circuit breakers + fleet
+//                     gauges
+//
+// Forwarding is synchronous on the reader thread: one client connection
+// is one lane, and a slow backend delays only the clients routed to it.
+// Each connection owns its backend Client set, so no connection state is
+// shared across reader threads; the shared state (breakers, counters,
+// fleet gauges) is mutex- or atomic-guarded.
+
+#include "serve/router.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "runtime/fault_injection.hpp"
+#include "serve/socket_util.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ocps::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+constexpr int kPollMs = 50;
+
+double ms_since(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+std::chrono::milliseconds clamp_left(Clock::time_point deadline,
+                                     Clock::time_point now) {
+  auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+  return std::max(std::chrono::milliseconds(1), left);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring.
+
+std::uint64_t HashRing::hash_key(const std::string& key) {
+  // FNV-1a 64: deterministic across builds (unlike std::hash), cheap,
+  // and well-spread enough once each point also goes through splitmix.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+HashRing::HashRing(std::size_t backends, std::size_t vnodes)
+    : backends_(backends) {
+  OCPS_CHECK(backends > 0, "ring needs at least one backend");
+  OCPS_CHECK(vnodes > 0, "ring needs at least one vnode per backend");
+  ring_.reserve(backends * vnodes);
+  for (std::size_t b = 0; b < backends; ++b)
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      std::uint64_t state =
+          (static_cast<std::uint64_t>(b) << 32) ^ static_cast<std::uint64_t>(v);
+      std::uint64_t h = splitmix64(state);
+      ring_.push_back({h, static_cast<std::uint32_t>(b)});
+    }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) { return a.hash < b.hash; });
+}
+
+std::size_t HashRing::primary_for(const std::string& key) const {
+  return order_for(key).front();
+}
+
+std::vector<std::size_t> HashRing::order_for(const std::string& key) const {
+  std::uint64_t h = hash_key(key);
+  std::size_t start = std::lower_bound(ring_.begin(), ring_.end(), h,
+                                       [](const Point& p, std::uint64_t v) {
+                                         return p.hash < v;
+                                       }) -
+                      ring_.begin();
+  std::vector<std::size_t> order;
+  order.reserve(backends_);
+  std::vector<bool> seen(backends_, false);
+  for (std::size_t i = 0; i < ring_.size() && order.size() < backends_; ++i) {
+    const Point& p = ring_[(start + i) % ring_.size()];
+    if (!seen[p.backend]) {
+      seen[p.backend] = true;
+      order.push_back(p.backend);
+    }
+  }
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker.
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config)
+    : config_(config) {
+  OCPS_CHECK(config.failure_threshold > 0,
+             "breaker failure_threshold must be positive");
+  OCPS_CHECK(config.cooldown.count() >= 0, "breaker cooldown must be >= 0");
+  OCPS_CHECK(config.probe_successes > 0,
+             "breaker probe_successes must be positive");
+}
+
+bool CircuitBreaker::allow(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ < config_.cooldown) return false;
+      // Cooldown over: this caller becomes the half-open probe.
+      state_ = State::kHalfOpen;
+      half_open_successes_ = 0;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::record_success(TimePoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++half_open_successes_ >= config_.probe_successes) {
+      state_ = State::kClosed;
+      half_open_successes_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::record_failure(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_ = now;
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back to a full cooldown.
+      state_ = State::kOpen;
+      opened_at_ = now;
+      probe_in_flight_ = false;
+      half_open_successes_ = 0;
+      break;
+    case State::kOpen:
+      break;  // already open; keep the original cooldown clock
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+const char* CircuitBreaker::state_name(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Router plumbing types.
+
+struct Router::AtomicCounters {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> forwarded{0};
+  std::atomic<std::uint64_t> failovers{0};
+  std::atomic<std::uint64_t> relayed_errors{0};
+  std::atomic<std::uint64_t> no_backend{0};
+  std::atomic<std::uint64_t> all_open{0};
+  std::atomic<std::uint64_t> malformed{0};
+  std::atomic<std::uint64_t> reloads{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  std::atomic<std::uint64_t> health_probes{0};
+  std::atomic<std::uint64_t> health_failures{0};
+};
+
+struct Router::Backend {
+  std::string endpoint;
+  CircuitBreaker breaker;
+  std::atomic<bool> up{false};  ///< last health-probe outcome
+
+  Client probe_client;  ///< health thread's private connection
+
+  /// Last ingested backend counters (health thread writes, gauge
+  /// refresh reads).
+  std::mutex fleet_mu;
+  double fleet_requests = 0.0;
+  double fleet_answered = 0.0;
+  double fleet_shed = 0.0;
+  double fleet_deadline = 0.0;
+
+  Backend(std::string ep, const CircuitBreakerConfig& cfg)
+      : endpoint(std::move(ep)), breaker(cfg) {}
+};
+
+struct Router::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  std::chrono::milliseconds io_timeout{5000};
+  std::atomic<bool> broken{false};
+  /// Per-connection backend clients: one lane per client connection, so
+  /// reader threads never share a backend socket.
+  std::vector<Client> backends;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool send_line(std::string line) {
+    line.push_back('\n');
+    std::lock_guard<std::mutex> guard(write_mutex);
+    if (broken.load(std::memory_order_relaxed)) return false;
+    if (!send_all(fd, line.data(), line.size(), io_timeout)) {
+      broken.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      counters_(std::make_unique<AtomicCounters>()) {
+  OCPS_CHECK(!config_.backends.empty(),
+             "router: at least one backend endpoint is required");
+  OCPS_CHECK(!config_.socket_path.empty() || !config_.listen_address.empty(),
+             "router: a front listener (socket path or listen address) is "
+             "required");
+  OCPS_CHECK(config_.vnodes > 0, "router: vnodes must be positive");
+  OCPS_CHECK(config_.connect_timeout.count() > 0,
+             "router: connect_timeout must be positive");
+  OCPS_CHECK(config_.io_timeout.count() > 0,
+             "router: io_timeout must be positive");
+  OCPS_CHECK(config_.health_interval.count() > 0,
+             "router: health_interval must be positive");
+  OCPS_CHECK(config_.max_connections > 0,
+             "router: max_connections must be positive");
+  OCPS_CHECK(config_.metrics_port >= -1 && config_.metrics_port <= 65535,
+             "router: metrics_port must be in [-1, 65535]");
+  ring_ = std::make_unique<HashRing>(config_.backends.size(), config_.vnodes);
+  backends_.reserve(config_.backends.size());
+  for (const std::string& ep : config_.backends)
+    backends_.push_back(std::make_unique<Backend>(ep, config_.breaker));
+}
+
+Router::~Router() { stop(); }
+
+Result<bool> Router::start() {
+  OCPS_CHECK(!started_.exchange(true), "Router::start called twice");
+
+  auto teardown = [&] {
+    if (http_fd_ >= 0) {
+      ::close(http_fd_);
+      http_fd_ = -1;
+    }
+    if (tcp_fd_ >= 0) {
+      ::close(tcp_fd_);
+      tcp_fd_ = -1;
+    }
+    UnixListener claimed{listen_fd_, lock_fd_};
+    release_unix_socket(claimed, config_.socket_path);
+    listen_fd_ = -1;
+    lock_fd_ = -1;
+  };
+
+  if (!config_.socket_path.empty()) {
+    Result<UnixListener> claimed =
+        claim_unix_socket(config_.socket_path, 64);
+    if (!claimed.ok()) return claimed.error();
+    listen_fd_ = claimed.value().fd;
+    lock_fd_ = claimed.value().lock_fd;
+  }
+
+  if (!config_.listen_address.empty()) {
+    Result<Endpoint> ep = parse_endpoint(config_.listen_address);
+    if (!ep.ok()) {
+      teardown();
+      return ep.error();
+    }
+    if (!ep.value().is_tcp()) {
+      teardown();
+      return Err(ErrorCode::kInvalidArgument,
+                 "--listen must be host:port, got: " +
+                     config_.listen_address);
+    }
+    Result<int> fd = listen_tcp(ep.value().host, ep.value().port, 64);
+    if (!fd.ok()) {
+      teardown();
+      return fd.error();
+    }
+    tcp_fd_ = fd.value();
+    Result<std::uint16_t> port = bound_tcp_port(tcp_fd_);
+    if (!port.ok()) {
+      teardown();
+      return port.error();
+    }
+    tcp_port_.store(port.value());
+  }
+
+  if (config_.metrics_port != 0) {
+    std::uint16_t want = config_.metrics_port > 0
+                             ? static_cast<std::uint16_t>(config_.metrics_port)
+                             : 0;
+    Result<int> fd = listen_tcp("127.0.0.1", want, 16);
+    if (!fd.ok()) {
+      teardown();
+      return fd.error();
+    }
+    http_fd_ = fd.value();
+    Result<std::uint16_t> port = bound_tcp_port(http_fd_);
+    if (!port.ok()) {
+      teardown();
+      return port.error();
+    }
+    http_port_.store(port.value());
+  }
+
+  // Eager metric registration (the obs.spans_dropped precedent): the
+  // first Prometheus scrape must expose the complete serve.router.*
+  // series, zero-valued, before any traffic or fault has occurred —
+  // dashboards and alert rules need the series to exist to match on it.
+  if (obs::enabled()) {
+    static const char* kCounters[] = {
+        "serve.router.requests",        "serve.router.forwarded",
+        "serve.router.failovers",       "serve.router.relayed_errors",
+        "serve.router.no_backend",      "serve.router.all_open",
+        "serve.router.malformed",       "serve.router.reloads",
+        "serve.router.deadline_exceeded", "serve.router.health_probes",
+        "serve.router.health_failures", "serve.router.conn_limit_rejected",
+    };
+    for (const char* name : kCounters) obs::counter(name);
+    obs::gauge("serve.router.backends")
+        .set(static_cast<double>(backends_.size()));
+    obs::gauge("serve.router.backends_healthy").set(0.0);
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+      obs::gauge("serve.router.backend_up." + std::to_string(i)).set(0.0);
+    static const char* kFleet[] = {
+        "serve.fleet.requests", "serve.fleet.answered", "serve.fleet.shed",
+        "serve.fleet.deadline_exceeded"};
+    for (const char* name : kFleet) obs::gauge(name).set(0.0);
+  }
+
+  started_at_ = Clock::now();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  health_thread_ = std::thread([this] { health_loop(); });
+  if (http_fd_ >= 0) http_thread_ = std::thread([this] { http_loop(); });
+  return Ok(true);
+}
+
+void Router::stop() {
+  stopping_.store(true);
+  if (!started_.load() || joined_.exchange(true)) return;
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (http_thread_.joinable()) http_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
+  if (http_fd_ >= 0) {
+    ::close(http_fd_);
+    http_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  UnixListener claimed{listen_fd_, lock_fd_};
+  release_unix_socket(claimed, config_.socket_path);
+  listen_fd_ = -1;
+  lock_fd_ = -1;
+
+  // Reader threads finish the request they are forwarding (bounded by
+  // io_timeout) and exit on the next poll tick.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> guard(conns_mutex_);
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& t : readers)
+    if (t.joinable()) t.join();
+
+  std::lock_guard<std::mutex> guard(conns_mutex_);
+  conns_.clear();
+}
+
+void Router::wait_until_stop_requested() const {
+  while (!stopping_.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+}
+
+CircuitBreaker::State Router::breaker_state(std::size_t i) const {
+  OCPS_CHECK(i < backends_.size(), "breaker_state: backend out of range");
+  return backends_[i]->breaker.state();
+}
+
+Router::Counters Router::counters() const {
+  Counters c;
+  c.requests = counters_->requests.load();
+  c.forwarded = counters_->forwarded.load();
+  c.failovers = counters_->failovers.load();
+  c.relayed_errors = counters_->relayed_errors.load();
+  c.no_backend = counters_->no_backend.load();
+  c.all_open = counters_->all_open.load();
+  c.malformed = counters_->malformed.load();
+  c.reloads = counters_->reloads.load();
+  c.deadline_exceeded = counters_->deadline_exceeded.load();
+  c.health_probes = counters_->health_probes.load();
+  c.health_failures = counters_->health_failures.load();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Front listeners.
+
+void Router::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    if (listen_fd_ >= 0) pfds[nfds++] = {listen_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) pfds[nfds++] = {tcp_fd_, POLLIN, 0};
+    int ready = ::poll(pfds, nfds, kPollMs);
+    if (ready <= 0) continue;
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if (!(pfds[i].revents & POLLIN)) continue;
+      int fd = ::accept4(pfds[i].fd, nullptr, nullptr,
+                         SOCK_CLOEXEC | SOCK_NONBLOCK);
+      if (fd < 0) continue;
+      if (config_.net_faults && config_.net_faults->fail_accept()) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      conn->io_timeout = config_.io_timeout;
+      conn->backends.resize(backends_.size());
+      std::lock_guard<std::mutex> guard(conns_mutex_);
+      if (stopping_.load()) continue;
+      if (conns_.size() >= config_.max_connections) {
+        OCPS_OBS_COUNT("serve.router.conn_limit_rejected", 1);
+        conn->send_line(error_response(
+            0, kCodeShuttingDown,
+            "connection limit reached (" +
+                std::to_string(config_.max_connections) + ")"));
+        continue;
+      }
+      conns_.push_back(conn);
+      reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+    }
+  }
+}
+
+void Router::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  Clock::time_point last_progress = Clock::now();
+  while (!stopping_.load()) {
+    if (conn->broken.load(std::memory_order_relaxed)) break;
+    if (!buffer.empty() &&
+        Clock::now() - last_progress > config_.io_timeout) {
+      counters_->malformed.fetch_add(1);
+      OCPS_OBS_COUNT("serve.router.malformed", 1);
+      conn->send_line(error_response(0, kCodeBadRequest,
+                                     "request line stalled mid-frame"));
+      break;
+    }
+    pollfd pfd{conn->fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;
+    char chunk[4096];
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    last_progress = Clock::now();
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(conn, line);
+    }
+    if (buffer.size() > kMaxLineBytes) {
+      counters_->malformed.fetch_add(1);
+      OCPS_OBS_COUNT("serve.router.malformed", 1);
+      conn->send_line(
+          error_response(0, kCodeBadRequest, "request line too long"));
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> guard(conns_mutex_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+               conns_.end());
+}
+
+void Router::http_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{http_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;
+    int fd = ::accept4(http_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    handle_metrics_http_client(
+        fd, [this] { return stopping_.load(); },
+        [this] { refresh_gauges(); });
+    ::close(fd);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling.
+
+std::string Router::route_key(const Request& req) {
+  if (!req.programs.empty()) {
+    // The profile-set id: the sorted member list, so {"a","b"} and
+    // {"b","a"} land on the same backend and keep its DP state warm.
+    std::vector<std::string> names = req.programs;
+    std::sort(names.begin(), names.end());
+    std::string key;
+    for (const std::string& n : names) {
+      key += n;
+      key += ',';
+    }
+    return key;
+  }
+  // No named tenants (sweep-all, slowlog): spread by op + shape.
+  return std::string("op:") + op_name(req.op) + ":" +
+         std::to_string(req.group_size) + ":" + std::to_string(req.capacity);
+}
+
+void Router::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  counters_->requests.fetch_add(1);
+  OCPS_OBS_COUNT("serve.router.requests", 1);
+
+  Result<Request> parsed = parse_request(line);
+  if (!parsed.ok()) {
+    counters_->malformed.fetch_add(1);
+    OCPS_OBS_COUNT("serve.router.malformed", 1);
+    conn->send_line(
+        error_response(0, kCodeBadRequest, parsed.error().message));
+    return;
+  }
+  Request req = std::move(parsed.value());
+
+  switch (req.op) {
+    case Op::kHealth:
+      handle_health_local(conn, req);
+      return;
+    case Op::kMetrics:
+      handle_metrics_local(conn, req);
+      return;
+    case Op::kReload:
+      fan_out_reload(conn, req, line);
+      return;
+    case Op::kPartition:
+    case Op::kSweep:
+    case Op::kSlowlog:
+      break;
+  }
+
+  if (stopping_.load()) {
+    conn->send_line(
+        error_response(req.id, kCodeShuttingDown, "router is draining"));
+    return;
+  }
+  forward(conn, req, line);
+}
+
+void Router::forward(const std::shared_ptr<Connection>& conn,
+                     const Request& req, const std::string& line) {
+  const std::vector<std::size_t> order = ring_->order_for(route_key(req));
+
+  // The request deadline is the failover budget; without one, io_timeout
+  // bounds the whole walk so a dead fleet cannot wedge the lane.
+  double budget_ms =
+      req.deadline_ms > 0.0 ? req.deadline_ms : config_.default_deadline_ms;
+  const Clock::time_point deadline =
+      budget_ms > 0.0
+          ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   budget_ms))
+          : Clock::now() + config_.io_timeout;
+
+  bool any_allowed = false;
+  bool have_relay = false;
+  Response relay;
+
+  for (std::size_t idx : order) {
+    Clock::time_point now = Clock::now();
+    if (now >= deadline) {
+      counters_->deadline_exceeded.fetch_add(1);
+      OCPS_OBS_COUNT("serve.router.deadline_exceeded", 1);
+      conn->send_line(error_response(req.id, kCodeDeadlineExceeded,
+                                     "deadline exceeded while forwarding"));
+      return;
+    }
+    Backend& b = *backends_[idx];
+    if (!b.breaker.allow(now)) continue;
+    any_allowed = true;
+    const std::chrono::milliseconds left = clamp_left(deadline, now);
+
+    Client& c = conn->backends[idx];
+    if (!c.connected()) {
+      Result<Client> fresh = Client::connect(
+          b.endpoint, std::min(config_.connect_timeout, left));
+      if (!fresh.ok()) {
+        b.breaker.record_failure(Clock::now());
+        counters_->failovers.fetch_add(1);
+        OCPS_OBS_COUNT("serve.router.failovers", 1);
+        continue;
+      }
+      c = std::move(fresh.value());
+    }
+
+    Result<Response> r = c.call(line, left);
+    if (!r.ok()) {
+      // Transport failure: the stream may hold a half-written response,
+      // so drop the lane's connection and fail over.
+      b.breaker.record_failure(Clock::now());
+      c = Client();
+      counters_->failovers.fetch_add(1);
+      OCPS_OBS_COUNT("serve.router.failovers", 1);
+      continue;
+    }
+    Response& resp = r.value();
+    if (resp.ok || !retryable_code(resp.code)) {
+      // Definitive: relay verbatim (the backend echoed the client's id).
+      b.breaker.record_success(Clock::now());
+      if (!resp.ok) {
+        counters_->relayed_errors.fetch_add(1);
+        OCPS_OBS_COUNT("serve.router.relayed_errors", 1);
+      }
+      counters_->forwarded.fetch_add(1);
+      OCPS_OBS_COUNT("serve.router.forwarded", 1);
+      conn->send_line(resp.body.dump());
+      return;
+    }
+    // Retryable status. 429 means alive-but-overloaded: that is load
+    // information, not a health failure — shedding backends must not
+    // trip breakers and amplify the overload. 503/504 count against it.
+    if (resp.code == kCodeQueueFull)
+      b.breaker.record_success(Clock::now());
+    else
+      b.breaker.record_failure(Clock::now());
+    have_relay = true;
+    relay = std::move(resp);
+    counters_->failovers.fetch_add(1);
+    OCPS_OBS_COUNT("serve.router.failovers", 1);
+  }
+
+  if (have_relay) {
+    // Every replica answered with a retryable status (e.g. the whole
+    // fleet is shedding): the last one is the truth — relay it so the
+    // client sees an honest 429/503/504 it can back off on.
+    counters_->relayed_errors.fetch_add(1);
+    OCPS_OBS_COUNT("serve.router.relayed_errors", 1);
+    conn->send_line(relay.body.dump());
+    return;
+  }
+  if (!any_allowed) {
+    counters_->all_open.fetch_add(1);
+    OCPS_OBS_COUNT("serve.router.all_open", 1);
+    conn->send_line(error_response(
+        req.id, kCodeShuttingDown,
+        "no backend available (all circuit breakers open)"));
+    return;
+  }
+  counters_->no_backend.fetch_add(1);
+  OCPS_OBS_COUNT("serve.router.no_backend", 1);
+  conn->send_line(
+      error_response(req.id, kCodeBadGateway, "no backend answered"));
+}
+
+void Router::fan_out_reload(const std::shared_ptr<Connection>& conn,
+                            const Request& req, const std::string& line) {
+  // Reload reaches every backend, breaker or no breaker: a suspect
+  // backend that is actually alive must not come back serving a stale
+  // profile set. Never retried — a lost response may mean the swap
+  // already happened on that backend.
+  counters_->reloads.fetch_add(1);
+  OCPS_OBS_COUNT("serve.router.reloads", 1);
+  std::size_t ok_count = 0;
+  std::string first_error;
+  for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+    Backend& b = *backends_[idx];
+    Client& c = conn->backends[idx];
+    if (!c.connected()) {
+      Result<Client> fresh =
+          Client::connect(b.endpoint, config_.connect_timeout);
+      if (!fresh.ok()) {
+        b.breaker.record_failure(Clock::now());
+        if (first_error.empty())
+          first_error = b.endpoint + ": " + fresh.error().message;
+        continue;
+      }
+      c = std::move(fresh.value());
+    }
+    Result<Response> r = c.call(line, config_.io_timeout);
+    if (!r.ok()) {
+      b.breaker.record_failure(Clock::now());
+      c = Client();
+      if (first_error.empty())
+        first_error = b.endpoint + ": " + r.error().message;
+      continue;
+    }
+    b.breaker.record_success(Clock::now());
+    if (r.value().ok) {
+      ++ok_count;
+    } else if (first_error.empty()) {
+      first_error = b.endpoint + ": " + r.value().error;
+    }
+  }
+  if (ok_count == backends_.size()) {
+    json::Value body;
+    body.set("backends", json::Value(static_cast<double>(ok_count)));
+    conn->send_line(ok_response(req.id, std::move(body)));
+    return;
+  }
+  conn->send_line(error_response(
+      req.id, kCodeBadGateway,
+      "reload failed on " +
+          std::to_string(backends_.size() - ok_count) + "/" +
+          std::to_string(backends_.size()) + " backends: " + first_error));
+}
+
+void Router::handle_health_local(const std::shared_ptr<Connection>& conn,
+                                 const Request& req) {
+  json::Value body;
+  body.set("role", json::Value("router"));
+  body.set("uptime_ms", json::Value(ms_since(started_at_, Clock::now())));
+  body.set("draining", json::Value(stopping_.load()));
+  json::Array rows;
+  std::size_t healthy = 0;
+  for (const auto& b : backends_) {
+    json::Value row;
+    row.set("endpoint", json::Value(b->endpoint));
+    row.set("state", json::Value(CircuitBreaker::state_name(
+                         b->breaker.state())));
+    bool up = b->up.load();
+    row.set("up", json::Value(up));
+    if (up) ++healthy;
+    rows.push_back(std::move(row));
+  }
+  body.set("backends", json::Value(std::move(rows)));
+  body.set("healthy", json::Value(static_cast<double>(healthy)));
+  Counters c = counters();
+  json::Value cnt;
+  cnt.set("requests", json::Value(static_cast<double>(c.requests)));
+  cnt.set("forwarded", json::Value(static_cast<double>(c.forwarded)));
+  cnt.set("failovers", json::Value(static_cast<double>(c.failovers)));
+  cnt.set("relayed_errors",
+          json::Value(static_cast<double>(c.relayed_errors)));
+  cnt.set("no_backend", json::Value(static_cast<double>(c.no_backend)));
+  cnt.set("all_open", json::Value(static_cast<double>(c.all_open)));
+  cnt.set("malformed", json::Value(static_cast<double>(c.malformed)));
+  cnt.set("reloads", json::Value(static_cast<double>(c.reloads)));
+  cnt.set("deadline_exceeded",
+          json::Value(static_cast<double>(c.deadline_exceeded)));
+  cnt.set("health_probes",
+          json::Value(static_cast<double>(c.health_probes)));
+  cnt.set("health_failures",
+          json::Value(static_cast<double>(c.health_failures)));
+  body.set("counters", std::move(cnt));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Router::handle_metrics_local(const std::shared_ptr<Connection>& conn,
+                                  const Request& req) {
+  if (!obs::enabled()) {
+    conn->send_line(error_response(
+        req.id, kCodeObsDisabled,
+        "observability disabled (compiled out or OCPS_OBS unset)"));
+    return;
+  }
+  refresh_gauges();
+  std::ostringstream prom;
+  obs::write_metrics_prometheus(prom);
+  std::ostringstream js;
+  obs::write_metrics_json(js);
+  Result<json::Value> metrics = json::parse(js.str());
+
+  json::Value body;
+  body.set("role", json::Value("router"));
+  body.set("uptime_ms", json::Value(ms_since(started_at_, Clock::now())));
+  if (metrics.ok()) body.set("metrics", std::move(metrics.value()));
+  body.set("prometheus", json::Value(prom.str()));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+// ---------------------------------------------------------------------------
+// Health probing + fleet aggregation.
+
+void Router::health_loop() {
+  Request probe;
+  probe.id = -1;
+  probe.op = Op::kMetrics;
+  const std::string probe_line = encode_request(probe);
+
+  while (!stopping_.load()) {
+    for (std::size_t i = 0; i < backends_.size() && !stopping_.load();
+         ++i) {
+      Backend& b = *backends_[i];
+      Clock::time_point now = Clock::now();
+      // allow() doubles as the half-open probe token: when the breaker
+      // is open and cooled down, this probe is exactly the canary the
+      // state machine wants. While it is open and cooling, skip.
+      if (!b.breaker.allow(now)) continue;
+      counters_->health_probes.fetch_add(1);
+      OCPS_OBS_COUNT("serve.router.health_probes", 1);
+
+      bool okay = false;
+      if (!b.probe_client.connected()) {
+        Result<Client> fresh =
+            Client::connect(b.endpoint, config_.connect_timeout);
+        if (fresh.ok()) b.probe_client = std::move(fresh.value());
+      }
+      if (b.probe_client.connected()) {
+        Result<Response> r =
+            b.probe_client.call(probe_line, config_.io_timeout);
+        if (r.ok() &&
+            (r.value().ok || r.value().code == kCodeObsDisabled)) {
+          // 501 = obs off on the backend: alive, just not scrapeable.
+          okay = true;
+          if (r.value().ok) {
+            const json::Value* metrics = r.value().body.find("metrics");
+            const json::Value* counters =
+                metrics ? metrics->find("counters") : nullptr;
+            if (counters) {
+              auto pick = [&](const char* name) {
+                const json::Value* v = counters->find(name);
+                return v && v->is_number() ? v->as_number() : 0.0;
+              };
+              std::lock_guard<std::mutex> lock(b.fleet_mu);
+              b.fleet_requests = pick("serve.requests");
+              b.fleet_answered = pick("serve.answered");
+              b.fleet_shed = pick("serve.shed");
+              b.fleet_deadline = pick("serve.deadline_exceeded");
+            }
+          }
+        } else if (!r.ok()) {
+          b.probe_client = Client();  // reconnect next round
+        }
+      }
+      if (okay) {
+        b.breaker.record_success(Clock::now());
+      } else {
+        b.breaker.record_failure(Clock::now());
+        counters_->health_failures.fetch_add(1);
+        OCPS_OBS_COUNT("serve.router.health_failures", 1);
+      }
+      b.up.store(okay);
+    }
+    refresh_gauges();
+
+    Clock::time_point wake = Clock::now() + config_.health_interval;
+    while (!stopping_.load() && Clock::now() < wake)
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+  }
+}
+
+void Router::refresh_gauges() {
+  if (!obs::enabled()) return;
+  std::size_t healthy = 0;
+  double requests = 0.0, answered = 0.0, shed = 0.0, deadline = 0.0;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    Backend& b = *backends_[i];
+    bool up = b.up.load();
+    if (up) ++healthy;
+    obs::gauge("serve.router.backend_up." + std::to_string(i))
+        .set(up ? 1.0 : 0.0);
+    std::lock_guard<std::mutex> lock(b.fleet_mu);
+    requests += b.fleet_requests;
+    answered += b.fleet_answered;
+    shed += b.fleet_shed;
+    deadline += b.fleet_deadline;
+  }
+  obs::gauge("serve.router.backends")
+      .set(static_cast<double>(backends_.size()));
+  obs::gauge("serve.router.backends_healthy")
+      .set(static_cast<double>(healthy));
+  obs::gauge("serve.fleet.requests").set(requests);
+  obs::gauge("serve.fleet.answered").set(answered);
+  obs::gauge("serve.fleet.shed").set(shed);
+  obs::gauge("serve.fleet.deadline_exceeded").set(deadline);
+}
+
+}  // namespace ocps::serve

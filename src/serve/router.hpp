@@ -1,0 +1,255 @@
+// Fault-tolerant front tier for a fleet of partition-service daemons
+// (`ocps router`).
+//
+// One daemon is a single point of failure; the ROADMAP north-star is a
+// fleet. The router speaks the exact same line-delimited JSON protocol
+// as the daemons on its front listeners (Unix socket and/or TCP), so
+// every existing client works unchanged, and spreads the work across N
+// backends:
+//
+//   * Placement: consistent hashing with virtual nodes over the
+//     request's profile-set id (its sorted program list), so a tenant's
+//     queries keep landing on the same backend (warm DP prefix state)
+//     and adding a backend only remaps ~1/N of the key space.
+//   * Health: a prober thread scrapes every backend's `metrics` op on a
+//     fixed interval, feeding the same per-backend circuit breaker the
+//     request path uses — a dead backend is ejected within a few probe
+//     intervals even with zero traffic.
+//   * Failure handling: per-backend circuit breaker
+//     (closed → open on consecutive failures, open → half-open after a
+//     cooldown, half-open admits one probe at a time and re-closes on
+//     success); the request path walks the ring's failover order,
+//     skipping open breakers, and fails over to the next replica on
+//     transport errors and retryable statuses (429/503/504). Definitive
+//     answers (ok, 400, 404, 422, 500) are relayed verbatim. When every
+//     breaker is open the client gets 503; when every attempt failed in
+//     transport it gets 502.
+//   * `reload` fans out to every backend (never retried — a lost
+//     response may mean the swap already happened) and succeeds only if
+//     the whole fleet succeeded.
+//   * `health` and `metrics` are answered by the router itself:
+//     router-level health lists per-backend breaker state, and the
+//     metrics registry carries `serve.router.*` counters plus
+//     `serve.fleet.*` aggregates ingested from backend scrapes. The
+//     optional loopback HTTP listener exposes the same registry to
+//     Prometheus (shared responder in socket_util).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/result.hpp"
+
+namespace ocps {
+class NetFaultInjector;  // runtime/fault_injection.hpp
+}
+
+namespace ocps::serve {
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring.
+
+/// Maps string keys to backends via consistent hashing with virtual
+/// nodes. order_for() yields the failover sequence: every backend
+/// exactly once, starting at the key's ring successor — so replica
+/// choice under failure is deterministic, and two routers with the same
+/// backend list agree on placement.
+class HashRing {
+ public:
+  /// `backends` must be >= 1; `vnodes` points per backend smooth the
+  /// key-space split (64 keeps the max/min load ratio near 1.2 for
+  /// small fleets).
+  explicit HashRing(std::size_t backends, std::size_t vnodes = 64);
+
+  std::size_t backends() const { return backends_; }
+  std::size_t primary_for(const std::string& key) const;
+  std::vector<std::size_t> order_for(const std::string& key) const;
+
+  /// FNV-1a 64-bit — the ring's key hash, exposed for tests.
+  static std::uint64_t hash_key(const std::string& key);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t backend;
+  };
+  std::vector<Point> ring_;  ///< sorted by hash
+  std::size_t backends_;
+};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker.
+
+struct CircuitBreakerConfig {
+  int failure_threshold = 3;  ///< consecutive failures: closed → open
+  std::chrono::milliseconds cooldown{1000};  ///< open → half-open delay
+  int probe_successes = 1;  ///< half-open successes to re-close
+};
+
+/// Per-backend circuit breaker. Deterministic: time is a parameter, not
+/// an ambient clock, so unit tests drive the full state machine with a
+/// fake timeline. Thread-safe — the request path and the health prober
+/// feed the same instance.
+///
+/// States: kClosed admits everything and counts consecutive failures;
+/// at `failure_threshold` it opens. kOpen admits nothing until
+/// `cooldown` has passed, then the next allow() becomes the half-open
+/// probe. kHalfOpen admits one in-flight probe at a time;
+/// `probe_successes` successes re-close, any failure re-opens (and
+/// restarts the cooldown).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(const CircuitBreakerConfig& config);
+
+  /// May a request be sent now? In half-open this acquires the single
+  /// probe token; callers that got `true` MUST report the outcome via
+  /// record_success/record_failure.
+  bool allow(TimePoint now);
+  void record_success(TimePoint now);
+  void record_failure(TimePoint now);
+
+  State state() const;
+  static const char* state_name(State s);
+
+ private:
+  CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  TimePoint opened_at_{};
+};
+
+// ---------------------------------------------------------------------------
+// The router.
+
+/// Router knobs (CLI flags of `ocps router` map 1:1 onto these). At
+/// least one front listener (socket_path / listen_address) is required,
+/// plus one or more backend endpoints.
+struct RouterConfig {
+  std::string socket_path;     ///< Unix front listener ("" = off)
+  std::string listen_address;  ///< TCP front listener ("" = off)
+  std::vector<std::string> backends;  ///< daemon endpoints (>= 1)
+
+  std::size_t vnodes = 64;
+  CircuitBreakerConfig breaker;
+  std::chrono::milliseconds connect_timeout{1000};
+  std::chrono::milliseconds io_timeout{5000};
+  std::chrono::milliseconds health_interval{500};
+  double default_deadline_ms = 0.0;  ///< forward budget when none given
+  std::size_t max_connections = 256;
+
+  /// Prometheus exposition over HTTP on 127.0.0.1 (same contract as
+  /// ServeConfig::metrics_port: 0 = off, -1 = ephemeral).
+  int metrics_port = 0;
+
+  /// Chaos seam for the router's own front listeners (accept faults
+  /// only; response faults are injected at the backends).
+  const NetFaultInjector* net_faults = nullptr;
+};
+
+/// The front-tier daemon. Same lifecycle contract as serve::Server:
+/// construction validates config, start() binds and spawns threads,
+/// stop() drains and joins, single-use.
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  Result<bool> start();
+  void request_stop() noexcept { stopping_.store(true); }
+  void stop();
+  void wait_until_stop_requested() const;
+  bool stop_requested() const { return stopping_.load(); }
+
+  const RouterConfig& config() const { return config_; }
+  int bound_metrics_port() const { return http_port_.load(); }
+  int bound_listen_port() const { return tcp_port_.load(); }
+
+  /// Breaker state of backend `i` (for tests and `health`).
+  CircuitBreaker::State breaker_state(std::size_t i) const;
+
+  struct Counters {
+    std::uint64_t requests = 0;        ///< lines received on the front
+    std::uint64_t forwarded = 0;       ///< answered from a backend
+    std::uint64_t failovers = 0;       ///< backend attempts that failed over
+    std::uint64_t relayed_errors = 0;  ///< definitive backend errors relayed
+    std::uint64_t no_backend = 0;      ///< 502: every attempt failed
+    std::uint64_t all_open = 0;        ///< 503: every breaker open
+    std::uint64_t malformed = 0;       ///< 400 parse failures
+    std::uint64_t reloads = 0;         ///< fleet-wide reload fan-outs
+    std::uint64_t deadline_exceeded = 0;  ///< 504s synthesized mid-walk
+    std::uint64_t health_probes = 0;
+    std::uint64_t health_failures = 0;
+  };
+  Counters counters() const;
+
+  /// The placement key for a request: its sorted program list (the
+  /// profile-set id), or an op-derived key when no programs are named.
+  /// Exposed for tests asserting placement stability.
+  static std::string route_key(const Request& req);
+
+ private:
+  struct Connection;
+  struct Backend;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void health_loop();
+  void http_loop();
+
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void handle_health_local(const std::shared_ptr<Connection>& conn,
+                           const Request& req);
+  void handle_metrics_local(const std::shared_ptr<Connection>& conn,
+                            const Request& req);
+  void forward(const std::shared_ptr<Connection>& conn, const Request& req,
+               const std::string& line);
+  void fan_out_reload(const std::shared_ptr<Connection>& conn,
+                      const Request& req, const std::string& line);
+  void refresh_gauges();
+
+  RouterConfig config_;
+  std::unique_ptr<HashRing> ring_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+
+  int listen_fd_ = -1;  ///< Unix front listener
+  int lock_fd_ = -1;
+  int tcp_fd_ = -1;
+  std::atomic<int> tcp_port_{0};
+  int http_fd_ = -1;
+  std::atomic<int> http_port_{0};
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> joined_{false};
+
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> reader_threads_;
+  std::thread accept_thread_;
+  std::thread health_thread_;
+  std::thread http_thread_;
+
+  std::chrono::steady_clock::time_point started_at_;
+
+  struct AtomicCounters;
+  std::unique_ptr<AtomicCounters> counters_;
+};
+
+}  // namespace ocps::serve

@@ -35,6 +35,8 @@
 #include "locality/footprint_io.hpp"
 #include "locality/sanitize.hpp"
 #include "obs/obs.hpp"
+#include "runtime/fault_injection.hpp"
+#include "serve/socket_util.hpp"
 #include "util/check.hpp"
 
 namespace ocps::serve {
@@ -112,26 +114,61 @@ struct Server::AtomicCounters {
 struct Server::Connection {
   int fd = -1;
   std::mutex write_mutex;  ///< reader (errors) and batcher both write
+  const NetFaultInjector* faults = nullptr;  ///< chaos seam (may be null)
+  std::chrono::milliseconds io_timeout{5000};
+  /// A write that timed out or hit a peer error poisons the connection:
+  /// further responses would interleave into a half-written line, so
+  /// both the reader and later writers give up on it instead.
+  std::atomic<bool> broken{false};
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
 
-  // Appends the newline and writes the whole line. MSG_NOSIGNAL: a
-  // client that hung up must cost us an error return, not a SIGPIPE.
+  // Appends the newline and writes the whole line. Accepted fds are
+  // nonblocking; send_all retries EINTR, continues short writes, and
+  // polls POLLOUT on EAGAIN bounded by io_timeout. MSG_NOSIGNAL inside:
+  // a client that hung up must cost an error return, not a SIGPIPE.
   bool send_line(std::string line) {
     line.push_back('\n');
     std::lock_guard<std::mutex> guard(write_mutex);
-    const char* data = line.data();
-    std::size_t left = line.size();
-    while (left > 0) {
-      ssize_t n = ::send(fd, data, left, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
+    if (broken.load(std::memory_order_relaxed)) return false;
+
+    NetFaultInjector::WriteFault fault = NetFaultInjector::WriteFault::kNone;
+    if (faults) fault = faults->write_fault();
+    if (fault == NetFaultInjector::WriteFault::kStall)
+      std::this_thread::sleep_for(faults->stall_duration());
+    if (fault == NetFaultInjector::WriteFault::kReset) {
+      // Cut the response mid-line and tear the connection down: the
+      // peer reads a partial frame and then EOF, exactly what a crashed
+      // daemon looks like from the other side.
+      (void)send_all(fd, line.data(), line.size() / 2, io_timeout);
+      ::shutdown(fd, SHUT_RDWR);
+      broken.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (fault == NetFaultInjector::WriteFault::kTrickle) {
+      // Dribble the head out a byte at a time so the peer exercises its
+      // partial-read reassembly; the tail goes out normally.
+      std::size_t head = std::min<std::size_t>(line.size(), 32);
+      for (std::size_t i = 0; i < head; ++i) {
+        if (!send_all(fd, line.data() + i, 1, io_timeout)) {
+          broken.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (!send_all(fd, line.data() + head, line.size() - head,
+                    io_timeout)) {
+        broken.store(true, std::memory_order_relaxed);
         return false;
       }
-      data += n;
-      left -= static_cast<std::size_t>(n);
+      return true;
+    }
+
+    if (!send_all(fd, line.data(), line.size(), io_timeout)) {
+      broken.store(true, std::memory_order_relaxed);
+      return false;
     }
     return true;
   }
@@ -225,7 +262,8 @@ struct Server::SolverState {
 Server::Server(ServeConfig config, std::vector<ProgramModel> models)
     : config_(std::move(config)),
       counters_(std::make_unique<AtomicCounters>()) {
-  OCPS_CHECK(!config_.socket_path.empty(), "serve: socket path is required");
+  OCPS_CHECK(!config_.socket_path.empty() || !config_.listen_address.empty(),
+             "serve: a listener is required (socket path and/or TCP address)");
   OCPS_CHECK(config_.capacity > 0, "serve: capacity must be positive");
   OCPS_CHECK(config_.max_batch > 0, "serve: max_batch must be positive");
   OCPS_CHECK(config_.queue_capacity > 0,
@@ -238,6 +276,10 @@ Server::Server(ServeConfig config, std::vector<ProgramModel> models)
              "serve: metrics_port must be in [-1, 65535]");
   OCPS_CHECK(config_.latency_window_s > 0,
              "serve: latency_window_s must be positive");
+  OCPS_CHECK(config_.max_connections > 0,
+             "serve: max_connections must be positive");
+  OCPS_CHECK(config_.io_timeout.count() > 0,
+             "serve: io_timeout must be positive");
   telemetry_ = std::make_unique<Telemetry>(config_.latency_window_s,
                                            config_.slowlog_capacity);
   profiles_ = make_profile_set(std::move(models), config_.capacity, 1);
@@ -248,60 +290,59 @@ Server::~Server() { stop(); }
 Result<bool> Server::start() {
   OCPS_CHECK(!started_.exchange(true), "Server::start called twice");
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (config_.socket_path.size() >= sizeof(addr.sun_path))
-    return Err(ErrorCode::kInvalidArgument,
-               "socket path too long: " + config_.socket_path);
-  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
-              config_.socket_path.size() + 1);
+  // Tears down every listener claimed so far; each failure path below
+  // must leave no fd or lock file behind.
+  auto teardown = [&] {
+    if (http_fd_ >= 0) {
+      ::close(http_fd_);
+      http_fd_ = -1;
+    }
+    if (tcp_fd_ >= 0) {
+      ::close(tcp_fd_);
+      tcp_fd_ = -1;
+    }
+    UnixListener claimed{listen_fd_, lock_fd_};
+    release_unix_socket(claimed, config_.socket_path);
+    listen_fd_ = -1;
+    lock_fd_ = -1;
+  };
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0)
-    return Err(ErrorCode::kIoError,
-               std::string("socket(): ") + std::strerror(errno));
-
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    if (errno != EADDRINUSE) {
-      int err = errno;
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return Err(ErrorCode::kIoError, "bind(" + config_.socket_path +
-                                          "): " + std::strerror(err));
-    }
-    // The path exists. A connectable socket means a live daemon; refuse
-    // to fight it. A connection-refused socket is a stale file from a
-    // crashed daemon; remove it and claim the path.
-    int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    bool live = probe >= 0 &&
-                ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
-                          sizeof(addr)) == 0;
-    if (probe >= 0) ::close(probe);
-    if (live) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return Err(ErrorCode::kIoError,
-                 "another daemon is serving " + config_.socket_path);
-    }
-    ::unlink(config_.socket_path.c_str());
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      int err = errno;
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return Err(ErrorCode::kIoError, "bind(" + config_.socket_path +
-                                          "): " + std::strerror(err));
-    }
+  // Race-safe claim of the Unix socket path (flock + connect probe; see
+  // socket_util.hpp) — a clear "in use by live daemon" error instead of
+  // two daemons silently stealing each other's socket. TCP-only daemons
+  // skip it entirely.
+  if (!config_.socket_path.empty()) {
+    Result<UnixListener> claimed = claim_unix_socket(config_.socket_path, 64);
+    if (!claimed.ok()) return claimed.error();
+    listen_fd_ = claimed.value().fd;
+    lock_fd_ = claimed.value().lock_fd;
   }
 
-  if (::listen(listen_fd_, 64) != 0) {
-    int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(config_.socket_path.c_str());
-    return Err(ErrorCode::kIoError,
-               std::string("listen(): ") + std::strerror(err));
+  // Optional TCP request listener sharing the same protocol + pipeline.
+  if (!config_.listen_address.empty()) {
+    Result<Endpoint> ep = parse_endpoint(config_.listen_address);
+    if (!ep.ok()) {
+      teardown();
+      return ep.error();
+    }
+    if (!ep.value().is_tcp()) {
+      teardown();
+      return Err(ErrorCode::kInvalidArgument,
+                 "--listen must be host:port, got: " +
+                     config_.listen_address);
+    }
+    Result<int> fd = listen_tcp(ep.value().host, ep.value().port, 64);
+    if (!fd.ok()) {
+      teardown();
+      return fd.error();
+    }
+    tcp_fd_ = fd.value();
+    Result<std::uint16_t> port = bound_tcp_port(tcp_fd_);
+    if (!port.ok()) {
+      teardown();
+      return port.error();
+    }
+    tcp_port_.store(port.value());
   }
 
   // Optional Prometheus exposition listener, loopback only. -1 asks the
@@ -309,13 +350,7 @@ Result<bool> Server::start() {
   if (config_.metrics_port != 0) {
     auto fail = [&](const std::string& what) -> Result<bool> {
       int err = errno;
-      if (http_fd_ >= 0) {
-        ::close(http_fd_);
-        http_fd_ = -1;
-      }
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      ::unlink(config_.socket_path.c_str());
+      teardown();
       return Err(ErrorCode::kIoError, what + ": " + std::strerror(err));
     };
     http_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -361,11 +396,14 @@ void Server::stop() {
     ::close(http_fd_);
     http_fd_ = -1;
   }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(config_.socket_path.c_str());
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
   }
+  UnixListener claimed{listen_fd_, lock_fd_};
+  release_unix_socket(claimed, config_.socket_path);
+  listen_fd_ = -1;
+  lock_fd_ = -1;
 
   // 2. No new requests: join every reader (each notices stopping_ within
   // one poll interval and finishes the line it was handling).
@@ -424,23 +462,63 @@ std::shared_ptr<const ProfileSet> Server::profiles() const {
 
 void Server::accept_loop() {
   while (!stopping_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, kPollMs);
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    if (listen_fd_ >= 0) pfds[nfds++] = {listen_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) pfds[nfds++] = {tcp_fd_, POLLIN, 0};
+    int ready = ::poll(pfds, nfds, kPollMs);
     if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
-    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) continue;
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    std::lock_guard<std::mutex> guard(conns_mutex_);
-    if (stopping_.load()) continue;  // conn dtor closes the fd
-    conns_.push_back(conn);
-    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if (!(pfds[i].revents & POLLIN)) continue;
+      // Accepted fds are nonblocking: every read/write below goes
+      // through a poll-bounded loop, so a stalled peer can never wedge
+      // a daemon thread in the kernel.
+      int fd = ::accept4(pfds[i].fd, nullptr, nullptr,
+                         SOCK_CLOEXEC | SOCK_NONBLOCK);
+      if (fd < 0) continue;
+      if (config_.net_faults && config_.net_faults->fail_accept()) {
+        // Injected accept failure: the peer sees an immediate EOF, as
+        // if the daemon ran out of fds and dropped the connection.
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      conn->faults = config_.net_faults;
+      conn->io_timeout = config_.io_timeout;
+      std::lock_guard<std::mutex> guard(conns_mutex_);
+      if (stopping_.load()) continue;  // conn dtor closes the fd
+      if (conns_.size() >= config_.max_connections) {
+        // Explicit refusal beats letting the backlog time out: the
+        // client gets a line it can parse and retry against a replica.
+        OCPS_OBS_COUNT("serve.conn_limit_rejected", 1);
+        conn->send_line(error_response(
+            0, kCodeShuttingDown,
+            "connection limit reached (" +
+                std::to_string(config_.max_connections) + ")"));
+        continue;  // conn dtor closes the fd
+      }
+      conns_.push_back(conn);
+      reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+    }
   }
 }
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
   std::string buffer;
+  Clock::time_point last_progress = Clock::now();
   while (!stopping_.load()) {
+    if (conn->broken.load(std::memory_order_relaxed)) break;
+    // A partial line that stops growing is a stalled or byte-trickling
+    // peer; answer 400 and drop it rather than buffer a frame forever.
+    if (!buffer.empty() &&
+        Clock::now() - last_progress > config_.io_timeout) {
+      counters_->malformed.fetch_add(1);
+      OCPS_OBS_COUNT("serve.malformed", 1);
+      conn->send_line(error_response(0, kCodeBadRequest,
+                                     "request line stalled mid-frame"));
+      break;
+    }
     pollfd pfd{conn->fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, kPollMs);
     if (ready <= 0) continue;
@@ -452,6 +530,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       break;
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
+    last_progress = Clock::now();
     std::size_t pos;
     while ((pos = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, pos);
@@ -488,80 +567,12 @@ void Server::http_loop() {
     if (ready <= 0) continue;
     int fd = ::accept4(http_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) continue;
-    handle_http_client(fd);
+    // Shared responder (socket_util): same surface as the router's.
+    handle_metrics_http_client(
+        fd, [this] { return stopping_.load(); },
+        [this] { refresh_latency_gauges(); });
     ::close(fd);
   }
-}
-
-void Server::handle_http_client(int fd) {
-  // Read the request head; scrapers send tiny GETs, so bound everything.
-  std::string head;
-  Clock::time_point give_up = Clock::now() + std::chrono::seconds(2);
-  while (head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos) {
-    if (Clock::now() >= give_up || head.size() > 8192 || stopping_.load())
-      return;
-    pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, kPollMs) <= 0) continue;
-    char chunk[1024];
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n == 0) break;
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      return;
-    }
-    head.append(chunk, static_cast<std::size_t>(n));
-  }
-
-  std::istringstream request(head);
-  std::string method, path;
-  request >> method >> path;
-
-  auto send_all = [&](const std::string& data) {
-    const char* p = data.data();
-    std::size_t left = data.size();
-    while (left > 0) {
-      ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return;
-      }
-      p += n;
-      left -= static_cast<std::size_t>(n);
-    }
-  };
-  auto reply = [&](const char* status, const char* content_type,
-                   const std::string& body) {
-    std::ostringstream os;
-    os << "HTTP/1.1 " << status << "\r\nContent-Type: " << content_type
-       << "\r\nContent-Length: " << body.size()
-       << "\r\nConnection: close\r\n\r\n"
-       << body;
-    send_all(os.str());
-  };
-
-  if (method != "GET") {
-    reply("405 Method Not Allowed", "text/plain; charset=utf-8",
-          "only GET is supported\n");
-    return;
-  }
-  if (path != "/metrics" && path != "/") {
-    reply("404 Not Found", "text/plain; charset=utf-8",
-          "unknown path; scrape /metrics\n");
-    return;
-  }
-  if (!obs::enabled()) {
-    // Explicit status instead of an empty page: with obs off (or the
-    // layer compiled out) there is nothing to expose, and a scraper
-    // should see that as a config problem, not an idle daemon.
-    reply("501 Not Implemented", "text/plain; charset=utf-8",
-          "observability disabled (run ocps serve, or set OCPS_OBS=1)\n");
-    return;
-  }
-  refresh_latency_gauges();
-  std::ostringstream text;
-  obs::write_metrics_prometheus(text);
-  reply("200 OK", "text/plain; version=0.0.4; charset=utf-8", text.str());
 }
 
 // ---------------------------------------------------------------------------

@@ -7,7 +7,8 @@
 // profiles once, keeps the PR 3 batch engine warm (one PrefixDpSolver on
 // the batching thread, the persistent ThreadPool for sweeps), and serves
 // `partition` / `sweep` / `health` / `reload` requests over a Unix domain
-// socket speaking line-delimited JSON (serve/protocol.hpp).
+// socket — and, with `--listen host:port`, a TCP listener sharing the
+// same pipeline — speaking line-delimited JSON (serve/protocol.hpp).
 //
 // Request flow and the failure ladder:
 //   * readers parse each line; malformed JSON → 400, never a crash;
@@ -51,11 +52,19 @@
 #include "serve/protocol.hpp"
 #include "util/result.hpp"
 
+namespace ocps {
+class NetFaultInjector;  // runtime/fault_injection.hpp
+}
+
 namespace ocps::serve {
 
 /// Daemon knobs (CLI flags of `ocps serve` map 1:1 onto these).
 struct ServeConfig {
   std::string socket_path;       ///< Unix socket path (required)
+  /// Optional TCP listener sharing the same protocol + pipeline, as
+  /// "host:port" (numeric IPv4 or "localhost"; port 0 = ephemeral, read
+  /// back via Server::bound_listen_port()). Empty = Unix socket only.
+  std::string listen_address;
   std::size_t capacity = 1024;   ///< default / maximum cache size in units
   std::size_t max_batch = 64;    ///< max solver requests per batch
   std::chrono::milliseconds linger{2};  ///< max wait to fill a batch
@@ -73,6 +82,21 @@ struct ServeConfig {
   /// Sliding window, in seconds, for the `serve.request_latency.window.*`
   /// percentile gauges.
   unsigned latency_window_s = 30;
+
+  /// Hard cap on concurrently connected request clients (both
+  /// transports). Connection 257 is accepted and immediately told 503 —
+  /// an explicit refusal beats a kernel backlog timeout.
+  std::size_t max_connections = 256;
+  /// Per-connection I/O bound: a response write that cannot make
+  /// progress for this long marks the connection broken, and a partial
+  /// request line that stops growing for this long is answered 400 and
+  /// the connection dropped. Slow peers must not pin daemon threads.
+  std::chrono::milliseconds io_timeout{5000};
+
+  /// Chaos seam: when set, the daemon consults this injector on every
+  /// accept and every response write (see runtime/fault_injection.hpp).
+  /// The injector must outlive the server. Production runs leave it null.
+  const NetFaultInjector* net_faults = nullptr;
 
   /// Test seam: while *hold_batching is true the batching thread admits
   /// requests into the queue but does not drain it, making queue-full and
@@ -143,6 +167,10 @@ class Server {
   /// config asked for an ephemeral port); 0 when the listener is off.
   int bound_metrics_port() const { return http_port_.load(); }
 
+  /// Port the TCP request listener actually bound (relevant when
+  /// listen_address asked for port 0); 0 when TCP is off.
+  int bound_listen_port() const { return tcp_port_.load(); }
+
   /// Requests currently admitted but not yet batched.
   std::size_t queue_depth() const;
 
@@ -180,7 +208,6 @@ class Server {
   void reader_loop(std::shared_ptr<Connection> conn);
   void batch_loop();
   void http_loop();
-  void handle_http_client(int fd);
 
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
@@ -206,6 +233,13 @@ class Server {
 
   ServeConfig config_;
   int listen_fd_ = -1;
+  int tcp_fd_ = -1;
+  std::atomic<int> tcp_port_{0};
+  /// flock-held lock file guarding the Unix socket path: two daemons
+  /// racing the stale-socket reclaim cannot both win the lock, so one
+  /// gets a clear "in use by a live daemon" error instead of silently
+  /// stealing the path.
+  int lock_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> joined_{false};

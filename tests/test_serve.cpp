@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <string>
@@ -23,6 +24,7 @@
 
 #include "locality/footprint_io.hpp"
 #include "obs/obs.hpp"
+#include "runtime/fault_injection.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -805,6 +807,192 @@ TEST_F(ServeTest, MetricsPortZeroMeansNoListener) {
   Server server(config, make_models(2));
   ASSERT_TRUE(server.start().ok());
   EXPECT_EQ(server.bound_metrics_port(), 0);
+  server.request_stop();
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport: the same protocol/admission/drain machinery behind a
+// second listener.
+
+TEST_F(ServeTest, TcpListenerAnswersSameProtocol) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("tcp");
+  config.capacity = kCapacity;
+  config.listen_address = "127.0.0.1:0";  // ephemeral, read back
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_GT(server.bound_listen_port(), 0);
+
+  Result<Client> tcp = Client::connect(
+      "127.0.0.1:" + std::to_string(server.bound_listen_port()));
+  ASSERT_TRUE(tcp.ok()) << tcp.error().message;
+  Result<Response> resp =
+      tcp.value().call(partition_request(1, {"prog0", "prog1"}));
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_TRUE(resp.value().ok) << resp.value().error;
+  EXPECT_NE(resp.value().body.find("alloc"), nullptr);
+
+  // Unix and TCP clients hit the same solver and profile set.
+  Result<Client> unix_client = Client::connect(config.socket_path);
+  ASSERT_TRUE(unix_client.ok());
+  Result<Response> via_unix =
+      unix_client.value().call(partition_request(2, {"prog0", "prog1"}));
+  ASSERT_TRUE(via_unix.ok());
+  const json::Value* a = resp.value().body.find("alloc");
+  const json::Value* b = via_unix.value().body.find("alloc");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->dump(), b->dump());
+
+  server.request_stop();
+  server.stop();
+  EXPECT_EQ(server.counters().answered, 2u);
+}
+
+TEST_F(ServeTest, TcpOnlyServerNeedsNoUnixSocket) {
+  ServeConfig config;
+  config.capacity = kCapacity;  // no socket_path at all
+  config.listen_address = "127.0.0.1:0";
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_GT(server.bound_listen_port(), 0);
+
+  Result<Client> tcp = Client::connect(
+      "127.0.0.1:" + std::to_string(server.bound_listen_port()));
+  ASSERT_TRUE(tcp.ok()) << tcp.error().message;
+  Result<Response> resp =
+      tcp.value().call(partition_request(1, {"prog0", "prog1"}));
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_TRUE(resp.value().ok) << resp.value().error;
+
+  server.request_stop();
+  server.stop();
+  EXPECT_EQ(server.counters().answered, 1u);
+}
+
+TEST_F(ServeTest, TcpConnectionLimitRefusesWith503) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("connlim");
+  config.capacity = kCapacity;
+  config.listen_address = "127.0.0.1:0";
+  config.max_connections = 1;
+  Server server(config, make_models(2));
+  ASSERT_TRUE(server.start().ok());
+  std::string addr = "127.0.0.1:" + std::to_string(server.bound_listen_port());
+
+  Result<Client> first = Client::connect(addr);
+  ASSERT_TRUE(first.ok());
+  // Make sure the first connection is registered before the second
+  // arrives (accept handling is asynchronous).
+  ASSERT_TRUE(first.value().call(R"({"id":1,"op":"health"})").ok());
+
+  Result<Client> second = Client::connect(addr);
+  ASSERT_TRUE(second.ok());  // TCP connect succeeds; refusal is in-band
+  Result<Response> refused =
+      second.value().call(partition_request(2, {"prog0"}));
+  ASSERT_TRUE(refused.ok()) << refused.error().message;
+  EXPECT_FALSE(refused.value().ok);
+  EXPECT_EQ(refused.value().code, kCodeShuttingDown);
+
+  // The admitted connection keeps working at the limit.
+  Result<Response> still =
+      first.value().call(partition_request(3, {"prog0", "prog1"}));
+  ASSERT_TRUE(still.ok());
+  EXPECT_TRUE(still.value().ok);
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, StalledPartialFrameTimesOutWith400) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("stall");
+  config.capacity = kCapacity;
+  config.listen_address = "127.0.0.1:0";
+  config.io_timeout = std::chrono::milliseconds(200);
+  Server server(config, make_models(2));
+  ASSERT_TRUE(server.start().ok());
+
+  // A raw peer that writes half a request line and then goes silent: the
+  // reader must give up after io_timeout with an in-band 400, not hold
+  // the connection slot forever.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.bound_listen_port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char* half = R"({"id":1,"op":"par)";  // no newline, never finished
+  ASSERT_GT(::send(fd, half, strlen(half), 0), 0);
+
+  std::string out;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+    out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  EXPECT_NE(out.find("\"code\":400"), std::string::npos) << out;
+  EXPECT_NE(out.find("stalled"), std::string::npos) << out;
+
+  server.request_stop();
+  server.stop();
+  EXPECT_EQ(server.counters().malformed, 1u);
+}
+
+TEST_F(ServeTest, ChaosWriteFaultsKeepResponsesWellFormed) {
+  // Trickle + stall mangle the write *pacing*, never the bytes: a client
+  // must still read complete, well-formed responses.
+  NetFaultConfig chaos;
+  chaos.trickle_rate = 0.5;
+  chaos.stall_rate = 0.5;
+  chaos.stall = std::chrono::milliseconds(5);
+  chaos.seed = 99;
+  NetFaultInjector injector(chaos);
+
+  ServeConfig config;
+  config.socket_path = unique_socket_path("chaos");
+  config.capacity = kCapacity;
+  config.net_faults = &injector;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  for (int i = 1; i <= 8; ++i) {
+    Result<Response> resp =
+        client.value().call(partition_request(i, {"prog0", "prog1"}));
+    ASSERT_TRUE(resp.ok()) << resp.error().message;
+    EXPECT_TRUE(resp.value().ok) << resp.value().error;
+    EXPECT_EQ(resp.value().id, i);
+  }
+  EXPECT_GT(injector.injected_total(), 0u)
+      << "chaos config never fired; the test asserts nothing";
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, ChaosResetDropsConnectionButClientRetriesThrough) {
+  NetFaultConfig chaos;
+  chaos.reset_rate = 1.0;  // every response is cut mid-line
+  NetFaultInjector injector(chaos);
+
+  ServeConfig config;
+  config.socket_path = unique_socket_path("reset");
+  config.capacity = kCapacity;
+  config.net_faults = &injector;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  // The plain call sees a transport error (half a JSON line then reset),
+  // never a silently truncated "success".
+  Result<Response> plain =
+      client.value().call(partition_request(1, {"prog0"}));
+  EXPECT_FALSE(plain.ok());
+  EXPECT_GT(injector.injected_resets(), 0u);
+
   server.request_stop();
   server.stop();
 }

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -36,6 +37,7 @@
 #include "locality/phases.hpp"
 #include "obs/obs.hpp"
 #include "serve/client.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "trace/generators.hpp"
 #include "trace/interleave.hpp"
@@ -110,6 +112,11 @@ commands:
                        line-delimited JSON over a Unix socket (see
                        docs/serving.md); SIGTERM/SIGINT drain gracefully
       --socket PATH    Unix domain socket path (required)
+      --listen H:P     also listen on TCP host:port ("127.0.0.1:0" picks an
+                       ephemeral port, printed at startup)
+      --max-conns N    concurrent connection cap; beyond it connects are
+                       refused with 503 (256)
+      --io-timeout-ms T  per-connection read/write timeout (5000)
       --capacity C     default / maximum cache size in blocks (1024)
       --max-batch N    max solver requests coalesced per batch (64)
       --linger-ms L    max wait to fill a batch, milliseconds (2)
@@ -122,9 +129,41 @@ commands:
       --window-s N     sliding window for latency percentile gauges (30)
       --trace-out FILE   write the Chrome trace_event JSON at drain
       --metrics-out FILE write the metrics snapshot JSON at drain
-  query                send one request to a running daemon and print the
-                       JSON response
-      --socket PATH    daemon socket path (required)
+      network chaos (deterministic; rates in [0,1], default 0; for the
+      chaos harness — see docs/fault_tolerance.md):
+      --chaos-accept-fail R  drop a freshly accepted connection
+      --chaos-reset R        cut a response mid-line, then reset
+      --chaos-trickle R      write a response byte-by-byte
+      --chaos-stall R        delay a response by --chaos-stall-ms
+      --chaos-stall-ms MS    stall duration (40)
+      --chaos-seed S         injection schedule seed (0x5EAFA117)
+  router               fault-tolerant front tier for a fleet of daemons:
+                       speaks the same protocol on its front listeners,
+                       places requests on backends by consistent hashing,
+                       health-checks them, trips per-backend circuit
+                       breakers, and fails over (see docs/serving.md)
+      --socket PATH    Unix front listener (this or --listen required)
+      --listen H:P     TCP front listener
+      --backends A,B   comma-separated backend endpoints, each a socket
+                       path or host:port (required)
+      --vnodes V       virtual nodes per backend on the hash ring (64)
+      --breaker-threshold N  consecutive failures opening a breaker (3)
+      --breaker-cooldown-ms C  open -> half-open delay (1000)
+      --breaker-probes N     half-open successes to re-close (1)
+      --connect-timeout-ms T backend connect timeout (1000)
+      --io-timeout-ms T      backend call / front io timeout (5000)
+      --health-interval-ms I backend probe interval (500)
+      --deadline-ms D  default failover budget per request; 0 = io
+                       timeout (0)
+      --max-conns N    concurrent front connection cap (256)
+      --metrics-port P fleet-wide Prometheus on http://127.0.0.1:P/metrics
+                       (0 = off, -1 = ephemeral)
+      --chaos-accept-fail R / --chaos-seed S  front-listener chaos
+  query                send one request to a running daemon (or router)
+                       and print the JSON response
+      --socket PATH    daemon socket path, or any endpoint (required
+                       unless --addr)
+      --addr H:P       TCP endpoint, alternative to --socket
       --op OP          partition | sweep | health | reload | metrics |
                        slowlog   (health)
       --programs A,B   comma-separated program names (partition/sweep)
@@ -136,6 +175,12 @@ commands:
       --trace-id N     correlation id tagging the daemon's spans for this
                        request in the Chrome trace export (0 = none)
       --timeout-ms T   client-side wait for the response (30000)
+      --retries N      attempts for idempotent ops on transport errors /
+                       429 / 503 / 504; --deadline-ms is the retry
+                       budget; reload is never retried (3)
+      --retry-base-ms B  backoff before the first retry (10)
+      --retry-max-ms M   backoff growth cap (500)
+      --retry-seed S     jitter schedule seed (0xB0FF)
   top                  live terminal dashboard of a running daemon:
                        throughput, queue depth, shed/504 rates, batch
                        size, and latency percentiles, refreshed in place
@@ -586,11 +631,37 @@ extern "C" void ocps_serve_signal_handler(int) {
   if (serve::Server* s = g_server.load()) s->request_stop();
 }
 
+// Builds the socket-layer fault injector from the --chaos-* flags.
+// Returns nullptr (and leaves `storage` empty) when every rate is zero,
+// so production runs skip the injection branches entirely.
+const NetFaultInjector* make_chaos_injector(
+    const ArgParser& args, std::optional<NetFaultInjector>& storage) {
+  NetFaultConfig cfg;
+  cfg.accept_fail_rate = args.get_double("chaos-accept-fail", 0.0);
+  cfg.reset_rate = args.get_double("chaos-reset", 0.0);
+  cfg.trickle_rate = args.get_double("chaos-trickle", 0.0);
+  cfg.stall_rate = args.get_double("chaos-stall", 0.0);
+  cfg.stall = std::chrono::milliseconds(args.get_int("chaos-stall-ms", 40));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.get_int("chaos-seed", 0x5EAFA117));
+  if (cfg.accept_fail_rate <= 0.0 && cfg.reset_rate <= 0.0 &&
+      cfg.trickle_rate <= 0.0 && cfg.stall_rate <= 0.0)
+    return nullptr;
+  storage.emplace(cfg);
+  return &*storage;
+}
+
 int cmd_serve(const ArgParser& args) {
   obs::set_enabled(true);
   serve::ServeConfig config;
   config.socket_path = args.get_string("socket", "");
-  OCPS_CHECK(!config.socket_path.empty(), "serve needs --socket PATH");
+  config.listen_address = args.get_string("listen", "");
+  OCPS_CHECK(!config.socket_path.empty() || !config.listen_address.empty(),
+             "serve needs --socket PATH and/or --listen HOST:PORT");
+  config.max_connections =
+      static_cast<std::size_t>(args.get_int("max-conns", 256));
+  config.io_timeout =
+      std::chrono::milliseconds(args.get_int("io-timeout-ms", 5000));
   config.capacity = static_cast<std::size_t>(args.get_int("capacity", 1024));
   config.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 64));
   config.linger = std::chrono::milliseconds(args.get_int("linger-ms", 2));
@@ -603,6 +674,10 @@ int cmd_serve(const ArgParser& args) {
       static_cast<std::size_t>(args.get_int("slowlog-cap", 32));
   config.latency_window_s =
       static_cast<unsigned>(args.get_int("window-s", 30));
+
+  // Declared before the server so it outlives every server thread.
+  std::optional<NetFaultInjector> chaos;
+  config.net_faults = make_chaos_injector(args, chaos);
 
   auto models = load_models(args, config.capacity);
   serve::Server server(config, std::move(models));
@@ -617,10 +692,17 @@ int cmd_serve(const ArgParser& args) {
     return 1;
   }
   std::cout << "serving " << args.positionals().size() - 1
-            << " program profiles on " << config.socket_path
+            << " program profiles on "
+            << (config.socket_path.empty() ? std::string("tcp only")
+                                           : config.socket_path)
             << " (capacity " << config.capacity << ", max batch "
             << config.max_batch << ", queue " << config.queue_capacity
             << "); SIGTERM drains" << std::endl;
+  if (server.bound_listen_port() > 0)
+    std::cout << "tcp listener on " << config.listen_address << " (port "
+              << server.bound_listen_port() << ")" << std::endl;
+  if (config.net_faults)
+    std::cout << "CHAOS: network fault injection is armed" << std::endl;
   if (server.bound_metrics_port() > 0)
     std::cout << "metrics on http://127.0.0.1:" << server.bound_metrics_port()
               << "/metrics" << std::endl;
@@ -635,6 +717,11 @@ int cmd_serve(const ArgParser& args) {
             << " answered, " << c.shed << " shed, " << c.deadline_exceeded
             << " past deadline, " << c.malformed << " malformed, "
             << c.batches << " batches, " << c.reloads << " reloads\n";
+  if (chaos)
+    std::cout << "chaos injected: " << chaos->injected_accept_failures()
+              << " accept failures, " << chaos->injected_resets()
+              << " resets, " << chaos->injected_trickles() << " trickles, "
+              << chaos->injected_stalls() << " stalls\n";
   // The daemon's own spans (admission / solve / sweep, tagged with client
   // trace ids) and metrics are exportable at drain, same as `controller`.
   write_obs_outputs(args);
@@ -642,8 +729,10 @@ int cmd_serve(const ArgParser& args) {
 }
 
 int cmd_query(const ArgParser& args) {
-  std::string socket = args.get_string("socket", "");
-  OCPS_CHECK(!socket.empty(), "query needs --socket PATH");
+  std::string endpoint = args.get_string("addr", "");
+  if (endpoint.empty()) endpoint = args.get_string("socket", "");
+  OCPS_CHECK(!endpoint.empty(),
+             "query needs --socket PATH or --addr HOST:PORT");
 
   json::Value req;
   req.set("id", json::Value(1.0));
@@ -679,23 +768,136 @@ int cmd_query(const ArgParser& args) {
   if (trace_id > 0)
     req.set("trace_id", json::Value(static_cast<double>(trace_id)));
 
-  Result<serve::Client> client = serve::Client::connect(socket);
+  auto timeout = std::chrono::milliseconds(args.get_int("timeout-ms", 30000));
+  serve::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(args.get_int("retries", 3));
+  OCPS_CHECK(policy.max_attempts >= 1, "retries must be >= 1");
+  policy.base_delay =
+      std::chrono::milliseconds(args.get_int("retry-base-ms", 10));
+  policy.max_delay =
+      std::chrono::milliseconds(args.get_int("retry-max-ms", 500));
+  policy.seed = static_cast<std::uint64_t>(args.get_int("retry-seed", 0xB0FF));
+
+  Result<serve::Client> client = serve::Client::connect(endpoint, timeout);
   if (!client.ok()) {
     std::cerr << "error: " << client.error().to_string() << "\n";
     return 1;
   }
-  Result<serve::Response> resp = client.value().call(
-      req, std::chrono::milliseconds(args.get_int("timeout-ms", 30000)));
+  Result<serve::Response> resp = Err(ErrorCode::kIoError, "not attempted");
+  serve::RetryStats stats;
+  if (policy.max_attempts > 1) {
+    // Round-trip through the protocol decoder: the retry path needs a
+    // typed Request (op idempotency, deadline budget, jitter salt), and
+    // a bad --op fails here with the same message the daemon would give.
+    Result<serve::Request> parsed = serve::parse_request(req.dump());
+    if (!parsed.ok()) {
+      std::cerr << "error: " << parsed.error().to_string() << "\n";
+      return 1;
+    }
+    resp = client.value().call_with_retry(parsed.value(), policy, &stats);
+  } else {
+    resp = client.value().call(req, timeout);
+  }
   if (!resp.ok()) {
     std::cerr << "error: " << resp.error().to_string() << "\n";
     return 1;
   }
+  if (stats.attempts > 1)
+    std::cerr << "note: " << stats.attempts << " attempts, "
+              << stats.backoff_total.count() << "ms total backoff\n";
   std::cout << resp.value().body.dump() << "\n";
   if (!resp.value().ok) {
     std::cerr << "error: daemon replied " << resp.value().code << ": "
               << resp.value().error << "\n";
     return 1;
   }
+  return 0;
+}
+
+// Same async-signal-safe drain contract as the server's handler.
+std::atomic<serve::Router*> g_router{nullptr};
+
+extern "C" void ocps_router_signal_handler(int) {
+  if (serve::Router* r = g_router.load()) r->request_stop();
+}
+
+int cmd_router(const ArgParser& args) {
+  obs::set_enabled(true);
+  serve::RouterConfig config;
+  config.socket_path = args.get_string("socket", "");
+  config.listen_address = args.get_string("listen", "");
+  OCPS_CHECK(!config.socket_path.empty() || !config.listen_address.empty(),
+             "router needs a front listener: --socket PATH and/or "
+             "--listen HOST:PORT");
+  std::string backends = args.get_string("backends", "");
+  std::size_t start = 0;
+  while (start <= backends.size()) {
+    std::size_t comma = backends.find(',', start);
+    if (comma == std::string::npos) comma = backends.size();
+    if (comma > start)
+      config.backends.push_back(backends.substr(start, comma - start));
+    start = comma + 1;
+  }
+  OCPS_CHECK(!config.backends.empty(),
+             "router needs --backends A,B,... (daemon endpoints)");
+  config.vnodes = static_cast<std::size_t>(args.get_int("vnodes", 64));
+  config.breaker.failure_threshold =
+      static_cast<int>(args.get_int("breaker-threshold", 3));
+  config.breaker.cooldown =
+      std::chrono::milliseconds(args.get_int("breaker-cooldown-ms", 1000));
+  config.breaker.probe_successes =
+      static_cast<int>(args.get_int("breaker-probes", 1));
+  config.connect_timeout =
+      std::chrono::milliseconds(args.get_int("connect-timeout-ms", 1000));
+  config.io_timeout =
+      std::chrono::milliseconds(args.get_int("io-timeout-ms", 5000));
+  config.health_interval =
+      std::chrono::milliseconds(args.get_int("health-interval-ms", 500));
+  config.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  config.max_connections =
+      static_cast<std::size_t>(args.get_int("max-conns", 256));
+  config.metrics_port = static_cast<int>(args.get_int("metrics-port", 0));
+
+  std::optional<NetFaultInjector> chaos;
+  config.net_faults = make_chaos_injector(args, chaos);
+
+  serve::Router router(std::move(config));
+  g_router.store(&router);
+  std::signal(SIGTERM, ocps_router_signal_handler);
+  std::signal(SIGINT, ocps_router_signal_handler);
+
+  Result<bool> started = router.start();
+  if (!started.ok()) {
+    g_router.store(nullptr);
+    std::cerr << "error: " << started.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "routing across " << router.config().backends.size()
+            << " backends";
+  if (!router.config().socket_path.empty())
+    std::cout << " on " << router.config().socket_path;
+  if (router.bound_listen_port() > 0)
+    std::cout << (router.config().socket_path.empty() ? " on" : " and")
+              << " tcp port " << router.bound_listen_port();
+  std::cout << "; SIGTERM drains" << std::endl;
+  if (router.config().net_faults)
+    std::cout << "CHAOS: network fault injection is armed" << std::endl;
+  if (router.bound_metrics_port() > 0)
+    std::cout << "fleet metrics on http://127.0.0.1:"
+              << router.bound_metrics_port() << "/metrics" << std::endl;
+
+  router.wait_until_stop_requested();
+  std::cout << "draining..." << std::endl;
+  router.stop();
+  g_router.store(nullptr);
+
+  serve::Router::Counters c = router.counters();
+  std::cout << "drained: " << c.requests << " requests, " << c.forwarded
+            << " forwarded, " << c.failovers << " failovers, "
+            << c.relayed_errors << " relayed errors, " << c.no_backend
+            << " no-backend, " << c.all_open << " all-open, "
+            << c.deadline_exceeded << " past deadline, " << c.malformed
+            << " malformed, " << c.reloads << " reloads\n";
   return 0;
 }
 
@@ -850,12 +1052,21 @@ int main(int argc, char** argv) {
        {"capacity", "block-bytes", "binary", "epoch", "length", "trace-out",
         "metrics-out", "socket", "timeout-ms"}},
       {"serve",
-       {"socket", "capacity", "max-batch", "linger-ms", "queue-cap",
-        "threads", "deadline-ms", "metrics-port", "slowlog-cap", "window-s",
-        "trace-out", "metrics-out"}},
+       {"socket", "listen", "max-conns", "io-timeout-ms", "capacity",
+        "max-batch", "linger-ms", "queue-cap", "threads", "deadline-ms",
+        "metrics-port", "slowlog-cap", "window-s", "trace-out",
+        "metrics-out", "chaos-accept-fail", "chaos-reset", "chaos-trickle",
+        "chaos-stall", "chaos-stall-ms", "chaos-seed"}},
+      {"router",
+       {"socket", "listen", "backends", "vnodes", "breaker-threshold",
+        "breaker-cooldown-ms", "breaker-probes", "connect-timeout-ms",
+        "io-timeout-ms", "health-interval-ms", "deadline-ms", "max-conns",
+        "metrics-port", "chaos-accept-fail", "chaos-reset", "chaos-trickle",
+        "chaos-stall", "chaos-stall-ms", "chaos-seed"}},
       {"query",
-       {"socket", "op", "programs", "paths", "capacity", "objective",
-        "group-size", "deadline-ms", "trace-id", "timeout-ms"}},
+       {"socket", "addr", "op", "programs", "paths", "capacity", "objective",
+        "group-size", "deadline-ms", "trace-id", "timeout-ms", "retries",
+        "retry-base-ms", "retry-max-ms", "retry-seed"}},
       {"top",
        {"socket", "interval-ms", "iterations", "no-ansi", "timeout-ms"}},
   };
@@ -889,6 +1100,7 @@ int main(int argc, char** argv) {
     if (command == "controller") return cmd_controller(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "router") return cmd_router(args);
     if (command == "query") return cmd_query(args);
     if (command == "top") return cmd_top(args);
     return usage();
