@@ -114,6 +114,20 @@ Registry& registry() {
   return *r;                            // static-destruction order issues
 }
 
+// Per-histogram exemplar slots: one {trace_id, value} per bucket,
+// last-write-wins. Separate from the lock-free Histogram object so the
+// hot observe path stays untouched; exemplar recording takes this mutex
+// but only on request-rate paths (serve stages), never inner loops.
+struct ExemplarStore {
+  std::mutex mu;
+  std::map<std::string, std::array<Exemplar, kHistogramBuckets>> slots;
+};
+
+ExemplarStore& exemplar_store() {
+  static ExemplarStore* s = new ExemplarStore();  // never destroyed
+  return *s;
+}
+
 template <typename T>
 T& find_or_create(std::map<std::string, std::unique_ptr<T>>& map,
                   const std::string& name) {
@@ -166,6 +180,27 @@ Histogram& histogram(const std::string& name) {
   return find_or_create(r.histograms, name);
 }
 
+void note_exemplar(const std::string& name, double value,
+                   std::uint64_t trace_id) {
+  if (!enabled() || trace_id == 0) return;
+  std::size_t i = Histogram::bucket_index(value);
+  ExemplarStore& s = exemplar_store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.slots[name][i] = Exemplar{trace_id, value};
+}
+
+std::vector<std::pair<std::size_t, Exemplar>> exemplars_for(
+    const std::string& name) {
+  std::vector<std::pair<std::size_t, Exemplar>> out;
+  ExemplarStore& s = exemplar_store();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.slots.find(name);
+  if (it == s.slots.end()) return out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+    if (it->second[i].trace_id != 0) out.emplace_back(i, it->second[i]);
+  return out;
+}
+
 MetricsSnapshot metrics_snapshot() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -195,6 +230,9 @@ void reset_metrics() {
   for (auto& [name, g] : r.gauges) g->reset();
   // In-place reset: cached references (OCPS_OBS_HIST) must stay valid.
   for (auto& [name, h] : r.histograms) h->reset();
+  ExemplarStore& s = exemplar_store();
+  std::lock_guard<std::mutex> elock(s.mu);
+  s.slots.clear();
 }
 
 void write_metrics_json(std::ostream& os) {
@@ -236,7 +274,22 @@ void write_metrics_json(std::ostream& os) {
       write_json_double(os, Histogram::bucket_upper_bound(i));
       os << ",\"count\":" << n << '}';
     }
-    os << "]}";
+    os << "]";
+    auto exemplars = exemplars_for(h.name);
+    if (!exemplars.empty()) {
+      os << ",\"exemplars\":[";
+      bool efirst = true;
+      for (const auto& [i, ex] : exemplars) {
+        if (!efirst) os << ',';
+        efirst = false;
+        os << "{\"lo\":" << Histogram::bucket_lower_bound(i)
+           << ",\"trace_id\":" << ex.trace_id << ",\"value\":";
+        write_json_double(os, ex.value);
+        os << '}';
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << "}}";
 }

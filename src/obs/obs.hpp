@@ -57,6 +57,15 @@ struct TraceEvent {
   bool instant = false;
 };
 
+/// A recent observation remembered per histogram bucket: which request
+/// (trace_id) last landed there and with what value. Lets an operator
+/// jump from a suspicious bucket straight to the trace of a request that
+/// hit it (OpenMetrics exemplars).
+struct Exemplar {
+  std::uint64_t trace_id = 0;  ///< 0 = empty slot
+  double value = 0.0;
+};
+
 /// Events each per-thread ring holds before overwriting the oldest.
 inline constexpr std::size_t kRingCapacity = 4096;
 
@@ -226,11 +235,25 @@ void write_metrics_json(std::ostream& os);
 /// name starts with it are printed.
 void write_metrics_text(std::ostream& os, const std::string& prefix = "");
 
+/// Remembers {trace_id, value} as the most recent exemplar for the bucket
+/// of histogram `name` that `value` lands in. No-op when observability is
+/// off or trace_id is 0. The store is keyed by histogram name, so the
+/// same exemplars annotate both the lifetime registry histogram and any
+/// windowed variant sharing the name.
+void note_exemplar(const std::string& name, double value,
+                   std::uint64_t trace_id);
+
+/// All non-empty exemplar slots for histogram `name` as {bucket index,
+/// exemplar}, sorted by bucket index.
+std::vector<std::pair<std::size_t, Exemplar>> exemplars_for(
+    const std::string& name);
+
 /// Prometheus text exposition format 0.0.4. Metric names are sanitized
 /// (every character outside [a-zA-Z0-9_:] becomes '_', so `serve.shed`
 /// exports as `serve_shed`); histograms map to cumulative
 /// `_bucket{le="..."}` series (non-empty boundaries plus `+Inf`) with
-/// `_sum` and `_count`.
+/// `_sum` and `_count`. Buckets that have a recorded exemplar carry an
+/// OpenMetrics exemplar suffix: `... # {trace_id="N"} <value>`.
 void write_metrics_prometheus(std::ostream& os);
 
 /// RAII span: records a TraceEvent into the calling thread's ring buffer
@@ -262,13 +285,19 @@ class ScopedSpan {
   bool active_ = false;
 };
 
-/// Records a zero-duration marker event.
+/// Records a zero-duration marker event. A non-zero `trace_id` tags the
+/// marker into that request's trace (like ScopedSpan::set_trace_id).
 void instant_event(const char* name, const char* cat = "ocps",
-                   const char* arg_name = nullptr,
-                   std::uint64_t arg = 0) noexcept;
+                   const char* arg_name = nullptr, std::uint64_t arg = 0,
+                   std::uint64_t trace_id = 0) noexcept;
 
 /// All buffered events from every thread, sorted by start timestamp.
 std::vector<TraceEvent> trace_events();
+
+/// Only the buffered events tagged with `trace_id` (non-zero), sorted by
+/// start timestamp — the retained spans of one request, served by the
+/// `trace` protocol op.
+std::vector<TraceEvent> trace_events_for(std::uint64_t trace_id);
 
 /// Drops all buffered events (rings stay registered).
 void clear_trace_events();
@@ -365,6 +394,11 @@ Gauge& gauge(const std::string&);
 Histogram& histogram(const std::string&);
 inline MetricsSnapshot metrics_snapshot() { return {}; }
 inline void reset_metrics() {}
+inline void note_exemplar(const std::string&, double, std::uint64_t) {}
+inline std::vector<std::pair<std::size_t, Exemplar>> exemplars_for(
+    const std::string&) {
+  return {};
+}
 void write_metrics_json(std::ostream& os);
 void write_metrics_text(std::ostream& os, const std::string& prefix = "");
 void write_metrics_prometheus(std::ostream& os);
@@ -399,8 +433,10 @@ class ScopedSpan {
 };
 
 inline void instant_event(const char*, const char* = "ocps",
-                          const char* = nullptr, std::uint64_t = 0) noexcept {}
+                          const char* = nullptr, std::uint64_t = 0,
+                          std::uint64_t = 0) noexcept {}
 inline std::vector<TraceEvent> trace_events() { return {}; }
+inline std::vector<TraceEvent> trace_events_for(std::uint64_t) { return {}; }
 inline void clear_trace_events() {}
 void write_chrome_trace(std::ostream& os);
 void write_text_timeline(std::ostream& os);

@@ -62,22 +62,39 @@ void write_metrics_prometheus(std::ostream& os) {
     os << "# TYPE ";
     write_prom_name(os, h.name);
     os << " histogram\n";
+    auto exemplars = exemplars_for(h.name);
+    auto exemplar_suffix = [&](std::size_t bucket) {
+      for (const auto& [i, ex] : exemplars) {
+        if (i != bucket) continue;
+        os << " # {trace_id=\"" << ex.trace_id << "\"} ";
+        write_prom_double(os, ex.value);
+        break;
+      }
+    };
     // Cumulative buckets at each non-empty boundary; `le` is the bucket's
     // exclusive upper bound, which Prometheus treats as inclusive — with
     // power-of-two boundaries the discrepancy affects only exact powers
     // of two and is within the log-bucket resolution anyway.
     std::uint64_t cum = 0;
+    std::size_t last_inf_bucket = kHistogramBuckets;  // folded buckets
     for (const auto& [i, n] : h.buckets) {
       cum += n;
       double hi = Histogram::bucket_upper_bound(i);
-      if (std::isinf(hi)) continue;  // folded into the +Inf bucket below
+      if (std::isinf(hi)) {  // folded into the +Inf bucket below
+        last_inf_bucket = i;
+        continue;
+      }
       write_prom_name(os, h.name, "_bucket");
       os << "{le=\"";
       write_prom_double(os, hi);
-      os << "\"} " << cum << '\n';
+      os << "\"} " << cum;
+      exemplar_suffix(i);
+      os << '\n';
     }
     write_prom_name(os, h.name, "_bucket");
-    os << "{le=\"+Inf\"} " << h.count << '\n';
+    os << "{le=\"+Inf\"} " << h.count;
+    if (last_inf_bucket < kHistogramBuckets) exemplar_suffix(last_inf_bucket);
+    os << '\n';
     write_prom_name(os, h.name, "_sum");
     os << ' ';
     write_prom_double(os, h.sum);

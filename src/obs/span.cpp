@@ -158,7 +158,7 @@ std::uint64_t ScopedSpan::elapsed_ns() const noexcept {
 }
 
 void instant_event(const char* name, const char* cat, const char* arg_name,
-                   std::uint64_t arg) noexcept {
+                   std::uint64_t arg, std::uint64_t trace_id) noexcept {
   if (!enabled()) return;
   TraceEvent e;
   e.name = name;
@@ -167,6 +167,7 @@ void instant_event(const char* name, const char* cat, const char* arg_name,
   e.dur_ns = 0;
   e.arg_name = arg_name;
   e.arg = arg;
+  e.trace_id = trace_id;
   e.instant = true;
   this_thread_ring().push(e);
 }
@@ -184,6 +185,14 @@ std::vector<TraceEvent> trace_events() {
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts_ns < b.ts_ns;
                    });
+  return out;
+}
+
+std::vector<TraceEvent> trace_events_for(std::uint64_t trace_id) {
+  std::vector<TraceEvent> out;
+  if (trace_id == 0) return out;
+  for (const TraceEvent& e : trace_events())
+    if (e.trace_id == trace_id) out.push_back(e);
   return out;
 }
 

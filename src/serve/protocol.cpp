@@ -1,6 +1,9 @@
 #include "serve/protocol.hpp"
 
+#include <chrono>
 #include <cmath>
+
+#include "obs/obs.hpp"
 
 namespace ocps::serve {
 
@@ -12,6 +15,8 @@ const char* op_name(Op op) {
     case Op::kReload: return "reload";
     case Op::kMetrics: return "metrics";
     case Op::kSlowlog: return "slowlog";
+    case Op::kTrace: return "trace";
+    case Op::kSlo: return "slo";
   }
   return "?";
 }
@@ -66,6 +71,8 @@ Result<Request> parse_request(const std::string& line) {
   else if (op == "reload") req.op = Op::kReload;
   else if (op == "metrics") req.op = Op::kMetrics;
   else if (op == "slowlog") req.op = Op::kSlowlog;
+  else if (op == "trace") req.op = Op::kTrace;
+  else if (op == "slo") req.op = Op::kSlo;
   else
     return Err(ErrorCode::kInvalidArgument,
                op.empty() ? "missing \"op\"" : "unknown op \"" + op + "\"");
@@ -100,6 +107,14 @@ Result<Request> parse_request(const std::string& line) {
   if (!trace_id.ok()) return trace_id.error();
   req.trace_id = static_cast<std::uint64_t>(trace_id.value());
 
+  auto parent_span = size_field(obj, "parent_span", 0);
+  if (!parent_span.ok()) return parent_span.error();
+  req.parent_span = static_cast<std::uint64_t>(parent_span.value());
+
+  auto hop = size_field(obj, "hop", 0);
+  if (!hop.ok()) return hop.error();
+  req.hop = hop.value();
+
   switch (req.op) {
     case Op::kPartition:
       if (req.programs.empty())
@@ -111,10 +126,16 @@ Result<Request> parse_request(const std::string& line) {
         return Err(ErrorCode::kInvalidArgument,
                    "reload needs a non-empty \"paths\" list");
       break;
+    case Op::kTrace:
+      if (req.trace_id == 0)
+        return Err(ErrorCode::kInvalidArgument,
+                   "trace needs a non-zero \"trace_id\"");
+      break;
     case Op::kSweep:
     case Op::kHealth:
     case Op::kMetrics:
     case Op::kSlowlog:
+    case Op::kSlo:
       break;
   }
   return Ok(std::move(req));
@@ -145,6 +166,9 @@ std::string encode_request(const Request& req) {
     out.set("deadline_ms", json::Value(req.deadline_ms));
   if (req.trace_id != 0)
     out.set("trace_id", json::Value(static_cast<double>(req.trace_id)));
+  if (req.parent_span != 0)
+    out.set("parent_span", json::Value(static_cast<double>(req.parent_span)));
+  if (req.hop != 0) out.set("hop", json::Value(static_cast<double>(req.hop)));
   return out.dump();
 }
 
@@ -165,6 +189,35 @@ std::string ok_response(std::int64_t id, json::Value body) {
   if (body.is_object())
     for (const auto& [k, v] : body.as_object()) out.set(k, v);
   return out.dump();
+}
+
+json::Value trace_proc_json(const std::string& proc_label,
+                            std::uint64_t trace_id) {
+  json::Value proc;
+  proc.set("proc", json::Value(proc_label));
+  proc.set("mono_ns", json::Value(static_cast<double>(obs::now_ns())));
+  proc.set("wall_ns",
+           json::Value(static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count())));
+  json::Array spans;
+  for (const obs::TraceEvent& e : obs::trace_events_for(trace_id)) {
+    json::Value row;
+    row.set("name", json::Value(e.name ? e.name : ""));
+    row.set("cat", json::Value(e.cat ? e.cat : "ocps"));
+    row.set("ts_ns", json::Value(static_cast<double>(e.ts_ns)));
+    row.set("dur_ns", json::Value(static_cast<double>(e.dur_ns)));
+    row.set("tid", json::Value(static_cast<double>(e.tid)));
+    row.set("instant", json::Value(e.instant));
+    if (e.arg_name) {
+      row.set("arg_name", json::Value(e.arg_name));
+      row.set("arg", json::Value(static_cast<double>(e.arg)));
+    }
+    spans.push_back(std::move(row));
+  }
+  proc.set("spans", json::Value(std::move(spans)));
+  return proc;
 }
 
 Result<Response> parse_response(const std::string& line) {

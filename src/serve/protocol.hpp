@@ -16,8 +16,16 @@
 //   {"id":4,"op":"reload","paths":["profiles/a.fp","profiles/b.fp"]}
 //   {"id":5,"op":"metrics"}
 //   {"id":6,"op":"slowlog"}
-// Any request may carry "trace_id": a positive integer correlating the
-// daemon's spans for that request in the Chrome trace export.
+//   {"id":7,"op":"trace","trace_id":42}
+//   {"id":8,"op":"slo"}
+// Any request may carry a trace context: "trace_id" (a positive integer
+// correlating the daemon's spans for that request in the Chrome trace
+// export), plus "parent_span" (the forwarding router's span nonce) and
+// "hop" (how many routing tiers the request has crossed; a daemon sees
+// hop >= 1 iff the request arrived via `ocps router`). The router
+// generates a trace_id when the client did not supply one and stamps
+// parent_span/hop on the forwarded line, so every request in the fleet
+// is traceable end to end.
 //
 // Responses: {"id":1,"ok":true,...} or
 //   {"id":1,"ok":false,"code":429,"error":"queue full"}.
@@ -40,6 +48,8 @@ enum class Op {
   kReload,     ///< atomic profile-set swap (answered inline)
   kMetrics,    ///< obs registry scrape (answered inline)
   kSlowlog,    ///< top-K slowest requests (answered inline)
+  kTrace,      ///< retained spans for one trace_id (answered inline)
+  kSlo,        ///< SLO burn rates + alert log (answered inline)
 };
 
 const char* op_name(Op op);
@@ -68,7 +78,13 @@ struct Request {
   /// Optional client-supplied correlation id: every span the daemon
   /// records for this request is tagged with it, so the Chrome trace
   /// export shows one connected tree per request across threads. 0 = off.
+  /// For `trace` requests this is the id whose spans are being fetched.
   std::uint64_t trace_id = 0;
+  /// Trace context stamped by a forwarding router: the nonce of the
+  /// router span that forwarded this request (0 = direct client) and the
+  /// number of routing tiers crossed so far.
+  std::uint64_t parent_span = 0;
+  std::size_t hop = 0;
 };
 
 /// Decodes one request line. kCorruptData for syntactically bad JSON,
@@ -98,5 +114,18 @@ struct Response {
 
 /// Decodes one response line.
 Result<Response> parse_response(const std::string& line);
+
+/// One process's contribution to a `trace` response: its retained spans
+/// for `trace_id` plus the clock anchors a stitcher needs to place them
+/// on a shared timeline:
+///   {"proc":label,"mono_ns":<obs now>,"wall_ns":<system_clock now>,
+///    "spans":[{"name","cat","ts_ns","dur_ns","tid","instant",
+///              "arg_name"?,"arg"?},...]}
+/// Span timestamps are nanoseconds since the process's private trace
+/// epoch; `wall_ns - mono_ns` converts them to (approximate) wall-clock
+/// time comparable across processes on one machine. Shared by the server
+/// and router `trace` handlers so `ocps trace` stitches one format.
+json::Value trace_proc_json(const std::string& proc_label,
+                            std::uint64_t trace_id);
 
 }  // namespace ocps::serve

@@ -20,11 +20,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 #include "runtime/fault_injection.hpp"
 #include "serve/socket_util.hpp"
 #include "util/check.hpp"
@@ -212,6 +214,10 @@ struct Router::Backend {
 
   Client probe_client;  ///< health thread's private connection
 
+  /// Forward-attempt latency over the last 30 s, feeding the
+  /// serve.router.backend_latency.<i>.window.p99 gauge.
+  obs::WindowedHistogram latency_window;
+
   /// Last ingested backend counters (health thread writes, gauge
   /// refresh reads).
   std::mutex fleet_mu;
@@ -271,10 +277,21 @@ Router::Router(RouterConfig config)
              "router: max_connections must be positive");
   OCPS_CHECK(config_.metrics_port >= -1 && config_.metrics_port <= 65535,
              "router: metrics_port must be in [-1, 65535]");
+  OCPS_CHECK(config_.slo_p99_ms >= 0.0 && std::isfinite(config_.slo_p99_ms),
+             "router: slo_p99_ms must be finite and >= 0");
+  OCPS_CHECK(config_.slo_availability >= 0.0 &&
+                 config_.slo_availability < 1.0,
+             "router: slo_availability must be in [0, 1)");
   ring_ = std::make_unique<HashRing>(config_.backends.size(), config_.vnodes);
   backends_.reserve(config_.backends.size());
   for (const std::string& ep : config_.backends)
     backends_.push_back(std::make_unique<Backend>(ep, config_.breaker));
+  obs::SloConfig slo_config;
+  slo_config.p99_ms = config_.slo_p99_ms;
+  slo_config.availability = config_.slo_availability;
+  slo_ = std::make_unique<obs::SloTracker>(slo_config);
+  trace_seed_ = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
 }
 
 Router::~Router() { stop(); }
@@ -366,12 +383,18 @@ Result<bool> Router::start() {
     obs::gauge("serve.router.backends")
         .set(static_cast<double>(backends_.size()));
     obs::gauge("serve.router.backends_healthy").set(0.0);
-    for (std::size_t i = 0; i < backends_.size(); ++i)
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
       obs::gauge("serve.router.backend_up." + std::to_string(i)).set(0.0);
+      obs::histogram("serve.router.backend_latency." + std::to_string(i));
+      obs::gauge("serve.router.backend_latency." + std::to_string(i) +
+                 ".window.p99")
+          .set(0.0);
+    }
     static const char* kFleet[] = {
         "serve.fleet.requests", "serve.fleet.answered", "serve.fleet.shed",
         "serve.fleet.deadline_exceeded"};
     for (const char* name : kFleet) obs::gauge(name).set(0.0);
+    if (slo_->configured()) refresh_gauges();
   }
 
   started_at_ = Clock::now();
@@ -587,6 +610,12 @@ void Router::handle_line(const std::shared_ptr<Connection>& conn,
     case Op::kReload:
       fan_out_reload(conn, req, line);
       return;
+    case Op::kTrace:
+      handle_trace_local(conn, req);
+      return;
+    case Op::kSlo:
+      handle_slo_local(conn, req);
+      return;
     case Op::kPartition:
     case Op::kSweep:
     case Op::kSlowlog:
@@ -598,12 +627,53 @@ void Router::handle_line(const std::shared_ptr<Connection>& conn,
         error_response(req.id, kCodeShuttingDown, "router is draining"));
     return;
   }
-  forward(conn, req, line);
+  forward(conn, req);
+}
+
+std::uint64_t Router::next_trace_nonce() {
+  std::uint64_t state =
+      trace_seed_ + trace_counter_.fetch_add(1, std::memory_order_relaxed);
+  return splitmix64(state) | 1ULL;
+}
+
+void Router::record_backend_latency(std::size_t idx, double ms) {
+  if (!obs::enabled()) return;
+  backends_[idx]->latency_window.observe(ms);
+  obs::histogram("serve.router.backend_latency." + std::to_string(idx))
+      .observe(ms);
 }
 
 void Router::forward(const std::shared_ptr<Connection>& conn,
-                     const Request& req, const std::string& line) {
+                     const Request& req) {
+  const Clock::time_point fwd_start = Clock::now();
+
+  // Trace context: adopt the client's trace_id (minting one when absent)
+  // and stamp this tier onto the forwarded line — parent_span is this
+  // forward's nonce, hop is incremented — so backend spans link back to
+  // the router span below. The response is still relayed verbatim.
+  const std::uint64_t trace_id =
+      req.trace_id != 0 ? req.trace_id : next_trace_nonce();
+  const std::uint64_t span_nonce = next_trace_nonce();
+  Request fwd_req = req;
+  fwd_req.trace_id = trace_id;
+  fwd_req.parent_span = span_nonce;
+  fwd_req.hop = req.hop + 1;
+  const std::string fwd_line = encode_request(fwd_req);
+
+  obs::ScopedSpan span("serve.router.forward", "router");
+  span.set_trace_id(trace_id);
+  span.set_arg("span_nonce", span_nonce);
+
+  // The router's own SLO is judged on what the client experienced:
+  // whole-walk latency, success = a definitive ok answer.
+  auto finish = [&](bool ok) {
+    slo_->record(ms_since(fwd_start, Clock::now()), ok,
+                 obs::SloTracker::steady_now_ns());
+  };
+
   const std::vector<std::size_t> order = ring_->order_for(route_key(req));
+  obs::instant_event("serve.router.placement", "router", "primary",
+                     static_cast<std::uint64_t>(order.front()), trace_id);
 
   // The request deadline is the failover budget; without one, io_timeout
   // bounds the whole walk so a dead fleet cannot wedge the lane.
@@ -627,10 +697,15 @@ void Router::forward(const std::shared_ptr<Connection>& conn,
       OCPS_OBS_COUNT("serve.router.deadline_exceeded", 1);
       conn->send_line(error_response(req.id, kCodeDeadlineExceeded,
                                      "deadline exceeded while forwarding"));
+      finish(false);
       return;
     }
     Backend& b = *backends_[idx];
-    if (!b.breaker.allow(now)) continue;
+    if (!b.breaker.allow(now)) {
+      obs::instant_event("serve.router.breaker_skip", "router", "backend",
+                         static_cast<std::uint64_t>(idx), trace_id);
+      continue;
+    }
     any_allowed = true;
     const std::chrono::milliseconds left = clamp_left(deadline, now);
 
@@ -642,12 +717,16 @@ void Router::forward(const std::shared_ptr<Connection>& conn,
         b.breaker.record_failure(Clock::now());
         counters_->failovers.fetch_add(1);
         OCPS_OBS_COUNT("serve.router.failovers", 1);
+        obs::instant_event("serve.router.failover", "router", "backend",
+                           static_cast<std::uint64_t>(idx), trace_id);
         continue;
       }
       c = std::move(fresh.value());
     }
 
-    Result<Response> r = c.call(line, left);
+    const Clock::time_point attempt_start = Clock::now();
+    Result<Response> r = c.call(fwd_line, left);
+    record_backend_latency(idx, ms_since(attempt_start, Clock::now()));
     if (!r.ok()) {
       // Transport failure: the stream may hold a half-written response,
       // so drop the lane's connection and fail over.
@@ -655,6 +734,8 @@ void Router::forward(const std::shared_ptr<Connection>& conn,
       c = Client();
       counters_->failovers.fetch_add(1);
       OCPS_OBS_COUNT("serve.router.failovers", 1);
+      obs::instant_event("serve.router.failover", "router", "backend",
+                         static_cast<std::uint64_t>(idx), trace_id);
       continue;
     }
     Response& resp = r.value();
@@ -668,6 +749,7 @@ void Router::forward(const std::shared_ptr<Connection>& conn,
       counters_->forwarded.fetch_add(1);
       OCPS_OBS_COUNT("serve.router.forwarded", 1);
       conn->send_line(resp.body.dump());
+      finish(resp.ok);
       return;
     }
     // Retryable status. 429 means alive-but-overloaded: that is load
@@ -681,6 +763,8 @@ void Router::forward(const std::shared_ptr<Connection>& conn,
     relay = std::move(resp);
     counters_->failovers.fetch_add(1);
     OCPS_OBS_COUNT("serve.router.failovers", 1);
+    obs::instant_event("serve.router.failover", "router", "backend",
+                       static_cast<std::uint64_t>(idx), trace_id);
   }
 
   if (have_relay) {
@@ -690,6 +774,7 @@ void Router::forward(const std::shared_ptr<Connection>& conn,
     counters_->relayed_errors.fetch_add(1);
     OCPS_OBS_COUNT("serve.router.relayed_errors", 1);
     conn->send_line(relay.body.dump());
+    finish(false);
     return;
   }
   if (!any_allowed) {
@@ -698,12 +783,14 @@ void Router::forward(const std::shared_ptr<Connection>& conn,
     conn->send_line(error_response(
         req.id, kCodeShuttingDown,
         "no backend available (all circuit breakers open)"));
+    finish(false);
     return;
   }
   counters_->no_backend.fetch_add(1);
   OCPS_OBS_COUNT("serve.router.no_backend", 1);
   conn->send_line(
       error_response(req.id, kCodeBadGateway, "no backend answered"));
+  finish(false);
 }
 
 void Router::fan_out_reload(const std::shared_ptr<Connection>& conn,
@@ -822,6 +909,92 @@ void Router::handle_metrics_local(const std::shared_ptr<Connection>& conn,
   conn->send_line(ok_response(req.id, std::move(body)));
 }
 
+void Router::handle_trace_local(const std::shared_ptr<Connection>& conn,
+                                const Request& req) {
+  // Debug fan-out: gather every process's retained spans for this id.
+  // Best effort and breaker-blind — tracing must work exactly when the
+  // fleet is misbehaving, so open breakers are ignored, probe failures
+  // leave breaker state untouched, and an unreachable backend simply
+  // contributes no proc entry.
+  json::Value body;
+  body.set("trace_id", json::Value(static_cast<double>(req.trace_id)));
+  json::Array procs;
+  procs.push_back(trace_proc_json("router", req.trace_id));
+
+  Request probe;
+  probe.id = -1;
+  probe.op = Op::kTrace;
+  probe.trace_id = req.trace_id;
+  const std::string probe_line = encode_request(probe);
+  for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+    Backend& b = *backends_[idx];
+    Client& c = conn->backends[idx];
+    if (!c.connected()) {
+      Result<Client> fresh =
+          Client::connect(b.endpoint, config_.connect_timeout);
+      if (!fresh.ok()) continue;
+      c = std::move(fresh.value());
+    }
+    Result<Response> r = c.call(probe_line, config_.io_timeout);
+    if (!r.ok()) {
+      c = Client();
+      continue;
+    }
+    if (!r.value().ok) continue;  // e.g. 501: obs off on that backend
+    const json::Value* backend_procs = r.value().body.find("procs");
+    if (!backend_procs || !backend_procs->is_array()) continue;
+    for (const json::Value& proc : backend_procs->as_array()) {
+      json::Value row = proc;
+      // Disambiguate replicas: "serve" becomes "serve.<backend slot>".
+      const json::Value* label = row.find("proc");
+      if (label && label->is_string())
+        row.set("proc",
+                json::Value(label->as_string() + "." + std::to_string(idx)));
+      procs.push_back(std::move(row));
+    }
+  }
+  body.set("procs", json::Value(std::move(procs)));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Router::handle_slo_local(const std::shared_ptr<Connection>& conn,
+                              const Request& req) {
+  // Same body shape as the daemon's `slo` handler, plus the router role
+  // marker; answers even with obs compiled out (the tracker is
+  // registry-independent).
+  obs::SloTracker::Status slo =
+      slo_->status(obs::SloTracker::steady_now_ns());
+  json::Value body;
+  body.set("role", json::Value("router"));
+  body.set("configured", json::Value(slo_->configured()));
+  json::Array objectives;
+  for (const obs::SloTracker::Objective& o : slo.objectives) {
+    json::Value row;
+    row.set("name", json::Value(o.name));
+    row.set("target", json::Value(o.target));
+    row.set("budget", json::Value(o.budget));
+    row.set("burn_5m", json::Value(o.burn_short));
+    row.set("burn_1h", json::Value(o.burn_long));
+    row.set("breaching", json::Value(o.breaching));
+    objectives.push_back(std::move(row));
+  }
+  body.set("objectives", json::Value(std::move(objectives)));
+  json::Array alerts;
+  for (const obs::SloTracker::Alert& a : slo.alerts) {
+    json::Value row;
+    row.set("seq", json::Value(static_cast<double>(a.seq)));
+    row.set("at_ns", json::Value(static_cast<double>(a.at_ns)));
+    row.set("objective", json::Value(a.objective));
+    row.set("burn_5m", json::Value(a.burn_short));
+    row.set("burn_1h", json::Value(a.burn_long));
+    alerts.push_back(std::move(row));
+  }
+  body.set("alerts", json::Value(std::move(alerts)));
+  body.set("alerts_total",
+           json::Value(static_cast<double>(slo.alerts_total)));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
 // ---------------------------------------------------------------------------
 // Health probing + fleet aggregation.
 
@@ -903,6 +1076,11 @@ void Router::refresh_gauges() {
     if (up) ++healthy;
     obs::gauge("serve.router.backend_up." + std::to_string(i))
         .set(up ? 1.0 : 0.0);
+    const std::string lat_base =
+        "serve.router.backend_latency." + std::to_string(i);
+    obs::gauge(lat_base + ".window.p99")
+        .set(obs::histogram_quantile(
+            b.latency_window.snapshot(lat_base + ".window"), 0.99));
     std::lock_guard<std::mutex> lock(b.fleet_mu);
     requests += b.fleet_requests;
     answered += b.fleet_answered;
@@ -917,6 +1095,22 @@ void Router::refresh_gauges() {
   obs::gauge("serve.fleet.answered").set(answered);
   obs::gauge("serve.fleet.shed").set(shed);
   obs::gauge("serve.fleet.deadline_exceeded").set(deadline);
+
+  // Router-level SLO burn rates, recomputed per scrape. The names match
+  // the daemon's serve.slo.* series — each process exports its own view.
+  if (slo_->configured()) {
+    obs::SloTracker::Status slo =
+        slo_->status(obs::SloTracker::steady_now_ns());
+    for (const obs::SloTracker::Objective& o : slo.objectives) {
+      std::string base = "serve.slo." + o.name;
+      obs::gauge(base + ".target").set(o.target);
+      obs::gauge(base + ".burn_5m").set(o.burn_short);
+      obs::gauge(base + ".burn_1h").set(o.burn_long);
+      obs::gauge(base + ".breaching").set(o.breaching ? 1.0 : 0.0);
+    }
+    obs::gauge("serve.slo.alerts_total")
+        .set(static_cast<double>(slo.alerts_total));
+  }
 }
 
 }  // namespace ocps::serve

@@ -29,10 +29,18 @@
 //     the whole fleet succeeded.
 //   * `health` and `metrics` are answered by the router itself:
 //     router-level health lists per-backend breaker state, and the
-//     metrics registry carries `serve.router.*` counters plus
+//     metrics registry carries `serve.router.*` counters, per-backend
+//     `serve.router.backend_latency.<i>` histograms, and
 //     `serve.fleet.*` aggregates ingested from backend scrapes. The
 //     optional loopback HTTP listener exposes the same registry to
 //     Prometheus (shared responder in socket_util).
+//   * Tracing: every forwarded request carries a trace context —
+//     the client's trace_id (or one the router mints), parent_span
+//     (the router's forward-span nonce) and hop+1 — and the router
+//     records its own spans (placement, failovers, breaker skips).
+//     `trace` fans out to the backends and returns one merged
+//     per-process span list; `slo` reports the router's own
+//     multi-window burn rates over forward outcomes.
 #pragma once
 
 #include <atomic>
@@ -50,6 +58,10 @@
 
 namespace ocps {
 class NetFaultInjector;  // runtime/fault_injection.hpp
+}
+
+namespace ocps::obs {
+class SloTracker;  // obs/slo.hpp
 }
 
 namespace ocps::serve {
@@ -155,6 +167,12 @@ struct RouterConfig {
   /// ServeConfig::metrics_port: 0 = off, -1 = ephemeral).
   int metrics_port = 0;
 
+  /// Fleet-level SLOs evaluated on forward outcomes (what clients of the
+  /// router actually experienced, failovers included). Same semantics as
+  /// the ServeConfig twins: 0 disables the objective.
+  double slo_p99_ms = 0.0;
+  double slo_availability = 0.0;
+
   /// Chaos seam for the router's own front listeners (accept faults
   /// only; response faults are injected at the backends).
   const NetFaultInjector* net_faults = nullptr;
@@ -218,11 +236,22 @@ class Router {
                            const Request& req);
   void handle_metrics_local(const std::shared_ptr<Connection>& conn,
                             const Request& req);
-  void forward(const std::shared_ptr<Connection>& conn, const Request& req,
-               const std::string& line);
+  /// Fans a `trace` request out to every reachable backend and merges
+  /// their proc entries with the router's own (one stitched timeline).
+  void handle_trace_local(const std::shared_ptr<Connection>& conn,
+                          const Request& req);
+  /// Answers `slo` from the router's own tracker (fleet-level burn).
+  void handle_slo_local(const std::shared_ptr<Connection>& conn,
+                        const Request& req);
+  /// forward() re-encodes the request with trace context stamped on
+  /// (trace_id minted when absent, parent_span = this forward's span
+  /// nonce, hop+1) — the relayed response stays verbatim.
+  void forward(const std::shared_ptr<Connection>& conn, const Request& req);
   void fan_out_reload(const std::shared_ptr<Connection>& conn,
                       const Request& req, const std::string& line);
   void refresh_gauges();
+  void record_backend_latency(std::size_t idx, double ms);
+  std::uint64_t next_trace_nonce();
 
   RouterConfig config_;
   std::unique_ptr<HashRing> ring_;
@@ -250,6 +279,17 @@ class Router {
 
   struct AtomicCounters;
   std::unique_ptr<AtomicCounters> counters_;
+
+  /// Fleet SLO tracker, fed by forward() outcomes (always constructed;
+  /// objectives may be unset). Lives behind a pointer so the header
+  /// needs only a forward declaration.
+  std::unique_ptr<obs::SloTracker> slo_;
+
+  /// Nonce stream for minted trace ids and forward-span ids: a counter
+  /// whitened through splitmix64 and seeded with the construction time,
+  /// so two routers do not mint colliding ids.
+  std::uint64_t trace_seed_ = 0;
+  std::atomic<std::uint64_t> trace_counter_{0};
 };
 
 }  // namespace ocps::serve

@@ -35,6 +35,7 @@
 #include "locality/footprint_io.hpp"
 #include "locality/sanitize.hpp"
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 #include "runtime/fault_injection.hpp"
 #include "serve/socket_util.hpp"
 #include "util/check.hpp"
@@ -55,6 +56,12 @@ constexpr int kPollMs = 50;
 double ms_since(Clock::time_point start, Clock::time_point end) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
+
+// Stage names of the per-request latency decomposition, in pipeline
+// order. Indexes match Telemetry::stage() and SlowEntry::stage_ms.
+constexpr std::size_t kStageCount = 5;
+constexpr const char* kStageNames[kStageCount] = {
+    "queue_wait", "batch_linger", "solve", "serialize", "network"};
 
 }  // namespace
 
@@ -189,16 +196,43 @@ struct Server::Telemetry {
     double latency_ms = 0.0;
     double deadline_slack_ms = 0.0;  ///< NaN when the request had no deadline
     bool ok = false;
+    /// Per-stage decomposition of latency_ms, indexed by kStageNames.
+    /// The stages sum to latency_ms (respond() computes queue_wait as
+    /// the remainder, so the identity holds by construction).
+    double stage_ms[kStageCount] = {0.0, 0.0, 0.0, 0.0, 0.0};
   };
 
   obs::WindowedHistogram window;
+  /// Per-stage sliding windows behind serve.stage.<name>.window.*
+  /// gauges. Same window as the end-to-end one.
+  obs::WindowedHistogram stage_queue_wait;
+  obs::WindowedHistogram stage_batch_linger;
+  obs::WindowedHistogram stage_solve;
+  obs::WindowedHistogram stage_serialize;
+  obs::WindowedHistogram stage_network;
   std::mutex mu;
   std::vector<SlowEntry> entries;
   std::size_t capacity;
 
   Telemetry(unsigned window_s, std::size_t cap)
-      : window(window_s), capacity(cap) {
+      : window(window_s),
+        stage_queue_wait(window_s),
+        stage_batch_linger(window_s),
+        stage_solve(window_s),
+        stage_serialize(window_s),
+        stage_network(window_s),
+        capacity(cap) {
     entries.reserve(cap);
+  }
+
+  obs::WindowedHistogram& stage(std::size_t i) {
+    switch (i) {
+      case 0: return stage_queue_wait;
+      case 1: return stage_batch_linger;
+      case 2: return stage_solve;
+      case 3: return stage_serialize;
+      default: return stage_network;
+    }
   }
 
   void record(SlowEntry e) {
@@ -280,8 +314,17 @@ Server::Server(ServeConfig config, std::vector<ProgramModel> models)
              "serve: max_connections must be positive");
   OCPS_CHECK(config_.io_timeout.count() > 0,
              "serve: io_timeout must be positive");
+  OCPS_CHECK(config_.slo_p99_ms >= 0.0 && std::isfinite(config_.slo_p99_ms),
+             "serve: slo_p99_ms must be finite and >= 0");
+  OCPS_CHECK(config_.slo_availability >= 0.0 &&
+                 config_.slo_availability < 1.0,
+             "serve: slo_availability must be in [0, 1)");
   telemetry_ = std::make_unique<Telemetry>(config_.latency_window_s,
                                            config_.slowlog_capacity);
+  obs::SloConfig slo_config;
+  slo_config.p99_ms = config_.slo_p99_ms;
+  slo_config.availability = config_.slo_availability;
+  slo_ = std::make_unique<obs::SloTracker>(slo_config);
   profiles_ = make_profile_set(std::move(models), config_.capacity, 1);
 }
 
@@ -375,6 +418,15 @@ Result<bool> Server::start() {
         0)
       return fail("metrics getsockname()");
     http_port_.store(ntohs(bound.sin_port));
+  }
+
+  // Eager registration: the per-stage histograms and SLO gauges exist
+  // from the first scrape (zero-valued before traffic) so dashboards and
+  // the CI exposition checker see a stable series set.
+  if (obs::enabled()) {
+    for (const char* stage : kStageNames)
+      obs::histogram(std::string("serve.stage.") + stage);
+    if (slo_->configured()) refresh_latency_gauges();
   }
 
   started_at_ = Clock::now();
@@ -599,6 +651,12 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
   Request req = std::move(parsed.value());
   admit.set_trace_id(req.trace_id);
   admit.set_arg("id", static_cast<std::uint64_t>(req.id));
+  // Router-forwarded requests carry a trace context; record the parent
+  // span nonce so a stitched fleet trace can pair this daemon's spans
+  // with the router attempt that forwarded them.
+  if (req.hop > 0)
+    obs::instant_event("serve.hop", "serve", "parent_span", req.parent_span,
+                       req.trace_id);
 
   if (req.capacity > config_.capacity) {
     counters_->malformed.fetch_add(1);
@@ -622,6 +680,12 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       return;
     case Op::kSlowlog:
       handle_slowlog(conn, req);
+      return;
+    case Op::kTrace:
+      handle_trace(conn, req);
+      return;
+    case Op::kSlo:
+      handle_slo(conn, req);
       return;
     case Op::kPartition:
     case Op::kSweep:
@@ -771,6 +835,32 @@ void Server::refresh_latency_gauges() {
   }
   obs::gauge("serve.latency_window_s")
       .set(static_cast<double>(config_.latency_window_s));
+
+  // Per-stage windowed percentiles (the `ocps top` stage columns).
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    std::string base = std::string("serve.stage.") + kStageNames[i];
+    obs::HistogramSnapshot stage_window =
+        telemetry_->stage(i).snapshot(base + ".window");
+    obs::gauge(base + ".window.p50")
+        .set(obs::histogram_quantile(stage_window, 0.5));
+    obs::gauge(base + ".window.p99")
+        .set(obs::histogram_quantile(stage_window, 0.99));
+  }
+
+  // SLO burn rates, recomputed per scrape like the quantile gauges.
+  if (slo_->configured()) {
+    obs::SloTracker::Status slo =
+        slo_->status(obs::SloTracker::steady_now_ns());
+    for (const obs::SloTracker::Objective& o : slo.objectives) {
+      std::string base = "serve.slo." + o.name;
+      obs::gauge(base + ".target").set(o.target);
+      obs::gauge(base + ".burn_5m").set(o.burn_short);
+      obs::gauge(base + ".burn_1h").set(o.burn_long);
+      obs::gauge(base + ".breaching").set(o.breaching ? 1.0 : 0.0);
+    }
+    obs::gauge("serve.slo.alerts_total")
+        .set(static_cast<double>(slo.alerts_total));
+  }
 }
 
 void Server::handle_metrics(const std::shared_ptr<Connection>& conn,
@@ -818,9 +908,66 @@ void Server::handle_slowlog(const std::shared_ptr<Connection>& conn,
     // NaN (no deadline) serializes as null.
     row.set("deadline_slack_ms", json::Value(e.deadline_slack_ms));
     row.set("ok", json::Value(e.ok));
+    // Per-stage breakdown (new fields appended; everything above is the
+    // pre-existing row shape, unchanged for old consumers).
+    for (std::size_t i = 0; i < kStageCount; ++i)
+      row.set(std::string(kStageNames[i]) + "_ms",
+              json::Value(e.stage_ms[i]));
     rows.push_back(std::move(row));
   }
   body.set("slowlog", json::Value(std::move(rows)));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Server::handle_trace(const std::shared_ptr<Connection>& conn,
+                          const Request& req) {
+  if (!obs::enabled()) {
+    conn->send_line(error_response(
+        req.id, kCodeObsDisabled,
+        "observability disabled (compiled out or OCPS_OBS unset)"));
+    return;
+  }
+  json::Value body;
+  body.set("trace_id", json::Value(static_cast<double>(req.trace_id)));
+  json::Array procs;
+  procs.push_back(trace_proc_json("serve", req.trace_id));
+  body.set("procs", json::Value(std::move(procs)));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Server::handle_slo(const std::shared_ptr<Connection>& conn,
+                        const Request& req) {
+  // Like slowlog, the SLO engine is server-owned state independent of
+  // the obs registry: it answers even with obs compiled out.
+  obs::SloTracker::Status slo =
+      slo_->status(obs::SloTracker::steady_now_ns());
+  json::Value body;
+  body.set("configured", json::Value(slo_->configured()));
+  json::Array objectives;
+  for (const obs::SloTracker::Objective& o : slo.objectives) {
+    json::Value row;
+    row.set("name", json::Value(o.name));
+    row.set("target", json::Value(o.target));
+    row.set("budget", json::Value(o.budget));
+    row.set("burn_5m", json::Value(o.burn_short));
+    row.set("burn_1h", json::Value(o.burn_long));
+    row.set("breaching", json::Value(o.breaching));
+    objectives.push_back(std::move(row));
+  }
+  body.set("objectives", json::Value(std::move(objectives)));
+  json::Array alerts;
+  for (const obs::SloTracker::Alert& a : slo.alerts) {
+    json::Value row;
+    row.set("seq", json::Value(static_cast<double>(a.seq)));
+    row.set("at_ns", json::Value(static_cast<double>(a.at_ns)));
+    row.set("objective", json::Value(a.objective));
+    row.set("burn_5m", json::Value(a.burn_short));
+    row.set("burn_1h", json::Value(a.burn_long));
+    alerts.push_back(std::move(row));
+  }
+  body.set("alerts", json::Value(std::move(alerts)));
+  body.set("alerts_total",
+           json::Value(static_cast<double>(slo.alerts_total)));
   conn->send_line(ok_response(req.id, std::move(body)));
 }
 
@@ -849,11 +996,15 @@ void Server::batch_loop() {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         continue;
       }
+      // Stage attribution: [collect_start, collect_end] brackets the
+      // deliberate linger; respond() charges it to batch_linger and
+      // everything else a request waited to queue_wait.
+      Clock::time_point collect_start = Clock::now();
       if (!draining) {
         // Linger: give the batch a chance to fill before solving, so
         // concurrent clients coalesce and the DP prefix reuse has
         // something to share.
-        Clock::time_point linger_until = Clock::now() + config_.linger;
+        Clock::time_point linger_until = collect_start + config_.linger;
         while (!stopping_.load() && queue_.size() < config_.max_batch) {
           Clock::time_point now = Clock::now();
           if (now >= linger_until) break;
@@ -862,11 +1013,14 @@ void Server::batch_loop() {
                              now + std::chrono::milliseconds(kPollMs)));
         }
       }
+      Clock::time_point collect_end = Clock::now();
       std::size_t take = std::min(queue_.size(), config_.max_batch);
       batch.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+        batch.back().collect_start = collect_start;
+        batch.back().collect_end = collect_end;
       }
       OCPS_OBS_GAUGE("serve.queue_depth",
                      static_cast<double>(queue_.size()));
@@ -910,6 +1064,11 @@ void Server::process_batch(std::vector<Pending>& batch,
         p.req.op == Op::kPartition ? "serve.solve" : "serve.sweep", "serve");
     req_span.set_trace_id(p.req.trace_id);
     req_span.set_arg("id", static_cast<std::uint64_t>(p.req.id));
+    // Stage stamps: answer paths move serialize_start to where the solve
+    // actually ended; error paths that never solve leave it here so the
+    // whole error turnaround is attributed to serialize.
+    p.solve_start = Clock::now();
+    p.serialize_start = p.solve_start;
     if (Clock::now() > p.deadline) {
       counters_->deadline_exceeded.fetch_add(1);
       OCPS_OBS_COUNT("serve.deadline_exceeded", 1);
@@ -927,9 +1086,11 @@ void Server::process_batch(std::vector<Pending>& batch,
     } catch (const SweepDeadlineExceeded& e) {
       counters_->deadline_exceeded.fetch_add(1);
       OCPS_OBS_COUNT("serve.deadline_exceeded", 1);
+      p.serialize_start = Clock::now();  // solve ran until the throw
       respond(p, error_response(p.req.id, kCodeDeadlineExceeded, e.what()),
               false);
     } catch (const std::exception& e) {
+      p.serialize_start = Clock::now();
       respond(p, error_response(p.req.id, kCodeInternal, e.what()), false);
     }
   }
@@ -990,6 +1151,7 @@ void Server::answer_partition(
     rate_sum += model.access_rate;
     weighted_mr += model.access_rate * ratio;
   }
+  p.serialize_start = Clock::now();  // DP + mapping done; body build next
 
   json::Value body;
   json::Array programs;
@@ -1067,6 +1229,7 @@ void Server::answer_sweep(Pending& p, const ProfileSet& set) {
   // that to 504.
   std::vector<GroupEvaluation> sweep =
       sweep_groups(set.models, groups, options);
+  p.serialize_start = Clock::now();  // sweep done; stats + body build next
 
   json::Value improvement;
   const Method baselines[] = {Method::kEqual, Method::kNatural,
@@ -1093,6 +1256,7 @@ void Server::answer_sweep(Pending& p, const ProfileSet& set) {
 }
 
 void Server::respond(Pending& p, const std::string& line, bool answered) {
+  Clock::time_point send_start = Clock::now();
   p.conn->send_line(line);
   Clock::time_point now = Clock::now();
   double ns = static_cast<double>(
@@ -1105,6 +1269,33 @@ void Server::respond(Pending& p, const std::string& line, bool answered) {
   // read naturally on a dashboard.
   OCPS_OBS_HIST("serve.request_latency", ms);
   if (obs::enabled()) telemetry_->window.observe(ms);
+
+  // Stage decomposition. batch_linger is the deliberate coalescing wait
+  // (bounded by --linger-ms); solve / serialize / network come straight
+  // from the stamps; queue_wait is the remainder — queue backlog plus
+  // intra-batch ordering — so the five stages sum to latency_ms exactly
+  // (modulo floating rounding), which the tests pin within an epsilon.
+  double stage_ms[kStageCount];
+  stage_ms[1] = std::max(
+      0.0, ms_since(std::max(p.enqueued, p.collect_start), p.collect_end));
+  stage_ms[2] = std::max(0.0, ms_since(p.solve_start, p.serialize_start));
+  stage_ms[3] = std::max(0.0, ms_since(p.serialize_start, send_start));
+  stage_ms[4] = std::max(0.0, ms_since(send_start, now));
+  stage_ms[0] = std::max(
+      0.0, ms - stage_ms[1] - stage_ms[2] - stage_ms[3] - stage_ms[4]);
+  if (obs::enabled()) {
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      std::string name = std::string("serve.stage.") + kStageNames[i];
+      obs::histogram(name).observe(stage_ms[i]);
+      obs::note_exemplar(name, stage_ms[i], p.req.trace_id);
+      telemetry_->stage(i).observe(stage_ms[i]);
+    }
+    obs::note_exemplar("serve.request_latency", ms, p.req.trace_id);
+  }
+
+  // SLO accounting is obs-independent (the tracker carries its own
+  // clock) so burn rates keep working in an OCPS_OBS_DISABLED build.
+  slo_->record(ms, answered, obs::SloTracker::steady_now_ns());
 
   Telemetry::SlowEntry entry;
   entry.trace_id = p.req.trace_id;
@@ -1119,6 +1310,8 @@ void Server::respond(Pending& p, const std::string& line, bool answered) {
           ? std::numeric_limits<double>::quiet_NaN()
           : ms_since(now, p.deadline);
   entry.ok = answered;
+  for (std::size_t i = 0; i < kStageCount; ++i)
+    entry.stage_ms[i] = stage_ms[i];
   telemetry_->record(std::move(entry));
 
   if (answered) {

@@ -56,6 +56,10 @@ namespace ocps {
 class NetFaultInjector;  // runtime/fault_injection.hpp
 }
 
+namespace ocps::obs {
+class SloTracker;  // obs/slo.hpp
+}
+
 namespace ocps::serve {
 
 /// Daemon knobs (CLI flags of `ocps serve` map 1:1 onto these).
@@ -82,6 +86,13 @@ struct ServeConfig {
   /// Sliding window, in seconds, for the `serve.request_latency.window.*`
   /// percentile gauges.
   unsigned latency_window_s = 30;
+
+  /// Declarative SLOs (0 = objective off). Evaluated as multi-window
+  /// burn rates (obs/slo.hpp) on every answered solver request; exposed
+  /// as `serve.slo.*` gauges and via the `slo` op (which, like
+  /// `slowlog`, answers even with obs off).
+  double slo_p99_ms = 0.0;       ///< p99 end-to-end latency target, ms
+  double slo_availability = 0.0; ///< success-rate target, e.g. 0.999
 
   /// Hard cap on concurrently connected request clients (both
   /// transports). Connection 257 is accepted and immediately told 503 —
@@ -202,6 +213,15 @@ class Server {
     std::chrono::steady_clock::time_point enqueued;
     /// time_point::max() when the request has no deadline.
     std::chrono::steady_clock::time_point deadline;
+    /// Stage-attribution stamps (respond() turns these into the
+    /// queue_wait / batch_linger / solve / serialize / network stage
+    /// histograms): when the batcher started collecting the batch this
+    /// request rode in, when it stopped lingering, when this request's
+    /// solve began, and when response serialization began.
+    std::chrono::steady_clock::time_point collect_start;
+    std::chrono::steady_clock::time_point collect_end;
+    std::chrono::steady_clock::time_point solve_start;
+    std::chrono::steady_clock::time_point serialize_start;
   };
 
   void accept_loop();
@@ -219,8 +239,13 @@ class Server {
                       const Request& req);
   void handle_slowlog(const std::shared_ptr<Connection>& conn,
                       const Request& req);
-  /// Recomputes the derived p50/p95/p99 gauges (lifetime and windowed)
-  /// from the latency histograms; called before every scrape.
+  void handle_trace(const std::shared_ptr<Connection>& conn,
+                    const Request& req);
+  void handle_slo(const std::shared_ptr<Connection>& conn,
+                  const Request& req);
+  /// Recomputes the derived p50/p95/p99 gauges (lifetime, windowed, and
+  /// per-stage) plus the serve.slo.* burn-rate gauges; called before
+  /// every scrape.
   void refresh_latency_gauges();
   void process_batch(std::vector<Pending>& batch, SolverState& solver);
   void answer_partition(Pending& p,
@@ -274,6 +299,11 @@ class Server {
   /// Windowed latency histogram + slow-request log (see server.cpp).
   struct Telemetry;
   std::unique_ptr<Telemetry> telemetry_;
+
+  /// Burn-rate SLO evaluation (obs/slo.hpp); always constructed, inert
+  /// when no objective is configured. Independent of the obs registry so
+  /// the `slo` op answers even in an OCPS_OBS_DISABLED build.
+  std::unique_ptr<obs::SloTracker> slo_;
 };
 
 }  // namespace ocps::serve

@@ -60,6 +60,12 @@ bool Value::get_bool(std::string_view key, bool fallback) const {
 void Value::set(std::string key, Value v) {
   if (is_null()) type_ = Type::kObject;
   OCPS_CHECK(is_object(), "JSON set() on a non-object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
   object_.emplace_back(std::move(key), std::move(v));
 }
 

@@ -75,8 +75,10 @@ class Value {
                          const std::string& fallback) const;
   bool get_bool(std::string_view key, bool fallback) const;
 
-  /// Appends a member (object value only; OCPS_CHECKs the kind). `set`
-  /// on a default-constructed null turns it into an object first.
+  /// Sets a member (object value only; OCPS_CHECKs the kind): replaces
+  /// an existing member with the same key in place, appends otherwise —
+  /// an object never carries duplicate keys. `set` on a
+  /// default-constructed null turns it into an object first.
   void set(std::string key, Value v);
 
   /// Compact serialization. Non-finite numbers emit null.

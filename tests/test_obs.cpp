@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 #include "runtime/controller.hpp"
 #include "trace/generators.hpp"
 #include "trace/interleave.hpp"
@@ -611,7 +612,317 @@ TEST_F(ObsTest, ChromeTraceParsesWithUtilJsonAfterWrap) {
   }
 }
 
+TEST_F(ObsTest, WindowedHistogramRecyclesLazilyAcrossLongIdleGap) {
+  constexpr std::uint64_t kSec = 1000000000ULL;
+  obs::WindowedHistogram w(/*window_seconds=*/3);
+  // Two live seconds, then a ~3-hour idle gap. Slots are recycled lazily
+  // (on the next write that lands on them), so the stale slots survive in
+  // the ring — the window filter alone must keep them out of snapshots.
+  w.observe_at(10.0, 4 * kSec);  // slot 0 (ring of window+1 = 4)
+  w.observe_at(20.0, 5 * kSec);  // slot 1
+
+  // First scrape after the gap, before any new write: nothing in window.
+  obs::HistogramSnapshot idle = w.snapshot_at("w", 10001 * kSec);
+  EXPECT_EQ(idle.count, 0u);
+  EXPECT_DOUBLE_EQ(idle.sum, 0.0);
+
+  // Second 10001 aliases onto second 5's slot (10001 % 4 == 1): the
+  // write recycles it, and only the fresh observation is visible.
+  w.observe_at(7.0, 10001 * kSec);
+  obs::HistogramSnapshot fresh = w.snapshot_at("w", 10001 * kSec);
+  EXPECT_EQ(fresh.count, 1u);
+  EXPECT_DOUBLE_EQ(fresh.sum, 7.0);
+
+  // Second 4's slot was never written again, so it still holds the old
+  // second — proving recycling is lazy — but a window ending inside the
+  // gap cannot see it, while a window covering second 4 still can.
+  obs::HistogramSnapshot gap = w.snapshot_at("w", 9000 * kSec);
+  EXPECT_EQ(gap.count, 0u);
+  obs::HistogramSnapshot old_window = w.snapshot_at("w", 6 * kSec);
+  EXPECT_EQ(old_window.count, 1u);
+  EXPECT_DOUBLE_EQ(old_window.sum, 10.0);
+}
+
+TEST_F(ObsTest, WindowedHistogramExpiredWindowGoesEmptyNotStale) {
+  constexpr std::uint64_t kSec = 1000000000ULL;
+  obs::WindowedHistogram w(/*window_seconds=*/3);
+  for (std::uint64_t s = 0; s < 4; ++s) w.observe_at(12.0, s * kSec);
+  ASSERT_GT(w.snapshot_at("w", 3 * kSec).count, 0u);
+
+  // Once every slot has aged out, the snapshot — and therefore any gauge
+  // derived from it — must report empty, not the last live quantiles.
+  obs::HistogramSnapshot expired = w.snapshot_at("w", 500 * kSec);
+  EXPECT_EQ(expired.count, 0u);
+  EXPECT_DOUBLE_EQ(expired.sum, 0.0);
+  EXPECT_TRUE(expired.buckets.empty());
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(expired, 0.50), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(expired, 0.99), 0.0);
+}
+
+// -------------------------------------------------------------- exemplars
+
+TEST_F(ObsTest, ExemplarStoreKeepsLatestPerBucket) {
+  obs::note_exemplar("test.ex", 3.0, 42);
+  obs::note_exemplar("test.ex", 3.5, 43);    // same [2,4) bucket: replaces
+  obs::note_exemplar("test.ex", 100.0, 44);  // [64,128) bucket
+
+  auto ex = obs::exemplars_for("test.ex");
+  ASSERT_EQ(ex.size(), 2u);
+  EXPECT_EQ(ex[0].first, obs::Histogram::bucket_index(3.5));
+  EXPECT_EQ(ex[0].second.trace_id, 43u);
+  EXPECT_DOUBLE_EQ(ex[0].second.value, 3.5);
+  EXPECT_EQ(ex[1].first, obs::Histogram::bucket_index(100.0));
+  EXPECT_EQ(ex[1].second.trace_id, 44u);
+
+  // Unknown histograms have no exemplars, and reset_metrics clears all.
+  EXPECT_TRUE(obs::exemplars_for("test.ex_other").empty());
+  obs::reset_metrics();
+  EXPECT_TRUE(obs::exemplars_for("test.ex").empty());
+}
+
+TEST_F(ObsTest, ExemplarIgnoresUntracedAndDisabledObservations) {
+  // trace_id 0 means "no trace attached" — never an exemplar.
+  obs::note_exemplar("test.ex_skip", 5.0, 0);
+  EXPECT_TRUE(obs::exemplars_for("test.ex_skip").empty());
+
+  // With observability off the store must not accumulate.
+  obs::set_enabled(false);
+  obs::note_exemplar("test.ex_skip", 5.0, 77);
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::exemplars_for("test.ex_skip").empty());
+}
+
+TEST_F(ObsTest, PrometheusBucketsCarryExemplarSuffix) {
+  obs::Histogram& h = obs::histogram("test.exprom");
+  h.observe(3.5);
+  obs::note_exemplar("test.exprom", 3.5, 43);
+  h.observe(1e20);  // folds into the +Inf bucket
+  obs::note_exemplar("test.exprom", 1e20, 99);
+
+  std::ostringstream os;
+  obs::write_metrics_prometheus(os);
+  const std::string text = os.str();
+
+  // OpenMetrics-style suffix on the bucket the exemplar landed in…
+  EXPECT_NE(
+      text.find("test_exprom_bucket{le=\"4\"} 1 # {trace_id=\"43\"} 3.5"),
+      std::string::npos);
+  // …including buckets folded into +Inf.
+  EXPECT_NE(text.find("test_exprom_bucket{le=\"+Inf\"} 2 "
+                      "# {trace_id=\"99\"} 1e+20"),
+            std::string::npos);
+  // Buckets without exemplars stay bare (exactly one suffix emitted).
+  std::size_t first = text.find("# {trace_id=\"43\"}");
+  EXPECT_EQ(text.find("# {trace_id=\"43\"}", first + 1), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesExemplars) {
+  obs::histogram("test.exjson").observe(3.5);
+  obs::note_exemplar("test.exjson", 3.5, 51);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os);
+  Result<json::Value> parsed = json::parse(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+
+  const json::Value* hists = parsed.value().find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* h = hists->find("test.exjson");
+  ASSERT_NE(h, nullptr);
+  const json::Value* exemplars = h->find("exemplars");
+  ASSERT_NE(exemplars, nullptr);
+  ASSERT_TRUE(exemplars->is_array());
+  ASSERT_EQ(exemplars->as_array().size(), 1u);
+  const json::Value& e = exemplars->as_array()[0];
+  EXPECT_EQ(e.get_number("trace_id", 0.0), 51.0);
+  EXPECT_DOUBLE_EQ(e.get_number("value", 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(e.get_number("lo", -1.0),
+                   obs::Histogram::bucket_lower_bound(
+                       obs::Histogram::bucket_index(3.5)));
+}
+
+// --------------------------------------------------- trace event filtering
+
+TEST_F(ObsTest, TraceEventsForReturnsOnlyTaggedEvents) {
+  {
+    obs::ScopedSpan s("test.tagged", "test");
+    s.set_trace_id(314);
+  }
+  {
+    obs::ScopedSpan s("test.untagged", "test");
+  }
+  obs::instant_event("test.tagged_instant", "test", "hop", 2, 314);
+
+  std::vector<obs::TraceEvent> events = obs::trace_events_for(314);
+  ASSERT_EQ(events.size(), 2u);
+  for (const obs::TraceEvent& e : events) EXPECT_EQ(e.trace_id, 314u);
+  EXPECT_TRUE(obs::trace_events_for(9999).empty());
+}
+
 #endif  // OCPS_OBS_DISABLED
+
+// ------------------------------------------------------------ SLO tracker
+//
+// The SloTracker is deliberately independent of the OCPS_OBS_DISABLED
+// switch (the `slo` op answers even in stripped builds), so these tests
+// run in both configurations. All clocks are synthetic.
+
+namespace slo_test {
+constexpr std::uint64_t kSec = 1000000000ULL;
+}  // namespace slo_test
+
+TEST(SloTrackerTest, UnconfiguredTrackerReportsNothing) {
+  obs::SloTracker slo{obs::SloConfig{}};
+  EXPECT_FALSE(slo.configured());
+  slo.record(1000.0, false, 0);  // dropped: nothing to judge against
+  obs::SloTracker::Status st = slo.status(0);
+  EXPECT_TRUE(st.objectives.empty());
+  EXPECT_TRUE(st.alerts.empty());
+  EXPECT_EQ(st.alerts_total, 0u);
+}
+
+TEST(SloTrackerTest, LatencyBurnRateMatchesBudgetMath) {
+  using slo_test::kSec;
+  obs::SloConfig cfg;
+  cfg.p99_ms = 10.0;
+  obs::SloTracker slo{cfg};
+  ASSERT_TRUE(slo.configured());
+
+  // 100 requests, 2 over target: 2% bad against a 1% budget = burn 2.0
+  // in both windows (all traffic is recent).
+  for (int i = 0; i < 98; ++i) slo.record(5.0, true, 10 * kSec);
+  for (int i = 0; i < 2; ++i) slo.record(50.0, true, 10 * kSec);
+
+  obs::SloTracker::Status st = slo.status(10 * kSec);
+  ASSERT_EQ(st.objectives.size(), 1u);
+  const obs::SloTracker::Objective& o = st.objectives[0];
+  EXPECT_EQ(o.name, "latency");
+  EXPECT_DOUBLE_EQ(o.target, 10.0);
+  EXPECT_DOUBLE_EQ(o.budget, 0.01);
+  EXPECT_DOUBLE_EQ(o.burn_short, 2.0);
+  EXPECT_DOUBLE_EQ(o.burn_long, 2.0);
+  EXPECT_TRUE(o.breaching);
+  EXPECT_EQ(st.alerts_total, 1u);
+
+  // Burning at half the budget rate is healthy, not a breach.
+  obs::SloTracker calm{cfg};
+  for (int i = 0; i < 199; ++i) calm.record(5.0, true, 10 * kSec);
+  calm.record(50.0, true, 10 * kSec);
+  obs::SloTracker::Status cst = calm.status(10 * kSec);
+  ASSERT_EQ(cst.objectives.size(), 1u);
+  EXPECT_DOUBLE_EQ(cst.objectives[0].burn_short, 0.5);
+  EXPECT_FALSE(cst.objectives[0].breaching);
+  EXPECT_EQ(cst.alerts_total, 0u);
+}
+
+TEST(SloTrackerTest, AvailabilityObjectiveCountsFailures) {
+  using slo_test::kSec;
+  obs::SloConfig cfg;
+  cfg.p99_ms = 10.0;
+  cfg.availability = 0.99;  // 1% error budget
+  obs::SloTracker slo{cfg};
+
+  // Fast but failing: latency healthy, availability burning at 4x.
+  for (int i = 0; i < 96; ++i) slo.record(1.0, true, 5 * kSec);
+  for (int i = 0; i < 4; ++i) slo.record(1.0, false, 5 * kSec);
+
+  obs::SloTracker::Status st = slo.status(5 * kSec);
+  ASSERT_EQ(st.objectives.size(), 2u);
+  EXPECT_EQ(st.objectives[0].name, "latency");
+  EXPECT_FALSE(st.objectives[0].breaching);
+  EXPECT_EQ(st.objectives[1].name, "availability");
+  EXPECT_DOUBLE_EQ(st.objectives[1].target, 0.99);
+  // Budget is 1.0 - 0.99 in doubles, so the burn is 4.0 up to rounding.
+  EXPECT_NEAR(st.objectives[1].burn_short, 4.0, 1e-9);
+  EXPECT_TRUE(st.objectives[1].breaching);
+  ASSERT_EQ(st.alerts.size(), 1u);
+  EXPECT_EQ(st.alerts[0].objective, "availability");
+}
+
+TEST(SloTrackerTest, BreachRequiresBothWindowsBurning) {
+  using slo_test::kSec;
+  obs::SloConfig cfg;
+  cfg.p99_ms = 10.0;
+  obs::SloTracker slo{cfg};
+
+  // An incident at t=0s: every request slow.
+  for (int i = 0; i < 50; ++i) slo.record(100.0, true, 0);
+
+  // 10 minutes later the 5m window holds only healthy traffic while the
+  // 1h window still remembers the incident: burning long-only must NOT
+  // page (that is the whole point of multi-window burn rates).
+  for (int i = 0; i < 50; ++i) slo.record(1.0, true, 600 * kSec);
+  obs::SloTracker::Status st = slo.status(600 * kSec);
+  ASSERT_EQ(st.objectives.size(), 1u);
+  EXPECT_DOUBLE_EQ(st.objectives[0].burn_short, 0.0);
+  EXPECT_DOUBLE_EQ(st.objectives[0].burn_long, 50.0);
+  EXPECT_FALSE(st.objectives[0].breaching);
+  EXPECT_EQ(st.alerts_total, 0u);
+
+  // Conversely a short spike with an empty long window does not page
+  // either — both windows must agree.
+  obs::SloTracker spike{cfg};
+  obs::SloTracker::Status empty = spike.status(0);
+  ASSERT_EQ(empty.objectives.size(), 1u);
+  EXPECT_FALSE(empty.objectives[0].breaching);
+}
+
+TEST(SloTrackerTest, AlertsAreEdgeTriggeredAndBounded) {
+  using slo_test::kSec;
+  obs::SloConfig cfg;
+  cfg.p99_ms = 10.0;
+  cfg.alert_capacity = 2;
+  obs::SloTracker slo{cfg};
+
+  // Three breach episodes separated by > the long window, so each one
+  // starts from clean windows. Every episode: slow traffic, then several
+  // status() calls — the alert fires once per episode, not per call.
+  std::uint64_t alerts_seen = 0;
+  for (int episode = 0; episode < 3; ++episode) {
+    std::uint64_t t = static_cast<std::uint64_t>(episode) * 10000 * kSec;
+    for (int i = 0; i < 20; ++i) slo.record(100.0, true, t);
+    obs::SloTracker::Status st = slo.status(t);
+    ASSERT_EQ(st.objectives.size(), 1u);
+    EXPECT_TRUE(st.objectives[0].breaching);
+    EXPECT_EQ(st.alerts_total, alerts_seen + 1);
+    obs::SloTracker::Status again = slo.status(t);
+    EXPECT_EQ(again.alerts_total, alerts_seen + 1);  // latched, no re-fire
+    alerts_seen = st.alerts_total;
+
+    // Recovery: healthy traffic after the windows have fully drained.
+    std::uint64_t calm = t + 5000 * kSec;
+    for (int i = 0; i < 20; ++i) slo.record(1.0, true, calm);
+    obs::SloTracker::Status rec = slo.status(calm);
+    EXPECT_FALSE(rec.objectives[0].breaching);
+  }
+
+  // Three alerts fired, but the log is bounded at capacity 2 and keeps
+  // the most recent ones (monotonic seq survives the trim).
+  obs::SloTracker::Status final_st =
+      slo.status(3 * 10000 * kSec);
+  EXPECT_EQ(final_st.alerts_total, 3u);
+  ASSERT_EQ(final_st.alerts.size(), 2u);
+  EXPECT_EQ(final_st.alerts[0].seq, 2u);
+  EXPECT_EQ(final_st.alerts[1].seq, 3u);
+}
+
+TEST(SloTrackerTest, SlotRecyclingSurvivesLongIdleGaps) {
+  using slo_test::kSec;
+  obs::SloConfig cfg;
+  cfg.p99_ms = 10.0;
+  obs::SloTracker slo{cfg};
+
+  // Bad traffic, then a multi-day gap: the stale slots must not leak
+  // into windows anchored at the new time.
+  for (int i = 0; i < 30; ++i) slo.record(100.0, true, 0);
+  std::uint64_t later = 400000 * kSec;
+  for (int i = 0; i < 30; ++i) slo.record(1.0, true, later);
+  obs::SloTracker::Status st = slo.status(later);
+  ASSERT_EQ(st.objectives.size(), 1u);
+  EXPECT_DOUBLE_EQ(st.objectives[0].burn_short, 0.0);
+  EXPECT_DOUBLE_EQ(st.objectives[0].burn_long, 0.0);
+  EXPECT_FALSE(st.objectives[0].breaching);
+}
 
 }  // namespace
 }  // namespace ocps

@@ -29,6 +29,7 @@
 #include "serve/server.hpp"
 #include "serve/socket_util.hpp"
 #include "trace/generators.hpp"
+#include "util/check.hpp"
 
 namespace ocps::serve {
 namespace {
@@ -308,6 +309,8 @@ TEST_F(RouterTest, RetryClassifiers) {
   EXPECT_TRUE(retryable_op(Op::kHealth));
   EXPECT_TRUE(retryable_op(Op::kMetrics));
   EXPECT_TRUE(retryable_op(Op::kSlowlog));
+  EXPECT_TRUE(retryable_op(Op::kTrace));
+  EXPECT_TRUE(retryable_op(Op::kSlo));
   EXPECT_FALSE(retryable_op(Op::kReload));
 
   EXPECT_TRUE(retryable_code(kCodeQueueFull));
@@ -808,6 +811,242 @@ TEST_F(RouterTest, RouterDrainRefusesNewWork) {
     EXPECT_EQ(resp.value().code, kCodeShuttingDown);
   }
   router.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing through the router, per-backend latency series, and
+// the router's own SLO engine.
+
+#ifndef OCPS_OBS_DISABLED
+TEST_F(RouterTest, RouterStampsTraceContextOnForwards) {
+  obs::clear_trace_events();
+  Fleet fleet(1, "trctx");
+  fleet.start_all();
+  RouterConfig cfg = fast_router_config(fleet, "trctx_r");
+  Router router(cfg);
+  ASSERT_TRUE(router.start().ok());
+  Result<Client> client = Client::connect(cfg.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  Request tagged;
+  tagged.id = 1;
+  tagged.op = Op::kPartition;
+  tagged.programs = {"prog0", "prog1"};
+  tagged.trace_id = 9001;
+  Result<Response> resp = client.value().call(encode_request(tagged));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp.value().ok) << resp.value().error;
+
+  // Router and backends share this process's obs rings, so the whole
+  // cross-tier span tree is visible here: the router's forward span, the
+  // backend's hop marker (hop > 0, arg = the router's span nonce), and
+  // the backend's solve — all under the client's trace id.
+  bool fwd = false, hop = false, solve = false;
+  std::uint64_t hop_parent = 0;
+  for (int spin = 0; spin < 2000 && !(fwd && hop && solve); ++spin) {
+    fwd = hop = solve = false;
+    for (const obs::TraceEvent& e : obs::trace_events_for(9001)) {
+      std::string name = e.name ? e.name : "";
+      if (name == "serve.router.forward") fwd = true;
+      if (name == "serve.hop") {
+        hop = true;
+        hop_parent = e.arg;
+      }
+      if (name == "serve.solve") solve = true;
+    }
+    if (!(fwd && hop && solve))
+      std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_TRUE(fwd) << "router never recorded its forward span";
+  EXPECT_TRUE(hop) << "backend never saw a hop > 0";
+  EXPECT_TRUE(solve) << "backend solve span not linked to the trace";
+  EXPECT_NE(hop_parent, 0u) << "hop marker lost the parent span nonce";
+
+  // An untraced client request still gets a minted id: the backend's
+  // slowlog row carries a non-zero trace_id the operator can query.
+  ASSERT_TRUE(client.value().call(partition_line(2)).ok());
+  Result<Client> direct = Client::connect(fleet.configs[0].socket_path);
+  ASSERT_TRUE(direct.ok());
+  Result<Response> slow = direct.value().call(R"({"id":3,"op":"slowlog"})");
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(slow.value().ok);
+  const json::Value* rows = slow.value().body.find("slowlog");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_FALSE(rows->as_array().empty());
+  bool minted = false;
+  for (const json::Value& row : rows->as_array()) {
+    if (row.get_number("id", 0.0) == 2.0) {
+      EXPECT_GT(row.get_number("trace_id", 0.0), 0.0)
+          << "router forwarded hop without minting a trace id";
+      minted = true;
+    }
+  }
+  EXPECT_TRUE(minted) << "request 2 never reached the backend slowlog";
+  router.stop();
+}
+
+TEST_F(RouterTest, RouterTraceOpStitchesRouterAndBackendProcs) {
+  obs::clear_trace_events();
+  Fleet fleet(2, "trfan");
+  fleet.start_all();
+  RouterConfig cfg = fast_router_config(fleet, "trfan_r");
+  Router router(cfg);
+  ASSERT_TRUE(router.start().ok());
+  Result<Client> client = Client::connect(cfg.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  Request tagged;
+  tagged.id = 1;
+  tagged.op = Op::kPartition;
+  tagged.programs = {"prog0", "prog1"};
+  tagged.trace_id = 9002;
+  ASSERT_TRUE(client.value().call(encode_request(tagged)).ok());
+
+  // The fan-out merges the router's own proc with every backend's,
+  // replicas disambiguated as "serve.<slot>". Spans close asynchronously,
+  // so poll until the backend's solve shows up in the merged timeline.
+  Request query;
+  query.id = 2;
+  query.op = Op::kTrace;
+  query.trace_id = 9002;
+  bool router_fwd = false, backend_solve = false;
+  json::Value last_body;
+  for (int spin = 0; spin < 2000 && !(router_fwd && backend_solve);
+       ++spin) {
+    Result<Response> r = client.value().call(encode_request(query));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().ok) << r.value().error;
+    last_body = r.value().body;
+    const json::Value* procs = last_body.find("procs");
+    ASSERT_NE(procs, nullptr);
+    router_fwd = backend_solve = false;
+    for (const json::Value& proc : procs->as_array()) {
+      std::string label = proc.get_string("proc", "");
+      const json::Value* spans = proc.find("spans");
+      ASSERT_NE(spans, nullptr);
+      for (const json::Value& s : spans->as_array()) {
+        std::string name = s.get_string("name", "");
+        if (label == "router" && name == "serve.router.forward")
+          router_fwd = true;
+        if (label.rfind("serve.", 0) == 0 && name == "serve.solve")
+          backend_solve = true;
+      }
+    }
+    if (!(router_fwd && backend_solve))
+      std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_TRUE(router_fwd) << "merged trace lost the router span";
+  EXPECT_TRUE(backend_solve) << "merged trace lost the backend solve";
+
+  // The router's own proc leads the list; every proc entry carries the
+  // clock pair the stitcher aligns timelines with.
+  EXPECT_EQ(last_body.get_number("trace_id", 0.0), 9002.0);
+  const json::Value* procs = last_body.find("procs");
+  ASSERT_GE(procs->as_array().size(), 2u);
+  EXPECT_EQ(procs->as_array()[0].get_string("proc", ""), "router");
+  for (const json::Value& proc : procs->as_array()) {
+    EXPECT_GT(proc.get_number("mono_ns", 0.0), 0.0);
+    EXPECT_GT(proc.get_number("wall_ns", 0.0), 0.0);
+  }
+  router.stop();
+}
+
+TEST_F(RouterTest, RouterRecordsPerBackendLatencySeries) {
+  Fleet fleet(2, "blat");
+  fleet.start_all();
+  RouterConfig cfg = fast_router_config(fleet, "blat_r");
+  Router router(cfg);
+  ASSERT_TRUE(router.start().ok());
+
+  // Eager registration: one latency histogram and windowed p99 gauge per
+  // backend slot exist before any traffic.
+  obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  for (const char* name :
+       {"serve.router.backend_latency.0", "serve.router.backend_latency.1"}) {
+    bool found = false;
+    for (const auto& h : snap.histograms) found = found || h.name == name;
+    EXPECT_TRUE(found) << name << " not registered at startup";
+  }
+
+  Result<Client> client = Client::connect(cfg.socket_path);
+  ASSERT_TRUE(client.ok());
+  for (int i = 1; i <= 4; ++i)
+    ASSERT_TRUE(client.value().call(partition_line(i)).ok());
+
+  // All four requests share a placement key, so exactly one backend's
+  // histogram saw the attempts.
+  snap = obs::metrics_snapshot();
+  std::uint64_t attempts = 0;
+  std::size_t backends_hit = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind("serve.router.backend_latency.", 0) != 0) continue;
+    attempts += h.count;
+    if (h.count > 0) ++backends_hit;
+  }
+  EXPECT_GE(attempts, 4u);
+  EXPECT_EQ(backends_hit, 1u);
+
+  // A metrics scrape refreshes the per-backend windowed p99 gauges.
+  Result<Response> metrics =
+      client.value().call(R"({"id":9,"op":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_TRUE(metrics.value().ok) << metrics.value().error;
+  const json::Value* gauges = metrics.value().body.find("metrics")->find(
+      "gauges");
+  ASSERT_NE(gauges, nullptr);
+  double p99_0 =
+      gauges->get_number("serve.router.backend_latency.0.window.p99", -1.0);
+  double p99_1 =
+      gauges->get_number("serve.router.backend_latency.1.window.p99", -1.0);
+  EXPECT_GE(p99_0, 0.0);
+  EXPECT_GE(p99_1, 0.0);
+  EXPECT_GT(std::max(p99_0, p99_1), 0.0)
+      << "no backend's windowed p99 moved after 4 forwards";
+  router.stop();
+}
+#endif  // OCPS_OBS_DISABLED
+
+TEST_F(RouterTest, RouterSloOpReportsFleetBurn) {
+  Fleet fleet(1, "rslo");
+  fleet.start_all();
+  RouterConfig cfg = fast_router_config(fleet, "rslo_r");
+  cfg.slo_p99_ms = 60000.0;  // everything is fast: never breaching
+  Router router(cfg);
+  ASSERT_TRUE(router.start().ok());
+  Result<Client> client = Client::connect(cfg.socket_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().call(partition_line(1)).ok());
+
+  // Answered locally by the router's own tracker (fleet-level burn over
+  // forward outcomes), with the role marker distinguishing it from a
+  // backend's answer. Obs-independent, like the daemon's `slo`.
+  obs::set_enabled(false);
+  Result<Response> r = client.value().call(R"({"id":2,"op":"slo"})");
+  obs::set_enabled(true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+  EXPECT_EQ(r.value().body.get_string("role", ""), "router");
+  EXPECT_TRUE(r.value().body.get_bool("configured", false));
+  const json::Value* objectives = r.value().body.find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  ASSERT_EQ(objectives->as_array().size(), 1u);
+  const json::Value& latency = objectives->as_array()[0];
+  EXPECT_EQ(latency.get_string("name", ""), "latency");
+  EXPECT_DOUBLE_EQ(latency.get_number("target", 0.0), 60000.0);
+  EXPECT_FALSE(latency.get_bool("breaching", true));
+  EXPECT_EQ(r.value().body.get_number("alerts_total", -1.0), 0.0);
+  router.stop();
+}
+
+TEST_F(RouterTest, RouterConfigValidatesSloKnobs) {
+  RouterConfig cfg;
+  cfg.socket_path = unique_socket_path("badslo_r");
+  cfg.backends = {unique_socket_path("ghost")};
+  cfg.slo_p99_ms = -5.0;
+  EXPECT_THROW(Router{cfg}, CheckError);
+  cfg.slo_p99_ms = 0.0;
+  cfg.slo_availability = 1.5;  // must be in [0, 1)
+  EXPECT_THROW(Router{cfg}, CheckError);
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "trace/generators.hpp"
+#include "util/check.hpp"
 
 namespace ocps::serve {
 namespace {
@@ -995,6 +996,278 @@ TEST_F(ServeTest, ChaosResetDropsConnectionButClientRetriesThrough) {
 
   server.request_stop();
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage latency attribution, distributed tracing, and SLOs.
+
+constexpr const char* kStageFields[] = {"queue_wait_ms", "batch_linger_ms",
+                                        "solve_ms", "serialize_ms",
+                                        "network_ms"};
+
+TEST_F(ServeTest, SlowlogRowsCarryStageDecompositionSummingToLatency) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("stages");
+  config.capacity = kCapacity;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  for (int i = 1; i <= 3; ++i) {
+    Result<Response> r =
+        client.value().call(partition_request(i, {"prog0", "prog1"}));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().ok) << r.value().error;
+  }
+
+  Result<Response> r = client.value().call(R"({"id":9,"op":"slowlog"})");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+  const json::Value* rows = r.value().body.find("slowlog");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->as_array().size(), 3u);
+  for (const json::Value& row : rows->as_array()) {
+    // Old row shape intact…
+    EXPECT_EQ(row.get_string("op", ""), "partition");
+    double latency = row.get_number("latency_ms", -1.0);
+    ASSERT_GE(latency, 0.0);
+    // …with the five stage fields appended, each non-negative, and the
+    // decomposition reconciling with the end-to-end latency: queue_wait
+    // is computed as the remainder, so the identity is exact up to
+    // floating rounding.
+    double sum = 0.0;
+    for (const char* field : kStageFields) {
+      double v = row.get_number(field, -1.0);
+      ASSERT_GE(v, 0.0) << field;
+      sum += v;
+    }
+    EXPECT_NEAR(sum, latency, 1e-6);
+  }
+
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, TraceOpReturnsRetainedSpansForId) {
+  obs::clear_trace_events();
+  ServeConfig config;
+  config.socket_path = unique_socket_path("traceop");
+  config.capacity = kCapacity;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  // trace without a trace_id is a protocol error, not an empty answer.
+  Result<Response> no_id = client.value().call(R"({"id":1,"op":"trace"})");
+  ASSERT_TRUE(no_id.ok());
+  EXPECT_FALSE(no_id.value().ok);
+  EXPECT_EQ(no_id.value().code, kCodeBadRequest);
+
+  Request tagged;
+  tagged.id = 2;
+  tagged.op = Op::kPartition;
+  tagged.programs = {"prog0", "prog1"};
+  tagged.trace_id = 4242;
+  ASSERT_TRUE(client.value().call(encode_request(tagged)).ok());
+
+  Request query;
+  query.id = 3;
+  query.op = Op::kTrace;
+  query.trace_id = 4242;
+  Result<Response> r = client.value().call(encode_request(query));
+  ASSERT_TRUE(r.ok());
+#ifdef OCPS_OBS_DISABLED
+  // Compiled out there are no retained spans; the op answers an explicit
+  // 501, mirroring `metrics`.
+  EXPECT_FALSE(r.value().ok);
+  EXPECT_EQ(r.value().code, kCodeObsDisabled);
+#else
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+  EXPECT_EQ(r.value().body.get_number("trace_id", 0.0), 4242.0);
+  const json::Value* procs = r.value().body.find("procs");
+  ASSERT_NE(procs, nullptr);
+  ASSERT_EQ(procs->as_array().size(), 1u);
+  const json::Value& proc = procs->as_array()[0];
+  EXPECT_EQ(proc.get_string("proc", ""), "serve");
+  // The wall/mono clock pair is what lets `ocps trace` line up spans
+  // from different processes on one timeline.
+  EXPECT_GT(proc.get_number("mono_ns", 0.0), 0.0);
+  EXPECT_GT(proc.get_number("wall_ns", 0.0), 0.0);
+  const json::Value* spans = proc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  // The solve span may close a hair after the response is written, so
+  // poll: the tagged request's spans must become visible.
+  bool solve_seen = false;
+  for (int spin = 0; spin < 2000 && !solve_seen; ++spin) {
+    Result<Response> again = client.value().call(encode_request(query));
+    ASSERT_TRUE(again.ok());
+    const json::Value* ps = again.value().body.find("procs");
+    ASSERT_NE(ps, nullptr);
+    for (const json::Value& s :
+         ps->as_array()[0].find("spans")->as_array())
+      if (s.get_string("name", "") == "serve.solve") solve_seen = true;
+    if (!solve_seen)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(solve_seen);
+
+  // Runtime obs-off: explicit 501, same contract as `metrics`.
+  obs::set_enabled(false);
+  Result<Response> off = client.value().call(encode_request(query));
+  obs::set_enabled(true);
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().ok);
+  EXPECT_EQ(off.value().code, kCodeObsDisabled);
+#endif  // OCPS_OBS_DISABLED
+
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, SloOpReportsBurnRatesEvenWithObsOff) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("sloop");
+  config.capacity = kCapacity;
+  config.slo_p99_ms = 60000.0;  // everything is fast: never breaching
+  config.slo_availability = 0.5;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client.value().call(partition_request(1, {"prog0", "prog1"})).ok());
+
+  // The SLO engine is server-owned state, independent of the obs
+  // registry: it answers with obs off at runtime (and compiled out).
+  obs::set_enabled(false);
+  Result<Response> r = client.value().call(R"({"id":2,"op":"slo"})");
+  obs::set_enabled(true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+  EXPECT_TRUE(r.value().body.get_bool("configured", false));
+  const json::Value* objectives = r.value().body.find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  ASSERT_EQ(objectives->as_array().size(), 2u);
+  const json::Value& latency = objectives->as_array()[0];
+  EXPECT_EQ(latency.get_string("name", ""), "latency");
+  EXPECT_DOUBLE_EQ(latency.get_number("target", 0.0), 60000.0);
+  EXPECT_DOUBLE_EQ(latency.get_number("budget", 0.0), 0.01);
+  EXPECT_GE(latency.get_number("burn_5m", -1.0), 0.0);
+  EXPECT_GE(latency.get_number("burn_1h", -1.0), 0.0);
+  EXPECT_FALSE(latency.get_bool("breaching", true));
+  const json::Value& avail = objectives->as_array()[1];
+  EXPECT_EQ(avail.get_string("name", ""), "availability");
+  EXPECT_DOUBLE_EQ(avail.get_number("target", 0.0), 0.5);
+  const json::Value* alerts = r.value().body.find("alerts");
+  ASSERT_NE(alerts, nullptr);
+  EXPECT_TRUE(alerts->as_array().empty());
+  EXPECT_EQ(r.value().body.get_number("alerts_total", -1.0), 0.0);
+
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, SloOpUnconfiguredSaysSo) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("slooff");
+  config.capacity = kCapacity;
+  Server server(config, make_models(2));
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  Result<Response> r = client.value().call(R"({"id":1,"op":"slo"})");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+  EXPECT_FALSE(r.value().body.get_bool("configured", true));
+  const json::Value* objectives = r.value().body.find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  EXPECT_TRUE(objectives->as_array().empty());
+
+  server.request_stop();
+  server.stop();
+}
+
+#ifndef OCPS_OBS_DISABLED
+TEST_F(ServeTest, MetricsExposeStageSeriesAndSloGauges) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("stagemetrics");
+  config.capacity = kCapacity;
+  config.slo_p99_ms = 60000.0;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  Request tagged;
+  tagged.id = 1;
+  tagged.op = Op::kPartition;
+  tagged.programs = {"prog0", "prog1"};
+  tagged.trace_id = 555;
+  ASSERT_TRUE(client.value().call(encode_request(tagged)).ok());
+
+  Result<Response> r = client.value().call(R"({"id":2,"op":"metrics"})");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok) << r.value().error;
+  const json::Value* metrics = r.value().body.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+
+  // Per-stage lifetime histograms (eagerly registered, fed by traffic)
+  // and their windowed quantile gauges.
+  const json::Value* hists = metrics->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  for (const char* stage :
+       {"serve.stage.queue_wait", "serve.stage.batch_linger",
+        "serve.stage.solve", "serve.stage.serialize",
+        "serve.stage.network"}) {
+    const json::Value* h = hists->find(stage);
+    ASSERT_NE(h, nullptr) << stage;
+    EXPECT_EQ(h->get_number("count", 0.0), 1.0) << stage;
+  }
+  const json::Value* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  for (const char* g :
+       {"serve.stage.solve.window.p50", "serve.stage.solve.window.p99",
+        "serve.stage.network.window.p99", "serve.slo.latency.target",
+        "serve.slo.latency.burn_5m", "serve.slo.latency.burn_1h",
+        "serve.slo.latency.breaching", "serve.slo.alerts_total"})
+    EXPECT_GE(gauges->get_number(g, -1.0), 0.0) << g;
+  EXPECT_DOUBLE_EQ(gauges->get_number("serve.slo.latency.target", 0.0),
+                   60000.0);
+
+  // The tagged request left exemplars on the stage histograms, and the
+  // Prometheus text carries them as OpenMetrics suffixes.
+  std::string prom = r.value().body.get_string("prometheus", "");
+  EXPECT_NE(prom.find("# TYPE serve_stage_solve histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serve_slo_latency_burn_5m"), std::string::npos);
+  EXPECT_NE(prom.find("# {trace_id=\"555\"}"), std::string::npos);
+
+  server.request_stop();
+  server.stop();
+}
+#endif  // OCPS_OBS_DISABLED
+
+TEST_F(ServeTest, ServeConfigRejectsBadSloKnobs) {
+  std::vector<ProgramModel> models = make_models(2);
+  {
+    ServeConfig config;
+    config.socket_path = unique_socket_path("badslo1");
+    config.capacity = kCapacity;
+    config.slo_p99_ms = -1.0;
+    EXPECT_THROW(Server(config, models), CheckError);
+  }
+  {
+    ServeConfig config;
+    config.socket_path = unique_socket_path("badslo2");
+    config.capacity = kCapacity;
+    config.slo_availability = 1.0;  // must be < 1
+    EXPECT_THROW(Server(config, models), CheckError);
+  }
 }
 
 }  // namespace

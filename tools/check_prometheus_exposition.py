@@ -2,10 +2,13 @@
 """Validate a Prometheus text exposition (format 0.0.4) scrape.
 
 Checks that every line is a comment or a ``name{labels} value`` sample
-with a legal metric name and a parseable value, that every sample's
-family has a preceding ``# TYPE`` line, and that histogram ``_bucket``
-series are cumulative and end with a ``le="+Inf"`` bucket equal to the
-family's ``_count``. Extra arguments are series names that must appear
+with a legal metric name and a parseable value (an OpenMetrics-style
+exemplar suffix ``# {trace_id="N"} <value>`` is allowed on ``_bucket``
+samples and validated when present), that every sample's family has
+exactly one preceding ``# TYPE`` line (duplicates are an error: they
+break Prometheus ingestion), and that histogram ``_bucket`` series are
+cumulative and end with a ``le="+Inf"`` bucket equal to the family's
+``_count``. Extra arguments are series names that must appear
 (e.g. ``serve_request_latency_bucket``). Exits non-zero on the first
 violation, printing the offending line.
 
@@ -28,7 +31,9 @@ def main() -> int:
 
     type_re = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
                          r"(counter|gauge|histogram|summary|untyped)$")
-    sample_re = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)'
+        r'(?: # (\{[^}]*\}) (\S+))?$')
     types: dict[str, str] = {}
     seen: dict[str, str] = {}
     buckets: dict[str, list[tuple[str, int]]] = {}
@@ -40,13 +45,21 @@ def main() -> int:
             if line.startswith("# TYPE"):
                 m = type_re.match(line)
                 assert m, f"line {ln}: malformed TYPE line: {line!r}"
+                assert m.group(1) not in types, \
+                    f"line {ln}: duplicate TYPE line for {m.group(1)}"
                 types[m.group(1)] = m.group(2)
             continue
         m = sample_re.match(line)
         assert m, f"line {ln}: malformed sample: {line!r}"
-        name, labels, value = m.groups()
+        name, labels, value, ex_labels, ex_value = m.groups()
         if value not in ("NaN", "+Inf", "-Inf"):
             float(value)  # raises SystemExit-worthy ValueError on garbage
+        if ex_labels is not None:
+            assert name.endswith("_bucket"), \
+                f"line {ln}: exemplar on a non-bucket sample: {line!r}"
+            assert re.search(r'trace_id="\d+"', ex_labels), \
+                f"line {ln}: exemplar without a trace_id label: {line!r}"
+            float(ex_value)  # exemplar observed value must parse
         family = name
         for suffix in ("_bucket", "_sum", "_count"):
             stem = name[: -len(suffix)] if name.endswith(suffix) else None

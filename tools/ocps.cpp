@@ -127,6 +127,10 @@ commands:
                        (0 = off)
       --slowlog-cap K  slowest requests kept for the slowlog op (32)
       --window-s N     sliding window for latency percentile gauges (30)
+      --slo-p99-ms X   latency SLO: p99 under X ms, evaluated as 5m/1h
+                       burn rates on serve.slo.latency.* gauges (0 = off)
+      --slo-availability A  availability SLO target in [0,1), e.g. 0.999;
+                       serve.slo.availability.* gauges (0 = off)
       --trace-out FILE   write the Chrome trace_event JSON at drain
       --metrics-out FILE write the metrics snapshot JSON at drain
       network chaos (deterministic; rates in [0,1], default 0; for the
@@ -158,6 +162,9 @@ commands:
       --max-conns N    concurrent front connection cap (256)
       --metrics-port P fleet-wide Prometheus on http://127.0.0.1:P/metrics
                        (0 = off, -1 = ephemeral)
+      --slo-p99-ms X / --slo-availability A  fleet SLOs judged on what
+                       clients experienced across failovers (same
+                       semantics and serve.slo.* gauges as serve)
       --chaos-accept-fail R / --chaos-seed S  front-listener chaos
   query                send one request to a running daemon (or router)
                        and print the JSON response
@@ -165,7 +172,7 @@ commands:
                        unless --addr)
       --addr H:P       TCP endpoint, alternative to --socket
       --op OP          partition | sweep | health | reload | metrics |
-                       slowlog   (health)
+                       slowlog | trace | slo   (health)
       --programs A,B   comma-separated program names (partition/sweep)
       --paths a,b      comma-separated footprint files (reload)
       --capacity C     cache size in blocks (0 = server default)
@@ -181,9 +188,25 @@ commands:
       --retry-base-ms B  backoff before the first retry (10)
       --retry-max-ms M   backoff growth cap (500)
       --retry-seed S     jitter schedule seed (0xB0FF)
+  trace <id>           stitch one request's distributed trace: queries a
+                       router (which fans out to its backends) or a single
+                       daemon for the spans retained under that trace id
+                       and prints a cross-process waterfall aligned on
+                       wall-clock (see docs/observability.md)
+      --socket PATH    endpoint socket path (this or --addr required)
+      --addr H:P       TCP endpoint
+      --out FILE       also write the stitched Chrome trace_event JSON
+      --timeout-ms T   client-side wait for each response (30000)
+  slo                  one-shot SLO view of a daemon or router: targets,
+                       5m/1h burn rates, breach state, and the bounded
+                       breach-alert log
+      --socket PATH    endpoint socket path (this or --addr required)
+      --addr H:P       TCP endpoint
+      --timeout-ms T   client-side wait (30000)
   top                  live terminal dashboard of a running daemon:
                        throughput, queue depth, shed/504 rates, batch
-                       size, and latency percentiles, refreshed in place
+                       size, latency percentiles, and per-stage p99s,
+                       refreshed in place
       --socket PATH    daemon socket path (required)
       --interval-ms I  refresh interval (1000)
       --iterations N   frames to render before exiting; 0 = until ^C (0)
@@ -674,6 +697,8 @@ int cmd_serve(const ArgParser& args) {
       static_cast<std::size_t>(args.get_int("slowlog-cap", 32));
   config.latency_window_s =
       static_cast<unsigned>(args.get_int("window-s", 30));
+  config.slo_p99_ms = args.get_double("slo-p99-ms", 0.0);
+  config.slo_availability = args.get_double("slo-availability", 0.0);
 
   // Declared before the server so it outlives every server thread.
   std::optional<NetFaultInjector> chaos;
@@ -857,6 +882,8 @@ int cmd_router(const ArgParser& args) {
   config.max_connections =
       static_cast<std::size_t>(args.get_int("max-conns", 256));
   config.metrics_port = static_cast<int>(args.get_int("metrics-port", 0));
+  config.slo_p99_ms = args.get_double("slo-p99-ms", 0.0);
+  config.slo_availability = args.get_double("slo-availability", 0.0);
 
   std::optional<NetFaultInjector> chaos;
   config.net_faults = make_chaos_injector(args, chaos);
@@ -898,6 +925,211 @@ int cmd_router(const ArgParser& args) {
             << " no-backend, " << c.all_open << " all-open, "
             << c.deadline_exceeded << " past deadline, " << c.malformed
             << " malformed, " << c.reloads << " reloads\n";
+  return 0;
+}
+
+// Sends one request to --socket / --addr and returns the response, for
+// the one-shot observability subcommands (`trace`, `slo`).
+Result<serve::Response> one_shot_request(const ArgParser& args,
+                                         const char* command,
+                                         const serve::Request& req) {
+  std::string endpoint = args.get_string("addr", "");
+  if (endpoint.empty()) endpoint = args.get_string("socket", "");
+  OCPS_CHECK(!endpoint.empty(),
+             "" << command << " needs --socket PATH or --addr HOST:PORT");
+  auto timeout = std::chrono::milliseconds(args.get_int("timeout-ms", 30000));
+  Result<serve::Client> client = serve::Client::connect(endpoint, timeout);
+  if (!client.ok()) return client.error();
+  return client.value().call(serve::encode_request(req), timeout);
+}
+
+// `ocps trace <id>`: fetch every process's retained spans for one trace
+// id (a router answers with its own spans plus every backend's, a daemon
+// with just its own) and stitch them onto one wall-clock timeline.
+int cmd_trace(const ArgParser& args) {
+  OCPS_CHECK(args.positionals().size() == 2,
+             "trace needs one id: ocps trace <id> --socket PATH");
+  std::uint64_t trace_id = 0;
+  try {
+    trace_id = std::stoull(args.positionals()[1]);
+  } catch (...) {
+  }
+  OCPS_CHECK(trace_id != 0, "trace id must be a positive integer");
+
+  serve::Request req;
+  req.id = 1;
+  req.op = serve::Op::kTrace;
+  req.trace_id = trace_id;
+  Result<serve::Response> resp = one_shot_request(args, "trace", req);
+  if (!resp.ok()) {
+    std::cerr << "error: " << resp.error().to_string() << "\n";
+    return 1;
+  }
+  if (!resp.value().ok) {
+    std::cerr << "error: endpoint replied " << resp.value().code << ": "
+              << resp.value().error << "\n";
+    return 1;
+  }
+  const json::Value* procs = resp.value().body.find("procs");
+  OCPS_CHECK(procs && procs->is_array(),
+             "malformed trace response: missing procs");
+
+  // Stitch: each proc reports matching monotonic + wall-clock instants,
+  // so wall_ns - mono_ns re-anchors its span timestamps (nanoseconds
+  // since that process's private trace epoch) onto the shared wall
+  // clock. Exact enough across processes on one machine.
+  struct StitchedSpan {
+    std::size_t proc = 0;   // index into proc_labels
+    double wall_ns = 0.0;   // start, wall-clock
+    double dur_ns = 0.0;
+    double tid = 0.0;
+    bool instant = false;
+    std::string name;
+    std::string cat;
+    std::string arg_name;   // empty = no arg
+    double arg = 0.0;
+  };
+  std::vector<std::string> proc_labels;
+  std::vector<StitchedSpan> spans;
+  for (const json::Value& proc : procs->as_array()) {
+    std::size_t pi = proc_labels.size();
+    proc_labels.push_back(proc.get_string(
+        "proc", "proc" + std::to_string(pi)));
+    double offset =
+        proc.get_number("wall_ns", 0.0) - proc.get_number("mono_ns", 0.0);
+    const json::Value* rows = proc.find("spans");
+    if (!rows || !rows->is_array()) continue;
+    for (const json::Value& row : rows->as_array()) {
+      StitchedSpan s;
+      s.proc = pi;
+      s.wall_ns = row.get_number("ts_ns", 0.0) + offset;
+      s.dur_ns = row.get_number("dur_ns", 0.0);
+      s.tid = row.get_number("tid", 0.0);
+      s.instant = row.get_bool("instant", false);
+      s.name = row.get_string("name", "");
+      s.cat = row.get_string("cat", "ocps");
+      s.arg_name = row.get_string("arg_name", "");
+      s.arg = row.get_number("arg", 0.0);
+      spans.push_back(std::move(s));
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const StitchedSpan& a, const StitchedSpan& b) {
+              return a.wall_ns < b.wall_ns;
+            });
+
+  if (spans.empty()) {
+    std::cout << "trace " << trace_id << ": no spans retained ("
+              << proc_labels.size()
+              << " process(es) answered; the per-thread rings may have "
+                 "recycled, or the id was never used)\n";
+  } else {
+    const double base = spans.front().wall_ns;
+    std::cout << "trace " << trace_id << " — " << spans.size()
+              << " span(s) across " << proc_labels.size()
+              << " process(es)\n\n";
+    TextTable t({"start", "duration", "process", "span", "arg"});
+    for (const StitchedSpan& s : spans) {
+      std::string arg;
+      if (!s.arg_name.empty())
+        arg = s.arg_name + "=" +
+              std::to_string(static_cast<std::uint64_t>(s.arg));
+      t.add_row({"+" + TextTable::num((s.wall_ns - base) / 1e6, 3) + "ms",
+                 s.instant
+                     ? std::string("!")
+                     : TextTable::num(s.dur_ns / 1e6, 3) + "ms",
+                 proc_labels[s.proc], std::string(s.cat) + "/" + s.name,
+                 arg});
+    }
+    t.print(std::cout);
+  }
+
+  std::string out = args.get_string("out", "");
+  if (!out.empty()) {
+    // Chrome trace_event JSON: one pid per process (with process_name
+    // metadata), timestamps rebased to the earliest span.
+    std::ofstream os(out, std::ios::trunc);
+    OCPS_CHECK(os.good(), "cannot open " << out << " for writing");
+    const double base = spans.empty() ? 0.0 : spans.front().wall_ns;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t pi = 0; pi < proc_labels.size(); ++pi) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pi + 1
+         << ",\"tid\":0,\"args\":{\"name\":\"" << proc_labels[pi]
+         << "\"}}";
+    }
+    for (const StitchedSpan& s : spans) {
+      os << ",{\"name\":\"" << s.name << "\",\"cat\":\"" << s.cat
+         << "\",\"ph\":\"" << (s.instant ? 'i' : 'X')
+         << "\",\"pid\":" << s.proc + 1 << ",\"tid\":" << s.tid
+         << ",\"ts\":" << (s.wall_ns - base) / 1000.0;
+      if (s.instant)
+        os << ",\"s\":\"t\"";
+      else
+        os << ",\"dur\":" << s.dur_ns / 1000.0;
+      os << ",\"args\":{\"trace_id\":" << trace_id;
+      if (!s.arg_name.empty())
+        os << ",\"" << s.arg_name
+           << "\":" << static_cast<std::uint64_t>(s.arg);
+      os << "}}";
+    }
+    os << "]}";
+    OCPS_CHECK(os.good(), "write failed for " << out);
+    std::cout << "\nwrote stitched Chrome trace (" << spans.size()
+              << " spans, " << proc_labels.size() << " procs) to " << out
+              << "\n";
+  }
+  return 0;
+}
+
+// `ocps slo`: one-shot view of an endpoint's SLO burn rates.
+int cmd_slo(const ArgParser& args) {
+  serve::Request req;
+  req.id = 1;
+  req.op = serve::Op::kSlo;
+  Result<serve::Response> resp = one_shot_request(args, "slo", req);
+  if (!resp.ok()) {
+    std::cerr << "error: " << resp.error().to_string() << "\n";
+    return 1;
+  }
+  if (!resp.value().ok) {
+    std::cerr << "error: endpoint replied " << resp.value().code << ": "
+              << resp.value().error << "\n";
+    return 1;
+  }
+  const json::Value& body = resp.value().body;
+  if (!body.get_bool("configured", false)) {
+    std::cout << "no SLOs configured (start the endpoint with "
+                 "--slo-p99-ms and/or --slo-availability)\n";
+    return 0;
+  }
+  TextTable t({"objective", "target", "budget", "burn 5m", "burn 1h",
+               "breaching"});
+  if (const json::Value* objectives = body.find("objectives"))
+    if (objectives->is_array())
+      for (const json::Value& o : objectives->as_array())
+        t.add_row({o.get_string("name", "?"),
+                   TextTable::num(o.get_number("target", 0.0), 4),
+                   TextTable::num(o.get_number("budget", 0.0), 4),
+                   TextTable::num(o.get_number("burn_5m", 0.0), 3),
+                   TextTable::num(o.get_number("burn_1h", 0.0), 3),
+                   o.get_bool("breaching", false) ? "YES" : "no"});
+  t.print(std::cout);
+  double alerts_total = body.get_number("alerts_total", 0.0);
+  std::cout << "breach alerts: " << alerts_total << " total\n";
+  if (const json::Value* alerts = body.find("alerts"))
+    if (alerts->is_array())
+      for (const json::Value& a : alerts->as_array())
+        std::cout << "  #" << a.get_number("seq", 0.0) << " "
+                  << a.get_string("objective", "?") << " at +"
+                  << TextTable::num(a.get_number("at_ns", 0.0) / 1e9, 1)
+                  << "s: burn 5m "
+                  << TextTable::num(a.get_number("burn_5m", 0.0), 3)
+                  << ", 1h "
+                  << TextTable::num(a.get_number("burn_1h", 0.0), 3)
+                  << "\n";
   return 0;
 }
 
@@ -1021,6 +1253,17 @@ int cmd_top(const ArgParser& args) {
               << TextTable::num(
                      num("gauges", "serve.request_latency.window.p99"), 3)
               << "   (last " << window_s << "s)\n";
+    frame_out << "  stage p99   ";
+    static const char* kStages[] = {"queue_wait", "batch_linger", "solve",
+                                    "serialize", "network"};
+    for (const char* stage : kStages)
+      frame_out << stage << " "
+                << TextTable::num(
+                       num("gauges", std::string("serve.stage.") + stage +
+                                         ".window.p99"),
+                       3)
+                << "   ";
+    frame_out << "(ms)\n";
     std::cout << frame_out.str() << std::flush;
   }
   return 0;
@@ -1054,19 +1297,23 @@ int main(int argc, char** argv) {
       {"serve",
        {"socket", "listen", "max-conns", "io-timeout-ms", "capacity",
         "max-batch", "linger-ms", "queue-cap", "threads", "deadline-ms",
-        "metrics-port", "slowlog-cap", "window-s", "trace-out",
-        "metrics-out", "chaos-accept-fail", "chaos-reset", "chaos-trickle",
-        "chaos-stall", "chaos-stall-ms", "chaos-seed"}},
+        "metrics-port", "slowlog-cap", "window-s", "slo-p99-ms",
+        "slo-availability", "trace-out", "metrics-out", "chaos-accept-fail",
+        "chaos-reset", "chaos-trickle", "chaos-stall", "chaos-stall-ms",
+        "chaos-seed"}},
       {"router",
        {"socket", "listen", "backends", "vnodes", "breaker-threshold",
         "breaker-cooldown-ms", "breaker-probes", "connect-timeout-ms",
         "io-timeout-ms", "health-interval-ms", "deadline-ms", "max-conns",
-        "metrics-port", "chaos-accept-fail", "chaos-reset", "chaos-trickle",
-        "chaos-stall", "chaos-stall-ms", "chaos-seed"}},
+        "metrics-port", "slo-p99-ms", "slo-availability",
+        "chaos-accept-fail", "chaos-reset", "chaos-trickle", "chaos-stall",
+        "chaos-stall-ms", "chaos-seed"}},
       {"query",
        {"socket", "addr", "op", "programs", "paths", "capacity", "objective",
         "group-size", "deadline-ms", "trace-id", "timeout-ms", "retries",
         "retry-base-ms", "retry-max-ms", "retry-seed"}},
+      {"trace", {"socket", "addr", "out", "timeout-ms"}},
+      {"slo", {"socket", "addr", "timeout-ms"}},
       {"top",
        {"socket", "interval-ms", "iterations", "no-ansi", "timeout-ms"}},
   };
@@ -1102,6 +1349,8 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "router") return cmd_router(args);
     if (command == "query") return cmd_query(args);
+    if (command == "trace") return cmd_trace(args);
+    if (command == "slo") return cmd_slo(args);
     if (command == "top") return cmd_top(args);
     return usage();
   } catch (const CheckError& e) {

@@ -25,8 +25,12 @@ fi
 
 workdir="$(mktemp -d)"
 serve_pid=""
+fleet_pids=()
 cleanup() {
   [[ -n "$serve_pid" ]] && kill "$serve_pid" 2> /dev/null || true
+  for pid in ${fleet_pids[@]+"${fleet_pids[@]}"}; do
+    kill "$pid" 2> /dev/null || true
+  done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -100,6 +104,7 @@ serve_log="$workdir/serve.log"
 "$ocps" serve "$workdir/a.fp" "$workdir/b.fp" \
   --socket "$workdir/serve.sock" --capacity 256 \
   --metrics-port -1 --trace-out "$workdir/serve_trace.json" \
+  --slo-p99-ms 500 --slo-availability 0.99 \
   > "$serve_log" 2>&1 &
 serve_pid=$!
 
@@ -127,6 +132,33 @@ done
   > "$workdir/slowlog.json"
 grep -q '"slowlog"' "$workdir/slowlog.json"
 
+# Per-stage attribution: every slowlog row decomposes its latency into
+# the five stages, and the stages must reconcile with the total.
+check_slowlog_stages() {
+  if command -v python3 > /dev/null; then
+    python3 - "$1" <<'EOF'
+import json, sys
+stages = ("queue_wait_ms", "batch_linger_ms", "solve_ms",
+          "serialize_ms", "network_ms")
+rows = json.load(open(sys.argv[1]))["slowlog"]
+assert rows, "slowlog is empty after tagged traffic"
+for row in rows:
+    for stage in stages:
+        assert stage in row, f"slowlog row missing {stage}: {row}"
+        assert row[stage] >= 0.0, f"negative stage time: {row}"
+    total = sum(row[s] for s in stages)
+    assert abs(total - row["latency_ms"]) < 1e-6, \
+        f"stages sum {total} != latency {row['latency_ms']}: {row}"
+print(f"OK: {len(rows)} slowlog rows with stage sums matching latency")
+EOF
+  else
+    grep -q '"solve_ms"' "$1"
+    grep -q '"queue_wait_ms"' "$1"
+    echo "OK (grep fallback): slowlog rows carry per-stage fields"
+  fi
+}
+check_slowlog_stages "$workdir/slowlog.json"
+
 if command -v python3 > /dev/null; then
   python3 - "$port" "$workdir/metrics.prom" <<'EOF'
 import sys, urllib.request
@@ -139,7 +171,16 @@ EOF
     "$workdir/metrics.prom" \
     serve_requests serve_request_latency_bucket serve_request_latency_p50 \
     serve_request_latency_p95 serve_request_latency_p99 \
-    serve_request_latency_window_p50 serve_queue_depth obs_spans_dropped
+    serve_request_latency_window_p50 serve_queue_depth obs_spans_dropped \
+    serve_stage_queue_wait_bucket serve_stage_batch_linger_bucket \
+    serve_stage_solve_bucket serve_stage_serialize_bucket \
+    serve_stage_network_bucket serve_stage_solve_window_p99 \
+    serve_slo_latency_target serve_slo_latency_burn_5m \
+    serve_slo_latency_burn_1h serve_slo_availability_burn_5m \
+    serve_slo_alerts_total
+  # Tagged traffic must leave exemplars on the stage histograms.
+  grep -Eq '^serve_stage_[a-z_]+_bucket\{le="[^"]*"\} [0-9]+ # \{trace_id="80[0-9]+"\}' \
+    "$workdir/metrics.prom"
 else
   "$ocps" stats --socket "$workdir/serve.sock" > "$workdir/metrics.prom"
   grep -q 'serve_request_latency_bucket{le="' "$workdir/metrics.prom"
@@ -180,6 +221,120 @@ EOF
 else
   grep -q '"bind_id":8001' "$workdir/serve_trace.json"
   echo "OK (grep fallback): daemon trace contains trace-id-linked spans"
+fi
+
+# ---------------------------------------------------------------------------
+# Fleet: a router fronting two daemons. Tagged traffic through the router
+# must stitch into one cross-process trace, and both tiers must answer
+# the slo op with burn rates.
+
+for i in 0 1; do
+  "$ocps" serve "$workdir/a.fp" "$workdir/b.fp" \
+    --socket "$workdir/backend$i.sock" --capacity 256 \
+    --slo-p99-ms 500 --slo-availability 0.99 \
+    > "$workdir/backend$i.log" 2>&1 &
+  fleet_pids+=($!)
+done
+"$ocps" router --socket "$workdir/router.sock" \
+  --backends "$workdir/backend0.sock,$workdir/backend1.sock" \
+  --slo-p99-ms 500 --slo-availability 0.99 \
+  > "$workdir/router.log" 2>&1 &
+fleet_pids+=($!)
+
+for _ in $(seq 1 100); do
+  [[ -S "$workdir/router.sock" && -S "$workdir/backend0.sock" &&
+     -S "$workdir/backend1.sock" ]] && break
+  sleep 0.1
+done
+if [[ ! -S "$workdir/router.sock" ]]; then
+  echo "FAIL: fleet did not come up"
+  cat "$workdir/router.log" "$workdir"/backend?.log
+  exit 1
+fi
+
+for i in 1 2 3 4; do
+  "$ocps" query --socket "$workdir/router.sock" --op partition \
+    --programs a,b --trace-id $((9100 + i)) > /dev/null
+done
+
+# Stitch the distributed trace for one tagged request. The router's
+# forward span closes a hair after the client sees the response, so
+# retry briefly until both tiers' spans are retained.
+stitched="$workdir/stitched_trace.json"
+stitch_ok=""
+for _ in $(seq 1 50); do
+  "$ocps" trace 9101 --socket "$workdir/router.sock" --out "$stitched" \
+    > "$workdir/waterfall.txt" || true
+  if grep -q 'serve.router.forward' "$workdir/waterfall.txt" &&
+     grep -q 'serve.solve' "$workdir/waterfall.txt"; then
+    stitch_ok=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ -z "$stitch_ok" ]]; then
+  echo "FAIL: stitched trace never covered both tiers"
+  cat "$workdir/waterfall.txt"
+  exit 1
+fi
+
+if command -v python3 > /dev/null; then
+  python3 - "$stitched" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+procs = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+names = set(procs.values())
+assert "router" in names, f"no router process in stitched trace: {names}"
+backends = {n for n in names if n.startswith("serve.")}
+assert backends, f"no backend process in stitched trace: {names}"
+spans = [e for e in events if e["ph"] in ("X", "i")]
+assert spans, "stitched trace has no spans"
+by_proc = {}
+for e in spans:
+    assert e["args"]["trace_id"] == 9101, f"wrong trace id: {e}"
+    by_proc.setdefault(procs[e["pid"]], set()).add(e["name"])
+assert "serve.router.forward" in by_proc.get("router", set()), \
+    f"router spans missing forward: {by_proc}"
+assert any("serve.solve" in by_proc.get(b, set()) for b in backends), \
+    f"no backend solve span: {by_proc}"
+print(f"OK: stitched trace covers {sorted(names)} "
+      f"with {len(spans)} spans")
+EOF
+else
+  grep -q '"name":"router"' "$stitched"
+  grep -q '"name":"serve.router.forward"' "$stitched"
+  grep -q '"name":"serve.solve"' "$stitched"
+  echo "OK (grep fallback): stitched trace covers router and backend"
+fi
+
+# One-shot SLO views: both tiers are configured, so neither may answer
+# "no SLOs configured", and both objectives must be listed.
+"$ocps" slo --socket "$workdir/router.sock" > "$workdir/slo_router.txt"
+grep -q 'latency' "$workdir/slo_router.txt"
+grep -q 'availability' "$workdir/slo_router.txt"
+"$ocps" slo --socket "$workdir/backend0.sock" > "$workdir/slo_backend.txt"
+grep -q 'latency' "$workdir/slo_backend.txt"
+for view in slo_router slo_backend; do
+  if grep -q 'no SLOs configured' "$workdir/$view.txt"; then
+    echo "FAIL: $view reports no SLOs configured"
+    exit 1
+  fi
+done
+
+# The backend that served the routed traffic must attribute its latency
+# to stages just like the standalone daemon.
+"$ocps" query --socket "$workdir/backend0.sock" --op partition \
+  --programs a,b > /dev/null
+"$ocps" query --socket "$workdir/backend0.sock" --op slowlog \
+  > "$workdir/fleet_slowlog.json"
+check_slowlog_stages "$workdir/fleet_slowlog.json"
+
+# Keep the stitched trace when the caller wants an artifact (CI uploads
+# it); the mktemp workdir is removed on exit.
+if [[ -n "${OCPS_OBS_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$OCPS_OBS_ARTIFACT_DIR"
+  cp "$stitched" "$workdir/waterfall.txt" "$OCPS_OBS_ARTIFACT_DIR/"
+  echo "kept stitched trace in $OCPS_OBS_ARTIFACT_DIR"
 fi
 
 echo "observability check passed"
