@@ -9,6 +9,8 @@
 #include "common.hpp"
 
 #include "combinatorics/enumerate.hpp"
+#include "core/batch_engine.hpp"
+#include "core/dp_kernel.hpp"
 #include "core/dp_partition.hpp"
 #include "core/group_sweep.hpp"
 #include "core/sttw.hpp"
@@ -96,6 +98,94 @@ void BM_Sttw(benchmark::State& state) {
   }
 }
 
+// One full non-base forward layer (the DP's O(C²) inner recurrence) on a
+// fixed kernel — the apples-to-apples scalar vs AVX2 comparison the
+// ≥1.5× kernel speedup in BENCH_dp_speed.json is measured on. The prev
+// layer is a realistic base-layer output, not a synthetic ramp.
+void run_forward_layer_bench(benchmark::State& state, bool avx2) {
+  if (avx2 && !dp_detail::cpu_supports_avx2()) {
+    state.SkipWithError("CPU lacks AVX2");
+    return;
+  }
+  const std::size_t c = static_cast<std::size_t>(state.range(0));
+  CostMatrix cost = make_costs(2, c, 46);
+  std::vector<double> prev(c + 1), next(c + 1);
+  std::vector<std::uint32_t> choice(c + 1);
+  dp_detail::forward_layer_scalar(DpObjective::kSumCost, cost.row(0), 0, c,
+                                  0, c, /*prev_is_base=*/true, nullptr,
+                                  prev.data(), choice.data());
+  auto* kernel = avx2 ? dp_detail::forward_layer_avx2
+                      : dp_detail::forward_layer_scalar;
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    cells = kernel(DpObjective::kSumCost, cost.row(1), 0, c, 0, c,
+                   /*prev_is_base=*/false, prev.data(), next.data(),
+                   choice.data());
+    benchmark::DoNotOptimize(next.data());
+    benchmark::DoNotOptimize(choice.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+}
+
+void BM_ForwardLayerScalar(benchmark::State& state) {
+  run_forward_layer_bench(state, false);
+}
+
+void BM_ForwardLayerAvx2(benchmark::State& state) {
+  run_forward_layer_bench(state, true);
+}
+
+// Incremental re-solve cost as a function of where in a 16-program chain
+// the profile change lands. Each iteration flips the changed program's
+// row between two variants (so its fingerprint really changes), diffs,
+// and re-solves: a change at position 15 rebuilds one layer, a change at
+// position 1 rebuilds the whole suffix — O(suffix), not O(P).
+void BM_IncrementalResolve(benchmark::State& state) {
+  const std::size_t pos = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = 16, c = 256;
+  CostMatrix cost = make_costs(p, c, 47);
+  PrefixDpSolver solver;
+  solver.configure(cost.view(), c, DpObjective::kSumCost);
+  std::vector<std::uint32_t> members(p);
+  for (std::size_t i = 0; i < p; ++i)
+    members[i] = static_cast<std::uint32_t>(i);
+  DpResult out;
+  solver.solve(members.data(), p, nullptr, out);  // warm the layer stack
+
+  const std::uint64_t layers0 = solver.stats().layers_computed;
+  bool flip = false;
+  for (auto _ : state) {
+    cost.row(pos)[c / 2] = flip ? 0.123 : 0.456;
+    flip = !flip;
+    solver.resolve_incremental(cost.view());
+    solver.solve(members.data(), p, nullptr, out);
+    benchmark::DoNotOptimize(out.objective_value);
+  }
+  state.counters["layers_rebuilt_per_iter"] =
+      static_cast<double>(solver.stats().layers_computed - layers0) /
+      static_cast<double>(state.iterations());
+}
+
+// The pre-incremental baseline: a full configure() + solve per profile
+// change, rebuilding every layer no matter where the change landed.
+void BM_IncrementalResolveFullRebuild(benchmark::State& state) {
+  const std::size_t p = 16, c = 256;
+  CostMatrix cost = make_costs(p, c, 47);
+  PrefixDpSolver solver;
+  std::vector<std::uint32_t> members(p);
+  for (std::size_t i = 0; i < p; ++i)
+    members[i] = static_cast<std::uint32_t>(i);
+  DpResult out;
+  bool flip = false;
+  for (auto _ : state) {
+    cost.row(15)[c / 2] = flip ? 0.123 : 0.456;
+    flip = !flip;
+    solver.configure(cost.view(), c, DpObjective::kSumCost);
+    solver.solve(members.data(), p, nullptr, out);
+    benchmark::DoNotOptimize(out.objective_value);
+  }
+}
+
 // Synthetic 16-program suite mirroring the Table I setup (C(16,4) = 1820
 // four-program groups); traces are short so model building stays cheap.
 std::vector<ProgramModel> make_sweep_suite(std::size_t capacity) {
@@ -177,6 +267,14 @@ BENCHMARK(BM_DpPartitionWarmScratch)
 BENCHMARK(BM_DpWithBounds)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DpMinimax)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Sttw)->Arg(1024)->Arg(131072)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ForwardLayerScalar)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ForwardLayerAvx2)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IncrementalResolve)
+    ->Arg(1)
+    ->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IncrementalResolveFullRebuild)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GroupSweepBatched)
     ->Arg(256)
     ->Unit(benchmark::kMillisecond)

@@ -2,14 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ocps {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// FNV-1a 64 over the raw bytes of a cost row: a bit-identity check, not
+// a numeric one — any representational change (including -0.0 vs 0.0)
+// counts as a profile change. Deterministic across builds, O(C) per row
+// vs the O(C²) layer rebuild it saves.
+std::uint64_t row_fingerprint(const double* row, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &row[i], sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
 }  // namespace
 
 void PrefixDpSolver::configure(CostMatrixView all_costs, std::size_t capacity,
@@ -34,6 +55,10 @@ void PrefixDpSolver::solve(const std::uint32_t* members, std::size_t count,
                            const std::size_t* lo, DpResult& out) {
   OCPS_CHECK(count >= 1, "need at least one program");
   ++stats_.solves;
+  if (dp_detail::active_kernel() == dp_detail::KernelKind::kAvx2)
+    OCPS_OBS_COUNT("dp.kernel.avx2", 1);
+  else
+    OCPS_OBS_COUNT("dp.kernel.scalar", 1);
   out.feasible = false;
   out.objective_value = 0.0;
   out.alloc.clear();  // keeps capacity; refilled on success
@@ -60,6 +85,8 @@ void PrefixDpSolver::solve(const std::uint32_t* members, std::size_t count,
     Layer& layer = layers_[j];
     layer.member = members[j];
     layer.lo = lo_j;
+    layer.fingerprint =
+        row_fingerprint(costs_.row(members[j]), capacity_ + 1);
     layer.best.assign(capacity_ + 1, kInf);
     layer.choice.resize(capacity_ + 1);
     const double* prev = j == 0 ? nullptr : layers_[j - 1].best.data();
@@ -107,6 +134,48 @@ void PrefixDpSolver::solve(const std::uint32_t* members, std::size_t count,
     k -= c;
   }
   OCPS_CHECK(k == 0, "allocation does not sum to capacity");
+}
+
+std::size_t PrefixDpSolver::truncate_layers(std::size_t keep) {
+  const std::size_t invalidated = valid_layers_ - keep;
+  valid_layers_ = keep;
+  stats_.layers_invalidated += invalidated;
+  ++stats_.incremental_refreshes;
+  if (invalidated > 0) OCPS_OBS_COUNT("dp.layers_invalidated", invalidated);
+  return invalidated;
+}
+
+std::size_t PrefixDpSolver::resolve_incremental(
+    std::uint32_t changed_program) {
+  std::size_t keep = 0;
+  while (keep < valid_layers_ && layers_[keep].member != changed_program)
+    ++keep;
+  return truncate_layers(keep);
+}
+
+std::size_t PrefixDpSolver::resolve_incremental(CostMatrixView new_costs) {
+  OCPS_CHECK(new_costs.rows() == costs_.rows() &&
+                 new_costs.cols() == costs_.cols(),
+             "resolve_incremental: table shape changed ("
+                 << new_costs.rows() << "x" << new_costs.cols() << " vs "
+                 << costs_.rows() << "x" << costs_.cols()
+                 << "); use configure()");
+  // Same validation configure() performs: a non-finite entry must fail
+  // loudly here, never corrupt a min-reduction later.
+  for (std::size_t i = 0; i < new_costs.rows(); ++i) {
+    const double* row = new_costs.row(i);
+    for (std::size_t c = 0; c <= capacity_; ++c)
+      OCPS_CHECK(std::isfinite(row[c]),
+                 "non-finite cost at program " << i << ", c=" << c);
+  }
+  costs_ = new_costs;
+  std::size_t keep = 0;
+  while (keep < valid_layers_ &&
+         layers_[keep].fingerprint ==
+             row_fingerprint(new_costs.row(layers_[keep].member),
+                             capacity_ + 1))
+    ++keep;
+  return truncate_layers(keep);
 }
 
 }  // namespace ocps

@@ -17,6 +17,16 @@
 // is arena-allocated and reused, so steady-state solves do zero heap
 // allocation. Results are bit-for-bit identical to per-group
 // optimize_partition: both run the same dp_detail::forward_layer kernel.
+//
+// Incremental re-solve: each cached layer remembers a fingerprint of the
+// cost row it was built from. When a profile changes between controller
+// epochs or serve hot reloads, resolve_incremental() invalidates only the
+// layers whose prefix includes the changed program — either named
+// explicitly (resolve_incremental(changed_program)) or detected by
+// fingerprint diff against a replacement cost table
+// (resolve_incremental(new_costs)). The next solve() then rebuilds just
+// the invalidated suffix: a one-program change costs O(suffix) layers,
+// not a full reconfigure.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +48,8 @@ class PrefixDpSolver {
     std::uint64_t layers_computed = 0;  ///< forward layers actually built
     std::uint64_t layers_reused = 0;    ///< layers served from the stack
     std::uint64_t cells = 0;            ///< DP cells examined
+    std::uint64_t layers_invalidated = 0;  ///< dropped by resolve_incremental
+    std::uint64_t incremental_refreshes = 0;  ///< resolve_incremental calls
   };
 
   /// Binds the solver to a cost table (cost(i, c) for every program i in
@@ -54,6 +66,25 @@ class PrefixDpSolver {
   void solve(const std::uint32_t* members, std::size_t count,
              const std::size_t* lo, DpResult& out);
 
+  /// Notes that `changed_program`'s cost row changed in place (the view
+  /// still points at the same table): drops every cached layer whose
+  /// prefix includes that program — layers before its first appearance
+  /// are unaffected, so the next solve() rebuilds only the suffix.
+  /// Returns the number of layers invalidated (obs counter
+  /// `dp.layers_invalidated`).
+  std::size_t resolve_incremental(std::uint32_t changed_program);
+
+  /// Rebinds the solver to a replacement cost table of the same shape
+  /// (rows, cols) — a serve hot reload or a controller epoch's refreshed
+  /// estimates — keeping every cached layer whose cost row is
+  /// bit-identical to the one it was built from (per-layer fingerprint
+  /// diff; in-place mutation of the old table is safe because the
+  /// fingerprint was taken at build time). Layers from the first changed
+  /// row onward are invalidated. Validates the new table like
+  /// configure(). Returns the number of layers invalidated. Use
+  /// configure() when capacity, objective, or table shape change.
+  std::size_t resolve_incremental(CostMatrixView new_costs);
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -63,9 +94,13 @@ class PrefixDpSolver {
   struct Layer {
     std::uint32_t member = 0;
     std::size_t lo = 0;
+    std::uint64_t fingerprint = 0;  ///< hash of the cost row at build time
     std::vector<double> best;
     std::vector<std::uint32_t> choice;
   };
+
+  // Invalidation helper shared by the resolve_incremental overloads.
+  std::size_t truncate_layers(std::size_t keep);
 
   CostMatrixView costs_;
   std::size_t capacity_ = 0;

@@ -86,77 +86,26 @@ void DpScratch::reserve(std::size_t programs, std::size_t capacity) {
   if (row_ptrs.capacity() < programs) row_ptrs.reserve(programs);
 }
 
-namespace dp_detail {
-
 namespace {
 
-template <DpObjective Obj>
-std::uint64_t forward_layer_impl(const double* cost_row, std::size_t lo,
-                                 std::size_t hi, std::size_t k_begin,
-                                 std::size_t k_end, bool prev_is_base,
-                                 const double* prev, double* next,
-                                 std::uint32_t* choice) {
-  std::uint64_t cells = 0;
-  if (prev_is_base) {
-    // Base layer: prev[j] is finite only at j = 0, so the only candidate
-    // for state k is c = k. Same arithmetic as the general loop (the
-    // combine with prev[0] = 0.0 is kept), O(C) instead of O(C²).
-    for (std::size_t k = std::max(lo, k_begin); k <= k_end && k <= hi;
-         ++k) {
-      next[k] = Obj == DpObjective::kSumCost ? 0.0 + cost_row[k]
-                                             : std::max(0.0, cost_row[k]);
-      choice[k] = static_cast<std::uint32_t>(k);
-      ++cells;
-    }
-    return cells;
-  }
-  for (std::size_t k = k_begin; k <= k_end; ++k) {
-    const std::size_t c_max = std::min(hi, k);
-    double best_val = kInf;
-    std::uint32_t best_c = 0;
-    if (c_max >= lo) {
-      cells += c_max - lo + 1;
-      const double* prev_at_k = prev + k;
-      for (std::size_t c = lo; c <= c_max; ++c) {
-        double prev_v = prev_at_k[-static_cast<std::ptrdiff_t>(c)];
-        if (prev_v == kInf) continue;
-        double val = Obj == DpObjective::kSumCost
-                         ? prev_v + cost_row[c]
-                         : std::max(prev_v, cost_row[c]);
-        if (val < best_val) {
-          best_val = val;
-          best_c = static_cast<std::uint32_t>(c);
-        }
-      }
-    }
-    next[k] = best_val;
-    choice[k] = best_c;
-  }
-  return cells;
+// Records which forward-layer kernel this solve dispatched to. The
+// counter pair (dp.kernel.avx2 / dp.kernel.scalar) counts solves, not
+// layers, so `ocps stats` and Prometheus show which path production is
+// actually on without per-layer overhead.
+void count_kernel_solve() {
+  if (dp_detail::active_kernel() == dp_detail::KernelKind::kAvx2)
+    OCPS_OBS_COUNT("dp.kernel.avx2", 1);
+  else
+    OCPS_OBS_COUNT("dp.kernel.scalar", 1);
 }
 
 }  // namespace
-
-std::uint64_t forward_layer(DpObjective objective, const double* cost_row,
-                            std::size_t lo, std::size_t hi,
-                            std::size_t k_begin, std::size_t k_end,
-                            bool prev_is_base, const double* prev,
-                            double* next, std::uint32_t* choice) {
-  return objective == DpObjective::kSumCost
-             ? forward_layer_impl<DpObjective::kSumCost>(
-                   cost_row, lo, hi, k_begin, k_end, prev_is_base, prev,
-                   next, choice)
-             : forward_layer_impl<DpObjective::kMaxCost>(
-                   cost_row, lo, hi, k_begin, k_end, prev_is_base, prev,
-                   next, choice);
-}
-
-}  // namespace dp_detail
 
 DpResult optimize_partition(CostMatrixView cost, std::size_t capacity,
                             const DpOptions& options, DpScratch& scratch) {
   const std::size_t p = cost.rows();
   DpObsRecorder obs_rec;
+  count_kernel_solve();
   validate_costs(cost, capacity);
   resolve_bounds(p, capacity, options, scratch);
   scratch.reserve(p, capacity);

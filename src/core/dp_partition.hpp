@@ -27,16 +27,11 @@
 #include <vector>
 
 #include "core/cost_matrix.hpp"
+#include "core/dp_kernel.hpp"
 #include "locality/mrc.hpp"
 #include "util/result.hpp"
 
 namespace ocps {
-
-/// Objective combined across programs.
-enum class DpObjective {
-  kSumCost,  ///< minimize Σ cost_i(c_i)
-  kMaxCost,  ///< minimize max_i cost_i(c_i)
-};
 
 /// Optimizer knobs. Empty bound vectors mean 0 / C for every program.
 struct DpOptions {
@@ -98,27 +93,10 @@ DpResult optimize_partition_exhaustive(CostMatrixView cost,
                                        std::size_t capacity,
                                        const DpOptions& options = {});
 
-// ---------------------------------------------------------------------------
-// Internal: the forward-layer kernel, shared between the per-solve DP and
-// the prefix-memoized batch engine so both produce bit-identical tables.
-
-namespace dp_detail {
-
-/// Computes next[k] / choice[k] for k in [k_begin, k_end] (inclusive)
-/// from the previous layer: next[k] = min over c in [lo, min(hi, k)] of
-/// combine(prev[k-c], cost_row[c]), ties broken toward the smallest c.
-/// Entries outside [k_begin, k_end] are left untouched (callers pre-fill
-/// with +inf where later layers will read them). When prev_is_base the
-/// previous layer is the DP base (prev[0] = 0, +inf elsewhere) and the
-/// layer collapses to the closed form next[k] = combine(0, cost_row[k])
-/// for k in [lo, hi] — same arithmetic, O(C) instead of O(C²).
-/// Returns the number of (k, c) cells examined (for obs).
-std::uint64_t forward_layer(DpObjective objective, const double* cost_row,
-                            std::size_t lo, std::size_t hi,
-                            std::size_t k_begin, std::size_t k_end,
-                            bool prev_is_base, const double* prev,
-                            double* next, std::uint32_t* choice);
-
-}  // namespace dp_detail
+// The forward-layer kernel shared between the per-solve DP and the
+// prefix-memoized batch engine lives in core/dp_kernel.hpp (included
+// above): dp_detail::forward_layer dispatches between the pinned scalar
+// reference and the AVX2 kernel at runtime, and every kernel produces
+// bit-identical tables.
 
 }  // namespace ocps

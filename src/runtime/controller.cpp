@@ -6,6 +6,7 @@
 
 #include "cachesim/lru.hpp"
 #include "core/baselines.hpp"
+#include "core/batch_engine.hpp"
 #include "core/dp_partition.hpp"
 #include "locality/sanitize.hpp"
 #include "locality/shards.hpp"
@@ -114,6 +115,20 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
   // DP only runs once every program has reported at least once.
   std::vector<bool> have_estimate(p, false);
 
+  // Persistent prefix solver across epochs. Each epoch refreshes it with
+  // resolve_incremental: cost rows that did not change this epoch (held
+  // estimates, faulted programs, quiet phases) keep their cached DP
+  // layers, so the per-epoch re-solve costs only the layers from the
+  // first changed program onward — same bits as a cold
+  // optimize_partition, enforced by tests.
+  PrefixDpSolver dp_solver;
+  bool dp_solver_ready = false;
+  std::vector<std::uint32_t> dp_members(p);
+  std::iota(dp_members.begin(), dp_members.end(), 0U);
+  std::vector<std::size_t> dp_lo;
+  if (config.min_units > 0) dp_lo.assign(p, config.min_units);
+  DpResult dp_buf;
+
   ControllerResult out;
   out.sim.accesses.assign(p, 0);
   out.sim.misses.assign(p, 0);
@@ -220,11 +235,33 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
         obs::ScopedSpan span("dp_solve", "controller");
         if (hooks.fail_dp && hooks.fail_dp(epoch_index))
           return Result<DpResult>(ErrorCode::kInternal, "injected DP fault");
-        DpOptions options;
-        if (config.min_units > 0)
-          options.min_alloc.assign(p, config.min_units);
-        return try_optimize_partition(ewma_cost.view(), config.capacity,
-                                      options);
+        // Same guarantees as try_optimize_partition — every failure mode
+        // comes back as an Error value — but through the persistent
+        // incremental solver instead of a cold DP table.
+        try {
+          if (!dp_solver_ready) {
+            dp_solver.configure(ewma_cost.view(), config.capacity,
+                                DpObjective::kSumCost);
+            dp_solver_ready = true;
+          } else {
+            dp_solver.resolve_incremental(ewma_cost.view());
+          }
+          dp_solver.solve(dp_members.data(), p,
+                          dp_lo.empty() ? nullptr : dp_lo.data(), dp_buf);
+          OCPS_OBS_COUNT("dp.solves", 1);
+          OCPS_OBS_HIST("dp.solve_ns", span.elapsed_ns());
+        } catch (const CheckError& e) {
+          OCPS_OBS_COUNT("dp.errors", 1);
+          return Result<DpResult>(ErrorCode::kInternal, e.what());
+        }
+        if (!dp_buf.feasible) {
+          OCPS_OBS_COUNT("dp.errors", 1);
+          return Result<DpResult>(
+              ErrorCode::kInfeasible,
+              "allocation bounds admit no partition of capacity " +
+                  std::to_string(config.capacity));
+        }
+        return Ok(dp_buf);
       }();
       if (dp.ok()) {
         obs::ScopedSpan span("apply", "controller");

@@ -264,10 +264,17 @@ struct Server::Telemetry {
 };
 
 // Warm DP state owned by the batching thread: one prefix-sharing solver
-// per objective, reconfigured only when the profile version or the
+// per objective, refreshed only when the profile version or the
 // requested capacity changes. Holding the shared_ptr keeps the profile
 // set (and thus the cost rows the solver points into) alive across
 // batches even after a reload swaps the served set.
+//
+// A hot reload that keeps the table shape (same program count and
+// capacity) goes through resolve_incremental: cached DP layers whose
+// cost rows are bit-identical in the new set survive, so reloading one
+// of N profiles costs O(suffix) layers on the next solve instead of a
+// cold solver (obs: serve.solver_incremental_refreshes /
+// dp.layers_invalidated).
 struct Server::SolverState {
   struct Entry {
     PrefixDpSolver solver;
@@ -282,7 +289,17 @@ struct Server::SolverState {
                          std::size_t capacity, DpObjective objective) {
     Entry& e = objective == DpObjective::kMaxCost ? max : sum;
     if (e.set != set || e.capacity != capacity) {
-      e.solver.configure(set->unit_costs.view(), capacity, objective);
+      const CostMatrixView view = set->unit_costs.view();
+      const bool same_shape =
+          e.set != nullptr && e.capacity == capacity &&
+          e.set->unit_costs.view().rows() == view.rows() &&
+          e.set->unit_costs.view().cols() == view.cols();
+      if (same_shape) {
+        e.solver.resolve_incremental(view);
+        OCPS_OBS_COUNT("serve.solver_incremental_refreshes", 1);
+      } else {
+        e.solver.configure(view, capacity, objective);
+      }
       e.set = set;
       e.capacity = capacity;
     }

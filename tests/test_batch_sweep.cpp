@@ -98,6 +98,34 @@ TEST(BatchSweep, SerialAndAutoWidthProduceIdenticalResults) {
   for (std::size_t g = 0; g < a.size(); ++g) expect_identical(a[g], b[g]);
 }
 
+TEST(BatchSweep, FullSweepBitForBitIdenticalAcrossKernels) {
+  // The dispatch-parity gate: the entire C(16,4) = 1820-group sweep run
+  // on the scalar kernel must memcmp-equal the same sweep on the AVX2
+  // kernel — every allocation, per-program miss ratio, and group miss
+  // ratio, for all methods. On a machine without AVX2 the forced-AVX2
+  // dispatch degrades to scalar and the test is a tautology; CI runs it
+  // on AVX2 hardware.
+  const std::size_t capacity = 64;
+  auto models = make_suite(capacity);
+  auto groups = all_subsets(16, 4);
+  SweepOptions opt;
+  opt.capacity = capacity;
+
+  dp_detail::set_kernel_for_testing(dp_detail::KernelKind::kScalar);
+  auto scalar = sweep_groups(models, groups, opt);
+  dp_detail::set_kernel_for_testing(dp_detail::KernelKind::kAvx2);
+  auto simd = sweep_groups(models, groups, opt);
+  dp_detail::reset_kernel_for_testing();
+
+  ASSERT_EQ(scalar.size(), simd.size());
+  for (std::size_t g = 0; g < scalar.size(); ++g) {
+    expect_identical(scalar[g], simd[g]);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first kernel divergence at group " << g;
+    }
+  }
+}
+
 TEST(BatchSweep, PrefixSolverSharesLayersAcrossLexOrderedGroups) {
   const std::size_t capacity = 32;
   auto models = make_suite(capacity);

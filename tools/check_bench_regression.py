@@ -7,18 +7,31 @@ against ``BENCH_dp_speed.json``'s ``microbenchmarks_after_ms`` table and
 
 * **fails** (exit 1) when a gated benchmark — by default the batched-sweep
   ones, the whole point of the PR 3 engine — is more than ``--threshold``
-  (default 25%) slower than its committed baseline, and
+  (default 25%) slower than its committed baseline,
+* **fails** when a baseline series is missing from the results entirely
+  (a renamed or silently dropped benchmark must not pass the gate; a
+  benchmark the runner skipped with an explicit error, e.g. the AVX2
+  kernel on a CPU without AVX2, is exempt and reported), and
 * **degrades to warn-only** when the run looks noisy: with
   ``--benchmark_repetitions`` the spread between a benchmark's fastest and
   slowest repetition is computed, and if any gated benchmark's spread
   exceeds ``--noise-threshold`` (default 10%) the runner is deemed too
   noisy to gate hard — regressions are printed but the exit code stays 0.
 
-Absolute times move with the runner's CPU, so the gate also checks a
-machine-independent anchor: the *ratio* of the batched sweep to the
-per-group sweep. The committed baseline has batched ≈ 2× faster; if the
-measured ratio loses more than ``--threshold`` of that advantage, the
-batching engine itself regressed no matter how fast the runner is.
+Malformed input — truncated or non-JSON results, a baseline without the
+expected tables — exits 1 with a one-line diagnosis, never a traceback.
+
+Absolute times move with the runner's CPU, so the gate also checks two
+machine-independent anchors measured within the same run:
+
+* the *ratio* of the batched sweep to the per-group sweep (the committed
+  baseline has batched ≈ 2× faster), and
+* the *ratio* of the AVX2 forward-layer kernel to the scalar reference
+  (baseline ≈ 3.4× faster).
+
+If a measured ratio loses more than ``--threshold`` of the committed
+advantage, the engine (or kernel) itself regressed no matter how fast
+the runner is.
 
 Usage:
     tools/check_bench_regression.py bench_dp_speed_ci.json \
@@ -44,34 +57,72 @@ def normalise(run_name: str) -> str:
                   run_name)
 
 
-def load_measurements(path: str) -> tuple[dict[str, float], dict[str, float]]:
-    """Returns (mean ms per benchmark, max relative spread per benchmark).
+def load_json(path: str, what: str) -> dict:
+    """Loads a JSON object, turning every malformed-input failure mode —
+    missing file, truncated write, non-JSON bytes, a non-object top level
+    — into a one-line SystemExit instead of a traceback."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"cannot read {what} {path}: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(
+            f"{what} {path} is not valid JSON (truncated write?): "
+            f"{e.msg} at line {e.lineno} column {e.colno}")
+    if not isinstance(data, dict):
+        raise SystemExit(
+            f"{what} {path}: expected a JSON object at the top level, "
+            f"got {type(data).__name__}")
+    return data
+
+
+def load_measurements(
+        path: str) -> tuple[dict[str, float], dict[str, float], set[str]]:
+    """Returns (mean ms per benchmark, max relative spread per benchmark,
+    names the runner skipped with an explicit error).
 
     With --benchmark_repetitions google-benchmark emits one entry per
     repetition plus ``_mean``/``_median``/``_stddev`` aggregates; without,
     a single entry per benchmark. Handles both. Times are normalised to
     milliseconds.
     """
-    with open(path, "r", encoding="utf-8") as f:
-        data = json.load(f)
+    data = load_json(path, "results file")
+    if "benchmarks" not in data:
+        raise SystemExit(
+            f"results file {path} has no 'benchmarks' array — not a "
+            f"google-benchmark --benchmark_out JSON?")
 
     unit_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
     reps: dict[str, list[float]] = {}
-    for entry in data.get("benchmarks", []):
-        if entry.get("run_type") == "aggregate":
-            continue
-        name = normalise(entry.get("run_name", entry["name"]))
-        scale = unit_ms.get(entry.get("time_unit", "ns"))
-        if scale is None:
-            raise SystemExit(f"unknown time_unit in {path}: {entry}")
-        reps.setdefault(name, []).append(float(entry["real_time"]) * scale)
+    skipped: set[str] = set()
+    for entry in data["benchmarks"]:
+        try:
+            if entry.get("run_type") == "aggregate":
+                continue
+            name = normalise(entry.get("run_name", entry["name"]))
+            if entry.get("error_occurred"):
+                # SkipWithError (e.g. the AVX2 kernel bench on a CPU
+                # without AVX2): recorded so the missing-series check can
+                # tell "skipped on purpose" from "silently dropped".
+                skipped.add(name)
+                continue
+            scale = unit_ms.get(entry.get("time_unit", "ns"))
+            if scale is None:
+                raise SystemExit(f"unknown time_unit in {path}: {entry}")
+            reps.setdefault(name, []).append(
+                float(entry["real_time"]) * scale)
+        except (KeyError, TypeError, ValueError) as e:
+            raise SystemExit(
+                f"results file {path}: malformed benchmark entry "
+                f"{entry!r}: {e}")
 
     means = {name: sum(ts) / len(ts) for name, ts in reps.items()}
     spreads = {}
     for name, ts in reps.items():
         lo, hi = min(ts), max(ts)
         spreads[name] = (hi - lo) / lo if len(ts) > 1 and lo > 0 else 0.0
-    return means, spreads
+    return means, spreads, skipped
 
 
 def main() -> int:
@@ -88,10 +139,14 @@ def main() -> int:
                              "others are reported informationally")
     args = parser.parse_args()
 
-    with open(args.baseline, "r", encoding="utf-8") as f:
-        baseline = json.load(f)["microbenchmarks_after_ms"]
+    baseline_doc = load_json(args.baseline, "baseline")
+    baseline = baseline_doc.get("microbenchmarks_after_ms")
+    if not isinstance(baseline, dict) or not baseline:
+        raise SystemExit(
+            f"baseline {args.baseline} has no 'microbenchmarks_after_ms' "
+            f"table — wrong or truncated baseline file?")
 
-    measured, spreads = load_measurements(args.results)
+    measured, spreads, skipped = load_measurements(args.results)
 
     noisy = [name for name in measured
              if name.startswith(args.gate_prefix)
@@ -106,9 +161,24 @@ def main() -> int:
     print(f"{'benchmark':<40} {'baseline ms':>12} {'measured ms':>12} "
           f"{'ratio':>7}")
     for name in sorted(baseline):
-        base_ms = baseline[name]
+        try:
+            base_ms = float(baseline[name])
+        except (TypeError, ValueError):
+            raise SystemExit(
+                f"baseline {args.baseline}: non-numeric entry for {name}: "
+                f"{baseline[name]!r}")
         if name not in measured:
-            warnings.append(f"{name}: missing from results (filtered run?)")
+            if name in skipped:
+                warnings.append(
+                    f"{name}: skipped by the runner (SkipWithError)")
+            else:
+                # A series the baseline expects but the run never
+                # produced: renamed, dropped, or a filtered run. Passing
+                # silently here is how a deleted benchmark sneaks through
+                # the gate, so this is a hard failure.
+                failures.append(
+                    f"{name}: expected series missing from results "
+                    f"(renamed, dropped, or filtered run?)")
             continue
         ratio = measured[name] / base_ms
         gated = name.startswith(args.gate_prefix)
@@ -125,19 +195,32 @@ def main() -> int:
         print(f"{name:<40} {base_ms:>12.3f} {measured[name]:>12.3f} "
               f"{ratio:>6.2f}x{marker}")
 
-    # Machine-independent anchor: batched must keep (most of) its edge
-    # over the per-group path measured on the same host, same run.
-    batched, pergroup = "BM_GroupSweepBatched/256", "BM_GroupSweepPerGroup/256"
-    if batched in measured and pergroup in measured \
-            and batched in baseline and pergroup in baseline:
-        base_ratio = baseline[batched] / baseline[pergroup]
-        run_ratio = measured[batched] / measured[pergroup]
-        print(f"{'batched/per-group ratio':<40} {base_ratio:>12.3f} "
-              f"{run_ratio:>12.3f}")
+    # Machine-independent anchors: each is a ratio of two series measured
+    # on the same host in the same run, so absolute runner speed cancels.
+    # If the measured ratio loses more than --threshold of the committed
+    # advantage, the engine (or kernel) itself regressed.
+    anchors = [
+        ("batched/per-group ratio",
+         "BM_GroupSweepBatched/256", "BM_GroupSweepPerGroup/256",
+         "the batching advantage itself regressed"),
+        ("avx2/scalar kernel ratio",
+         "BM_ForwardLayerAvx2/1024", "BM_ForwardLayerScalar/1024",
+         "the SIMD kernel advantage itself regressed"),
+    ]
+    for label, num, den, blame in anchors:
+        if num in skipped or den in skipped:
+            print(f"{label:<40} {'(skipped)':>12}")
+            continue
+        if not (num in measured and den in measured
+                and num in baseline and den in baseline):
+            continue
+        base_ratio = float(baseline[num]) / float(baseline[den])
+        run_ratio = measured[num] / measured[den]
+        print(f"{label:<40} {base_ratio:>12.3f} {run_ratio:>12.3f}")
         if run_ratio > base_ratio * (1.0 + args.threshold):
             failures.append(
-                f"batched/per-group ratio {run_ratio:.3f} vs baseline "
-                f"{base_ratio:.3f}: the batching advantage itself regressed")
+                f"{label} {run_ratio:.3f} vs baseline "
+                f"{base_ratio:.3f}: {blame}")
 
     for msg in warnings:
         print(f"WARN: {msg}")
