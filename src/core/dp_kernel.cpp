@@ -6,6 +6,8 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace ocps::dp_detail {
 
 namespace {
@@ -133,6 +135,19 @@ std::uint64_t forward_layer_scalar(DpObjective objective,
                    cost_row, lo, hi, k_begin, k_end, prev_is_base, prev,
                    next, choice);
 }
+
+namespace {
+
+// Feeds the dispatched kernel's name into obs::build_info(). Lazy: the
+// provider runs at scrape time, after dispatch has resolved, so the
+// reported kernel is the one solves actually use.
+const bool g_build_info_registrar = [] {
+  obs::set_simd_kernel_provider(
+      +[]() -> const char* { return kernel_name(active_kernel()); });
+  return true;
+}();
+
+}  // namespace
 
 std::uint64_t forward_layer(DpObjective objective, const double* cost_row,
                             std::size_t lo, std::size_t hi,

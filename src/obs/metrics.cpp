@@ -237,7 +237,14 @@ void reset_metrics() {
 
 void write_metrics_json(std::ostream& os) {
   MetricsSnapshot snap = metrics_snapshot();
-  os << "{\"counters\":{";
+  const BuildInfo build = build_info();
+  os << "{\"build_info\":{\"git_sha\":\"";
+  write_json_escaped(os, build.git_sha);
+  os << "\",\"compiler\":\"";
+  write_json_escaped(os, build.compiler);
+  os << "\",\"simd_kernel\":\"";
+  write_json_escaped(os, build.simd_kernel);
+  os << "\"},\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : snap.counters) {
     if (!first) os << ',';
@@ -347,7 +354,20 @@ Histogram& histogram(const std::string&) {
 }
 
 void write_metrics_json(std::ostream& os) {
-  os << "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+  const BuildInfo build = build_info();
+  auto escaped = [&os](const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+  };
+  os << "{\"build_info\":{\"git_sha\":\"";
+  escaped(build.git_sha);
+  os << "\",\"compiler\":\"";
+  escaped(build.compiler);
+  os << "\",\"simd_kernel\":\"";
+  escaped(build.simd_kernel);
+  os << "\"},\"counters\":{},\"gauges\":{},\"histograms\":{}}";
 }
 void write_metrics_text(std::ostream&, const std::string&) {}
 

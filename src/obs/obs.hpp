@@ -66,6 +66,27 @@ struct Exemplar {
   double value = 0.0;
 };
 
+/// Static identity of the running binary, attached to every metrics
+/// exposition (Prometheus `ocps_build_info` info-gauge, JSON
+/// `build_info` object) so a scrape can always be tied back to the
+/// exact build and code path that produced it.
+struct BuildInfo {
+  std::string git_sha;      ///< short commit hash, "unknown" outside git
+  std::string compiler;     ///< e.g. "gcc 13.2.0"
+  std::string simd_kernel;  ///< active DP kernel ("avx2", "scalar", ...)
+};
+
+/// Snapshot of the build identity. Available in every build mode
+/// (including OCPS_OBS_DISABLED) — it describes the binary, not the
+/// telemetry state.
+BuildInfo build_info();
+
+/// Registers the lazy provider for BuildInfo::simd_kernel. The DP
+/// dispatcher (src/core) installs its kernel-name function at static
+/// init; obs itself cannot link against core. Until a provider is set,
+/// build_info() reports "unknown".
+void set_simd_kernel_provider(const char* (*provider)());
+
 /// Events each per-thread ring holds before overwriting the oldest.
 inline constexpr std::size_t kRingCapacity = 4096;
 

@@ -40,7 +40,35 @@ void write_prom_double(std::ostream& os, double v) {
 
 }  // namespace
 
+namespace {
+
+// Prometheus label values escape backslash, double-quote, and newline.
+void write_prom_label_value(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\' || c == '"') os << '\\';
+    if (c == '\n') {
+      os << "\\n";
+      continue;
+    }
+    os << c;
+  }
+}
+
+void write_build_info_line(std::ostream& os) {
+  const BuildInfo build = build_info();
+  os << "# TYPE ocps_build_info gauge\nocps_build_info{git_sha=\"";
+  write_prom_label_value(os, build.git_sha);
+  os << "\",compiler=\"";
+  write_prom_label_value(os, build.compiler);
+  os << "\",simd_kernel=\"";
+  write_prom_label_value(os, build.simd_kernel);
+  os << "\"} 1\n";
+}
+
+}  // namespace
+
 void write_metrics_prometheus(std::ostream& os) {
+  write_build_info_line(os);
   MetricsSnapshot snap = metrics_snapshot();
   for (const auto& [name, v] : snap.counters) {
     os << "# TYPE ";
@@ -198,6 +226,21 @@ HistogramSnapshot WindowedHistogram::snapshot_at(const std::string& name,
 namespace ocps::obs {
 
 void write_metrics_prometheus(std::ostream& os) {
+  // Even with telemetry compiled out, the build identity still holds.
+  const BuildInfo build = build_info();
+  auto escaped = [&os](const std::string& s) {
+    for (char c : s) {
+      if (c == '\\' || c == '"') os << '\\';
+      os << c;
+    }
+  };
+  os << "# TYPE ocps_build_info gauge\nocps_build_info{git_sha=\"";
+  escaped(build.git_sha);
+  os << "\",compiler=\"";
+  escaped(build.compiler);
+  os << "\",simd_kernel=\"";
+  escaped(build.simd_kernel);
+  os << "\"} 1\n";
   os << "# ocps observability compiled out (OCPS_OBS_DISABLED)\n";
 }
 

@@ -1,7 +1,10 @@
 #include "runtime/controller.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <numeric>
+#include <string>
 #include <utility>
 
 #include "cachesim/lru.hpp"
@@ -114,6 +117,11 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
   // A program with no valid estimate yet has a meaningless cost row; the
   // DP only runs once every program has reported at least once.
   std::vector<bool> have_estimate(p, false);
+  // Unweighted miss-*ratio* EWMA, blended exactly like ewma_cost. The
+  // cost rows are access-weighted and useless as predictions; this
+  // matrix is what the decision log quotes as the model's forecast at
+  // the chosen allocation. It feeds nothing back into the DP.
+  CostMatrix ewma_ratio(p, config.capacity);
 
   // Persistent prefix solver across epochs. Each epoch refreshes it with
   // resolve_incremental: cost rows that did not change this epoch (held
@@ -135,7 +143,44 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
   out.alloc_history.push_back(alloc);
 
   std::vector<std::uint64_t> epoch_accesses(p, 0);
+  std::vector<std::uint64_t> epoch_misses(p, 0);
   std::uint64_t sampled_total = 0;
+
+  // Decision-quality plane: every allocation decision goes on the audit
+  // trail with its predicted miss ratios; one epoch later the realized
+  // ratios reconcile it and the signed errors feed the drift detector.
+  // All of it is independent of the metrics registry (and of OCPS_OBS),
+  // and none of it touches the allocation math above.
+  out.decisions =
+      std::make_shared<obs::DecisionLog>(config.decision_log_capacity);
+  obs::DriftConfig drift_config;
+  drift_config.alpha = config.drift_alpha;
+  drift_config.threshold = config.drift_threshold;
+  obs::DriftDetector drift(drift_config);
+  obs::WindowedHistogram error_window(30);
+  std::uint64_t pending_decision = 0;
+  std::vector<std::string> tenant_names(p);
+  for (std::size_t i = 0; i < p; ++i)
+    tenant_names[i] = "p" + std::to_string(i);
+
+  // Attaches the just-finished segment's realized miss ratios to the
+  // decision that governed it. Zero-access programs get NaN (undefined
+  // ratio, skipped by the accuracy/drift stats, never synthesized as 0).
+  auto reconcile_pending = [&](bool partial) {
+    if (pending_decision == 0) return;
+    const std::uint64_t id = pending_decision;
+    pending_decision = 0;
+    std::vector<double> realized(p, std::nan(""));
+    for (std::size_t i = 0; i < p; ++i)
+      if (epoch_accesses[i] > 0)
+        realized[i] = static_cast<double>(epoch_misses[i]) /
+                      static_cast<double>(epoch_accesses[i]);
+    const std::uint64_t now = obs::DecisionLog::steady_now_ns();
+    obs::DecisionRecord rec;
+    if (out.decisions->reconcile(id, realized, partial, now, &rec) ==
+        obs::DecisionLog::ReconcileStatus::kOk)
+      obs::record_prediction_errors(rec, &drift, &error_window, now);
+  };
 
   auto restart_from_scratch = [&]() {
     alloc = equal;
@@ -143,6 +188,8 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
       partitions[i].set_capacity(alloc[i]);
       double* row = ewma_cost.row(i);
       std::fill(row, row + config.capacity + 1, 0.0);
+      double* ratio_row = ewma_ratio.row(i);
+      std::fill(ratio_row, ratio_row + config.capacity + 1, 0.0);
       have_estimate[i] = false;
     }
   };
@@ -153,6 +200,11 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
     EpochHealth health;
     obs::ScopedSpan epoch_span("epoch", "controller");
     epoch_span.set_arg("epoch", epoch_index);
+
+    // Phase 0 — reconcile: the epoch that just ended is the one the
+    // pending decision governed; attach its realized miss ratios before
+    // the counters are reset below.
+    reconcile_pending(/*partial=*/false);
 
     // Phase 1a — estimate: pull every program's sampled MRC for the
     // epoch. Estimation is per-program pure, so splitting it from the
@@ -199,12 +251,17 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
         }
         if (usable[i]) {
           double* row = ewma_cost.row(i);
+          double* ratio_row = ewma_ratio.row(i);
           for (std::size_t c = 0; c <= config.capacity; ++c) {
             double fresh = weight * mrc.ratio(c);
             row[c] = have_estimate[i]
                          ? config.ewma_alpha * fresh +
                                (1.0 - config.ewma_alpha) * row[c]
                          : fresh;
+            ratio_row[c] = have_estimate[i]
+                               ? config.ewma_alpha * mrc.ratio(c) +
+                                     (1.0 - config.ewma_alpha) * ratio_row[c]
+                               : mrc.ratio(c);
           }
           have_estimate[i] = true;
         } else {
@@ -212,6 +269,7 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
         }
         profilers[i].reset();
         epoch_accesses[i] = 0;
+        epoch_misses[i] = 0;
       }
     }
 
@@ -219,18 +277,27 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
     // graceful ladder holds what it has.
     bool all_have = std::all_of(have_estimate.begin(), have_estimate.end(),
                                 [](bool b) { return b; });
+    std::uint64_t solve_ns = 0;        // decision-log bookkeeping only
+    bool solve_incremental = false;
+    std::string decision_note;
     if (config.fault_policy == FaultPolicy::kRestartOnError &&
         health.degraded_programs > 0) {
       restart_from_scratch();
       health.restarted = true;
+      decision_note = "restart: " +
+                      std::to_string(health.degraded_programs) +
+                      " degraded estimate(s)";
       obs::instant_event("restart", "controller", "epoch", epoch_index);
     } else if (!all_have) {
       // First-epoch failure: nothing was ever learned for some program,
       // so there is no basis to run the DP — stay on the current
       // allocation (the startup equal partition).
       health.held_allocation = true;
+      decision_note = "hold: awaiting first estimates";
       obs::instant_event("hold", "controller", "epoch", epoch_index);
     } else {
+      const bool was_ready = dp_solver_ready;
+      const auto solve_start = std::chrono::steady_clock::now();
       Result<DpResult> dp = [&]() -> Result<DpResult> {
         obs::ScopedSpan span("dp_solve", "controller");
         if (hooks.fail_dp && hooks.fail_dp(epoch_index))
@@ -263,6 +330,11 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
         }
         return Ok(dp_buf);
       }();
+      solve_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - solve_start)
+              .count());
+      solve_incremental = was_ready;
       if (dp.ok()) {
         obs::ScopedSpan span("apply", "controller");
         alloc = cap_allocation_change(alloc, dp.value().alloc,
@@ -273,17 +345,48 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
         restart_from_scratch();
         health.dp_failed = true;
         health.restarted = true;
+        decision_note = "restart: dp failed: " + dp.error().message;
         obs::instant_event("dp_failed", "controller", "error_code",
                            static_cast<std::uint64_t>(dp.error().code));
       } else {
         // Hold the last-good allocation; next epoch gets a fresh try.
         health.dp_failed = true;
         health.held_allocation = true;
+        decision_note = "hold: dp failed: " + dp.error().message;
         obs::instant_event("dp_failed", "controller", "error_code",
                            static_cast<std::uint64_t>(dp.error().code));
       }
     }
     out.alloc_history.push_back(alloc);
+
+    // Log the decision that will govern the next epoch. The predicted
+    // ratio is the ratio-EWMA evaluated at the chosen allocation; a
+    // program with no estimate yet predicts NaN (excluded from accuracy
+    // stats rather than faked as 0).
+    {
+      obs::DecisionRecord rec;
+      rec.epoch = out.epochs;
+      rec.trigger = (health.restarted || health.held_allocation)
+                        ? obs::DecisionTrigger::kFallback
+                        : obs::DecisionTrigger::kEpoch;
+      rec.tenants = tenant_names;
+      rec.alloc = alloc;
+      rec.predicted_mr.resize(p, std::nan(""));
+      rec.tenant_degraded.resize(p, false);
+      for (std::size_t i = 0; i < p; ++i) {
+        if (have_estimate[i])
+          rec.predicted_mr[i] = ewma_ratio.row(i)[alloc[i]];
+        rec.tenant_degraded[i] = !usable[i] || !have_estimate[i];
+      }
+      rec.solve_ns = solve_ns;
+      rec.incremental = solve_incremental;
+      rec.note = std::move(decision_note);
+      pending_decision = out.decisions->record(
+          std::move(rec), obs::DecisionLog::steady_now_ns());
+      OCPS_OBS_COUNT("dp.decisions", 1);
+    }
+    obs::publish_decision_metrics(*out.decisions, &drift, &error_window,
+                                  obs::DecisionLog::steady_now_ns());
 
     if (health.degraded_programs > 0 || health.dp_failed)
       ++out.epochs_degraded;
@@ -309,15 +412,37 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
     OCPS_OBS_HIST("controller.epoch_ns", epoch_span.elapsed_ns());
   };
 
+  // Decision #1: the startup equal partition. It predicts nothing (the
+  // model knows nothing yet) but gives the first epoch's realized
+  // ratios a decision to attach to, and `ocps why` a baseline to diff
+  // the first real DP decision against.
+  {
+    obs::DecisionRecord rec;
+    rec.epoch = 0;
+    rec.trigger = obs::DecisionTrigger::kEpoch;
+    rec.tenants = tenant_names;
+    rec.alloc = alloc;
+    rec.note = "startup equal partition";
+    pending_decision = out.decisions->record(
+        std::move(rec), obs::DecisionLog::steady_now_ns());
+  }
+
+  std::uint64_t segment_start_ns = obs::now_ns();
   for (std::size_t t = 0; t < trace.length(); ++t) {
-    if (t > 0 && (t % config.epoch_length) == 0) end_epoch();
+    if (t > 0 && (t % config.epoch_length) == 0) {
+      end_epoch();
+      segment_start_ns = obs::now_ns();
+    }
     std::uint32_t who = trace.owners[t];
     Block b = trace.blocks[t];
     profilers[who].observe(b);
     ++epoch_accesses[who];
     bool hit = partitions[who].access(b);
     ++out.sim.accesses[who];
-    if (!hit) ++out.sim.misses[who];
+    if (!hit) {
+      ++out.sim.misses[who];
+      ++epoch_misses[who];
+    }
   }
   // Account for the (partial) final epoch's sampling too.
   for (const auto& profiler : profilers)
@@ -327,6 +452,30 @@ ControllerResult run_online_controller(const InterleavedTrace& trace,
           ? 0.0
           : static_cast<double>(sampled_total) /
                 static_cast<double>(trace.length());
+
+  // The loop only fires end_epoch at *interior* boundaries, so the
+  // trailing segment — a full epoch when the length divides evenly,
+  // the partial remainder otherwise — never reaches it. Reconcile the
+  // pending decision against what that segment realized, and mirror
+  // the health counters + epoch latency so runs shorter than one epoch
+  // are not invisible in metrics.
+  if (trace.length() > 0) {
+    const bool partial = (trace.length() % config.epoch_length) != 0;
+    reconcile_pending(partial);
+    OCPS_OBS_COUNT("controller.epochs", 0);
+    OCPS_OBS_COUNT("controller.partial_epochs", partial ? 1 : 0);
+    OCPS_OBS_COUNT("controller.repairs", 0);
+    OCPS_OBS_COUNT("controller.degraded_programs", 0);
+    OCPS_OBS_COUNT("controller.epochs_degraded", 0);
+    OCPS_OBS_COUNT("controller.fallbacks", 0);
+    OCPS_OBS_COUNT("controller.dp_failures", 0);
+    OCPS_OBS_COUNT("controller.restarts", 0);
+    OCPS_OBS_HIST("controller.epoch_ns", obs::now_ns() - segment_start_ns);
+    obs::publish_decision_metrics(*out.decisions, &drift, &error_window,
+                                  obs::DecisionLog::steady_now_ns());
+  }
+  out.drift = drift.status();
+  out.drift_alerts = drift.alerts();
   return out;
 }
 

@@ -31,9 +31,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cachesim/corun.hpp"
+#include "obs/decision_log.hpp"
 #include "trace/interleave.hpp"
 
 namespace ocps {
@@ -66,6 +68,14 @@ struct ControllerConfig {
   std::size_t max_delta_units = 0;
   /// Reaction to a failed epoch; see FaultPolicy.
   FaultPolicy fault_policy = FaultPolicy::kGraceful;
+  /// Decision-quality plane (obs/decision_log.hpp): every epoch's
+  /// partition decision is logged with its predicted miss ratios and
+  /// reconciled against the realized ratios one epoch later. The audit
+  /// trail always runs (it is independent of the metrics registry);
+  /// drift *alerting* engages only when drift_threshold > 0.
+  double drift_alpha = 0.25;       ///< EWMA weight of the newest error
+  double drift_threshold = 0.0;    ///< |error| EWMA breach level, 0 = off
+  std::size_t decision_log_capacity = 64;  ///< audit-ring size
 };
 
 /// Test/fault-injection seams. Default-constructed hooks are inert; the
@@ -103,6 +113,13 @@ struct ControllerResult {
   std::size_t epochs_degraded = 0;   ///< epochs with any estimate/DP fault
   std::size_t repairs = 0;           ///< total sanitizer repairs
   std::size_t fallbacks = 0;         ///< epochs that held/reset the alloc
+  /// Audit trail of every partition decision (startup + one per epoch),
+  /// each reconciled with the realized per-program miss ratios of the
+  /// epoch it governed (the trailing segment reconciles as partial).
+  /// Shared so the result stays copyable; never null.
+  std::shared_ptr<obs::DecisionLog> decisions;
+  obs::DriftStatus drift;                  ///< final drift-detector state
+  std::vector<obs::DriftAlert> drift_alerts;  ///< edge-triggered breaches
 };
 
 /// Runs the closed loop over an interleaved trace with `num_programs`

@@ -17,6 +17,8 @@ const char* op_name(Op op) {
     case Op::kSlowlog: return "slowlog";
     case Op::kTrace: return "trace";
     case Op::kSlo: return "slo";
+    case Op::kDecisions: return "decisions";
+    case Op::kReconcile: return "reconcile";
   }
   return "?";
 }
@@ -73,6 +75,8 @@ Result<Request> parse_request(const std::string& line) {
   else if (op == "slowlog") req.op = Op::kSlowlog;
   else if (op == "trace") req.op = Op::kTrace;
   else if (op == "slo") req.op = Op::kSlo;
+  else if (op == "decisions") req.op = Op::kDecisions;
+  else if (op == "reconcile") req.op = Op::kReconcile;
   else
     return Err(ErrorCode::kInvalidArgument,
                op.empty() ? "missing \"op\"" : "unknown op \"" + op + "\"");
@@ -115,6 +119,29 @@ Result<Request> parse_request(const std::string& line) {
   if (!hop.ok()) return hop.error();
   req.hop = hop.value();
 
+  auto decision_id = size_field(obj, "decision_id", 0);
+  if (!decision_id.ok()) return decision_id.error();
+  req.decision_id = static_cast<std::uint64_t>(decision_id.value());
+
+  auto limit = size_field(obj, "limit", 0);
+  if (!limit.ok()) return limit.error();
+  req.limit = limit.value();
+
+  if (const json::Value* realized = obj.find("realized")) {
+    if (!realized->is_array())
+      return Err(ErrorCode::kInvalidArgument,
+                 "realized must be an array of numbers or nulls");
+    for (const json::Value& item : realized->as_array()) {
+      if (item.is_number())
+        req.realized.push_back(item.as_number());
+      else if (item.is_null())
+        req.realized.push_back(std::nan(""));  // zero-access tenant
+      else
+        return Err(ErrorCode::kInvalidArgument,
+                   "realized must be an array of numbers or nulls");
+    }
+  }
+
   switch (req.op) {
     case Op::kPartition:
       if (req.programs.empty())
@@ -131,11 +158,20 @@ Result<Request> parse_request(const std::string& line) {
         return Err(ErrorCode::kInvalidArgument,
                    "trace needs a non-zero \"trace_id\"");
       break;
+    case Op::kReconcile:
+      if (req.decision_id == 0)
+        return Err(ErrorCode::kInvalidArgument,
+                   "reconcile needs a non-zero \"decision_id\"");
+      if (req.realized.empty())
+        return Err(ErrorCode::kInvalidArgument,
+                   "reconcile needs a non-empty \"realized\" array");
+      break;
     case Op::kSweep:
     case Op::kHealth:
     case Op::kMetrics:
     case Op::kSlowlog:
     case Op::kSlo:
+    case Op::kDecisions:
       break;
   }
   return Ok(std::move(req));
@@ -169,6 +205,18 @@ std::string encode_request(const Request& req) {
   if (req.parent_span != 0)
     out.set("parent_span", json::Value(static_cast<double>(req.parent_span)));
   if (req.hop != 0) out.set("hop", json::Value(static_cast<double>(req.hop)));
+  if (req.decision_id != 0)
+    out.set("decision_id",
+            json::Value(static_cast<double>(req.decision_id)));
+  if (req.limit != 0)
+    out.set("limit", json::Value(static_cast<double>(req.limit)));
+  if (!req.realized.empty()) {
+    json::Array realized;
+    realized.reserve(req.realized.size());
+    // Non-finite entries dump as null and parse back to NaN.
+    for (double v : req.realized) realized.emplace_back(v);
+    out.set("realized", json::Value(std::move(realized)));
+  }
   return out.dump();
 }
 
@@ -218,6 +266,96 @@ json::Value trace_proc_json(const std::string& proc_label,
   }
   proc.set("spans", json::Value(std::move(spans)));
   return proc;
+}
+
+json::Value decision_json(const obs::DecisionRecord& rec) {
+  json::Value out;
+  out.set("decision_id", json::Value(static_cast<double>(rec.id)));
+  out.set("epoch", json::Value(static_cast<double>(rec.epoch)));
+  out.set("trigger", json::Value(obs::decision_trigger_name(rec.trigger)));
+  json::Array tenants, alloc, predicted, degraded;
+  tenants.reserve(rec.tenants.size());
+  for (const std::string& t : rec.tenants) tenants.emplace_back(t);
+  alloc.reserve(rec.alloc.size());
+  for (std::size_t units : rec.alloc)
+    alloc.emplace_back(static_cast<double>(units));
+  predicted.reserve(rec.predicted_mr.size());
+  for (double v : rec.predicted_mr) predicted.emplace_back(v);
+  degraded.reserve(rec.tenant_degraded.size());
+  for (bool d : rec.tenant_degraded) degraded.emplace_back(d);
+  out.set("tenants", json::Value(std::move(tenants)));
+  out.set("alloc", json::Value(std::move(alloc)));
+  out.set("predicted_mr", json::Value(std::move(predicted)));
+  out.set("tenant_degraded", json::Value(std::move(degraded)));
+  out.set("solve_ns", json::Value(static_cast<double>(rec.solve_ns)));
+  out.set("incremental", json::Value(rec.incremental));
+  if (!rec.note.empty()) out.set("note", json::Value(rec.note));
+  out.set("reconciled", json::Value(rec.reconciled));
+  if (rec.reconciled) {
+    if (rec.partial) out.set("partial", json::Value(true));
+    json::Array realized, error;
+    realized.reserve(rec.realized_mr.size());
+    for (double v : rec.realized_mr) realized.emplace_back(v);
+    error.reserve(rec.error.size());
+    for (double v : rec.error) error.emplace_back(v);
+    out.set("realized_mr", json::Value(std::move(realized)));
+    out.set("error", json::Value(std::move(error)));
+  }
+  return out;
+}
+
+json::Value decision_accuracy_json(const obs::DecisionAccuracy& acc) {
+  json::Value out;
+  out.set("decisions_total",
+          json::Value(static_cast<double>(acc.decisions_total)));
+  out.set("reconciled",
+          json::Value(static_cast<double>(acc.reconciled_total)));
+  out.set("error_samples",
+          json::Value(static_cast<double>(acc.error_samples)));
+  out.set("mean_abs_error", json::Value(acc.mean_abs_error));
+  out.set("max_abs_error", json::Value(acc.max_abs_error));
+  out.set("bias", json::Value(acc.mean_signed_error));
+  return out;
+}
+
+json::Value drift_status_json(const obs::DriftStatus& status,
+                              const std::vector<obs::DriftAlert>& alerts) {
+  json::Value out;
+  out.set("configured", json::Value(status.configured));
+  out.set("alpha", json::Value(status.alpha));
+  out.set("threshold", json::Value(status.threshold));
+  out.set("ewma_abs_error", json::Value(status.ewma_abs));
+  out.set("bias", json::Value(status.bias));
+  out.set("samples", json::Value(static_cast<double>(status.samples)));
+  out.set("breaching", json::Value(status.breaching));
+  out.set("alerts_total",
+          json::Value(static_cast<double>(status.alerts_total)));
+  json::Array tenants;
+  tenants.reserve(status.tenants.size());
+  for (const obs::DriftTenantStatus& t : status.tenants) {
+    json::Value row;
+    row.set("tenant", json::Value(t.tenant));
+    row.set("ewma_abs_error", json::Value(t.ewma_abs));
+    row.set("bias", json::Value(t.bias));
+    row.set("samples", json::Value(static_cast<double>(t.samples)));
+    tenants.push_back(std::move(row));
+  }
+  out.set("tenants", json::Value(std::move(tenants)));
+  json::Array rows;
+  rows.reserve(alerts.size());
+  for (const obs::DriftAlert& a : alerts) {
+    json::Value row;
+    row.set("seq", json::Value(static_cast<double>(a.seq)));
+    row.set("at_ns", json::Value(static_cast<double>(a.at_ns)));
+    row.set("decision_id",
+            json::Value(static_cast<double>(a.decision_id)));
+    row.set("tenant", json::Value(a.tenant));
+    row.set("ewma_abs_error", json::Value(a.ewma_abs));
+    row.set("threshold", json::Value(a.threshold));
+    rows.push_back(std::move(row));
+  }
+  out.set("alerts", json::Value(std::move(rows)));
+  return out;
 }
 
 Result<Response> parse_response(const std::string& line) {

@@ -18,6 +18,9 @@
 //   {"id":6,"op":"slowlog"}
 //   {"id":7,"op":"trace","trace_id":42}
 //   {"id":8,"op":"slo"}
+//   {"id":9,"op":"decisions"}                   (recent + accuracy + drift)
+//   {"id":10,"op":"decisions","decision_id":17} (one record + predecessor)
+//   {"id":11,"op":"reconcile","decision_id":17,"realized":[0.12,null]}
 // Any request may carry a trace context: "trace_id" (a positive integer
 // correlating the daemon's spans for that request in the Chrome trace
 // export), plus "parent_span" (the forwarding router's span nonce) and
@@ -35,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/decision_log.hpp"
 #include "util/json.hpp"
 #include "util/result.hpp"
 
@@ -50,6 +54,8 @@ enum class Op {
   kSlowlog,    ///< top-K slowest requests (answered inline)
   kTrace,      ///< retained spans for one trace_id (answered inline)
   kSlo,        ///< SLO burn rates + alert log (answered inline)
+  kDecisions,  ///< decision audit trail + accuracy + drift (inline)
+  kReconcile,  ///< attach realized miss ratios to a decision (inline)
 };
 
 const char* op_name(Op op);
@@ -85,6 +91,14 @@ struct Request {
   /// number of routing tiers crossed so far.
   std::uint64_t parent_span = 0;
   std::size_t hop = 0;
+  /// decisions: fetch exactly this record (plus its predecessor for the
+  /// allocation diff); 0 = list recent ones. reconcile: the decision the
+  /// realized ratios belong to (required, non-zero).
+  std::uint64_t decision_id = 0;
+  std::size_t limit = 0;  ///< decisions: max recent records (0 = default)
+  /// reconcile: realized per-tenant miss ratios in the decision's tenant
+  /// order. JSON nulls decode to NaN (tenant made no accesses).
+  std::vector<double> realized;
 };
 
 /// Decodes one request line. kCorruptData for syntactically bad JSON,
@@ -127,5 +141,25 @@ Result<Response> parse_response(const std::string& line);
 /// and router `trace` handlers so `ocps trace` stitches one format.
 json::Value trace_proc_json(const std::string& proc_label,
                             std::uint64_t trace_id);
+
+/// Wire shape of one decision record, shared by the server's
+/// `decisions` handler, the controller's --decisions-out export, and
+/// the `ocps decisions` / `ocps why` views:
+///   {"decision_id","epoch","trigger","tenants":[...],"alloc":[...],
+///    "predicted_mr":[...],"tenant_degraded":[...],"solve_ns",
+///    "incremental","note"?,"reconciled","partial"?,
+///    "realized_mr":[...]?,"error":[...]?}
+/// Non-finite ratios/errors serialize as JSON null.
+json::Value decision_json(const obs::DecisionRecord& rec);
+
+/// {"decisions_total","reconciled","error_samples","mean_abs_error",
+///  "max_abs_error","bias"} — the lifetime accuracy summary.
+json::Value decision_accuracy_json(const obs::DecisionAccuracy& acc);
+
+/// {"configured","alpha","threshold","ewma_abs_error","bias","samples",
+///  "breaching","alerts_total","tenants":[...],"alerts":[...]} — drift
+/// detector state plus its bounded alert log.
+json::Value drift_status_json(const obs::DriftStatus& status,
+                              const std::vector<obs::DriftAlert>& alerts);
 
 }  // namespace ocps::serve

@@ -616,6 +616,12 @@ void Router::handle_line(const std::shared_ptr<Connection>& conn,
     case Op::kSlo:
       handle_slo_local(conn, req);
       return;
+    case Op::kDecisions:
+      handle_decisions_local(conn, req);
+      return;
+    case Op::kReconcile:
+      handle_reconcile_local(conn, req);
+      return;
     case Op::kPartition:
     case Op::kSweep:
     case Op::kSlowlog:
@@ -993,6 +999,93 @@ void Router::handle_slo_local(const std::shared_ptr<Connection>& conn,
   body.set("alerts_total",
            json::Value(static_cast<double>(slo.alerts_total)));
   conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Router::handle_decisions_local(const std::shared_ptr<Connection>& conn,
+                                    const Request& req) {
+  // Audit fan-out: every backend keeps its own decision ring, so the
+  // fleet view is the union. Breaker-blind for the same reason as
+  // trace — the audit trail matters most while the fleet misbehaves —
+  // and an unreachable backend simply contributes no entry.
+  json::Value body;
+  body.set("role", json::Value("router"));
+  json::Array rows;
+
+  Request probe;
+  probe.id = -1;
+  probe.op = Op::kDecisions;
+  probe.decision_id = req.decision_id;
+  probe.limit = req.limit;
+  const std::string probe_line = encode_request(probe);
+  for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+    Backend& b = *backends_[idx];
+    Client& c = conn->backends[idx];
+    if (!c.connected()) {
+      Result<Client> fresh =
+          Client::connect(b.endpoint, config_.connect_timeout);
+      if (!fresh.ok()) continue;
+      c = std::move(fresh.value());
+    }
+    Result<Response> r = c.call(probe_line, config_.io_timeout);
+    if (!r.ok()) {
+      c = Client();
+      continue;
+    }
+    if (!r.value().ok) continue;  // e.g. 404: id unknown on that backend
+    json::Value row = r.value().body;
+    row.set("backend", json::Value(static_cast<double>(idx)));
+    row.set("endpoint", json::Value(b.endpoint));
+    rows.push_back(std::move(row));
+  }
+  if (req.decision_id != 0 && rows.empty()) {
+    conn->send_line(error_response(
+        req.id, kCodeNotFound,
+        "no backend knows decision id " + std::to_string(req.decision_id)));
+    return;
+  }
+  body.set("backends", json::Value(std::move(rows)));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Router::handle_reconcile_local(const std::shared_ptr<Connection>& conn,
+                                    const Request& req) {
+  // Decision ids are per-daemon counters: only the backend that issued
+  // the id accepts the reconcile (others answer 404), so walk the fleet
+  // and relay the first acceptance. A definitive non-404 rejection
+  // (422 size mismatch, 400) is relayed immediately — retrying it
+  // elsewhere could double-apply on an id collision.
+  Request fwd = req;
+  const std::string fwd_line = encode_request(fwd);
+  for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+    Backend& b = *backends_[idx];
+    Client& c = conn->backends[idx];
+    if (!c.connected()) {
+      Result<Client> fresh =
+          Client::connect(b.endpoint, config_.connect_timeout);
+      if (!fresh.ok()) continue;
+      c = std::move(fresh.value());
+    }
+    Result<Response> r = c.call(fwd_line, config_.io_timeout);
+    if (!r.ok()) {
+      c = Client();
+      continue;
+    }
+    Response& resp = r.value();
+    if (!resp.ok && resp.code == kCodeNotFound) continue;
+    json::Value body = resp.body;
+    body.set("backend", json::Value(static_cast<double>(idx)));
+    body.set("endpoint", json::Value(b.endpoint));
+    if (resp.ok) {
+      body.set("id", json::Value(static_cast<double>(req.id)));
+      conn->send_line(body.dump());
+    } else {
+      conn->send_line(error_response(req.id, resp.code, resp.error));
+    }
+    return;
+  }
+  conn->send_line(error_response(
+      req.id, kCodeNotFound,
+      "no backend knows decision id " + std::to_string(req.decision_id)));
 }
 
 // ---------------------------------------------------------------------------

@@ -243,6 +243,17 @@ class Router {
   /// Answers `slo` from the router's own tracker (fleet-level burn).
   void handle_slo_local(const std::shared_ptr<Connection>& conn,
                         const Request& req);
+  /// Fans a `decisions` request out to every reachable backend
+  /// (breaker-blind, like trace — the audit trail must be readable while
+  /// the fleet misbehaves) and returns one "backends" array of the
+  /// per-daemon audit views.
+  void handle_decisions_local(const std::shared_ptr<Connection>& conn,
+                              const Request& req);
+  /// Fans a `reconcile` out and relays the first backend that accepts
+  /// it; decision ids are per-daemon counters, so only the issuing
+  /// backend (in id order of the walk) reconciles successfully.
+  void handle_reconcile_local(const std::shared_ptr<Connection>& conn,
+                              const Request& req);
   /// forward() re-encodes the request with trace context stamped on
   /// (trace_id minted when absent, parent_span = this forward's span
   /// nonce, hop+1) — the relayed response stays verbatim.

@@ -210,6 +210,9 @@ struct Server::Telemetry {
   obs::WindowedHistogram stage_solve;
   obs::WindowedHistogram stage_serialize;
   obs::WindowedHistogram stage_network;
+  /// Sliding window of |prediction error| in ppm, fed by `reconcile`;
+  /// behind the dp.prediction_error.window.* gauges.
+  obs::WindowedHistogram window_prediction_error;
   std::mutex mu;
   std::vector<SlowEntry> entries;
   std::size_t capacity;
@@ -221,6 +224,7 @@ struct Server::Telemetry {
         stage_solve(window_s),
         stage_serialize(window_s),
         stage_network(window_s),
+        window_prediction_error(window_s),
         capacity(cap) {
     entries.reserve(cap);
   }
@@ -336,13 +340,27 @@ Server::Server(ServeConfig config, std::vector<ProgramModel> models)
   OCPS_CHECK(config_.slo_availability >= 0.0 &&
                  config_.slo_availability < 1.0,
              "serve: slo_availability must be in [0, 1)");
+  OCPS_CHECK(config_.decision_log_capacity > 0,
+             "serve: decision_log_capacity must be positive");
+  OCPS_CHECK(config_.drift_alpha > 0.0 && config_.drift_alpha <= 1.0,
+             "serve: drift_alpha must be in (0, 1]");
+  OCPS_CHECK(config_.drift_threshold >= 0.0 &&
+                 std::isfinite(config_.drift_threshold),
+             "serve: drift_threshold must be finite and >= 0");
   telemetry_ = std::make_unique<Telemetry>(config_.latency_window_s,
                                            config_.slowlog_capacity);
   obs::SloConfig slo_config;
   slo_config.p99_ms = config_.slo_p99_ms;
   slo_config.availability = config_.slo_availability;
   slo_ = std::make_unique<obs::SloTracker>(slo_config);
+  decisions_ = std::make_unique<obs::DecisionLog>(
+      config_.decision_log_capacity);
+  obs::DriftConfig drift_config;
+  drift_config.alpha = config_.drift_alpha;
+  drift_config.threshold = config_.drift_threshold;
+  drift_ = std::make_unique<obs::DriftDetector>(drift_config);
   profiles_ = make_profile_set(std::move(models), config_.capacity, 1);
+  last_decision_version_.store(profiles_->version);
 }
 
 Server::~Server() { stop(); }
@@ -443,6 +461,10 @@ Result<bool> Server::start() {
   if (obs::enabled()) {
     for (const char* stage : kStageNames)
       obs::histogram(std::string("serve.stage.") + stage);
+    obs::histogram("dp.prediction_error");
+    obs::publish_decision_metrics(*decisions_, drift_.get(),
+                                  &telemetry_->window_prediction_error,
+                                  obs::DecisionLog::steady_now_ns());
     if (slo_->configured()) refresh_latency_gauges();
   }
 
@@ -704,6 +726,12 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
     case Op::kSlo:
       handle_slo(conn, req);
       return;
+    case Op::kDecisions:
+      handle_decisions(conn, req);
+      return;
+    case Op::kReconcile:
+      handle_reconcile(conn, req);
+      return;
     case Op::kPartition:
     case Op::kSweep:
       break;
@@ -878,6 +906,12 @@ void Server::refresh_latency_gauges() {
     obs::gauge("serve.slo.alerts_total")
         .set(static_cast<double>(slo.alerts_total));
   }
+
+  // Decision-quality gauges (dp.decision.* / dp.drift.*), same
+  // recompute-per-scrape contract as the quantile gauges above.
+  obs::publish_decision_metrics(*decisions_, drift_.get(),
+                                &telemetry_->window_prediction_error,
+                                obs::DecisionLog::steady_now_ns());
 }
 
 void Server::handle_metrics(const std::shared_ptr<Connection>& conn,
@@ -985,6 +1019,78 @@ void Server::handle_slo(const std::shared_ptr<Connection>& conn,
   body.set("alerts", json::Value(std::move(alerts)));
   body.set("alerts_total",
            json::Value(static_cast<double>(slo.alerts_total)));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Server::handle_decisions(const std::shared_ptr<Connection>& conn,
+                              const Request& req) {
+  // Like slo/slowlog, the decision log is server-owned state independent
+  // of the obs registry: it answers even with obs off or compiled out.
+  json::Value body;
+  if (req.decision_id != 0) {
+    obs::DecisionRecord rec;
+    if (!decisions_->find(req.decision_id, &rec)) {
+      conn->send_line(error_response(
+          req.id, kCodeNotFound,
+          "unknown decision id " + std::to_string(req.decision_id) +
+              " (never issued, or evicted from the audit ring)"));
+      return;
+    }
+    body.set("decision", decision_json(rec));
+    // The predecessor enables the `ocps why` allocation diff.
+    obs::DecisionRecord prev;
+    if (rec.id > 1 && decisions_->find(rec.id - 1, &prev))
+      body.set("previous", decision_json(prev));
+  } else {
+    const std::size_t limit = req.limit == 0 ? 16 : req.limit;
+    json::Array rows;
+    for (const obs::DecisionRecord& rec : decisions_->recent(limit))
+      rows.push_back(decision_json(rec));
+    body.set("decisions", json::Value(std::move(rows)));
+  }
+  body.set("accuracy", decision_accuracy_json(decisions_->accuracy()));
+  body.set("drift",
+           drift_status_json(drift_->status(), drift_->alerts()));
+  conn->send_line(ok_response(req.id, std::move(body)));
+}
+
+void Server::handle_reconcile(const std::shared_ptr<Connection>& conn,
+                              const Request& req) {
+  const std::uint64_t now = obs::DecisionLog::steady_now_ns();
+  obs::DecisionRecord rec;
+  switch (decisions_->reconcile(req.decision_id, req.realized,
+                                /*partial=*/false, now, &rec)) {
+    case obs::DecisionLog::ReconcileStatus::kUnknownId:
+      conn->send_line(error_response(
+          req.id, kCodeNotFound,
+          "unknown decision id " + std::to_string(req.decision_id) +
+              " (never issued, or evicted from the audit ring)"));
+      return;
+    case obs::DecisionLog::ReconcileStatus::kAlreadyReconciled:
+      conn->send_line(error_response(
+          req.id, kCodeUnprocessable,
+          "decision " + std::to_string(req.decision_id) +
+              " is already reconciled"));
+      return;
+    case obs::DecisionLog::ReconcileStatus::kSizeMismatch:
+      decisions_->find(req.decision_id, &rec);  // fetch the tenant count
+      conn->send_line(error_response(
+          req.id, kCodeBadRequest,
+          "realized has " + std::to_string(req.realized.size()) +
+              " entries but decision " + std::to_string(req.decision_id) +
+              " has " + std::to_string(rec.tenants.size()) + " tenants"));
+      return;
+    case obs::DecisionLog::ReconcileStatus::kOk:
+      break;
+  }
+  obs::record_prediction_errors(rec, drift_.get(),
+                                &telemetry_->window_prediction_error, now);
+  obs::publish_decision_metrics(*decisions_, drift_.get(),
+                                &telemetry_->window_prediction_error, now);
+  json::Value body;
+  body.set("decision", decision_json(rec));
+  body.set("drift",
+           drift_status_json(drift_->status(), drift_->alerts()));
   conn->send_line(ok_response(req.id, std::move(body)));
 }
 
@@ -1170,6 +1276,32 @@ void Server::answer_partition(
   }
   p.serialize_start = Clock::now();  // DP + mapping done; body build next
 
+  // Audit the decision. A serving daemon has no epoch clock, so the
+  // trigger is kRequest — except for the first decision after a profile
+  // reload, which is tagged kReload so `ocps decisions` shows where the
+  // model changed under the clients. Realized ratios arrive later via
+  // the `reconcile` op.
+  obs::DecisionRecord decision;
+  decision.at_ns = obs::DecisionLog::steady_now_ns();
+  const std::uint64_t seen = last_decision_version_.exchange(set.version);
+  decision.trigger = seen != set.version ? obs::DecisionTrigger::kReload
+                                         : obs::DecisionTrigger::kRequest;
+  decision.tenants.assign(req.programs.begin(), req.programs.end());
+  decision.alloc.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    decision.alloc[i] = static_cast<std::size_t>(alloc[i]);
+  decision.predicted_mr = mr;
+  decision.tenant_degraded.assign(n, false);
+  decision.solve_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(p.serialize_start -
+                                                           p.solve_start)
+          .count());
+  decision.note = "serve: objective=" + req.objective +
+                  " value=" + json::Value(solver.dp_buf.objective_value).dump();
+  const std::uint64_t decision_id =
+      decisions_->record(decision, decision.at_ns);
+  OCPS_OBS_COUNT("dp.decisions", 1);
+
   json::Value body;
   json::Array programs;
   programs.reserve(n);
@@ -1185,6 +1317,8 @@ void Server::answer_partition(
            json::Value(rate_sum > 0.0 ? weighted_mr / rate_sum : 0.0));
   body.set("objective_value", json::Value(solver.dp_buf.objective_value));
   body.set("version", json::Value(static_cast<double>(set.version)));
+  body.set("decision_id",
+           json::Value(static_cast<double>(decision_id)));
   respond(p, ok_response(req.id, std::move(body)), true);
 }
 

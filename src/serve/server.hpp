@@ -94,6 +94,15 @@ struct ServeConfig {
   double slo_p99_ms = 0.0;       ///< p99 end-to-end latency target, ms
   double slo_availability = 0.0; ///< success-rate target, e.g. 0.999
 
+  /// Decision-quality plane (obs/decision_log.hpp): every answered
+  /// `partition` request is logged with its predicted miss ratios and a
+  /// decision id the client can later `reconcile` with realized ratios.
+  /// Like the SLO tracker, the log answers `decisions` even with obs
+  /// off; drift *alerting* engages only when drift_threshold > 0.
+  std::size_t decision_log_capacity = 128;
+  double drift_alpha = 0.25;     ///< EWMA weight of the newest error
+  double drift_threshold = 0.0;  ///< |error| EWMA breach level, 0 = off
+
   /// Hard cap on concurrently connected request clients (both
   /// transports). Connection 257 is accepted and immediately told 503 —
   /// an explicit refusal beats a kernel backlog timeout.
@@ -243,6 +252,10 @@ class Server {
                     const Request& req);
   void handle_slo(const std::shared_ptr<Connection>& conn,
                   const Request& req);
+  void handle_decisions(const std::shared_ptr<Connection>& conn,
+                        const Request& req);
+  void handle_reconcile(const std::shared_ptr<Connection>& conn,
+                        const Request& req);
   /// Recomputes the derived p50/p95/p99 gauges (lifetime, windowed, and
   /// per-stage) plus the serve.slo.* burn-rate gauges; called before
   /// every scrape.
@@ -304,6 +317,17 @@ class Server {
   /// when no objective is configured. Independent of the obs registry so
   /// the `slo` op answers even in an OCPS_OBS_DISABLED build.
   std::unique_ptr<obs::SloTracker> slo_;
+
+  /// Decision audit trail + drift detector (obs/decision_log.hpp); like
+  /// slo_, always constructed and registry-independent, so `decisions`
+  /// answers with obs off. The batching thread records, `reconcile`
+  /// attaches realized ratios, scrapes publish the dp.decision.* /
+  /// dp.drift.* gauges.
+  std::unique_ptr<obs::DecisionLog> decisions_;
+  std::unique_ptr<obs::DriftDetector> drift_;
+  /// Profile-set version stamped on the previous decision; the first
+  /// decision after a version bump records trigger=reload.
+  std::atomic<std::uint64_t> last_decision_version_{0};
 };
 
 }  // namespace ocps::serve

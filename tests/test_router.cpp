@@ -1038,6 +1038,101 @@ TEST_F(RouterTest, RouterSloOpReportsFleetBurn) {
   router.stop();
 }
 
+TEST_F(RouterTest, RouterDecisionsFanOutAndReconcileFindsTheIssuer) {
+  Fleet fleet(2, "dfan");
+  fleet.start_all();
+  RouterConfig cfg = fast_router_config(fleet, "dfan_r");
+  Router router(cfg);
+  ASSERT_TRUE(router.start().ok());
+  Result<Client> client = Client::connect(cfg.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  // One partition request lands on exactly one backend (stable
+  // placement), minting decision id 1 there and nowhere else.
+  Result<Response> part = client.value().call(partition_line(1));
+  ASSERT_TRUE(part.ok());
+  ASSERT_TRUE(part.value().ok) << part.value().error;
+  EXPECT_EQ(part.value().body.get_number("decision_id", 0.0), 1.0);
+
+  // `decisions` fans out breaker-blind: the fleet view is the union of
+  // every backend's ring, each row tagged with its origin slot.
+  Request list;
+  list.id = 2;
+  list.op = Op::kDecisions;
+  Result<Response> listed = client.value().call(encode_request(list));
+  ASSERT_TRUE(listed.ok());
+  ASSERT_TRUE(listed.value().ok) << listed.value().error;
+  EXPECT_EQ(listed.value().body.get_string("role", ""), "router");
+  const json::Value* rows = listed.value().body.find("backends");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->as_array().size(), 2u);
+  std::size_t total = 0;
+  for (const json::Value& row : rows->as_array()) {
+    EXPECT_GE(row.get_number("backend", -1.0), 0.0);
+    EXPECT_FALSE(row.get_string("endpoint", "").empty());
+    const json::Value* decs = row.find("decisions");
+    ASSERT_NE(decs, nullptr);
+    ASSERT_NE(row.find("accuracy"), nullptr);
+    ASSERT_NE(row.find("drift"), nullptr);
+    total += decs->as_array().size();
+  }
+  EXPECT_EQ(total, 1u);
+
+  // Reconcile walks the fleet: the non-issuer answers 404 and is
+  // skipped; the issuer's acceptance comes back tagged with its slot.
+  Request rec;
+  rec.id = 3;
+  rec.op = Op::kReconcile;
+  rec.decision_id = 1;
+  rec.realized = {0.5, 0.5};
+  Result<Response> applied = client.value().call(encode_request(rec));
+  ASSERT_TRUE(applied.ok());
+  ASSERT_TRUE(applied.value().ok) << applied.value().error;
+  EXPECT_GE(applied.value().body.get_number("backend", -1.0), 0.0);
+  const json::Value* decision = applied.value().body.find("decision");
+  ASSERT_NE(decision, nullptr);
+  EXPECT_TRUE(decision->get_bool("reconciled", false));
+
+  // A second application is a definitive rejection (422) — relayed as
+  // is, never retried on the other backend, where the same id could
+  // collide with a different decision.
+  rec.id = 4;
+  Result<Response> again = client.value().call(encode_request(rec));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().ok);
+  EXPECT_EQ(again.value().code, kCodeUnprocessable);
+
+  // An id no backend ever issued is a fleet-wide 404.
+  rec.id = 5;
+  rec.decision_id = 99;
+  Result<Response> unknown = client.value().call(encode_request(rec));
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(unknown.value().ok);
+  EXPECT_EQ(unknown.value().code, kCodeNotFound);
+
+  // Fetch-one through the router: only the issuer contributes a row,
+  // and an id nobody knows is 404 rather than an empty union.
+  Request one;
+  one.id = 6;
+  one.op = Op::kDecisions;
+  one.decision_id = 1;
+  Result<Response> fetched = client.value().call(encode_request(one));
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_TRUE(fetched.value().ok) << fetched.value().error;
+  const json::Value* hit = fetched.value().body.find("backends");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->as_array().size(), 1u);
+  ASSERT_NE(hit->as_array()[0].find("decision"), nullptr);
+
+  one.id = 7;
+  one.decision_id = 99;
+  Result<Response> missing = client.value().call(encode_request(one));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing.value().ok);
+  EXPECT_EQ(missing.value().code, kCodeNotFound);
+  router.stop();
+}
+
 TEST_F(RouterTest, RouterConfigValidatesSloKnobs) {
   RouterConfig cfg;
   cfg.socket_path = unique_socket_path("badslo_r");

@@ -2,6 +2,10 @@
 // and the online repartitioning controller.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "cachesim/corun.hpp"
 #include "core/elastic.hpp"
 #include "core/dp_partition.hpp"
@@ -230,6 +234,135 @@ TEST(Controller, RespectsQosFloors) {
   ControllerResult r = run_online_controller(mix, 2, config);
   for (const auto& alloc : r.alloc_history)
     for (auto units : alloc) EXPECT_GE(units, 40u);
+}
+
+TEST(Controller, LogsAndReconcilesEveryDecision) {
+  Trace a = make_zipf(40000, 200, 0.9, 131);
+  Trace b = make_cyclic(40000, 120);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 80000);
+  ControllerConfig config;
+  config.capacity = 256;
+  config.epoch_length = 10000;
+  config.sampling_rate = 0.2;
+  ControllerResult r = run_online_controller(mix, 2, config);
+
+  ASSERT_NE(r.decisions, nullptr);
+  obs::DecisionAccuracy acc = r.decisions->accuracy();
+  // Startup decision + one per epoch; every one reconciled (the trailing
+  // full epoch reconciles the last).
+  EXPECT_EQ(acc.decisions_total, r.epochs + 1);
+  EXPECT_EQ(acc.reconciled_total, acc.decisions_total);
+  EXPECT_GT(acc.error_samples, 0u);
+  EXPECT_TRUE(std::isfinite(acc.mean_abs_error));
+  EXPECT_LE(acc.mean_abs_error, 1.0);
+
+  // The audit ring mirrors alloc_history, newest first.
+  std::vector<obs::DecisionRecord> recent = r.decisions->recent(4);
+  ASSERT_GE(recent.size(), 2u);
+  EXPECT_EQ(recent.front().id, r.decisions->last_id());
+  EXPECT_EQ(recent.front().alloc, r.alloc_history.back());
+  EXPECT_EQ(recent.front().tenants.size(), 2u);
+  // 80000 % 10000 == 0: the trailing segment is a full epoch.
+  EXPECT_FALSE(recent.front().partial);
+  // The startup decision is the equal partition, trigger kFallback is
+  // wrong for it — it must be recorded before the first epoch learns.
+  obs::DecisionRecord first;
+  ASSERT_TRUE(r.decisions->find(1, &first));
+  EXPECT_EQ(first.epoch, 0u);
+  for (std::size_t units : first.alloc) EXPECT_EQ(units, 128u);
+}
+
+TEST(Controller, TrailingPartialEpochReconcilesAsPartial) {
+  Trace a = make_zipf(25000, 200, 0.9, 7);
+  Trace b = make_cyclic(25000, 120);
+  // 50000 total, epoch 12000: trailing 2000-access segment is partial.
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 50000);
+  ControllerConfig config;
+  config.capacity = 256;
+  config.epoch_length = 12000;
+  config.sampling_rate = 0.2;
+  ControllerResult r = run_online_controller(mix, 2, config);
+
+  std::vector<obs::DecisionRecord> recent = r.decisions->recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_TRUE(recent.front().reconciled);
+  EXPECT_TRUE(recent.front().partial);
+  EXPECT_EQ(r.decisions->accuracy().reconciled_total,
+            r.decisions->accuracy().decisions_total);
+}
+
+TEST(Controller, FallbackDecisionsAreTaggedWithANote) {
+  Trace a = make_zipf(40000, 200, 0.9, 131);
+  Trace b = make_cyclic(40000, 120);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 80000);
+  ControllerConfig config;
+  config.capacity = 256;
+  config.epoch_length = 10000;
+  config.sampling_rate = 0.2;
+  ControllerHooks hooks;
+  hooks.fail_dp = [](std::size_t epoch) { return epoch == 2; };
+  ControllerResult r = run_online_controller(mix, 2, config, hooks);
+
+  // Decision ids: 1 = startup, 1+k = epoch k's decision.
+  obs::DecisionRecord held;
+  ASSERT_TRUE(r.decisions->find(1 + 3, &held));  // epoch index 2
+  EXPECT_EQ(held.trigger, obs::DecisionTrigger::kFallback);
+  EXPECT_NE(held.note.find("dp failed"), std::string::npos);
+  obs::DecisionRecord normal;
+  ASSERT_TRUE(r.decisions->find(1 + 4, &normal));
+  EXPECT_EQ(normal.trigger, obs::DecisionTrigger::kEpoch);
+}
+
+TEST(Controller, DriftDetectorFlagsAMidRunShift) {
+  // Same role-swap workload as TracksAMidRunBehaviourShift: the epoch
+  // after the swap, predictions built on the old behaviour miss badly,
+  // so the |error| EWMA breaches and the alert names the decision.
+  Trace a = make_cyclic(30000, 150);
+  a.append(make_sawtooth(30000, 20));
+  Trace b = make_sawtooth(30000, 20);
+  b.append(make_cyclic(30000, 150).relabeled(1000));
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 120000);
+
+  ControllerConfig config;
+  config.capacity = 200;
+  config.epoch_length = 10000;
+  config.sampling_rate = 0.5;
+  config.drift_threshold = 0.08;
+  ControllerResult r = run_online_controller(mix, 2, config);
+
+  EXPECT_TRUE(r.drift.configured);
+  ASSERT_GE(r.drift_alerts.size(), 1u);
+  const obs::DriftAlert& alert = r.drift_alerts.front();
+  EXPECT_GT(alert.ewma_abs, config.drift_threshold);
+  EXPECT_NE(alert.decision_id, 0u);
+  EXPECT_FALSE(alert.tenant.empty());
+  // The breach happens around the swap (~epoch 6 of 12), not at startup.
+  EXPECT_GT(alert.decision_id, 3u);
+}
+
+TEST(Controller, DecisionPlaneDoesNotPerturbAllocations) {
+  // OCPS_OBS=0 contract: with the registry disabled the solver outputs
+  // must be bit-for-bit identical — the audit trail is passive.
+  Trace a = make_zipf(30000, 200, 0.9, 99);
+  Trace b = make_cyclic(30000, 120);
+  InterleavedTrace mix = interleave_proportional({a, b}, {1.0, 1.0}, 60000);
+  ControllerConfig config;
+  config.capacity = 256;
+  config.epoch_length = 8000;
+  config.sampling_rate = 0.3;
+  config.drift_threshold = 0.05;
+
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  ControllerResult on = run_online_controller(mix, 2, config);
+  obs::set_enabled(false);
+  ControllerResult off = run_online_controller(mix, 2, config);
+  obs::set_enabled(was_enabled);
+
+  EXPECT_EQ(on.alloc_history, off.alloc_history);
+  EXPECT_EQ(on.sim.misses, off.sim.misses);
+  EXPECT_EQ(on.decisions->last_id(), off.decisions->last_id());
+  EXPECT_EQ(on.drift_alerts.size(), off.drift_alerts.size());
 }
 
 TEST(Controller, RejectsBadConfig) {

@@ -1252,6 +1252,247 @@ TEST_F(ServeTest, MetricsExposeStageSeriesAndSloGauges) {
 }
 #endif  // OCPS_OBS_DISABLED
 
+TEST_F(ServeTest, PartitionResponsesCarryDecisionIdsAndDecisionsOpListsThem) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("decisions");
+  config.capacity = kCapacity;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  Result<Response> first =
+      client.value().call(partition_request(1, {"prog0", "prog1"}));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().ok);
+  EXPECT_EQ(first.value().body.get_number("decision_id", 0.0), 1.0);
+  Result<Response> second =
+      client.value().call(partition_request(2, {"prog2", "prog3"}));
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().ok);
+  EXPECT_EQ(second.value().body.get_number("decision_id", 0.0), 2.0);
+
+  Result<Response> audit =
+      client.value().call(R"({"id":3,"op":"decisions"})");
+  ASSERT_TRUE(audit.ok());
+  ASSERT_TRUE(audit.value().ok) << audit.value().error;
+  const json::Value& body = audit.value().body;
+  const json::Value* rows = body.find("decisions");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->as_array().size(), 2u);
+  // Newest first; the profile set never changed, so both are on-demand
+  // request decisions with per-tenant predictions attached.
+  const json::Value& newest = rows->as_array()[0];
+  EXPECT_EQ(newest.get_number("decision_id", 0.0), 2.0);
+  EXPECT_EQ(newest.get_string("trigger", ""), "request");
+  EXPECT_FALSE(newest.get_bool("reconciled", true));
+  const json::Value* predicted = newest.find("predicted_mr");
+  ASSERT_NE(predicted, nullptr);
+  ASSERT_EQ(predicted->as_array().size(), 2u);
+  EXPECT_TRUE(predicted->as_array()[0].is_number());
+  EXPECT_GT(newest.get_number("solve_ns", -1.0), 0.0);
+
+  const json::Value* acc = body.find("accuracy");
+  ASSERT_NE(acc, nullptr);
+  EXPECT_EQ(acc->get_number("decisions_total", 0.0), 2.0);
+  EXPECT_EQ(acc->get_number("reconciled", -1.0), 0.0);
+  const json::Value* drift = body.find("drift");
+  ASSERT_NE(drift, nullptr);
+  EXPECT_FALSE(drift->get_bool("configured", true));
+
+  // Fetch-one shape: the record plus its predecessor for the why-diff.
+  Result<Response> one =
+      client.value().call(R"({"id":4,"op":"decisions","decision_id":2})");
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(one.value().ok);
+  ASSERT_NE(one.value().body.find("decision"), nullptr);
+  ASSERT_NE(one.value().body.find("previous"), nullptr);
+  EXPECT_EQ(one.value().body.find("previous")->get_number("decision_id", 0.0),
+            1.0);
+
+  Result<Response> missing =
+      client.value().call(R"({"id":5,"op":"decisions","decision_id":99})");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing.value().ok);
+  EXPECT_EQ(missing.value().code, kCodeNotFound);
+
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, ReconcileAttachesRealizedRatiosAndRejectsBadRequests) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("reconcile");
+  config.capacity = kCapacity;
+  config.drift_threshold = 0.01;  // make the detector alert-capable
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  Result<Response> part =
+      client.value().call(partition_request(1, {"prog0", "prog1"}));
+  ASSERT_TRUE(part.ok());
+  ASSERT_TRUE(part.value().ok);
+  const std::uint64_t id = static_cast<std::uint64_t>(
+      part.value().body.get_number("decision_id", 0.0));
+  ASSERT_EQ(id, 1u);
+
+  // Realized ratios in tenant order; null = the tenant made no accesses.
+  Result<Response> ok = client.value().call(
+      R"({"id":2,"op":"reconcile","decision_id":1,"realized":[0.9,null]})");
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(ok.value().ok) << ok.value().error;
+  const json::Value* rec = ok.value().body.find("decision");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->get_bool("reconciled", false));
+  const json::Value* err = rec->find("error");
+  ASSERT_NE(err, nullptr);
+  ASSERT_EQ(err->as_array().size(), 2u);
+  EXPECT_TRUE(err->as_array()[0].is_number());
+  EXPECT_TRUE(err->as_array()[1].is_null());  // NaN serializes as null
+  const json::Value* drift = ok.value().body.find("drift");
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->get_number("samples", 0.0), 1.0);
+
+  // Double-reconcile -> 422; unknown id -> 404; size mismatch -> 400.
+  Result<Response> twice = client.value().call(
+      R"({"id":3,"op":"reconcile","decision_id":1,"realized":[0.9,0.1]})");
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice.value().code, kCodeUnprocessable);
+  Result<Response> unknown = client.value().call(
+      R"({"id":4,"op":"reconcile","decision_id":77,"realized":[0.5]})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown.value().code, kCodeNotFound);
+  Result<Response> part2 =
+      client.value().call(partition_request(5, {"prog0", "prog1"}));
+  ASSERT_TRUE(part2.ok());
+  Result<Response> mismatch = client.value().call(
+      R"({"id":6,"op":"reconcile","decision_id":2,"realized":[0.5]})");
+  ASSERT_TRUE(mismatch.ok());
+  EXPECT_EQ(mismatch.value().code, kCodeBadRequest);
+  // A reconcile without realized ratios is malformed outright.
+  Result<Response> empty = client.value().call(
+      R"({"id":7,"op":"reconcile","decision_id":2})");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().code, kCodeBadRequest);
+
+  server.request_stop();
+  server.stop();
+}
+
+TEST_F(ServeTest, ReloadTagsTheNextDecision) {
+  std::string fp_path = "/tmp/ocps_test_decision_reload.fp";
+  {
+    std::vector<ProgramModel> fresh = make_models(1);
+    FootprintFile file;
+    file.name = "fresh0";
+    file.access_rate = fresh[0].access_rate;
+    file.trace_length = fresh[0].trace_length;
+    file.distinct = fresh[0].distinct;
+    file.footprint = fresh[0].footprint;
+    save_footprint_file(file, fp_path);
+  }
+  ServeConfig config;
+  config.socket_path = unique_socket_path("decreload");
+  config.capacity = kCapacity;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  Result<Response> before =
+      client.value().call(partition_request(1, {"prog0"}));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before.value().ok);
+  Result<Response> reload = client.value().call(
+      R"({"id":2,"op":"reload","paths":[")" + fp_path + R"("]})");
+  ASSERT_TRUE(reload.ok());
+  ASSERT_TRUE(reload.value().ok) << reload.value().error;
+  Result<Response> after =
+      client.value().call(partition_request(3, {"fresh0"}));
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after.value().ok);
+  Result<Response> after2 =
+      client.value().call(partition_request(4, {"fresh0"}));
+  ASSERT_TRUE(after2.ok());
+  ASSERT_TRUE(after2.value().ok);
+
+  Result<Response> audit =
+      client.value().call(R"({"id":5,"op":"decisions"})");
+  ASSERT_TRUE(audit.ok());
+  const json::Value* rows = audit.value().body.find("decisions");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->as_array().size(), 3u);  // newest first: 3, 2, 1
+  EXPECT_EQ(rows->as_array()[0].get_string("trigger", ""), "request");
+  EXPECT_EQ(rows->as_array()[1].get_string("trigger", ""), "reload");
+  EXPECT_EQ(rows->as_array()[2].get_string("trigger", ""), "request");
+
+  server.request_stop();
+  server.stop();
+  std::remove(fp_path.c_str());
+}
+
+TEST_F(ServeTest, DecisionsOpAnswersWithObsOff) {
+  obs::set_enabled(false);
+  ServeConfig config;
+  config.socket_path = unique_socket_path("decobsoff");
+  config.capacity = kCapacity;
+  Server server(config, make_models());
+  ASSERT_TRUE(server.start().ok());
+  Result<Client> client = Client::connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  Result<Response> part =
+      client.value().call(partition_request(1, {"prog0", "prog1"}));
+  ASSERT_TRUE(part.ok());
+  ASSERT_TRUE(part.value().ok);
+  EXPECT_EQ(part.value().body.get_number("decision_id", 0.0), 1.0);
+
+  // The audit trail is registry-independent: unlike `metrics`, the
+  // decisions op answers with observability off.
+  Result<Response> audit =
+      client.value().call(R"({"id":2,"op":"decisions"})");
+  ASSERT_TRUE(audit.ok());
+  ASSERT_TRUE(audit.value().ok) << audit.value().error;
+  const json::Value* rows = audit.value().body.find("decisions");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->as_array().size(), 1u);
+  Result<Response> rec = client.value().call(
+      R"({"id":3,"op":"reconcile","decision_id":1,"realized":[0.5,0.5]})");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec.value().ok) << rec.value().error;
+
+  server.request_stop();
+  server.stop();
+  obs::set_enabled(true);
+}
+
+TEST_F(ServeTest, ServeConfigRejectsBadDecisionKnobs) {
+  std::vector<ProgramModel> models = make_models(2);
+  {
+    ServeConfig config;
+    config.socket_path = unique_socket_path("baddec1");
+    config.capacity = kCapacity;
+    config.decision_log_capacity = 0;
+    EXPECT_THROW(Server(config, models), CheckError);
+  }
+  {
+    ServeConfig config;
+    config.socket_path = unique_socket_path("baddec2");
+    config.capacity = kCapacity;
+    config.drift_alpha = 1.5;  // must be in (0, 1]
+    EXPECT_THROW(Server(config, models), CheckError);
+  }
+  {
+    ServeConfig config;
+    config.socket_path = unique_socket_path("baddec3");
+    config.capacity = kCapacity;
+    config.drift_threshold = -0.1;
+    EXPECT_THROW(Server(config, models), CheckError);
+  }
+}
+
 TEST_F(ServeTest, ServeConfigRejectsBadSloKnobs) {
   std::vector<ProgramModel> models = make_models(2);
   {

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -95,6 +96,14 @@ commands:
       --min-units M    per-program QoS floor in blocks (0)
       --max-delta D    hysteresis: max blocks moved per epoch (0 = off)
       --policy P       graceful | restart   (graceful)
+      decision quality (the audit trail always runs; see
+      docs/observability.md "Decision quality and model drift"):
+      --drift-alpha A      EWMA weight of the newest prediction error (0.25)
+      --drift-threshold T  |error| EWMA level that logs a model-drift
+                           alert; 0 = alerting off (0)
+      --decisions-out FILE write the decision audit trail (every decision
+                           with predicted vs realized miss ratios,
+                           accuracy summary, drift state) as JSON
       fault injection (deterministic; all rates in [0,1], default 0):
       --fault-rate F        set every fault kind to rate F
       --fault-nan F         NaN-lace a sampled MRC
@@ -131,6 +140,10 @@ commands:
                        burn rates on serve.slo.latency.* gauges (0 = off)
       --slo-availability A  availability SLO target in [0,1), e.g. 0.999;
                        serve.slo.availability.* gauges (0 = off)
+      --decision-log-cap N  partition-decision audit ring size (128)
+      --drift-alpha A      prediction-error EWMA weight (0.25)
+      --drift-threshold T  model-drift alert level on the |error| EWMA,
+                       fed by `reconcile` requests; 0 = alerting off (0)
       --trace-out FILE   write the Chrome trace_event JSON at drain
       --metrics-out FILE write the metrics snapshot JSON at drain
       network chaos (deterministic; rates in [0,1], default 0; for the
@@ -172,9 +185,15 @@ commands:
                        unless --addr)
       --addr H:P       TCP endpoint, alternative to --socket
       --op OP          partition | sweep | health | reload | metrics |
-                       slowlog | trace | slo   (health)
+                       slowlog | trace | slo | decisions | reconcile
+                       (health)
       --programs A,B   comma-separated program names (partition/sweep)
       --paths a,b      comma-separated footprint files (reload)
+      --decision-id N  decisions: fetch one record; reconcile: the
+                       decision the realized ratios belong to
+      --limit N        decisions: max recent records (0 = server default)
+      --realized A,B   reconcile: comma-separated realized miss ratios in
+                       the decision's tenant order ("nan" = no accesses)
       --capacity C     cache size in blocks (0 = server default)
       --objective O    sum | max                (sum)
       --group-size K   sweep group size (0 = server default)
@@ -203,10 +222,25 @@ commands:
       --socket PATH    endpoint socket path (this or --addr required)
       --addr H:P       TCP endpoint
       --timeout-ms T   client-side wait (30000)
+  decisions            one-shot view of an endpoint's partition-decision
+                       audit trail: recent decisions, predicted-vs-
+                       realized accuracy, model-drift state and alerts
+                       (a router answers per backend)
+      --socket PATH    endpoint socket path (this or --addr required)
+      --addr H:P       TCP endpoint
+      --limit N        max recent decisions to fetch (0 = server default)
+      --timeout-ms T   client-side wait (30000)
+  why <decision-id>    explain one partition decision: trigger and note,
+                       allocation diff against the previous decision, and
+                       per-tenant predicted vs realized miss ratios with
+                       the prediction errors that drove any fallback
+      --socket PATH    endpoint socket path (this or --addr required)
+      --addr H:P       TCP endpoint
+      --timeout-ms T   client-side wait (30000)
   top                  live terminal dashboard of a running daemon:
                        throughput, queue depth, shed/504 rates, batch
-                       size, latency percentiles, and per-stage p99s,
-                       refreshed in place
+                       size, latency percentiles, per-stage p99s, build
+                       info, and model-drift state, refreshed in place
       --socket PATH    daemon socket path (required)
       --interval-ms I  refresh interval (1000)
       --iterations N   frames to render before exiting; 0 = until ^C (0)
@@ -531,6 +565,8 @@ int cmd_controller(const ArgParser& args) {
   } else {
     OCPS_CHECK(policy == "graceful", "unknown policy '" << policy << "'");
   }
+  config.drift_alpha = args.get_double("drift-alpha", 0.25);
+  config.drift_threshold = args.get_double("drift-threshold", 0.0);
 
   double all = args.get_double("fault-rate", 0.0);
   FaultInjectionConfig faults;
@@ -560,6 +596,47 @@ int cmd_controller(const ArgParser& args) {
   obs::write_metrics_text(std::cout, "controller.");
   std::cout << "profiling cost: " << TextTable::pct(r.sampled_fraction, 1)
             << "\n";
+
+  // Decision-quality summary: how well the predicted miss ratios held up
+  // against what the simulated cache then actually did.
+  obs::DecisionAccuracy acc = r.decisions->accuracy();
+  std::cout << "decisions: " << acc.decisions_total << " logged, "
+            << acc.reconciled_total << " reconciled, mean |error| "
+            << TextTable::num(acc.mean_abs_error, 5) << ", max "
+            << TextTable::num(acc.max_abs_error, 5) << ", bias "
+            << TextTable::num(acc.mean_signed_error, 5) << "\n";
+  std::cout << "drift: EWMA |error| " << TextTable::num(r.drift.ewma_abs, 5)
+            << ", bias " << TextTable::num(r.drift.bias, 5) << " over "
+            << r.drift.samples << " samples";
+  if (r.drift.configured)
+    std::cout << " (threshold " << TextTable::num(r.drift.threshold, 5)
+              << (r.drift.breaching ? ", BREACHING" : "") << ")";
+  else
+    std::cout << " (alerting off; set --drift-threshold)";
+  std::cout << "\n";
+  for (const obs::DriftAlert& a : r.drift_alerts)
+    std::cout << "  drift alert #" << a.seq << " at decision " << a.decision_id
+              << ": EWMA |error| " << TextTable::num(a.ewma_abs, 5) << " > "
+              << TextTable::num(a.threshold, 5) << ", worst tenant "
+              << a.tenant << "\n";
+
+  std::string decisions_out = args.get_string("decisions-out", "");
+  if (!decisions_out.empty()) {
+    std::ofstream os(decisions_out, std::ios::trunc);
+    OCPS_CHECK(os.good(),
+               "cannot open " << decisions_out << " for writing");
+    json::Value doc;
+    json::Array rows;
+    std::vector<obs::DecisionRecord> all =
+        r.decisions->recent(r.decisions->capacity());
+    for (auto it = all.rbegin(); it != all.rend(); ++it)  // oldest first
+      rows.push_back(serve::decision_json(*it));
+    doc.set("decisions", json::Value(std::move(rows)));
+    doc.set("accuracy", serve::decision_accuracy_json(acc));
+    doc.set("drift", serve::drift_status_json(r.drift, r.drift_alerts));
+    os << doc.dump() << "\n";
+    std::cout << "decision audit trail written to " << decisions_out << "\n";
+  }
   if (injector.injected_total() > 0)
     std::cout << "injected faults: " << injector.injected_total() << " ("
               << injector.injected_nan() << " nan, "
@@ -639,6 +716,9 @@ int cmd_stats(const ArgParser& args) {
       run_online_controller(mix, traces.size(), config, ControllerHooks{});
   (void)r;
 
+  obs::BuildInfo bi = obs::build_info();
+  std::cout << "build " << bi.git_sha << " — " << bi.compiler << " — simd "
+            << bi.simd_kernel << "\n";
   std::cout << "metrics registry after a " << total << "-access, "
             << traces.size() << "-program controller run:\n\n";
   obs::write_metrics_text(std::cout);
@@ -699,6 +779,10 @@ int cmd_serve(const ArgParser& args) {
       static_cast<unsigned>(args.get_int("window-s", 30));
   config.slo_p99_ms = args.get_double("slo-p99-ms", 0.0);
   config.slo_availability = args.get_double("slo-availability", 0.0);
+  config.decision_log_capacity =
+      static_cast<std::size_t>(args.get_int("decision-log-cap", 128));
+  config.drift_alpha = args.get_double("drift-alpha", 0.25);
+  config.drift_threshold = args.get_double("drift-threshold", 0.0);
 
   // Declared before the server so it outlives every server thread.
   std::optional<NetFaultInjector> chaos;
@@ -792,6 +876,36 @@ int cmd_query(const ArgParser& args) {
   std::int64_t trace_id = args.get_int("trace-id", 0);
   if (trace_id > 0)
     req.set("trace_id", json::Value(static_cast<double>(trace_id)));
+  std::int64_t decision_id = args.get_int("decision-id", 0);
+  if (decision_id > 0)
+    req.set("decision_id", json::Value(static_cast<double>(decision_id)));
+  std::int64_t limit = args.get_int("limit", 0);
+  if (limit > 0) req.set("limit", json::Value(static_cast<double>(limit)));
+  std::string realized = args.get_string("realized", "");
+  if (!realized.empty()) {
+    // Realized miss ratios in tenant order; "nan" marks a tenant that
+    // made no accesses (serialized as JSON null, decoded back to NaN).
+    json::Array ratios;
+    std::size_t pos = 0;
+    while (pos <= realized.size()) {
+      std::size_t comma = realized.find(',', pos);
+      if (comma == std::string::npos) comma = realized.size();
+      if (comma > pos) {
+        std::string tok = realized.substr(pos, comma - pos);
+        if (tok == "nan" || tok == "null") {
+          ratios.emplace_back(std::nan(""));
+        } else {
+          try {
+            ratios.emplace_back(std::stod(tok));
+          } catch (...) {
+            OCPS_CHECK(false, "bad --realized entry '" << tok << "'");
+          }
+        }
+      }
+      pos = comma + 1;
+    }
+    req.set("realized", json::Value(std::move(ratios)));
+  }
 
   auto timeout = std::chrono::milliseconds(args.get_int("timeout-ms", 30000));
   serve::RetryPolicy policy;
@@ -1133,6 +1247,267 @@ int cmd_slo(const ArgParser& args) {
   return 0;
 }
 
+// Helpers shared by `ocps decisions` and `ocps why`: render wire-shape
+// decision records (serve/protocol.hpp decision_json) as tables.
+
+std::string alloc_summary(const json::Value& rec, const char* key) {
+  std::string out;
+  if (const json::Value* a = rec.find(key))
+    if (a->is_array())
+      for (const json::Value& u : a->as_array()) {
+        if (!out.empty()) out += "/";
+        out += std::to_string(static_cast<long long>(
+            u.is_number() ? u.as_number() : 0.0));
+      }
+  return out;
+}
+
+// Mean of the finite entries of a number-or-null array ("error",
+// "predicted_mr", ...); NaN when none.
+double finite_mean(const json::Value& rec, const char* key, bool absolute) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  if (const json::Value* arr = rec.find(key))
+    if (arr->is_array())
+      for (const json::Value& v : arr->as_array())
+        if (v.is_number() && std::isfinite(v.as_number())) {
+          sum += absolute ? std::fabs(v.as_number()) : v.as_number();
+          ++n;
+        }
+  return n > 0 ? sum / static_cast<double>(n) : std::nan("");
+}
+
+void print_drift_json(const json::Value& body) {
+  const json::Value* drift = body.find("drift");
+  if (!drift) return;
+  std::cout << "drift: EWMA |error| "
+            << TextTable::num(drift->get_number("ewma_abs_error", 0.0), 5)
+            << ", bias " << TextTable::num(drift->get_number("bias", 0.0), 5)
+            << " over " << drift->get_number("samples", 0.0) << " samples";
+  if (drift->get_bool("configured", false))
+    std::cout << " (threshold "
+              << TextTable::num(drift->get_number("threshold", 0.0), 5)
+              << (drift->get_bool("breaching", false) ? ", BREACHING" : "")
+              << ")";
+  else
+    std::cout << " (alerting off; set --drift-threshold)";
+  std::cout << "\n";
+  if (const json::Value* alerts = drift->find("alerts"))
+    if (alerts->is_array())
+      for (const json::Value& a : alerts->as_array())
+        std::cout << "  drift alert #" << a.get_number("seq", 0.0)
+                  << " at decision " << a.get_number("decision_id", 0.0)
+                  << ": EWMA |error| "
+                  << TextTable::num(a.get_number("ewma_abs_error", 0.0), 5)
+                  << " > " << TextTable::num(a.get_number("threshold", 0.0), 5)
+                  << ", worst tenant " << a.get_string("tenant", "?") << "\n";
+}
+
+// One endpoint's audit view (the daemon body shape: "decisions" +
+// "accuracy" + "drift").
+void print_decision_body(const json::Value& body) {
+  TextTable t({"id", "epoch", "trigger", "alloc", "reconciled", "mean |err|",
+               "note"});
+  if (const json::Value* rows = body.find("decisions"))
+    if (rows->is_array())
+      for (const json::Value& d : rows->as_array()) {
+        const bool reconciled = d.get_bool("reconciled", false);
+        double mean_err = finite_mean(d, "error", /*absolute=*/true);
+        t.add_row(
+            {std::to_string(
+                 static_cast<long long>(d.get_number("decision_id", 0.0))),
+             std::to_string(
+                 static_cast<long long>(d.get_number("epoch", 0.0))),
+             d.get_string("trigger", "?"), alloc_summary(d, "alloc"),
+             !reconciled ? "no"
+                         : (d.get_bool("partial", false) ? "partial" : "yes"),
+             std::isfinite(mean_err) ? TextTable::num(mean_err, 5) : "-",
+             d.get_string("note", "")});
+      }
+  t.print(std::cout);
+  if (const json::Value* acc = body.find("accuracy"))
+    std::cout << "accuracy: " << acc->get_number("decisions_total", 0.0)
+              << " decisions, " << acc->get_number("reconciled", 0.0)
+              << " reconciled, mean |error| "
+              << TextTable::num(acc->get_number("mean_abs_error", 0.0), 5)
+              << ", max "
+              << TextTable::num(acc->get_number("max_abs_error", 0.0), 5)
+              << ", bias "
+              << TextTable::num(acc->get_number("bias", 0.0), 5) << "\n";
+  print_drift_json(body);
+}
+
+// `ocps decisions`: one-shot audit-trail view. A router body carries a
+// "backends" array (one audit view per daemon); a daemon body is the
+// view itself.
+int cmd_decisions(const ArgParser& args) {
+  serve::Request req;
+  req.id = 1;
+  req.op = serve::Op::kDecisions;
+  std::int64_t limit = args.get_int("limit", 0);
+  OCPS_CHECK(limit >= 0, "limit must be >= 0");
+  req.limit = static_cast<std::size_t>(limit);
+  Result<serve::Response> resp = one_shot_request(args, "decisions", req);
+  if (!resp.ok()) {
+    std::cerr << "error: " << resp.error().to_string() << "\n";
+    return 1;
+  }
+  if (!resp.value().ok) {
+    std::cerr << "error: endpoint replied " << resp.value().code << ": "
+              << resp.value().error << "\n";
+    return 1;
+  }
+  const json::Value& body = resp.value().body;
+  const json::Value* backends = body.find("backends");
+  if (backends && backends->is_array()) {
+    for (const json::Value& b : backends->as_array()) {
+      std::cout << "backend " << b.get_number("backend", 0.0) << " ("
+                << b.get_string("endpoint", "?") << "):\n";
+      print_decision_body(b);
+      std::cout << "\n";
+    }
+    return 0;
+  }
+  print_decision_body(body);
+  return 0;
+}
+
+// `ocps why <decision-id>`: the audit-trail drill-down — what this
+// decision changed relative to the previous one, and how its predictions
+// held up.
+int cmd_why(const ArgParser& args) {
+  OCPS_CHECK(args.positionals().size() == 2,
+             "why needs one id: ocps why <decision-id> --socket PATH");
+  std::uint64_t decision_id = 0;
+  try {
+    decision_id = std::stoull(args.positionals()[1]);
+  } catch (...) {
+  }
+  OCPS_CHECK(decision_id != 0, "decision id must be a positive integer");
+
+  serve::Request req;
+  req.id = 1;
+  req.op = serve::Op::kDecisions;
+  req.decision_id = decision_id;
+  Result<serve::Response> resp = one_shot_request(args, "why", req);
+  if (!resp.ok()) {
+    std::cerr << "error: " << resp.error().to_string() << "\n";
+    return 1;
+  }
+  if (!resp.value().ok) {
+    std::cerr << "error: endpoint replied " << resp.value().code << ": "
+              << resp.value().error << "\n";
+    return 1;
+  }
+  // Through a router the record arrives inside the first "backends"
+  // entry (ids are per-daemon; the router already 404s when nobody knows
+  // the id).
+  const json::Value* view = &resp.value().body;
+  if (const json::Value* backends = view->find("backends"))
+    if (backends->is_array() && !backends->as_array().empty()) {
+      const json::Value& b = backends->as_array().front();
+      std::cout << "answered by backend " << b.get_number("backend", 0.0)
+                << " (" << b.get_string("endpoint", "?") << ")\n";
+      view = &b;
+    }
+  const json::Value* d = view->find("decision");
+  if (!d) {
+    std::cerr << "error: endpoint answered without a decision record\n";
+    return 1;
+  }
+
+  std::cout << "decision #" << d->get_number("decision_id", 0.0)
+            << " — trigger " << d->get_string("trigger", "?") << " — epoch "
+            << d->get_number("epoch", 0.0) << " — solve "
+            << TextTable::num(d->get_number("solve_ns", 0.0) / 1e6, 3)
+            << " ms"
+            << (d->get_bool("incremental", false) ? " (incremental)" : "")
+            << "\n";
+  std::string note = d->get_string("note", "");
+  if (!note.empty()) std::cout << "note: " << note << "\n";
+
+  // Previous allocation by tenant name (consecutive controller decisions
+  // share the tenant list; serve decisions may not).
+  std::map<std::string, double> prev_alloc;
+  if (const json::Value* prev = view->find("previous"))
+    if (const json::Value* names = prev->find("tenants"))
+      if (const json::Value* units = prev->find("alloc"))
+        if (names->is_array() && units->is_array() &&
+            names->as_array().size() == units->as_array().size())
+          for (std::size_t i = 0; i < names->as_array().size(); ++i)
+            if (names->as_array()[i].is_string() &&
+                units->as_array()[i].is_number())
+              prev_alloc[names->as_array()[i].as_string()] =
+                  units->as_array()[i].as_number();
+
+  auto cell = [](const json::Value* arr, std::size_t i,
+                 int digits) -> std::string {
+    if (!arr || !arr->is_array() || i >= arr->as_array().size())
+      return "-";
+    const json::Value& v = arr->as_array()[i];
+    if (!v.is_number() || !std::isfinite(v.as_number())) return "-";
+    return TextTable::num(v.as_number(), digits);
+  };
+
+  const json::Value* tenants = d->find("tenants");
+  const json::Value* alloc = d->find("alloc");
+  const json::Value* predicted = d->find("predicted_mr");
+  const json::Value* realized = d->find("realized_mr");
+  const json::Value* error = d->find("error");
+  const json::Value* degraded = d->find("tenant_degraded");
+  const std::size_t n =
+      tenants && tenants->is_array() ? tenants->as_array().size() : 0;
+  TextTable t({"tenant", "prev", "blocks", "delta", "predicted", "realized",
+               "error", "degraded"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const json::Value& name_v = tenants->as_array()[i];
+    std::string name = name_v.is_string() ? name_v.as_string() : "?";
+    double units = alloc && alloc->is_array() && i < alloc->as_array().size() &&
+                           alloc->as_array()[i].is_number()
+                       ? alloc->as_array()[i].as_number()
+                       : 0.0;
+    auto prev_it = prev_alloc.find(name);
+    std::string prev_cell = "-", delta_cell = "-";
+    if (prev_it != prev_alloc.end()) {
+      prev_cell = std::to_string(static_cast<long long>(prev_it->second));
+      long long delta = static_cast<long long>(units - prev_it->second);
+      delta_cell = (delta >= 0 ? "+" : "") + std::to_string(delta);
+    }
+    bool is_degraded = degraded && degraded->is_array() &&
+                       i < degraded->as_array().size() &&
+                       degraded->as_array()[i].is_bool() &&
+                       degraded->as_array()[i].as_bool();
+    t.add_row({name, prev_cell,
+               std::to_string(static_cast<long long>(units)), delta_cell,
+               cell(predicted, i, 5), cell(realized, i, 5), cell(error, i, 5),
+               is_degraded ? "YES" : ""});
+  }
+  t.print(std::cout);
+
+  if (!d->get_bool("reconciled", false))
+    std::cout << "not reconciled yet — realized ratios arrive one epoch "
+                 "later (or via the reconcile op)\n";
+  else if (d->get_bool("partial", false))
+    std::cout << "reconciled against a truncated trailing epoch\n";
+
+  // Drift alerts that point at this decision.
+  if (const json::Value* drift = view->find("drift"))
+    if (const json::Value* alerts = drift->find("alerts"))
+      if (alerts->is_array())
+        for (const json::Value& a : alerts->as_array())
+          if (static_cast<std::uint64_t>(
+                  a.get_number("decision_id", 0.0)) == decision_id)
+            std::cout << "drift alert #" << a.get_number("seq", 0.0)
+                      << " fired on this decision: EWMA |error| "
+                      << TextTable::num(
+                             a.get_number("ewma_abs_error", 0.0), 5)
+                      << " > "
+                      << TextTable::num(a.get_number("threshold", 0.0), 5)
+                      << ", worst tenant " << a.get_string("tenant", "?")
+                      << "\n";
+  return 0;
+}
+
 // `ocps top`: poll the daemon's metrics + health ops and redraw a compact
 // dashboard. Rates are first differences between consecutive polls.
 int cmd_top(const ArgParser& args) {
@@ -1225,7 +1600,13 @@ int cmd_top(const ArgParser& args) {
                                 1)
               << "s"
               << (health.get_bool("draining", false) ? " — DRAINING" : "")
-              << "\n\n";
+              << "\n";
+    if (const json::Value* bi =
+            metrics ? metrics->find("build_info") : nullptr)
+      frame_out << "build " << bi->get_string("git_sha", "?") << " — "
+                << bi->get_string("compiler", "?") << " — simd "
+                << bi->get_string("simd_kernel", "?") << "\n";
+    frame_out << "\n";
     frame_out << "  throughput  " << TextTable::num(rps, 1)
               << " req/s    answered " << answered << "    shed " << shed
               << " (" << TextTable::num(shed_ps, 1) << "/s)    504 "
@@ -1264,6 +1645,25 @@ int cmd_top(const ArgParser& args) {
                        3)
                 << "   ";
     frame_out << "(ms)\n";
+    // Decision-quality plane: predicted-vs-realized accounting + drift.
+    frame_out << "  decisions   total " << num("gauges", "dp.decision.total")
+              << "    reconciled "
+              << num("gauges", "dp.decision.reconciled") << "    mean |err| "
+              << TextTable::num(
+                     num("gauges", "dp.decision.mean_abs_error"), 5)
+              << "    bias "
+              << TextTable::num(num("gauges", "dp.decision.bias"), 5)
+              << "\n";
+    frame_out << "  drift       EWMA |err| "
+              << TextTable::num(num("gauges", "dp.drift.ewma_abs_error"), 5)
+              << "    err p99 "
+              << TextTable::num(
+                     num("gauges", "dp.prediction_error.window.p99"), 5)
+              << "    alerts "
+              << num("gauges", "dp.drift.alerts_total")
+              << (num("gauges", "dp.drift.breaching") > 0.0 ? "    BREACHING"
+                                                            : "")
+              << "\n";
     std::cout << frame_out.str() << std::flush;
   }
   return 0;
@@ -1288,9 +1688,10 @@ int main(int argc, char** argv) {
       {"phases", {"block-bytes", "binary", "window", "threshold"}},
       {"controller",
        {"capacity", "block-bytes", "binary", "epoch", "sampling-rate",
-        "min-units", "max-delta", "policy", "fault-rate", "fault-nan",
-        "fault-spike", "fault-truncate", "fault-drop", "fault-dp-fail",
-        "fault-seed", "trace-out", "metrics-out"}},
+        "min-units", "max-delta", "policy", "drift-alpha", "drift-threshold",
+        "decisions-out", "fault-rate", "fault-nan", "fault-spike",
+        "fault-truncate", "fault-drop", "fault-dp-fail", "fault-seed",
+        "trace-out", "metrics-out"}},
       {"stats",
        {"capacity", "block-bytes", "binary", "epoch", "length", "trace-out",
         "metrics-out", "socket", "timeout-ms"}},
@@ -1298,7 +1699,8 @@ int main(int argc, char** argv) {
        {"socket", "listen", "max-conns", "io-timeout-ms", "capacity",
         "max-batch", "linger-ms", "queue-cap", "threads", "deadline-ms",
         "metrics-port", "slowlog-cap", "window-s", "slo-p99-ms",
-        "slo-availability", "trace-out", "metrics-out", "chaos-accept-fail",
+        "slo-availability", "decision-log-cap", "drift-alpha",
+        "drift-threshold", "trace-out", "metrics-out", "chaos-accept-fail",
         "chaos-reset", "chaos-trickle", "chaos-stall", "chaos-stall-ms",
         "chaos-seed"}},
       {"router",
@@ -1310,10 +1712,13 @@ int main(int argc, char** argv) {
         "chaos-stall-ms", "chaos-seed"}},
       {"query",
        {"socket", "addr", "op", "programs", "paths", "capacity", "objective",
-        "group-size", "deadline-ms", "trace-id", "timeout-ms", "retries",
-        "retry-base-ms", "retry-max-ms", "retry-seed"}},
+        "group-size", "deadline-ms", "trace-id", "decision-id", "limit",
+        "realized", "timeout-ms", "retries", "retry-base-ms", "retry-max-ms",
+        "retry-seed"}},
       {"trace", {"socket", "addr", "out", "timeout-ms"}},
       {"slo", {"socket", "addr", "timeout-ms"}},
+      {"decisions", {"socket", "addr", "limit", "timeout-ms"}},
+      {"why", {"socket", "addr", "timeout-ms"}},
       {"top",
        {"socket", "interval-ms", "iterations", "no-ansi", "timeout-ms"}},
   };
@@ -1351,6 +1756,8 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "slo") return cmd_slo(args);
+    if (command == "decisions") return cmd_decisions(args);
+    if (command == "why") return cmd_why(args);
     if (command == "top") return cmd_top(args);
     return usage();
   } catch (const CheckError& e) {
